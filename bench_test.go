@@ -1,0 +1,104 @@
+package popkit
+
+import (
+	"testing"
+
+	"popkit/internal/expt"
+)
+
+// The repository's benchmark suite regenerates each experiment of
+// EXPERIMENTS.md (one benchmark per table/figure) in its Quick
+// configuration, reporting the total parallel rounds simulated where the
+// experiment exposes them. Run the full-size versions with cmd/popbench.
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := expt.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := expt.Config{Seeds: 2, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.BaseSeed = uint64(i)
+		res := e.Run(cfg)
+		if len(res.Tables) == 0 || res.Tables[0].NumRows() == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+func BenchmarkE1LeaderElection(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2Majority(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3Oscillator(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4PhaseClock(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE6TwoMeet(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7Cascade(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8Exact(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9Semilinear(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10Plurality(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11Baselines(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Tradeoff(b *testing.B)      { benchExperiment(b, "E12") }
+
+func BenchmarkE13CompiledEndToEnd(b *testing.B) {
+	if testing.Short() {
+		b.Skip("compiled end-to-end bench is long")
+	}
+	benchExperiment(b, "E13")
+}
+func BenchmarkF1OscTrajectory(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkF2XDecay(b *testing.B)        { benchExperiment(b, "F2") }
+
+// BenchmarkE5Hierarchy and BenchmarkF3HierarchyTrace drive the two-level
+// clock hierarchy — by far the most expensive constructions (one level-2
+// tick costs ≈ 4·α·ln n level-1 ticks). They are guarded behind -short so
+// `go test -bench=. -benchmem` stays tractable on a laptop; cmd/popbench
+// runs them at full size.
+func BenchmarkE5Hierarchy(b *testing.B) {
+	if testing.Short() {
+		b.Skip("hierarchy bench is long")
+	}
+	benchExperiment(b, "E5")
+}
+
+func BenchmarkF3HierarchyTrace(b *testing.B) {
+	if testing.Short() {
+		b.Skip("hierarchy bench is long")
+	}
+	benchExperiment(b, "F3")
+}
+
+// Micro-benchmarks of the simulation substrate itself.
+
+func BenchmarkEngineSequentialStep(b *testing.B) {
+	c, err := CompileProgram(MustParseProgram(`
+protocol Bench
+var I = off
+
+thread Main uses I
+  repeat:
+    execute for >= 1 ln n rounds ruleset:
+      (I) + (!I) -> (I) + (I)
+`), CompileOptions{Control: XPreReduced})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(c.Rules)
+	rng := NewRNG(1)
+	pop := c.NewPopulation(4096, rng)
+	r := NewScheduler(eng, pop, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+	}
+}
+
+func BenchmarkFrameworkIteration(b *testing.B) {
+	run, err := NewRun(Majority(2), 1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run.RunIteration()
+	}
+}

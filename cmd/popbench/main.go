@@ -1,0 +1,77 @@
+// Command popbench regenerates the reproduction experiments of
+// EXPERIMENTS.md: every table and figure series indexed in DESIGN.md.
+//
+// Usage:
+//
+//	popbench [-e E1,E3,F2] [-seeds N] [-quick] [-out DIR] [-list]
+//
+// Without -e it runs every experiment in order. Tables are printed as
+// Markdown to stdout; figure CSVs are written into -out (default ".").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"popkit/internal/expt"
+)
+
+func main() {
+	var (
+		only  = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		seeds = flag.Int("seeds", 10, "runs per configuration point")
+		quick = flag.Bool("quick", false, "smallest configurations only")
+		out   = flag.String("out", ".", "directory for figure CSV files")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Uint64("seed", 0, "base RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	var wanted []expt.Experiment
+	if *only == "" {
+		wanted = expt.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := expt.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "popbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			wanted = append(wanted, e)
+		}
+	}
+
+	cfg := expt.Config{Seeds: *seeds, Quick: *quick, BaseSeed: *seed}
+	exitCode := 0
+	for _, e := range wanted {
+		fmt.Printf("## %s — %s\n\n", e.ID, e.Claim)
+		start := time.Now()
+		res := e.Run(cfg)
+		for _, tb := range res.Tables {
+			fmt.Println(tb.Markdown())
+		}
+		for name, csv := range res.Figures {
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: writing %s: %v\n", path, err)
+				exitCode = 1
+				continue
+			}
+			fmt.Printf("wrote %s (%d bytes)\n\n", path, len(csv))
+		}
+		fmt.Printf("_%s completed in %s_\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,190 @@
+// Command popsim runs one of the paper's protocols and reports its
+// convergence, either under the framework's good-iteration semantics
+// (default) or as a fully compiled flat protocol under the plain
+// uniform-random scheduler (-compiled).
+//
+// Usage:
+//
+//	popsim -p leader      -n 4096
+//	popsim -p majority    -n 4096 -gap 1
+//	popsim -p leaderexact -n 1024
+//	popsim -p majorityexact -n 1024 -gap 1
+//	popsim -p plurality   -n 1200 -colours 3
+//	popsim -p leader -n 600 -compiled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	popkit "popkit"
+	"popkit/internal/bitmask"
+	"popkit/internal/frame"
+)
+
+func main() {
+	var (
+		proto    = flag.String("p", "leader", "protocol: leader | leaderexact | majority | majorityexact | plurality")
+		n        = flag.Int("n", 4096, "population size")
+		gap      = flag.Int("gap", 1, "majority gap (#A − #B)")
+		colours  = flag.Int("colours", 3, "plurality colour count")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		maxIters = flag.Int("max-iters", 2000, "iteration budget")
+		compiled = flag.Bool("compiled", false, "run the compiled flat protocol (leader only; slow)")
+	)
+	flag.Parse()
+
+	if *compiled {
+		runCompiled(*proto, *n, *seed)
+		return
+	}
+
+	var prog *popkit.Program
+	switch *proto {
+	case "leader":
+		prog = popkit.LeaderElection()
+	case "leaderexact":
+		prog = popkit.LeaderElectionExact()
+	case "majority":
+		prog = popkit.Majority(2)
+	case "majorityexact":
+		prog = popkit.MajorityExact(2)
+	case "plurality":
+		prog = popkit.Plurality(*colours, 2)
+	default:
+		fmt.Fprintf(os.Stderr, "popsim: unknown protocol %q\n", *proto)
+		os.Exit(1)
+	}
+
+	run, err := popkit.NewRun(prog, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popsim:", err)
+		os.Exit(1)
+	}
+	setupInputs(run, *proto, *n, *gap, *colours)
+
+	done := convergence(*proto, *n, *colours)
+	iters, ok := run.RunUntil(done, *maxIters)
+	fmt.Printf("protocol=%s n=%d seed=%d\n", prog.Name, *n, *seed)
+	fmt.Printf("iterations=%d rounds=%.0f (%.1f × ln²n) converged=%v\n",
+		iters, run.Rounds, run.Rounds/math.Pow(math.Log(float64(*n)), 2), ok)
+	report(run, *proto, *colours)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func setupInputs(run *popkit.Run, proto string, n, gap, colours int) {
+	switch proto {
+	case "majority", "majorityexact":
+		a, _ := run.Space.LookupVar("A")
+		b, _ := run.Space.LookupVar("B")
+		nB := (n - gap) / 2
+		nA := nB + gap
+		run.SetInput(func(i int, s bitmask.State) bitmask.State {
+			switch {
+			case i < nA:
+				s = a.Set(s, true)
+			case i < nA+nB:
+				s = b.Set(s, true)
+			default:
+				return s
+			}
+			if proto == "majorityexact" {
+				at, _ := run.Space.LookupVar("At")
+				bt, _ := run.Space.LookupVar("Bt")
+				if i < nA {
+					s = at.Set(s, true)
+				} else {
+					s = bt.Set(s, true)
+				}
+			}
+			return s
+		})
+	case "plurality":
+		vars := make([]bitmask.Var, colours)
+		for i := range vars {
+			vars[i], _ = run.Space.LookupVar(fmt.Sprintf("C%d", i+1))
+		}
+		sizes := make([]int, colours)
+		base := n / (colours + 1)
+		rem := n
+		for i := range sizes {
+			sizes[i] = base - i
+			rem -= sizes[i]
+		}
+		sizes[0] += rem
+		run.SetInput(func(i int, s bitmask.State) bitmask.State {
+			acc := 0
+			for c := 0; c < colours; c++ {
+				acc += sizes[c]
+				if i < acc {
+					return vars[c].Set(s, true)
+				}
+			}
+			return s
+		})
+	}
+}
+
+func convergence(proto string, n, colours int) func(*frame.Executor) bool {
+	switch proto {
+	case "leader":
+		return func(e *frame.Executor) bool { return e.CountVar("L") == 1 }
+	case "leaderexact":
+		return func(e *frame.Executor) bool { return e.CountVar("L") == 1 && e.CountVar("R") == 1 }
+	case "majority":
+		return func(e *frame.Executor) bool {
+			y := e.CountVar("YA")
+			return (y == 0 || y == n) && e.Iterations >= 3
+		}
+	case "majorityexact":
+		return func(e *frame.Executor) bool {
+			return (e.CountVar("At") == 0 || e.CountVar("Bt") == 0) && e.Iterations >= 3
+		}
+	default: // plurality
+		return func(e *frame.Executor) bool {
+			return e.CountVar("W1") == n
+		}
+	}
+}
+
+func report(run *popkit.Run, proto string, colours int) {
+	switch proto {
+	case "leader", "leaderexact":
+		fmt.Printf("leaders=%d\n", run.CountVar("L"))
+	case "majority", "majorityexact":
+		fmt.Printf("YA=%d (on means A is the majority)\n", run.CountVar("YA"))
+	case "plurality":
+		for c := 1; c <= colours; c++ {
+			fmt.Printf("W%d=%d ", c, run.CountVar(fmt.Sprintf("W%d", c)))
+		}
+		fmt.Println()
+	}
+}
+
+func runCompiled(proto string, n int, seed uint64) {
+	if proto != "leader" {
+		fmt.Fprintln(os.Stderr, "popsim: -compiled currently demonstrates the leader protocol")
+		os.Exit(1)
+	}
+	c, err := popkit.CompileProgram(popkit.LeaderElection(), popkit.CompileOptions{Control: popkit.XPreReduced})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(c.Describe())
+	rng := popkit.NewRNG(seed)
+	pop := c.NewPopulation(n, rng)
+	r := popkit.NewScheduler(popkit.NewEngine(c.Rules), pop, rng)
+	lv, _ := c.Space.LookupVar("L")
+	tr := r.Track("L", bitmask.Is(lv))
+	budget := 60.0 * float64(c.M) * 60 * math.Log(float64(n))
+	rounds, ok := r.RunUntil(func(*popkit.Scheduler) bool { return tr.Count() == 1 }, 25, budget)
+	fmt.Printf("compiled run: leaders=%d rounds=%.0f converged=%v\n", tr.Count(), rounds, ok)
+	if !ok {
+		os.Exit(1)
+	}
+}

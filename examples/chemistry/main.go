@@ -1,0 +1,64 @@
+// Chemistry: watch the self-organizing rock–paper–scissors oscillator that
+// drives the paper's phase clocks (§5.2). Population protocols are
+// equivalent to fixed-volume chemical reaction networks, so this is a
+// three-species CRN whose concentrations oscillate with period Θ(log n) —
+// rendered as an ASCII strip chart.
+//
+//	go run ./examples/chemistry
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	popkit "popkit"
+)
+
+func main() {
+	const (
+		n  = 50000
+		nx = 40 // control/source molecules X: 1 ≤ #X ≤ n^(1−ε)
+	)
+	sim := popkit.NewOscillatorSim(n, nx, 7)
+
+	fmt.Printf("n = %d molecules, #X = %d sources\n", n, nx)
+	fmt.Println("reactions:  A_i + A_{i-1} -> A_i + A_i   (strong predation)")
+	fmt.Println("            weak -> strong               (maturation)")
+	fmt.Println("            X + A_j -> X + A_rand        (reseeding)")
+	fmt.Println()
+	fmt.Println("   rounds  A0                                     A1      A2 ")
+
+	const width = 42
+	glyphs := []byte{'#', '+', '.'}
+	horizon := 130 * math.Log(n)
+	for sim.Sim.Rounds() < horizon {
+		sim.Step(4)
+		c := sim.Species()
+		var row [width]byte
+		for i := range row {
+			row[i] = ' '
+		}
+		for sp, cnt := range c {
+			pos := int(float64(cnt) / float64(n) * float64(width-1))
+			row[pos] = glyphs[sp]
+		}
+		fmt.Printf("%9.0f  |%s|  %6d %7d %7d\n", sim.Sim.Rounds(), string(row[:]), c[0], c[1], c[2])
+	}
+
+	windows := sim.Probe.Windows()
+	if len(windows) == 0 {
+		fmt.Println("\nno full oscillation within the horizon — try a longer run")
+		return
+	}
+	var mean float64
+	for _, w := range windows {
+		mean += w
+	}
+	mean /= float64(len(windows))
+	fmt.Printf("\ndominance windows observed: %d, mean %.0f rounds = %.1f·ln n",
+		len(windows), mean, mean/math.Log(n))
+	fmt.Printf("\ncyclic order A0→A1→A2 respected: %v\n", sim.Probe.CyclicOK())
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("Theorem 5.1: period Θ(log n) while 1 ≤ #X ≤ n^(1−ε).")
+}

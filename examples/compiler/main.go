@@ -1,0 +1,73 @@
+// Compiler: write a protocol in the paper's imperative language, compile
+// it to a flat population protocol (§4, §5.4) — phase-clock hierarchy,
+// X-control process, and Π_τ-gated program rules — and run the compiled
+// rule set under the plain uniform-random pairwise scheduler.
+//
+//	go run ./examples/compiler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	popkit "popkit"
+	"popkit/internal/bitmask"
+)
+
+// source: a rumor-spreading protocol with a kill switch — one leaf spreads
+// the rumor R epidemically, and once everyone knows it, a second phase
+// raises the acknowledgement flag Done (an "if exists" branch over the
+// whole population).
+const source = `
+protocol Rumor
+var R = off output
+var Done = off output
+
+thread Main uses R, Done
+  repeat:
+    execute for >= 2 ln n rounds ruleset:
+      (R) + (!R) -> (R) + (R)
+    if exists (!R):
+      Done := off
+    else:
+      Done := on
+`
+
+func main() {
+	prog, err := popkit.ParseProgram(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := popkit.CompileProgram(prog, popkit.CompileOptions{Control: popkit.XPreReduced})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled:", c.Describe())
+	fmt.Println("leaf time paths:", c.LeafWindows)
+	fmt.Println()
+
+	const n = 1000
+	rng := popkit.NewRNG(5)
+	pop := c.NewPopulation(n, rng)
+	rv, _ := c.Space.LookupVar("R")
+	dv, _ := c.Space.LookupVar("Done")
+	pop.SetAgent(0, rv.Set(pop.Agent(0), true)) // one agent knows the rumor
+
+	sched := popkit.NewScheduler(popkit.NewEngine(c.Rules), pop, rng)
+	trR := sched.Track("R", bitmask.Is(rv))
+	trD := sched.Track("Done", bitmask.Is(dv))
+
+	budget := 80 * float64(c.M) * 40 * math.Log(n)
+	for sched.Rounds() < budget {
+		sched.RunRounds(200)
+		fmt.Printf("t=%8.0f rounds: rumor known by %4d/%d, acknowledged by %4d\n",
+			sched.Rounds(), trR.Count(), n, trD.Count())
+		if trR.Count() == n && trD.Count() == n {
+			fmt.Println("\nrumor spread and acknowledged — the compiled clock-gated")
+			fmt.Println("protocol executed the program under a plain random scheduler.")
+			return
+		}
+	}
+	log.Fatal("compiled run did not finish within the budget")
+}

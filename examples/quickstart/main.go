@@ -1,0 +1,45 @@
+// Quickstart: elect a leader among 10,000 anonymous finite-state agents in
+// polylogarithmic parallel time — the headline capability of "Population
+// Protocols Are Fast" (Kosowski & Uznański, PODC 2018).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	popkit "popkit"
+)
+
+func main() {
+	const n = 10000
+
+	// The §3.1 LeaderElection program, written in the paper's imperative
+	// language: all agents start as leaders; each iteration the leaders
+	// flip coins and only the heads survive, unless nobody got heads.
+	prog := popkit.LeaderElection()
+	fmt.Printf("program %s (loop depth %d)\n\n", prog.Name, prog.LoopDepth())
+
+	run, err := popkit.NewRun(prog, n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Iterate until a unique leader remains, printing the halving.
+	for iter := 0; iter < 200; iter++ {
+		leaders := run.CountVar("L")
+		fmt.Printf("iteration %2d: %5d leaders (%.0f parallel rounds elapsed)\n",
+			iter, leaders, run.Rounds)
+		if leaders == 1 {
+			logn := math.Log(float64(n))
+			fmt.Printf("\nunique leader after %d iterations and %.0f rounds ≈ %.1f·ln²n\n",
+				iter, run.Rounds, run.Rounds/(logn*logn))
+			fmt.Println("(Theorem 3.1: O(log n) iterations, O(log² n) rounds, w.h.p.)")
+			return
+		}
+		run.RunIteration()
+	}
+	log.Fatal("did not converge — try another seed")
+}

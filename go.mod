@@ -1,0 +1,3 @@
+module popkit
+
+go 1.22

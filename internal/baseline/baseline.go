@@ -1,0 +1,146 @@
+// Package baseline implements the prior-work comparator protocols that the
+// paper positions itself against (§1.2): the 3-state approximate-majority
+// protocol of [AAE08a] (O(log n) time but needs a Ω(√(n log n)) gap), the
+// 4-state exact-majority protocol of [DV12, MNRS14] (always correct but
+// Θ(n log n) time on small gaps), and the folklore pairwise-coalescence
+// leader election (always correct, Θ(n) time). All three use tiny state
+// spaces, so the counted engine simulates them at populations up to 10^9.
+package baseline
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/rules"
+)
+
+// ApproxMajority is the 3-state approximate-majority protocol [AAE08a]:
+// states A, B and blank. An opinionated initiator erases an opposing
+// responder to blank, and converts a blank responder to its own opinion.
+// Converges in O(log n) rounds, but with an initial gap below
+// Ω(√(n log n)) the outcome may be the minority opinion.
+type ApproxMajority struct {
+	A, B bitmask.Var
+	rs   *rules.Ruleset
+}
+
+// NewApproxMajority builds the protocol on a fresh space.
+func NewApproxMajority() *ApproxMajority {
+	sp := bitmask.NewSpace()
+	p := &ApproxMajority{A: sp.Bool("A"), B: sp.Bool("B")}
+	p.rs = rules.NewRuleset(sp)
+	a, b := bitmask.Is(p.A), bitmask.Is(p.B)
+	blank := bitmask.And(bitmask.IsNot(p.A), bitmask.IsNot(p.B))
+	p.rs.Add(a, b, bitmask.True(), bitmask.And(bitmask.IsNot(p.A), bitmask.IsNot(p.B)))
+	p.rs.Add(b, a, bitmask.True(), bitmask.And(bitmask.IsNot(p.A), bitmask.IsNot(p.B)))
+	p.rs.Add(a, blank, bitmask.True(), bitmask.And(bitmask.Is(p.A), bitmask.IsNot(p.B)))
+	p.rs.Add(b, blank, bitmask.True(), bitmask.And(bitmask.Is(p.B), bitmask.IsNot(p.A)))
+	return p
+}
+
+// Rules returns the ruleset.
+func (p *ApproxMajority) Rules() *rules.Ruleset { return p.rs }
+
+// Population builds a counted population with the given opinion counts.
+func (p *ApproxMajority) Population(nA, nB, blank int64) *engine.Counted {
+	sA := p.A.Set(bitmask.State{}, true)
+	sB := p.B.Set(bitmask.State{}, true)
+	return engine.NewCounted(map[bitmask.State]int64{
+		sA: nA, sB: nB, {}: blank,
+	})
+}
+
+// Winner inspects a population: +1 if only A-opinions remain, −1 if only
+// B, 0 if undecided.
+func (p *ApproxMajority) Winner(pop *engine.Counted) int {
+	a := pop.CountFormula(bitmask.Is(p.A))
+	b := pop.CountFormula(bitmask.Is(p.B))
+	switch {
+	case a > 0 && b == 0:
+		return +1
+	case b > 0 && a == 0:
+		return -1
+	}
+	return 0
+}
+
+// ExactMajority4 is the 4-state exact-majority protocol [DV12, MNRS14]:
+// strong opinions A, B and weak opinions a, b. Strong pairs annihilate to
+// weak (preserving #A − #B exactly); strong agents convert opposing weak
+// agents. Always correct; Θ(n log n) rounds when the gap is constant.
+type ExactMajority4 struct {
+	IsA    bitmask.Var // opinion bit: on=A-side, off=B-side
+	Strong bitmask.Var
+	rs     *rules.Ruleset
+}
+
+// NewExactMajority4 builds the protocol on a fresh space.
+func NewExactMajority4() *ExactMajority4 {
+	sp := bitmask.NewSpace()
+	p := &ExactMajority4{IsA: sp.Bool("OpA"), Strong: sp.Bool("St")}
+	p.rs = rules.NewRuleset(sp)
+	sA := bitmask.And(bitmask.Is(p.IsA), bitmask.Is(p.Strong))
+	sB := bitmask.And(bitmask.IsNot(p.IsA), bitmask.Is(p.Strong))
+	wA := bitmask.And(bitmask.Is(p.IsA), bitmask.IsNot(p.Strong))
+	wB := bitmask.And(bitmask.IsNot(p.IsA), bitmask.IsNot(p.Strong))
+	// Strong annihilation: A + B → a + b.
+	p.rs.Add(sA, sB, bitmask.IsNot(p.Strong), bitmask.IsNot(p.Strong))
+	// Strong converts opposing weak: A + b → A + a, B + a → B + b.
+	p.rs.Add(sA, wB, bitmask.True(), bitmask.Is(p.IsA))
+	p.rs.Add(sB, wA, bitmask.True(), bitmask.IsNot(p.IsA))
+	return p
+}
+
+// Rules returns the ruleset.
+func (p *ExactMajority4) Rules() *rules.Ruleset { return p.rs }
+
+// Population builds a counted population: nA strong-A and nB strong-B
+// agents (the 4-state protocol has no uncoloured inputs).
+func (p *ExactMajority4) Population(nA, nB int64) *engine.Counted {
+	a := p.Strong.Set(p.IsA.Set(bitmask.State{}, true), true)
+	b := p.Strong.Set(bitmask.State{}, true)
+	return engine.NewCounted(map[bitmask.State]int64{a: nA, b: nB})
+}
+
+// Decided reports whether all agents agree on an opinion, and which
+// (+1 for A, −1 for B).
+func (p *ExactMajority4) Decided(pop *engine.Counted) (bool, int) {
+	a := pop.CountFormula(bitmask.Is(p.IsA))
+	switch {
+	case a == pop.N64():
+		return true, +1
+	case a == 0:
+		return true, -1
+	}
+	return false, 0
+}
+
+// CoalescenceLeader is the folklore always-correct leader election
+// ▷ (L) + (L) → (L) + (¬L): the leader count halves by pairwise collision
+// and converges to exactly one in Θ(n) rounds.
+type CoalescenceLeader struct {
+	L  bitmask.Var
+	rs *rules.Ruleset
+}
+
+// NewCoalescenceLeader builds the protocol on a fresh space.
+func NewCoalescenceLeader() *CoalescenceLeader {
+	sp := bitmask.NewSpace()
+	p := &CoalescenceLeader{L: sp.Bool("L")}
+	p.rs = rules.NewRuleset(sp)
+	p.rs.Add(bitmask.Is(p.L), bitmask.Is(p.L), bitmask.Is(p.L), bitmask.IsNot(p.L))
+	return p
+}
+
+// Rules returns the ruleset.
+func (p *CoalescenceLeader) Rules() *rules.Ruleset { return p.rs }
+
+// Population builds a counted population with every agent a leader.
+func (p *CoalescenceLeader) Population(n int64) *engine.Counted {
+	l := p.L.Set(bitmask.State{}, true)
+	return engine.NewCounted(map[bitmask.State]int64{l: n})
+}
+
+// Leaders counts the remaining leaders.
+func (p *CoalescenceLeader) Leaders(pop *engine.Counted) int64 {
+	return pop.CountFormula(bitmask.Is(p.L))
+}

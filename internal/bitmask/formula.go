@@ -1,0 +1,388 @@
+package bitmask
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Formula is a boolean expression over the variables and fields of a
+// Space. Formulas are the Σ's of the paper's rule notation; they are
+// compiled to Guards (disjunctions of cubes) before simulation.
+type Formula struct {
+	kind  formulaKind
+	v     Var
+	f     Field
+	val   uint64
+	child []Formula
+}
+
+type formulaKind uint8
+
+const (
+	fTrue formulaKind = iota
+	fFalse
+	fVar
+	fFieldEq
+	fNot
+	fAnd
+	fOr
+)
+
+// True is the empty formula "(.)": it matches any agent.
+func True() Formula { return Formula{kind: fTrue} }
+
+// False matches no agent.
+func False() Formula { return Formula{kind: fFalse} }
+
+// Is is the positive literal "V".
+func Is(v Var) Formula { return Formula{kind: fVar, v: v} }
+
+// IsNot is the negative literal "¬V".
+func IsNot(v Var) Formula { return Not(Is(v)) }
+
+// FieldIs is the literal "F == val".
+func FieldIs(f Field, val uint64) Formula {
+	if val > f.Max() {
+		return False()
+	}
+	return Formula{kind: fFieldEq, f: f, val: val}
+}
+
+// Not negates a formula.
+func Not(x Formula) Formula {
+	switch x.kind {
+	case fTrue:
+		return False()
+	case fFalse:
+		return True()
+	case fNot:
+		return x.child[0]
+	}
+	return Formula{kind: fNot, child: []Formula{x}}
+}
+
+// And conjoins formulas. And() is True.
+func And(xs ...Formula) Formula {
+	flat := make([]Formula, 0, len(xs))
+	for _, x := range xs {
+		switch x.kind {
+		case fTrue:
+			continue
+		case fFalse:
+			return False()
+		case fAnd:
+			flat = append(flat, x.child...)
+		default:
+			flat = append(flat, x)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return True()
+	case 1:
+		return flat[0]
+	}
+	return Formula{kind: fAnd, child: flat}
+}
+
+// Or disjoins formulas. Or() is False.
+func Or(xs ...Formula) Formula {
+	flat := make([]Formula, 0, len(xs))
+	for _, x := range xs {
+		switch x.kind {
+		case fFalse:
+			continue
+		case fTrue:
+			return True()
+		case fOr:
+			flat = append(flat, x.child...)
+		default:
+			flat = append(flat, x)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return False()
+	case 1:
+		return flat[0]
+	}
+	return Formula{kind: fOr, child: flat}
+}
+
+// Eval evaluates the formula on a concrete state. It is the reference
+// semantics against which compiled Guards are property-tested; the
+// simulation hot path uses Guard.Match instead.
+func (x Formula) Eval(s State) bool {
+	switch x.kind {
+	case fTrue:
+		return true
+	case fFalse:
+		return false
+	case fVar:
+		return x.v.Get(s)
+	case fFieldEq:
+		return x.f.Get(s) == x.val
+	case fNot:
+		return !x.child[0].Eval(s)
+	case fAnd:
+		for _, c := range x.child {
+			if !c.Eval(s) {
+				return false
+			}
+		}
+		return true
+	case fOr:
+		for _, c := range x.child {
+			if c.Eval(s) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("bitmask: bad formula kind")
+}
+
+// String renders the formula in the paper's notation.
+func (x Formula) String() string {
+	switch x.kind {
+	case fTrue:
+		return "."
+	case fFalse:
+		return "⊥"
+	case fVar:
+		return x.v.name
+	case fFieldEq:
+		return fmt.Sprintf("%s==%d", x.f.name, x.val)
+	case fNot:
+		c := x.child[0]
+		if c.kind == fVar || c.kind == fFieldEq {
+			return "!" + c.String()
+		}
+		return "!(" + c.String() + ")"
+	case fAnd, fOr:
+		op := " & "
+		if x.kind == fOr {
+			op = " | "
+		}
+		parts := make([]string, len(x.child))
+		for i, c := range x.child {
+			if c.kind == fOr || (x.kind == fOr && c.kind == fAnd) {
+				parts[i] = "(" + c.String() + ")"
+			} else {
+				parts[i] = c.String()
+			}
+		}
+		return strings.Join(parts, op)
+	}
+	panic("bitmask: bad formula kind")
+}
+
+// A Cube is a conjunction of literals compiled to mask form: a state s
+// matches iff (s.Lo & CareLo) == WantLo and (s.Hi & CareHi) == WantHi.
+type Cube struct {
+	CareLo, WantLo uint64
+	CareHi, WantHi uint64
+}
+
+// FullCube matches every state.
+var FullCube = Cube{}
+
+// Match reports whether the cube matches state s.
+func (c Cube) Match(s State) bool {
+	return s.Lo&c.CareLo == c.WantLo && s.Hi&c.CareHi == c.WantHi
+}
+
+// and intersects two cubes; ok is false if they contradict.
+func (c Cube) and(d Cube) (Cube, bool) {
+	if conflict := (c.CareLo & d.CareLo) & (c.WantLo ^ d.WantLo); conflict != 0 {
+		return Cube{}, false
+	}
+	if conflict := (c.CareHi & d.CareHi) & (c.WantHi ^ d.WantHi); conflict != 0 {
+		return Cube{}, false
+	}
+	return Cube{
+		CareLo: c.CareLo | d.CareLo, WantLo: c.WantLo | d.WantLo,
+		CareHi: c.CareHi | d.CareHi, WantHi: c.WantHi | d.WantHi,
+	}, true
+}
+
+// A Guard is a compiled formula: a disjunction of cubes. The zero Guard
+// matches nothing; use TrueGuard for "matches everything".
+type Guard struct {
+	Cubes []Cube
+}
+
+// TrueGuard matches every state.
+func TrueGuard() Guard { return Guard{Cubes: []Cube{FullCube}} }
+
+// Match reports whether any cube matches s. With one cube (the common case)
+// this is two mask-compare operations.
+func (g Guard) Match(s State) bool {
+	for _, c := range g.Cubes {
+		if c.Match(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFalse reports whether the guard matches no state.
+func (g Guard) IsFalse() bool { return len(g.Cubes) == 0 }
+
+// Compile lowers a formula to a Guard in disjunctive normal form.
+// Negated field-equality literals expand into one cube per alternative
+// value, so fields should be kept narrow (they are: clock counters).
+func Compile(x Formula) Guard {
+	cubes := toDNF(x)
+	return Guard{Cubes: simplify(cubes)}
+}
+
+func toDNF(x Formula) []Cube {
+	switch x.kind {
+	case fTrue:
+		return []Cube{FullCube}
+	case fFalse:
+		return nil
+	case fVar:
+		return []Cube{varCube(x.v, true)}
+	case fFieldEq:
+		return []Cube{fieldCube(x.f, x.val)}
+	case fNot:
+		return negDNF(x.child[0])
+	case fAnd:
+		acc := []Cube{FullCube}
+		for _, c := range x.child {
+			acc = andDNF(acc, toDNF(c))
+			if len(acc) == 0 {
+				return nil
+			}
+		}
+		return acc
+	case fOr:
+		var acc []Cube
+		for _, c := range x.child {
+			acc = append(acc, toDNF(c)...)
+		}
+		return acc
+	}
+	panic("bitmask: bad formula kind")
+}
+
+func negDNF(x Formula) []Cube {
+	switch x.kind {
+	case fTrue:
+		return nil
+	case fFalse:
+		return []Cube{FullCube}
+	case fVar:
+		return []Cube{varCube(x.v, false)}
+	case fFieldEq:
+		// ¬(F==v): one cube per other value of the field.
+		out := make([]Cube, 0, x.f.Max())
+		for v := uint64(0); v <= x.f.Max(); v++ {
+			if v != x.val {
+				out = append(out, fieldCube(x.f, v))
+			}
+		}
+		return out
+	case fNot:
+		return toDNF(x.child[0])
+	case fAnd: // ¬(a∧b) = ¬a ∨ ¬b
+		var acc []Cube
+		for _, c := range x.child {
+			acc = append(acc, negDNF(c)...)
+		}
+		return acc
+	case fOr: // ¬(a∨b) = ¬a ∧ ¬b
+		acc := []Cube{FullCube}
+		for _, c := range x.child {
+			acc = andDNF(acc, negDNF(c))
+			if len(acc) == 0 {
+				return nil
+			}
+		}
+		return acc
+	}
+	panic("bitmask: bad formula kind")
+}
+
+func andDNF(a, b []Cube) []Cube {
+	out := make([]Cube, 0, len(a)*len(b))
+	for _, ca := range a {
+		for _, cb := range b {
+			if c, ok := ca.and(cb); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func varCube(v Var, want bool) Cube {
+	var c Cube
+	if v.pos < 64 {
+		c.CareLo = 1 << uint(v.pos)
+		if want {
+			c.WantLo = c.CareLo
+		}
+	} else {
+		c.CareHi = 1 << uint(v.pos-64)
+		if want {
+			c.WantHi = c.CareHi
+		}
+	}
+	return c
+}
+
+func fieldCube(f Field, val uint64) Cube {
+	var c Cube
+	c.CareLo, c.CareHi = f.laneMasks()
+	c.WantLo, c.WantHi = f.laneBits(val)
+	return c
+}
+
+// simplify removes duplicate and subsumed cubes, keeping output order
+// deterministic.
+func simplify(cubes []Cube) []Cube {
+	if len(cubes) <= 1 {
+		return cubes
+	}
+	sort.Slice(cubes, func(i, j int) bool { return cubeLess(cubes[i], cubes[j]) })
+	out := cubes[:0]
+	for _, c := range cubes {
+		dup := false
+		for _, k := range out {
+			if k == c || cubeCovers(k, c) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// cubeCovers reports whether every state matching c also matches k (k less
+// constrained, agreeing where both care).
+func cubeCovers(k, c Cube) bool {
+	if k.CareLo&^c.CareLo != 0 || k.CareHi&^c.CareHi != 0 {
+		return false
+	}
+	return k.WantLo == c.WantLo&k.CareLo && k.WantHi == c.WantHi&k.CareHi
+}
+
+func cubeLess(a, b Cube) bool {
+	if a.CareHi != b.CareHi {
+		return a.CareHi < b.CareHi
+	}
+	if a.WantHi != b.WantHi {
+		return a.WantHi < b.WantHi
+	}
+	if a.CareLo != b.CareLo {
+		return a.CareLo < b.CareLo
+	}
+	return a.WantLo < b.WantLo
+}

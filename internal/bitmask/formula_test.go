@@ -1,0 +1,187 @@
+package bitmask
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testSpace builds a space with a handful of booleans and two fields used
+// across the formula tests.
+func testSpace() (*Space, []Var, []Field) {
+	sp := NewSpace()
+	vars := sp.Bools("A", "B", "C", "D", "E")
+	fields := []Field{sp.Field("P", 5), sp.Field("Q", 3)}
+	return sp, vars, fields
+}
+
+// randFormula generates a random formula of bounded depth.
+func randFormula(r *rand.Rand, vars []Var, fields []Field, depth int) Formula {
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Is(vars[r.Intn(len(vars))])
+		case 1:
+			return IsNot(vars[r.Intn(len(vars))])
+		case 2:
+			f := fields[r.Intn(len(fields))]
+			return FieldIs(f, uint64(r.Intn(int(f.Max()+1))))
+		default:
+			return True()
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Not(randFormula(r, vars, fields, depth-1))
+	case 1:
+		return And(randFormula(r, vars, fields, depth-1), randFormula(r, vars, fields, depth-1))
+	default:
+		return Or(randFormula(r, vars, fields, depth-1), randFormula(r, vars, fields, depth-1))
+	}
+}
+
+// TestCompileMatchesEval is the core property test: for random formulas and
+// random states, the compiled guard and the tree evaluator agree.
+func TestCompileMatchesEval(t *testing.T) {
+	_, vars, fields := testSpace()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		f := randFormula(r, vars, fields, 3)
+		g := Compile(f)
+		for probe := 0; probe < 64; probe++ {
+			s := State{Lo: r.Uint64(), Hi: r.Uint64()}
+			if g.Match(s) != f.Eval(s) {
+				t.Fatalf("trial %d: guard disagrees with Eval on %v for formula %s",
+					trial, s, f)
+			}
+		}
+	}
+}
+
+func TestCompileBasics(t *testing.T) {
+	_, vars, fields := testSpace()
+	a, b := vars[0], vars[1]
+	p := fields[0]
+
+	cases := []struct {
+		name    string
+		formula Formula
+		state   func() State
+		want    bool
+	}{
+		{"true matches zero", True(), func() State { return State{} }, true},
+		{"false matches nothing", False(), func() State { return State{} }, false},
+		{"var unset", Is(a), func() State { return State{} }, false},
+		{"var set", Is(a), func() State { return a.Set(State{}, true) }, true},
+		{"not var", IsNot(a), func() State { return State{} }, true},
+		{"and", And(Is(a), IsNot(b)), func() State { return a.Set(State{}, true) }, true},
+		{"and fails", And(Is(a), Is(b)), func() State { return a.Set(State{}, true) }, false},
+		{"or", Or(Is(a), Is(b)), func() State { return b.Set(State{}, true) }, true},
+		{"field eq", FieldIs(p, 3), func() State { return p.Set(State{}, 3) }, true},
+		{"field neq", Not(FieldIs(p, 3)), func() State { return p.Set(State{}, 4) }, true},
+		{"field out of range is false", FieldIs(p, 99), func() State { return State{} }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Compile(tc.formula)
+			if got := g.Match(tc.state()); got != tc.want {
+				t.Errorf("Match = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGuardIsFalse(t *testing.T) {
+	_, vars, _ := testSpace()
+	a := vars[0]
+	if !Compile(False()).IsFalse() {
+		t.Error("Compile(False) not IsFalse")
+	}
+	if !Compile(And(Is(a), IsNot(a))).IsFalse() {
+		t.Error("contradiction not IsFalse")
+	}
+	if Compile(Or(Is(a), IsNot(a))).IsFalse() {
+		t.Error("tautology reported IsFalse")
+	}
+}
+
+func TestSimplifyRemovesSubsumedCubes(t *testing.T) {
+	_, vars, _ := testSpace()
+	a, b := vars[0], vars[1]
+	// A ∨ (A ∧ B) ≡ A: should compile to a single cube.
+	g := Compile(Or(Is(a), And(Is(a), Is(b))))
+	if len(g.Cubes) != 1 {
+		t.Errorf("got %d cubes, want 1: %+v", len(g.Cubes), g.Cubes)
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	_, vars, _ := testSpace()
+	a := vars[0]
+	f := Not(Not(Is(a)))
+	s := a.Set(State{}, true)
+	if !Compile(f).Match(s) {
+		t.Error("double negation lost the literal")
+	}
+	if Compile(f).Match(State{}) {
+		t.Error("double negation matches unset state")
+	}
+}
+
+func TestDeMorganQuick(t *testing.T) {
+	_, vars, fields := testSpace()
+	r := rand.New(rand.NewSource(7))
+	prop := func(lo, hi uint64) bool {
+		x := randFormula(r, vars, fields, 2)
+		y := randFormula(r, vars, fields, 2)
+		s := State{Lo: lo, Hi: hi}
+		lhs := Compile(Not(And(x, y)))
+		rhs := Compile(Or(Not(x), Not(y)))
+		return lhs.Match(s) == rhs.Match(s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	_, vars, fields := testSpace()
+	a, b := vars[0], vars[1]
+	p := fields[0]
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{True(), "."},
+		{Is(a), "A"},
+		{IsNot(a), "!A"},
+		{And(Is(a), IsNot(b)), "A & !B"},
+		{Or(Is(a), Is(b)), "A | B"},
+		{FieldIs(p, 2), "P==2"},
+		{And(Is(a), Or(Is(b), FieldIs(p, 1))), "A & (B | P==1)"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAndOrFlattening(t *testing.T) {
+	_, vars, _ := testSpace()
+	a, b, c := vars[0], vars[1], vars[2]
+	f := And(And(Is(a), Is(b)), Is(c))
+	if len(f.child) != 3 {
+		t.Errorf("nested And not flattened: %d children", len(f.child))
+	}
+	g := Or(Or(Is(a), Is(b)), Is(c))
+	if len(g.child) != 3 {
+		t.Errorf("nested Or not flattened: %d children", len(g.child))
+	}
+	if And().kind != fTrue {
+		t.Error("And() != True()")
+	}
+	if Or().kind != fFalse {
+		t.Error("Or() != False()")
+	}
+}

@@ -1,0 +1,315 @@
+// Package bitmask implements the state representation used by every protocol
+// in this repository: a 128-bit word holding named boolean state variables
+// and small unsigned integer fields, together with the guard ("bit-mask
+// formula") and minimal-update machinery of the paper's rule notation
+//
+//	▷ (Σ1) + (Σ2) → (Σ3) + (Σ4)
+//
+// (Kosowski & Uznański, "Population Protocols Are Fast", §1.3). Guards are
+// compiled to disjunctions of cubes — (state & care) == want tests — so the
+// simulation inner loop never walks a formula tree.
+package bitmask
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WordBits is the number of usable bits in a State.
+const WordBits = 128
+
+// State is the full local state of one agent: 128 bits split across two
+// uint64 lanes. The zero value is the all-off state.
+type State struct {
+	Lo, Hi uint64
+}
+
+// Bit reports whether bit p (0 ≤ p < WordBits) is set.
+func (s State) Bit(p int) bool {
+	if p < 64 {
+		return s.Lo&(1<<uint(p)) != 0
+	}
+	return s.Hi&(1<<uint(p-64)) != 0
+}
+
+// SetBit returns s with bit p set to v.
+func (s State) SetBit(p int, v bool) State {
+	var lane *uint64
+	var off uint
+	if p < 64 {
+		lane, off = &s.Lo, uint(p)
+	} else {
+		lane, off = &s.Hi, uint(p-64)
+	}
+	if v {
+		*lane |= 1 << off
+	} else {
+		*lane &^= 1 << off
+	}
+	return s
+}
+
+// IsZero reports whether every bit of s is off.
+func (s State) IsZero() bool { return s.Lo == 0 && s.Hi == 0 }
+
+// String renders the raw state as a hexadecimal pair, high lane first.
+func (s State) String() string {
+	return fmt.Sprintf("%016x:%016x", s.Hi, s.Lo)
+}
+
+// Var is a named boolean state variable: a single bit position in a State.
+type Var struct {
+	name string
+	pos  int
+}
+
+// Name returns the variable's declared name.
+func (v Var) Name() string { return v.name }
+
+// Pos returns the variable's bit position.
+func (v Var) Pos() int { return v.pos }
+
+// Get reads the variable from a state.
+func (v Var) Get(s State) bool { return s.Bit(v.pos) }
+
+// Set writes the variable into a state.
+func (v Var) Set(s State, on bool) State { return s.SetBit(v.pos, on) }
+
+// Field is a named unsigned integer state variable occupying width
+// consecutive bits inside a single lane of a State. Fields model
+// multi-valued components such as the clock position C's ∈ {0, …, 3k−1}.
+type Field struct {
+	name  string
+	hi    bool // true if the field lives in the Hi lane
+	shift uint
+	width uint
+}
+
+// Name returns the field's declared name.
+func (f Field) Name() string { return f.name }
+
+// Width returns the field's width in bits.
+func (f Field) Width() uint { return f.width }
+
+// Max returns the largest value the field can hold.
+func (f Field) Max() uint64 { return (1 << f.width) - 1 }
+
+// BitPos returns the position of the field's least significant bit within
+// the 128-bit state word.
+func (f Field) BitPos() int {
+	if f.hi {
+		return 64 + int(f.shift)
+	}
+	return int(f.shift)
+}
+
+// Get reads the field value from a state.
+func (f Field) Get(s State) uint64 {
+	lane := s.Lo
+	if f.hi {
+		lane = s.Hi
+	}
+	return (lane >> f.shift) & f.Max()
+}
+
+// Set writes value v (masked to the field width) into a state.
+func (f Field) Set(s State, v uint64) State {
+	m := f.Max() << f.shift
+	bits := (v << f.shift) & m
+	if f.hi {
+		s.Hi = (s.Hi &^ m) | bits
+	} else {
+		s.Lo = (s.Lo &^ m) | bits
+	}
+	return s
+}
+
+// laneMasks returns the field's (lo, hi) lane masks.
+func (f Field) laneMasks() (uint64, uint64) {
+	m := f.Max() << f.shift
+	if f.hi {
+		return 0, m
+	}
+	return m, 0
+}
+
+// laneBits returns the (lo, hi) lane bit patterns encoding value v.
+func (f Field) laneBits(v uint64) (uint64, uint64) {
+	bits := (v & f.Max()) << f.shift
+	if f.hi {
+		return 0, bits
+	}
+	return bits, 0
+}
+
+// Space allocates named variables and fields inside the 128-bit state word.
+// It is the single authority on the meaning of each bit for one protocol;
+// composed protocols ("threads", §1.3) share one Space so their rule sets can
+// be merged without bit collisions.
+type Space struct {
+	vars   []Var
+	fields []Field
+	byName map[string]int // index into vars (≥0) or fields (encoded as -1-idx)
+	nextLo uint           // next free bit in Lo lane
+	nextHi uint           // next free bit in Hi lane
+}
+
+// NewSpace returns an empty variable space.
+func NewSpace() *Space {
+	return &Space{byName: make(map[string]int)}
+}
+
+// NumBitsUsed returns the total number of allocated bits.
+func (sp *Space) NumBitsUsed() int { return int(sp.nextLo + sp.nextHi) }
+
+// NumStates returns the size of the induced per-agent state space,
+// 2^(bits used), saturating at 1<<62. This is the "number of states of the
+// interacting automata" in the paper's accounting.
+func (sp *Space) NumStates() uint64 {
+	b := sp.NumBitsUsed()
+	if b >= 62 {
+		return 1 << 62
+	}
+	return 1 << uint(b)
+}
+
+func (sp *Space) register(name string) {
+	if name == "" {
+		panic("bitmask: empty variable name")
+	}
+	if _, dup := sp.byName[name]; dup {
+		panic("bitmask: duplicate variable " + name)
+	}
+}
+
+// Bool allocates a fresh boolean variable.
+func (sp *Space) Bool(name string) Var {
+	sp.register(name)
+	pos, ok := sp.alloc(1)
+	if !ok {
+		panic("bitmask: state word exhausted allocating " + name)
+	}
+	v := Var{name: name, pos: pos}
+	sp.byName[name] = len(sp.vars)
+	sp.vars = append(sp.vars, v)
+	return v
+}
+
+// Bools allocates one boolean variable per name, in order.
+func (sp *Space) Bools(names ...string) []Var {
+	out := make([]Var, len(names))
+	for i, n := range names {
+		out[i] = sp.Bool(n)
+	}
+	return out
+}
+
+// Field allocates a fresh integer field wide enough to hold values
+// 0 … max. It never straddles the lane boundary.
+func (sp *Space) Field(name string, max uint64) Field {
+	sp.register(name)
+	width := uint(1)
+	for (uint64(1)<<width)-1 < max {
+		width++
+	}
+	if width > 32 {
+		panic("bitmask: field too wide: " + name)
+	}
+	pos, ok := sp.allocContig(width)
+	if !ok {
+		panic("bitmask: state word exhausted allocating " + name)
+	}
+	f := Field{name: name, hi: pos >= 64, width: width}
+	if f.hi {
+		f.shift = uint(pos - 64)
+	} else {
+		f.shift = uint(pos)
+	}
+	sp.byName[name] = -1 - len(sp.fields)
+	sp.fields = append(sp.fields, f)
+	return f
+}
+
+// alloc grabs w bits from whichever lane has room, preferring Lo.
+func (sp *Space) alloc(w uint) (int, bool) {
+	return sp.allocContig(w)
+}
+
+// allocContig grabs w contiguous bits within one lane.
+func (sp *Space) allocContig(w uint) (int, bool) {
+	if sp.nextLo+w <= 64 {
+		p := int(sp.nextLo)
+		sp.nextLo += w
+		return p, true
+	}
+	if sp.nextHi+w <= 64 {
+		p := 64 + int(sp.nextHi)
+		sp.nextHi += w
+		return p, true
+	}
+	return 0, false
+}
+
+// LookupVar returns the boolean variable with the given name.
+func (sp *Space) LookupVar(name string) (Var, bool) {
+	i, ok := sp.byName[name]
+	if !ok || i < 0 {
+		return Var{}, false
+	}
+	return sp.vars[i], true
+}
+
+// LookupField returns the integer field with the given name.
+func (sp *Space) LookupField(name string) (Field, bool) {
+	i, ok := sp.byName[name]
+	if !ok || i >= 0 {
+		return Field{}, false
+	}
+	return sp.fields[-1-i], true
+}
+
+// Vars returns all boolean variables in allocation order.
+// The returned slice is a copy.
+func (sp *Space) Vars() []Var {
+	out := make([]Var, len(sp.vars))
+	copy(out, sp.vars)
+	return out
+}
+
+// Fields returns all integer fields in allocation order.
+// The returned slice is a copy.
+func (sp *Space) Fields() []Field {
+	out := make([]Field, len(sp.fields))
+	copy(out, sp.fields)
+	return out
+}
+
+// Format renders a state using the space's variable names, e.g.
+// "A B* C=3"; unset booleans and zero fields are omitted. The zero state
+// renders as "∅".
+func (sp *Space) Format(s State) string {
+	var b strings.Builder
+	for _, v := range sp.vars {
+		if v.Get(s) {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.name)
+		}
+	}
+	for _, f := range sp.fields {
+		if val := f.Get(s); val != 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(f.name)
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatUint(val, 10))
+		}
+	}
+	if b.Len() == 0 {
+		return "∅"
+	}
+	return b.String()
+}

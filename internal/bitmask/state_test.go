@@ -1,0 +1,186 @@
+package bitmask
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateBitRoundTrip(t *testing.T) {
+	var s State
+	for p := 0; p < WordBits; p++ {
+		if s.Bit(p) {
+			t.Fatalf("zero state has bit %d set", p)
+		}
+	}
+	for p := 0; p < WordBits; p += 7 {
+		s = s.SetBit(p, true)
+	}
+	for p := 0; p < WordBits; p++ {
+		want := p%7 == 0
+		if got := s.Bit(p); got != want {
+			t.Errorf("bit %d = %v, want %v", p, got, want)
+		}
+	}
+	for p := 0; p < WordBits; p += 7 {
+		s = s.SetBit(p, false)
+	}
+	if !s.IsZero() {
+		t.Errorf("state not zero after clearing all bits: %v", s)
+	}
+}
+
+func TestStateSetBitIsPure(t *testing.T) {
+	var s State
+	_ = s.SetBit(3, true)
+	if !s.IsZero() {
+		t.Error("SetBit mutated its receiver")
+	}
+}
+
+func TestSpaceBoolAllocation(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	if a.Pos() == b.Pos() {
+		t.Fatal("two variables share a bit")
+	}
+	var s State
+	s = a.Set(s, true)
+	if !a.Get(s) || b.Get(s) {
+		t.Errorf("A=%v B=%v, want true false", a.Get(s), b.Get(s))
+	}
+	if sp.NumBitsUsed() != 2 {
+		t.Errorf("NumBitsUsed = %d, want 2", sp.NumBitsUsed())
+	}
+	if sp.NumStates() != 4 {
+		t.Errorf("NumStates = %d, want 4", sp.NumStates())
+	}
+}
+
+func TestSpaceDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	sp := NewSpace()
+	sp.Bool("A")
+	sp.Bool("A")
+}
+
+func TestSpaceExhaustionPanics(t *testing.T) {
+	sp := NewSpace()
+	for i := 0; i < WordBits; i++ {
+		sp.Bool(string(rune('a'+i/26)) + string(rune('a'+i%26)) + "x")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("allocating bit 129 did not panic")
+		}
+	}()
+	sp.Bool("overflow")
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	f := sp.Field("C", 23) // needs 5 bits
+	g := sp.Field("D", 1)  // 1 bit
+	if f.Width() != 5 {
+		t.Errorf("width = %d, want 5", f.Width())
+	}
+	var s State
+	s = a.Set(s, true)
+	for v := uint64(0); v <= 23; v++ {
+		s = f.Set(s, v)
+		if got := f.Get(s); got != v {
+			t.Errorf("field C = %d, want %d", got, v)
+		}
+		if !a.Get(s) {
+			t.Error("field store clobbered variable A")
+		}
+		if g.Get(s) != 0 {
+			t.Error("field store clobbered field D")
+		}
+	}
+	// Values are masked to the width.
+	s = f.Set(s, 1<<f.Width())
+	if got := f.Get(s); got != 0 {
+		t.Errorf("masked store = %d, want 0", got)
+	}
+}
+
+func TestFieldCrossesIntoHiLane(t *testing.T) {
+	sp := NewSpace()
+	for i := 0; i < 60; i++ {
+		sp.Bool(names2(i))
+	}
+	f := sp.Field("F", 255) // 8 bits cannot fit in the 4 remaining Lo bits
+	var s State
+	s = f.Set(s, 0xA5)
+	if s.Lo != 0 {
+		t.Errorf("field leaked into Lo lane: %x", s.Lo)
+	}
+	if got := f.Get(s); got != 0xA5 {
+		t.Errorf("hi-lane field = %#x, want 0xa5", got)
+	}
+}
+
+func names2(i int) string {
+	return "v" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestSpaceLookup(t *testing.T) {
+	sp := NewSpace()
+	sp.Bool("A")
+	sp.Field("C", 7)
+	if v, ok := sp.LookupVar("A"); !ok || v.Name() != "A" {
+		t.Errorf("LookupVar(A) = %v, %v", v, ok)
+	}
+	if _, ok := sp.LookupVar("C"); ok {
+		t.Error("LookupVar found a field")
+	}
+	if f, ok := sp.LookupField("C"); !ok || f.Name() != "C" {
+		t.Errorf("LookupField(C) = %v, %v", f, ok)
+	}
+	if _, ok := sp.LookupField("A"); ok {
+		t.Error("LookupField found a variable")
+	}
+	if _, ok := sp.LookupVar("missing"); ok {
+		t.Error("LookupVar found a missing name")
+	}
+}
+
+func TestSpaceFormat(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	sp.Bool("B")
+	c := sp.Field("C", 7)
+	var s State
+	if got := sp.Format(s); got != "∅" {
+		t.Errorf("Format(zero) = %q", got)
+	}
+	s = a.Set(s, true)
+	s = c.Set(s, 5)
+	if got := sp.Format(s); got != "A C=5" {
+		t.Errorf("Format = %q, want %q", got, "A C=5")
+	}
+}
+
+func TestFieldSetGetQuick(t *testing.T) {
+	sp := NewSpace()
+	f := sp.Field("F", 63)
+	prop := func(lo, hi, v uint64) bool {
+		s := State{Lo: lo, Hi: hi}
+		s2 := f.Set(s, v%64)
+		// The store hits exactly the field bits and reads back.
+		if f.Get(s2) != v%64 {
+			return false
+		}
+		mLo, mHi := f.laneMasks()
+		return s2.Lo&^mLo == s.Lo&^mLo && s2.Hi&^mHi == s.Hi&^mHi
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package bitmask
+
+// Substitute rebuilds the formula with every boolean-variable literal V
+// replaced by sub(V) and every field literal F==v replaced by fsub(F, v).
+// Passing nil for either function leaves the corresponding literals
+// unchanged. It is used by protocol transformers (e.g. the clock-hierarchy
+// slowdown of §5.3) to redirect a ruleset onto a renamed copy of its
+// variables.
+func (x Formula) Substitute(sub func(Var) Formula, fsub func(Field, uint64) Formula) Formula {
+	switch x.kind {
+	case fTrue, fFalse:
+		return x
+	case fVar:
+		if sub == nil {
+			return x
+		}
+		return sub(x.v)
+	case fFieldEq:
+		if fsub == nil {
+			return x
+		}
+		return fsub(x.f, x.val)
+	case fNot:
+		return Not(x.child[0].Substitute(sub, fsub))
+	case fAnd:
+		out := make([]Formula, len(x.child))
+		for i, c := range x.child {
+			out[i] = c.Substitute(sub, fsub)
+		}
+		return And(out...)
+	case fOr:
+		out := make([]Formula, len(x.child))
+		for i, c := range x.child {
+			out[i] = c.Substitute(sub, fsub)
+		}
+		return Or(out...)
+	}
+	panic("bitmask: bad formula kind")
+}
+
+// Mentions reports whether the formula contains a literal on the given
+// boolean variable.
+func (x Formula) Mentions(v Var) bool {
+	switch x.kind {
+	case fVar:
+		return x.v == v
+	case fNot, fAnd, fOr:
+		for _, c := range x.child {
+			if c.Mentions(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MentionsField reports whether the formula contains a literal on the given
+// field.
+func (x Formula) MentionsField(f Field) bool {
+	switch x.kind {
+	case fFieldEq:
+		return x.f == f
+	case fNot, fAnd, fOr:
+		for _, c := range x.child {
+			if c.MentionsField(f) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package bitmask
+
+import "testing"
+
+func TestSubstituteVars(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	a2 := sp.Bool("A2")
+
+	// f ≡ A ∧ B (written redundantly to exercise Or/Not recursion).
+	f := And(Is(a), Or(IsNot(a), Is(b)))
+	sub := f.Substitute(func(v Var) Formula {
+		if v == a {
+			return Is(a2)
+		}
+		return Is(v)
+	}, nil)
+
+	s := b.Set(a2.Set(State{}, true), true) // A2 on, B on, A off
+	if !Compile(sub).Match(s) {
+		t.Error("substituted formula should match the A2∧B state")
+	}
+	if Compile(sub).Match(b.Set(a.Set(State{}, true), true)) {
+		t.Error("substituted formula still reads the original variable")
+	}
+	// The original formula is untouched (persistent structure) and still
+	// reads A.
+	if Compile(f).Match(s) {
+		t.Error("substitution mutated the original formula")
+	}
+}
+
+func TestSubstituteFields(t *testing.T) {
+	sp := NewSpace()
+	f1 := sp.Field("F", 7)
+	f2 := sp.Field("G", 7)
+	x := FieldIs(f1, 3)
+	sub := x.Substitute(nil, func(f Field, val uint64) Formula {
+		return FieldIs(f2, val)
+	})
+	s := f2.Set(State{}, 3)
+	if !Compile(sub).Match(s) {
+		t.Error("field substitution lost the literal")
+	}
+	if Compile(sub).Match(f1.Set(State{}, 3)) {
+		t.Error("field substitution still reads the original field")
+	}
+}
+
+func TestSubstituteNilIsIdentity(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	f := sp.Field("F", 3)
+	x := And(Is(a), Not(FieldIs(f, 2)))
+	y := x.Substitute(nil, nil)
+	for _, s := range []State{{}, a.Set(State{}, true), f.Set(a.Set(State{}, true), 2)} {
+		if x.Eval(s) != y.Eval(s) {
+			t.Errorf("identity substitution changed semantics on %v", s)
+		}
+	}
+}
+
+func TestMentions(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	f := sp.Field("F", 3)
+	g := sp.Field("G", 3)
+
+	x := And(Is(a), Not(FieldIs(f, 1)))
+	if !x.Mentions(a) || x.Mentions(b) {
+		t.Error("Mentions wrong for variables")
+	}
+	if !x.MentionsField(f) || x.MentionsField(g) {
+		t.Error("MentionsField wrong")
+	}
+	if True().Mentions(a) || False().MentionsField(f) {
+		t.Error("constants mention nothing")
+	}
+}

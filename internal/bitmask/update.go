@@ -1,0 +1,173 @@
+package bitmask
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// An Update realizes the paper's right-hand-side semantics: "a minimal
+// update of the states of the agents so that formulas Σ3 and Σ4 are
+// satisfied". The right-hand side of a rule must therefore be a
+// *conjunction of literals* (a cube); the update sets the positive literals,
+// clears the negative ones, stores field values, and leaves every other bit
+// untouched.
+type Update struct {
+	ClearLo, SetLo uint64
+	ClearHi, SetHi uint64
+}
+
+// NoUpdate leaves the state unchanged (the "(.)" right-hand side).
+var NoUpdate = Update{}
+
+// Apply returns s with the update applied.
+func (u Update) Apply(s State) State {
+	s.Lo = (s.Lo &^ u.ClearLo) | u.SetLo
+	s.Hi = (s.Hi &^ u.ClearHi) | u.SetHi
+	return s
+}
+
+// IsNoop reports whether the update never changes any state.
+func (u Update) IsNoop() bool { return u == NoUpdate }
+
+// Touches reports whether the update writes (sets or clears) any bit
+// covered by the given masks.
+func (u Update) Touches(maskLo, maskHi uint64) bool {
+	return (u.ClearLo|u.SetLo)&maskLo != 0 || (u.ClearHi|u.SetHi)&maskHi != 0
+}
+
+// Then composes two updates: v.Then(u) applies u first, then v (v wins on
+// conflicting bits).
+func (v Update) Then(u Update) Update {
+	return Update{
+		ClearLo: (u.ClearLo &^ v.SetLo) | v.ClearLo,
+		SetLo:   (u.SetLo &^ v.ClearLo) | v.SetLo,
+		ClearHi: (u.ClearHi &^ v.SetHi) | v.ClearHi,
+		SetHi:   (u.SetHi &^ v.ClearHi) | v.SetHi,
+	}
+}
+
+// SetVar returns an update setting boolean variable v to on.
+func SetVar(v Var) Update { return boolUpdate(v, true) }
+
+// ClearVar returns an update setting boolean variable v to off.
+func ClearVar(v Var) Update { return boolUpdate(v, false) }
+
+// StoreField returns an update storing val into field f.
+func StoreField(f Field, val uint64) Update {
+	var u Update
+	u.ClearLo, u.ClearHi = f.laneMasks()
+	u.SetLo, u.SetHi = f.laneBits(val)
+	return u
+}
+
+// Merge combines updates that touch disjoint bits; it panics on overlap
+// with conflicting values (programming error in a protocol definition).
+func Merge(us ...Update) Update {
+	var out Update
+	for _, u := range us {
+		if conflictLo := (out.SetLo & u.ClearLo) | (out.ClearLo & u.SetLo); conflictLo != 0 {
+			panic("bitmask: conflicting updates merged")
+		}
+		if conflictHi := (out.SetHi & u.ClearHi) | (out.ClearHi & u.SetHi); conflictHi != 0 {
+			panic("bitmask: conflicting updates merged")
+		}
+		out.ClearLo |= u.ClearLo
+		out.SetLo |= u.SetLo
+		out.ClearHi |= u.ClearHi
+		out.SetHi |= u.SetHi
+	}
+	return out
+}
+
+func boolUpdate(v Var, on bool) Update {
+	var u Update
+	var mask uint64 = 1
+	if v.pos < 64 {
+		mask <<= uint(v.pos)
+		u.ClearLo = mask
+		if on {
+			u.SetLo = mask
+		}
+	} else {
+		mask <<= uint(v.pos - 64)
+		u.ClearHi = mask
+		if on {
+			u.SetHi = mask
+		}
+	}
+	return u
+}
+
+// ErrNotCube is returned by CompileUpdate when the target formula is not a
+// conjunction of literals and therefore has no well-defined minimal update.
+var ErrNotCube = errors.New("bitmask: rule right-hand side is not a conjunction of literals")
+
+// CompileUpdate lowers a right-hand-side formula Σ to the minimal update
+// making Σ true. Allowed shapes: True (i.e. "(.)"), literals, conjunctions
+// of literals (including field-equality literals).
+func CompileUpdate(x Formula) (Update, error) {
+	switch x.kind {
+	case fTrue:
+		return NoUpdate, nil
+	case fFalse:
+		return NoUpdate, fmt.Errorf("%w: unsatisfiable target", ErrNotCube)
+	case fVar:
+		return SetVar(x.v), nil
+	case fFieldEq:
+		return StoreField(x.f, x.val), nil
+	case fNot:
+		c := x.child[0]
+		switch c.kind {
+		case fVar:
+			return ClearVar(c.v), nil
+		default:
+			return NoUpdate, fmt.Errorf("%w: negation of non-variable %q", ErrNotCube, c.String())
+		}
+	case fAnd:
+		parts := make([]Update, 0, len(x.child))
+		for _, c := range x.child {
+			u, err := CompileUpdate(c)
+			if err != nil {
+				return NoUpdate, err
+			}
+			parts = append(parts, u)
+		}
+		return Merge(parts...), nil
+	}
+	return NoUpdate, fmt.Errorf("%w: %q", ErrNotCube, x.String())
+}
+
+// DescribeUpdate renders an update using the space's variable names,
+// e.g. "+A -B C:=3". NoUpdate renders as "·".
+func (sp *Space) DescribeUpdate(u Update) string {
+	if u.IsNoop() {
+		return "·"
+	}
+	var b strings.Builder
+	emit := func(s string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s)
+	}
+	for _, v := range sp.vars {
+		set := SetVar(v)
+		if u.SetLo&set.SetLo != 0 || u.SetHi&set.SetHi != 0 {
+			emit("+" + v.name)
+		} else if u.ClearLo&set.ClearLo != 0 || u.ClearHi&set.ClearHi != 0 {
+			emit("-" + v.name)
+		}
+	}
+	for _, f := range sp.fields {
+		mLo, mHi := f.laneMasks()
+		if u.ClearLo&mLo != 0 || u.ClearHi&mHi != 0 {
+			val := (u.SetLo >> f.shift) & f.Max()
+			if f.hi {
+				val = (u.SetHi >> f.shift) & f.Max()
+			}
+			emit(fmt.Sprintf("%s:=%d", f.name, val))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package bitmask
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompileUpdateLiterals(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	f := sp.Field("C", 7)
+
+	u, err := CompileUpdate(And(Is(a), IsNot(b), FieldIs(f, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.Set(State{}, true)
+	s2 := u.Apply(s)
+	if !a.Get(s2) || b.Get(s2) || f.Get(s2) != 5 {
+		t.Errorf("after update: %s", sp.Format(s2))
+	}
+}
+
+// TestMinimalUpdateTouchesOnlyMentionedBits is the paper's "minimal update"
+// requirement: bits not mentioned in Σ3/Σ4 are preserved.
+func TestMinimalUpdateTouchesOnlyMentionedBits(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	sp.Bool("B")
+	f := sp.Field("C", 7)
+	other := sp.Bool("Z")
+
+	u, err := CompileUpdate(And(Is(a), FieldIs(f, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(lo, hi uint64) bool {
+		s := State{Lo: lo, Hi: hi}
+		s2 := u.Apply(s)
+		// Mentioned parts reach their target...
+		if !a.Get(s2) || f.Get(s2) != 2 {
+			return false
+		}
+		// ...and unmentioned parts survive.
+		bvar, _ := sp.LookupVar("B")
+		return bvar.Get(s2) == bvar.Get(s) && other.Get(s2) == other.Get(s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateSatisfiesTarget(t *testing.T) {
+	// For any random cube formula, applying its compiled update makes the
+	// formula true on any starting state.
+	sp := NewSpace()
+	vars := sp.Bools("A", "B", "C", "D")
+	f := sp.Field("P", 15)
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		lits := make([]Formula, 0, 4)
+		seen := map[int]bool{}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			vi := r.Intn(len(vars))
+			if seen[vi] {
+				continue
+			}
+			seen[vi] = true
+			if r.Intn(2) == 0 {
+				lits = append(lits, Is(vars[vi]))
+			} else {
+				lits = append(lits, IsNot(vars[vi]))
+			}
+		}
+		if r.Intn(2) == 0 {
+			lits = append(lits, FieldIs(f, uint64(r.Intn(16))))
+		}
+		target := And(lits...)
+		u, err := CompileUpdate(target)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s := State{Lo: r.Uint64(), Hi: r.Uint64()}
+		if !target.Eval(u.Apply(s)) {
+			t.Fatalf("trial %d: update does not satisfy %s", trial, target)
+		}
+	}
+}
+
+func TestCompileUpdateRejectsNonCubes(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	f := sp.Field("C", 7)
+	bad := []Formula{
+		Or(Is(a), Is(b)),
+		Not(FieldIs(f, 1)),
+		Not(And(Is(a), Is(b))),
+		False(),
+	}
+	for _, x := range bad {
+		if _, err := CompileUpdate(x); !errors.Is(err, ErrNotCube) {
+			t.Errorf("CompileUpdate(%s) err = %v, want ErrNotCube", x, err)
+		}
+	}
+}
+
+func TestCompileUpdateTrueIsNoop(t *testing.T) {
+	u, err := CompileUpdate(True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsNoop() {
+		t.Error("update for (.) is not a no-op")
+	}
+}
+
+func TestMergeConflictPanics(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting merge did not panic")
+		}
+	}()
+	Merge(SetVar(a), ClearVar(a))
+}
+
+func TestUpdateThen(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	// Apply set-A then clear-A+set-B: final state has A off, B on.
+	first := SetVar(a)
+	second := Merge(ClearVar(a), SetVar(b))
+	composed := second.Then(first)
+	s := composed.Apply(State{})
+	if a.Get(s) || !b.Get(s) {
+		t.Errorf("composed update wrong: %s", sp.Format(s))
+	}
+	// Equivalence with sequential application on random states.
+	prop := func(lo, hi uint64) bool {
+		st := State{Lo: lo, Hi: hi}
+		return composed.Apply(st) == second.Apply(first.Apply(st))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateTouches(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	u := SetVar(a)
+	aMask := uint64(1) << uint(a.Pos())
+	bMask := uint64(1) << uint(b.Pos())
+	if !u.Touches(aMask, 0) {
+		t.Error("update does not touch its own variable")
+	}
+	if u.Touches(bMask, 0) {
+		t.Error("update touches an unrelated variable")
+	}
+	if NoUpdate.Touches(^uint64(0), ^uint64(0)) {
+		t.Error("NoUpdate touches something")
+	}
+}
+
+func TestDescribeUpdate(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	f := sp.Field("C", 7)
+	u := Merge(SetVar(a), ClearVar(b), StoreField(f, 6))
+	if got := sp.DescribeUpdate(u); got != "+A -B C:=6" {
+		t.Errorf("DescribeUpdate = %q", got)
+	}
+	if got := sp.DescribeUpdate(NoUpdate); got != "·" {
+		t.Errorf("DescribeUpdate(noop) = %q", got)
+	}
+}

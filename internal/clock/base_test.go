@@ -1,0 +1,187 @@
+package clock
+
+import (
+	"math"
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/osc"
+	"popkit/internal/rules"
+)
+
+// buildClock assembles oscillator + base clock over a fresh space.
+func buildClock(n, m, k int, seed uint64) (*osc.Oscillator, *Base, *engine.Runner) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	b := NewBase(sp, "C", o, m, k, o.Ruleset().TotalWeight())
+	proto := engine.CompileProtocol(rules.Concat(o.Ruleset(), b.Rules()))
+	rng := engine.NewRNG(seed)
+	nx := int(math.Sqrt(float64(n)) / 2)
+	if nx < 1 {
+		nx = 1
+	}
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < nx {
+			s = x.Set(s, true)
+		}
+		return o.InitState(s, uint64(rng.Intn(3)), false)
+	})
+	return o, b, engine.NewRunner(proto, pop, rng)
+}
+
+// TestBaseClockContract is the Theorem 5.2 calibration: once the oscillator
+// is running, the clock phase must ratchet through 0,1,…,m−1 cyclically
+// with no skips, each phase reaching near-unanimous agreement, at Θ(log n)
+// spacing.
+func TestBaseClockContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clock contract test is long")
+	}
+	const n, m, k = 2000, 12, DefaultK
+	_, b, r := buildClock(n, m, k, 3)
+	slow := float64(r.P.NumSlots()) / float64(13) // oscillator slot share
+	r.RunRounds(1500 * slow)                      // past escape
+
+	lastPhase := -1
+	ticks, skips := 0, 0
+	var tickTimes []float64
+	peak := map[int]float64{}
+	horizon := 2200 * slow
+	for round := 0.0; round < horizon; round++ {
+		r.RunRounds(1)
+		counts := b.PhaseCounts(r.Pop)
+		bestJ, bestC := 0, 0
+		for j, c := range counts {
+			if c > bestC {
+				bestJ, bestC = j, c
+			}
+		}
+		frac := float64(bestC) / float64(n)
+		if frac > peak[bestJ] {
+			peak[bestJ] = frac
+		}
+		if frac > 0.6 && bestJ != lastPhase {
+			if lastPhase >= 0 && bestJ != (lastPhase+1)%m {
+				skips++
+			}
+			ticks++
+			lastPhase = bestJ
+			tickTimes = append(tickTimes, r.Rounds())
+		}
+	}
+	if ticks < m {
+		t.Fatalf("only %d phase changes in %0.f rounds; clock not ticking", ticks, horizon)
+	}
+	if skips > 0 {
+		t.Errorf("%d phase skips out of %d ticks", skips, ticks)
+	}
+	for phase, p := range peak {
+		if p < 0.9 {
+			t.Errorf("phase %d peaked at only %.2f agreement", phase, p)
+		}
+	}
+	// Tick spacing is Θ(log n) (scaled by the composition slowdown).
+	var mean float64
+	for i := 1; i < len(tickTimes); i++ {
+		mean += tickTimes[i] - tickTimes[i-1]
+	}
+	mean /= float64(len(tickTimes) - 1)
+	logn := math.Log(n)
+	if mean < slow*logn || mean > 30*slow*logn {
+		t.Errorf("tick spacing %.0f outside Θ(slow·ln n) window [%.0f, %.0f]",
+			mean, slow*logn, 30*slow*logn)
+	}
+}
+
+func TestBaseClockValidation(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	for _, bad := range []struct{ m, k, w int }{
+		{10, 4, 1}, // m not a multiple of 4
+		{12, 0, 1},
+		{12, 4, 0},
+		{0, 4, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBase(m=%d,k=%d,w=%d) did not panic", bad.m, bad.k, bad.w)
+				}
+			}()
+			NewBase(bitmask.NewSpace(), "C", o, bad.m, bad.k, bad.w)
+		}()
+	}
+}
+
+func TestBaseClockRulesValidate(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	b := NewBase(sp, "C", o, 12, 4, 1)
+	if err := b.Rules().Validate(); err != nil {
+		t.Errorf("clock ruleset invalid: %v", err)
+	}
+	if b.Rules().NumGroups() != 3 {
+		t.Errorf("groups = %d, want 3 (track, consensus, adopt)", b.Rules().NumGroups())
+	}
+}
+
+func TestPhaseFormulas(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	b := NewBase(sp, "C", o, 12, 4, 1)
+	var s bitmask.State
+	s = b.Counter.Set(s, 7)
+	if !bitmask.Compile(b.PhaseFormula(7)).Match(s) {
+		t.Error("PhaseFormula(7) does not match counter 7")
+	}
+	if bitmask.Compile(b.PhaseFormula(6)).Match(s) {
+		t.Error("PhaseFormula(6) matches counter 7")
+	}
+	if b.Phase(s) != 7 {
+		t.Errorf("Phase = %d", b.Phase(s))
+	}
+	// Phase mod formulas partition the phases.
+	mod0 := bitmask.Compile(b.PhaseModFormula(0, 4))
+	mod2 := bitmask.Compile(b.PhaseModFormula(2, 4))
+	for c := uint64(0); c < 12; c++ {
+		st := b.Counter.Set(bitmask.State{}, c)
+		want0 := c%4 == 0
+		want2 := c%4 == 2
+		if mod0.Match(st) != want0 || mod2.Match(st) != want2 {
+			t.Errorf("mod formulas wrong at counter %d", c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PhaseFormula(12) did not panic")
+		}
+	}()
+	b.PhaseFormula(12)
+}
+
+func TestPhaseAgreementMeasure(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	b := NewBase(sp, "C", o, 12, 4, 1)
+	pop := engine.NewDenseInit(10, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < 6 {
+			s = b.Counter.Set(s, 3)
+		} else if i < 9 {
+			s = b.Counter.Set(s, 4)
+		} else {
+			s = b.Counter.Set(s, 9)
+		}
+		return s
+	})
+	if got := b.PhaseAgreement(pop); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("PhaseAgreement = %v, want 0.9", got)
+	}
+}

@@ -1,0 +1,138 @@
+package clock
+
+import (
+	"fmt"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/osc"
+	"popkit/internal/rules"
+)
+
+// Hierarchy is the full §5.3 construction: level 1 is a base clock running
+// at the oscillator's natural rate (cycle Θ(log n) per phase); every higher
+// level is a complete copy of the level-1 machinery (its own oscillator and
+// clock, sharing the control state X) executed through the Slow transformer
+// gated by the level below, so level j's phase advances Θ(log n) times
+// slower than level j−1's: r(j) = Θ((α log n)^j).
+//
+// For levels j ≥ 2 each agent additionally keeps a stored copy C*_j of the
+// level-j phase, refreshed at the start of each level-(j−1) cycle and
+// reconciled by the paper's larger-value consensus at phase 2, so that the
+// Π_τ time-path guards of the compiled program read stable values
+// (Proposition 5.6).
+type Hierarchy struct {
+	X      bitmask.Var
+	Oscs   []*osc.Oscillator // Oscs[j-1] drives level j
+	Clocks []*Base           // Clocks[j-1] is level j's clock
+	Slowed []*Slowed         // Slowed[j-2] wraps level j ≥ 2
+	Stored []bitmask.Field   // Stored[j-2] is C*_j for level j ≥ 2
+	M, K   int
+
+	rs *rules.Ruleset
+}
+
+// NewHierarchy builds a hierarchy with the given number of levels (≥ 1).
+// All levels share the control variable x. m and k parameterize every
+// clock; p parameterizes every oscillator.
+func NewHierarchy(sp *bitmask.Space, x bitmask.Var, levels, m, k int, p osc.Params) *Hierarchy {
+	if levels < 1 {
+		panic("clock: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{X: x, M: m, K: k}
+	parts := make([]*rules.Ruleset, 0, 2*levels)
+	for j := 1; j <= levels; j++ {
+		prefix := fmt.Sprintf("L%d", j)
+		o := osc.New(sp, prefix, x, p)
+		b := NewBase(sp, prefix, o, m, k, o.Ruleset().TotalWeight())
+		h.Oscs = append(h.Oscs, o)
+		h.Clocks = append(h.Clocks, b)
+		level := rules.Concat(o.Ruleset(), b.Rules())
+		if j == 1 {
+			parts = append(parts, level)
+			continue
+		}
+		vars := VarSet{
+			Vars:   []bitmask.Var{o.Strong},
+			Fields: []bitmask.Field{o.Species, b.Pos, b.Counter, b.Confirm},
+		}
+		sl := Slow(sp, prefix+"n", h.Clocks[j-2], level, vars)
+		h.Slowed = append(h.Slowed, sl)
+		parts = append(parts, sl.Rules())
+		parts = append(parts, h.buildStored(sp, prefix, j))
+	}
+	h.rs = rules.Concat(parts...)
+	return h
+}
+
+// buildStored allocates C*_j and emits its refresh and consensus rules,
+// gated by the level-(j−1) clock.
+func (h *Hierarchy) buildStored(sp *bitmask.Space, prefix string, j int) *rules.Ruleset {
+	below := h.Clocks[j-2]
+	cur := h.Clocks[j-1].Counter
+	star := sp.Field(prefix+"Star", uint64(h.M-1))
+	h.Stored = append(h.Stored, star)
+	rs := rules.NewRuleset(sp)
+
+	// Refresh: at the start of a level-(j−1) cycle, each agent snapshots
+	// the (committed) level-j phase into its stored copy.
+	refresh := rules.MustNew(below.PhaseFormula(0), bitmask.True(),
+		bitmask.True(), bitmask.True())
+	refresh.Copy1 = rules.CopyField(cur, star)
+	rs.AddGroup(prefix+"star", 1, refresh)
+
+	// Consensus: strictly later (phase 2 of the clock below), adjacent
+	// stored values default to the larger (cyclically: i beats i−1).
+	group := make([]rules.Rule, 0, h.M)
+	phase2 := below.PhaseFormula(2)
+	for i := 0; i < h.M; i++ {
+		prev := (i + h.M - 1) % h.M
+		group = append(group, rules.MustNew(
+			bitmask.And(phase2, bitmask.FieldIs(star, uint64(i))),
+			bitmask.And(phase2, bitmask.FieldIs(star, uint64(prev))),
+			bitmask.True(),
+			bitmask.FieldIs(star, uint64(i))))
+	}
+	rs.AddGroup(prefix+"starcons", 1, group...)
+	return rs
+}
+
+// Levels returns the number of levels.
+func (h *Hierarchy) Levels() int { return len(h.Clocks) }
+
+// Rules returns the composed ruleset of the entire hierarchy machinery.
+func (h *Hierarchy) Rules() *rules.Ruleset { return h.rs }
+
+// Phase returns the committed phase of level j (1-based) in a state.
+func (h *Hierarchy) Phase(j int, s bitmask.State) int {
+	return h.Clocks[j-1].Phase(s)
+}
+
+// StoredPhase returns the stored copy C*_j (j ≥ 2) in a state.
+func (h *Hierarchy) StoredPhase(j int, s bitmask.State) int {
+	return int(h.Stored[j-2].Get(s))
+}
+
+// StoredPhaseFormula returns the formula "stored copy of level j's phase
+// equals c" (j ≥ 2).
+func (h *Hierarchy) StoredPhaseFormula(j, c int) bitmask.Formula {
+	return bitmask.FieldIs(h.Stored[j-2], uint64(c))
+}
+
+// InitAgent initializes every level of the hierarchy on one agent state:
+// skewed random weak species per level (off-centre start per Theorem 5.2),
+// positions and counters zero, triggers armed, stored copies zero.
+func (h *Hierarchy) InitAgent(s bitmask.State, rng *engine.RNG) bitmask.State {
+	for j, o := range h.Oscs {
+		s = o.InitState(s, osc.RandSpecies(rng), false)
+		if j >= 1 {
+			s = h.Slowed[j-1].InitAgent(s)
+		}
+	}
+	return s
+}
+
+// PhaseCounts tallies agents per phase of level j (1-based).
+func (h *Hierarchy) PhaseCounts(j int, pop *engine.Dense) []int {
+	return h.Clocks[j-1].PhaseCounts(pop)
+}

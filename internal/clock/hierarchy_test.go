@@ -1,0 +1,125 @@
+package clock
+
+import (
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/osc"
+)
+
+func TestHierarchyStructure(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	h := NewHierarchy(sp, x, 2, 12, 6, osc.DefaultParams())
+	if h.Levels() != 2 {
+		t.Fatalf("Levels = %d", h.Levels())
+	}
+	if len(h.Oscs) != 2 || len(h.Clocks) != 2 || len(h.Slowed) != 1 || len(h.Stored) != 1 {
+		t.Fatalf("component counts: %d %d %d %d", len(h.Oscs), len(h.Clocks), len(h.Slowed), len(h.Stored))
+	}
+	if err := h.Rules().Validate(); err != nil {
+		t.Fatalf("hierarchy rules invalid: %v", err)
+	}
+	// The whole 2-level machinery fits the 128-bit state budget.
+	if bits := sp.NumBitsUsed(); bits > 80 {
+		t.Errorf("2-level hierarchy uses %d bits", bits)
+	}
+	// A 3-level hierarchy still fits.
+	sp3 := bitmask.NewSpace()
+	x3 := sp3.Bool("X")
+	NewHierarchy(sp3, x3, 3, 12, 6, osc.DefaultParams())
+	if bits := sp3.NumBitsUsed(); bits > bitmask.WordBits {
+		t.Errorf("3-level hierarchy uses %d bits", bits)
+	}
+}
+
+func TestHierarchyInitAgent(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	h := NewHierarchy(sp, x, 2, 12, 6, osc.DefaultParams())
+	rng := engine.NewRNG(1)
+	s := h.InitAgent(bitmask.State{}, rng)
+	for j := 1; j <= 2; j++ {
+		if h.Phase(j, s) != 0 {
+			t.Errorf("level %d phase = %d at init", j, h.Phase(j, s))
+		}
+	}
+	if h.StoredPhase(2, s) != 0 {
+		t.Errorf("stored phase = %d at init", h.StoredPhase(2, s))
+	}
+	if !h.Slowed[0].Trigger.Get(s) {
+		t.Error("level-2 trigger not armed at init")
+	}
+}
+
+func TestHierarchyValidatesLevels(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	defer func() {
+		if recover() == nil {
+			t.Error("0-level hierarchy did not panic")
+		}
+	}()
+	NewHierarchy(sp, x, 0, 12, 6, osc.DefaultParams())
+}
+
+// TestStoredCopyRefreshAndConsensus drives the stored-copy rules manually:
+// agents with a diverged stored value converge to the larger neighbour
+// value at phase 2 and refresh from the live counter at phase 0.
+func TestStoredCopyRefreshAndConsensus(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	h := NewHierarchy(sp, x, 2, 12, 6, osc.DefaultParams())
+	proto := engine.CompileProtocol(h.Rules())
+	rng := engine.NewRNG(3)
+
+	const n = 60
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		s := h.InitAgent(bitmask.State{}, rng)
+		// Live level-2 counter = 5 everywhere; stored copies split 4/5.
+		s = h.Clocks[1].Counter.Set(s, 5)
+		if i%2 == 0 {
+			s = h.Stored[0].Set(s, 4)
+		} else {
+			s = h.Stored[0].Set(s, 5)
+		}
+		// Park level-1 at phase 2 (consensus window) and freeze the
+		// tracker by making the population single-species: segment 0
+		// listens for species 1, which never appears.
+		s = h.Oscs[0].Species.Set(s, 2)
+		return h.Clocks[0].Counter.Set(s, 2)
+	})
+	r := engine.NewRunner(proto, pop, rng)
+	r.RunRounds(400)
+	larger := 0
+	for i := 0; i < n; i++ {
+		if h.StoredPhase(2, pop.Agent(i)) == 5 {
+			larger++
+		}
+	}
+	if larger < n*9/10 {
+		t.Errorf("consensus reached only %d/%d agents", larger, n)
+	}
+
+	// Refresh: park level-1 at phase 0; stored copies must snapshot the
+	// live counter.
+	pop2 := engine.NewDenseInit(n, func(i int) bitmask.State {
+		s := h.InitAgent(bitmask.State{}, rng)
+		s = h.Clocks[1].Counter.Set(s, 7)
+		s = h.Stored[0].Set(s, 1)
+		s = h.Oscs[0].Species.Set(s, 2)
+		return h.Clocks[0].Counter.Set(s, 0)
+	})
+	r2 := engine.NewRunner(proto, pop2, rng)
+	r2.RunRounds(400)
+	refreshed := 0
+	for i := 0; i < n; i++ {
+		if h.StoredPhase(2, pop2.Agent(i)) == 7 {
+			refreshed++
+		}
+	}
+	if refreshed < n*8/10 {
+		t.Errorf("refresh reached only %d/%d agents", refreshed, n)
+	}
+}

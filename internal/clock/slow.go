@@ -1,0 +1,172 @@
+package clock
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// A VarSet names the state variables and fields constituting a protocol's
+// per-agent state, so a transformer can double-buffer them.
+type VarSet struct {
+	Vars   []bitmask.Var
+	Fields []bitmask.Field
+}
+
+// Bits returns the total bit count of the set.
+func (v VarSet) Bits() int {
+	total := len(v.Vars)
+	for _, f := range v.Fields {
+		total += int(f.Width())
+	}
+	return total
+}
+
+// Slowed is the §5.3 construction: a protocol P re-executed under the
+// gating of a clock so that it proceeds at one random-matching step per
+// clock cycle quarter — a slowdown of Θ(log n) per level.
+//
+// Each agent holds the current copy of P's variables (the originals), a new
+// copy (freshly allocated), and a trigger S. When two agents meet while
+// both are in a clock phase ≡ 0 (mod 4) with S set, they simulate one
+// interaction of P reading current copies and writing new copies, and unset
+// S; pairs whose picked rule does not match still consume their slot
+// (writing new := current), faithfully emulating a non-firing activation of
+// the random-matching scheduler. When two agents meet in a phase ≡ 2
+// (mod 4), each commits new → current and re-arms S. The invariant "S set ⟹
+// new = current" makes agents that miss a window harmlessly idle.
+type Slowed struct {
+	// Trigger is the §5.3 trigger variable S.
+	Trigger bitmask.Var
+	// NewVars maps each original variable/field to its new-copy twin.
+	NewVars   map[string]bitmask.Var
+	NewFields map[string]bitmask.Field
+
+	vars        VarSet
+	rs          *rules.Ruleset
+	allCurToNew []rules.BitCopy
+	allNewToCur []rules.BitCopy
+}
+
+// Slow builds the slowed version of protocol p (whose per-agent state is
+// vars) gated by the given clock. The returned ruleset contains the
+// transformed simulation groups and the commit group; the caller composes
+// it with the gate clock's own rules (and the oscillator's).
+func Slow(sp *bitmask.Space, prefix string, gate *Base, p *rules.Ruleset, vars VarSet) *Slowed {
+	s := &Slowed{
+		Trigger:   sp.Bool(prefix + "S"),
+		NewVars:   make(map[string]bitmask.Var, len(vars.Vars)),
+		NewFields: make(map[string]bitmask.Field, len(vars.Fields)),
+		vars:      vars,
+	}
+	for _, v := range vars.Vars {
+		nv := sp.Bool(prefix + v.Name())
+		s.NewVars[v.Name()] = nv
+		s.allCurToNew = append(s.allCurToNew, rules.CopyVar(v, nv))
+		s.allNewToCur = append(s.allNewToCur, rules.CopyVar(nv, v))
+	}
+	for _, f := range vars.Fields {
+		nf := sp.Field(prefix+f.Name(), f.Max())
+		s.NewFields[f.Name()] = nf
+		s.allCurToNew = append(s.allCurToNew, rules.CopyField(f, nf)...)
+		s.allNewToCur = append(s.allNewToCur, rules.CopyField(nf, f)...)
+	}
+
+	simWindow := gate.PhaseModFormula(0, 4)
+	commitWindow := gate.PhaseModFormula(2, 4)
+	armed := bitmask.And(simWindow, bitmask.Is(s.Trigger))
+
+	subVar := func(v bitmask.Var) bitmask.Formula {
+		if nv, ok := s.NewVars[v.Name()]; ok {
+			return bitmask.Is(nv)
+		}
+		return bitmask.Is(v)
+	}
+	subField := func(f bitmask.Field, val uint64) bitmask.Formula {
+		if nf, ok := s.NewFields[f.Name()]; ok {
+			return bitmask.FieldIs(nf, val)
+		}
+		return bitmask.FieldIs(f, val)
+	}
+
+	s.rs = rules.NewRuleset(sp)
+	for _, g := range p.Groups {
+		transformed := make([]rules.Rule, 0, g.End-g.Start+1)
+		for _, r := range p.Rules[g.Start:g.End] {
+			// Guards read the current copies (original variables) and
+			// require the simulation window and armed triggers.
+			src1 := bitmask.And(armed, r.Src1)
+			src2 := bitmask.And(armed, r.Src2)
+			// Targets are redirected to the new copies and disarm S.
+			src3 := bitmask.And(r.Src3.Substitute(subVar, subField), bitmask.IsNot(s.Trigger))
+			src4 := bitmask.And(r.Src4.Substitute(subVar, subField), bitmask.IsNot(s.Trigger))
+			nr := rules.MustNew(src1, src2, src3, src4)
+			nr.Name = r.Name
+			// Copies: first refresh new := current wholesale, then apply
+			// the inner rule's own copies redirected onto the new copy;
+			// the mask update (explicit literals) wins last.
+			nr.Copy1 = append(append([]rules.BitCopy{}, s.allCurToNew...), s.redirectCopies(r.Copy1)...)
+			nr.Copy2 = append(append([]rules.BitCopy{}, s.allCurToNew...), s.redirectCopies(r.Copy2)...)
+			transformed = append(transformed, nr)
+		}
+		// Catch-all: an armed pair whose picked rule does not match still
+		// consumes its matching-scheduler slot as a no-op.
+		catch := rules.MustNew(armed, armed,
+			bitmask.IsNot(s.Trigger), bitmask.IsNot(s.Trigger))
+		catch.Copy1 = s.allCurToNew
+		catch.Copy2 = s.allCurToNew
+		transformed = append(transformed, catch)
+		name := g.Name
+		if name == "" {
+			name = prefix + "sim"
+		} else {
+			name = prefix + name
+		}
+		s.rs.AddOrderedGroup(name, g.Weight, transformed...)
+	}
+
+	// Commit: both agents in a phase ≡ 2 (mod 4) copy new → current and
+	// re-arm. Agents that skipped the window commit a no-op (new == cur).
+	commit := rules.MustNew(commitWindow, commitWindow,
+		bitmask.Is(s.Trigger), bitmask.Is(s.Trigger))
+	commit.Copy1 = s.allNewToCur
+	commit.Copy2 = s.allNewToCur
+	s.rs.AddGroup(prefix+"commit", 1, commit)
+	return s
+}
+
+// redirectCopies rewrites intra-agent copies so their destinations land in
+// the new copy (sources keep reading the current copy).
+func (s *Slowed) redirectCopies(copies []rules.BitCopy) []rules.BitCopy {
+	if len(copies) == 0 {
+		return nil
+	}
+	// Build a current→new bit position map.
+	posMap := make(map[int]int, len(s.allCurToNew))
+	for _, c := range s.allCurToNew {
+		posMap[c.Src] = c.Dst
+	}
+	out := make([]rules.BitCopy, len(copies))
+	for i, c := range copies {
+		dst, ok := posMap[c.Dst]
+		if !ok {
+			panic("clock: inner rule copies to a bit outside the slowed VarSet")
+		}
+		out[i] = rules.BitCopy{Src: c.Src, Dst: dst}
+	}
+	return out
+}
+
+// Rules returns the slowed protocol's ruleset (simulation + commit groups).
+func (s *Slowed) Rules() *rules.Ruleset { return s.rs }
+
+// InitAgent returns the state with the new copy synchronized to the
+// current copy and the trigger armed — the required initial invariant.
+func (s *Slowed) InitAgent(st bitmask.State) bitmask.State {
+	for _, v := range s.vars.Vars {
+		st = s.NewVars[v.Name()].Set(st, v.Get(st))
+	}
+	for _, f := range s.vars.Fields {
+		st = s.NewFields[f.Name()].Set(st, f.Get(st))
+	}
+	return s.Trigger.Set(st, true)
+}

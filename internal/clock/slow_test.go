@@ -1,0 +1,179 @@
+package clock
+
+import (
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/osc"
+	"popkit/internal/rules"
+)
+
+// slowFixture builds a tiny inner protocol P (a mod-4 counter advanced on
+// every interaction) wrapped by the Slow transformer, with the gate clock's
+// phases driven manually (no oscillator rules composed), so the
+// double-buffer mechanics are observable in isolation.
+type slowFixture struct {
+	sp    *bitmask.Space
+	gate  *Base
+	inner bitmask.Field
+	sl    *Slowed
+	proto *engine.Protocol
+}
+
+func newSlowFixture(t *testing.T) *slowFixture {
+	t.Helper()
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	gate := NewBase(sp, "G", o, 12, 4, 1)
+
+	ctr := sp.Field("Ctr", 3)
+	inner := rules.NewRuleset(sp)
+	var grp []rules.Rule
+	for v := uint64(0); v < 4; v++ {
+		grp = append(grp, rules.MustNew(
+			bitmask.FieldIs(ctr, v), bitmask.True(),
+			bitmask.FieldIs(ctr, (v+1)%4), bitmask.True()))
+	}
+	inner.AddGroup("count", 1, grp...)
+
+	sl := Slow(sp, "S", gate, inner, VarSet{Fields: []bitmask.Field{ctr}})
+	return &slowFixture{
+		sp:    sp,
+		gate:  gate,
+		inner: ctr,
+		sl:    sl,
+		proto: engine.CompileProtocol(sl.Rules()),
+	}
+}
+
+// population of n agents pinned at the given gate phase, armed, counter 0.
+func (f *slowFixture) population(n int, phase uint64) *engine.Dense {
+	return engine.NewDenseInit(n, func(int) bitmask.State {
+		var s bitmask.State
+		s = f.gate.Counter.Set(s, phase)
+		return f.sl.InitAgent(s)
+	})
+}
+
+func (f *slowFixture) setPhase(pop *engine.Dense, phase uint64) {
+	for i := 0; i < pop.N(); i++ {
+		pop.SetAgent(i, f.gate.Counter.Set(pop.Agent(i), phase))
+	}
+}
+
+func (f *slowFixture) newCopy() bitmask.Field { return f.sl.NewFields["Ctr"] }
+
+func TestSlowSimulateWindowAdvancesNewCopyOnce(t *testing.T) {
+	f := newSlowFixture(t)
+	const n = 100
+	pop := f.population(n, 0) // phase 0 ≡ 0 (mod 4): simulation window
+	r := engine.NewRunner(f.proto, pop, engine.NewRNG(1))
+	r.RunRounds(50)
+
+	armed, advanced := 0, 0
+	for i := 0; i < n; i++ {
+		s := pop.Agent(i)
+		if f.inner.Get(s) != 0 {
+			t.Fatalf("agent %d: current copy changed during the simulate window", i)
+		}
+		nc := f.newCopy().Get(s)
+		trig := f.sl.Trigger.Get(s)
+		switch {
+		case trig && nc == 0:
+			armed++ // skipped the window: invariant new == cur holds
+		case !trig && nc <= 1:
+			advanced++ // simulated exactly one interaction of P
+		default:
+			t.Fatalf("agent %d: trigger=%v newCopy=%d violates the invariant", i, trig, nc)
+		}
+	}
+	if advanced == 0 {
+		t.Fatal("no agent simulated an inner interaction in 50 rounds")
+	}
+	// Participants must be even: interactions disarm pairs.
+	if advanced%2 != 0 {
+		t.Errorf("odd number of disarmed agents: %d", advanced)
+	}
+}
+
+func TestSlowCommitWindowSwapsBuffers(t *testing.T) {
+	f := newSlowFixture(t)
+	const n = 100
+	pop := f.population(n, 0)
+	r := engine.NewRunner(f.proto, pop, engine.NewRNG(2))
+	r.RunRounds(50) // simulate
+	f.setPhase(pop, 2)
+	r.RunRounds(50) // commit window: phase 2 ≡ 2 (mod 4)
+
+	for i := 0; i < n; i++ {
+		s := pop.Agent(i)
+		if !f.sl.Trigger.Get(s) {
+			t.Fatalf("agent %d not re-armed after the commit window", i)
+		}
+		if f.inner.Get(s) != f.newCopy().Get(s) {
+			t.Fatalf("agent %d: current %d != new %d after commit",
+				i, f.inner.Get(s), f.newCopy().Get(s))
+		}
+	}
+	// At least someone's counter moved to 1.
+	g := bitmask.Compile(bitmask.FieldIs(f.inner, 1))
+	if pop.Count(g) == 0 {
+		t.Error("no committed progress")
+	}
+}
+
+func TestSlowOutsideWindowsNothingHappens(t *testing.T) {
+	f := newSlowFixture(t)
+	const n = 60
+	pop := f.population(n, 1) // phase 1: neither simulate nor commit
+	r := engine.NewRunner(f.proto, pop, engine.NewRNG(3))
+	r.RunRounds(80)
+	for i := 0; i < n; i++ {
+		s := pop.Agent(i)
+		if f.inner.Get(s) != 0 || f.newCopy().Get(s) != 0 || !f.sl.Trigger.Get(s) {
+			t.Fatalf("agent %d changed outside the gated windows: %s", i, f.sp.Format(s))
+		}
+	}
+}
+
+// TestSlowMatchingSemantics: over a full simulate+commit cycle each agent's
+// committed counter advances by at most one — the emulated scheduler is a
+// (partial) matching, not a free-for-all.
+func TestSlowMatchingSemantics(t *testing.T) {
+	f := newSlowFixture(t)
+	const n = 100
+	pop := f.population(n, 0)
+	r := engine.NewRunner(f.proto, pop, engine.NewRNG(4))
+	for cycle := 0; cycle < 3; cycle++ {
+		f.setPhase(pop, 0)
+		r.RunRounds(60)
+		f.setPhase(pop, 2)
+		r.RunRounds(60)
+		for i := 0; i < n; i++ {
+			if got := f.inner.Get(pop.Agent(i)); got > uint64(cycle+1) {
+				t.Fatalf("cycle %d: agent %d advanced %d times", cycle, i, got)
+			}
+		}
+	}
+}
+
+func TestSlowRejectsForeignCopies(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	gate := NewBase(sp, "G", o, 12, 4, 1)
+	outside := sp.Bool("Out")
+	inside := sp.Bool("In")
+	inner := rules.NewRuleset(sp)
+	r := rules.MustNew(bitmask.True(), bitmask.True(), bitmask.True(), bitmask.True())
+	r.Copy1 = []rules.BitCopy{rules.CopyVar(outside, outside)}
+	inner.AddRule(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("copy outside the VarSet did not panic")
+		}
+	}()
+	Slow(sp, "S", gate, inner, VarSet{Vars: []bitmask.Var{inside}})
+}

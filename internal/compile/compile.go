@@ -1,0 +1,380 @@
+// Package compile lowers programs of the lang package into flat population
+// protocols, implementing the paper's compilation pipeline:
+//
+//	§4  precompilation — assignments become the two-leaf trigger pattern of
+//	    Fig. 1 (arm K(#), then fire exactly once per agent); "if exists"
+//	    conditions become the two-leaf Z(#) pattern of Fig. 2 (clear, then
+//	    epidemic from the condition's satisfying agents), with the branch
+//	    bodies folded together under Z(#)/¬Z(#) guards; the result is a
+//	    tree whose leaves are "execute for ≥ c·ln n rounds ruleset" nodes,
+//	    padded to a complete w_max-ary tree of depth l_max;
+//	§5.4 deployment — every leaf ruleset R_τ is emitted guarded by the
+//	    time-path filter Π_τ = C^(1) = 4(τ₁−1) ∧ ⋀_{j>1} C*^(j) = 4(τ_j−1)
+//	    over a clock hierarchy with module m = 4·w_max, composed with the
+//	    hierarchy machinery itself and an X-control process (§5.2).
+//
+// The compiled protocol is a genuine flat rule set: running it under the
+// plain uniform-random scheduler reproduces the program's iterations, with
+// one outer iteration per cycle of the slowest clock.
+package compile
+
+import (
+	"fmt"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/clock"
+	"popkit/internal/engine"
+	"popkit/internal/junta"
+	"popkit/internal/lang"
+	"popkit/internal/osc"
+	"popkit/internal/rules"
+)
+
+// XControl selects the control-state reduction process compiled in.
+type XControl int
+
+const (
+	// XTwoMeet compiles in the Proposition 5.3 process (always-correct
+	// flavour, O(n^ε) initialization).
+	XTwoMeet XControl = iota
+	// XCascade compiles in the Proposition 5.5 two-level cascade (w.h.p.
+	// flavour, polylog initialization).
+	XCascade
+	// XPreReduced skips the reduction: the caller initializes #X ≈ √n
+	// directly. Experiments use this to skip the initialization phase the
+	// same way Theorem 5.2 assumes a started clock.
+	XPreReduced
+)
+
+// Options configure compilation.
+type Options struct {
+	// K is the clock's consecutive-hit count (0 = clock.DefaultK).
+	K int
+	// Control selects the X-reduction process.
+	Control XControl
+	// Osc overrides oscillator parameters (zero value = defaults).
+	Osc osc.Params
+	// DeterministicCoins compiles "X := rand" via the synthetic-coin
+	// technique of [AAE+17] (the paper's closing remark): a toggled bit
+	// read from the interaction partner replaces the randomized rule
+	// choice, making every transition deterministic.
+	DeterministicCoins bool
+	// ProgramWeight multiplies the scheduler weight of every emitted
+	// program group (0 = default 6). It plays the role of the paper's
+	// constant c: each agent must execute every assignment and branch
+	// leaf during its window w.h.p., so program rules need a constant
+	// fraction of the scheduler slots.
+	ProgramWeight int
+}
+
+// Compiled is the result of compiling a program.
+type Compiled struct {
+	Prog      *lang.Program
+	Space     *bitmask.Space
+	X         bitmask.Var
+	Hierarchy *clock.Hierarchy
+	Rules     *rules.Ruleset
+
+	// WMax, LMax and M document the padded tree geometry and module.
+	WMax, LMax, M int
+	// Leaves is the number of emitted (non-idle) leaves.
+	Leaves int
+	// LeafWindows maps emitted leaf index → its time path (outermost
+	// first), for tracing.
+	LeafWindows [][]int
+
+	control    XControl
+	twoMeet    *junta.TwoMeet
+	cascade    *junta.Cascade
+	coin       *junta.SyntheticCoin
+	progInit   bitmask.State
+	progWeight int
+}
+
+// tree is the precompiled program structure.
+type tree struct {
+	children []*tree
+	leaf     *rules.Ruleset // non-nil for work leaves; nil for internal/idle
+}
+
+func (t *tree) isLeaf() bool { return len(t.children) == 0 }
+
+// depth returns the tree's depth (leaves at depth 1).
+func (t *tree) depth() int {
+	if t.isLeaf() {
+		return 1
+	}
+	max := 0
+	for _, c := range t.children {
+		if d := c.depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// width returns the maximum child count over internal nodes.
+func (t *tree) width() int {
+	if t.isLeaf() {
+		return 0
+	}
+	w := len(t.children)
+	for _, c := range t.children {
+		if cw := c.width(); cw > w {
+			w = cw
+		}
+	}
+	return w
+}
+
+// Compile lowers the program. The program must pass lang.Check and have
+// exactly one repeat thread (Forever threads are composed in ungated).
+func Compile(prog *lang.Program, opt Options) (*Compiled, error) {
+	if err := prog.Check(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	if opt.K == 0 {
+		opt.K = clock.DefaultK
+	}
+	if opt.ProgramWeight == 0 {
+		opt.ProgramWeight = 6
+	}
+	if opt.Osc == (osc.Params{}) {
+		opt.Osc = osc.DefaultParams()
+	}
+	sp, err := prog.BuildSpace()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Prog: prog, Space: sp, control: opt.Control}
+	c.progInit = prog.InitialState(sp)
+
+	// Precompile the repeat thread into the leaf tree; collect Forever
+	// threads as ungated background rulesets.
+	var background []*rules.Ruleset
+	var mainTree *tree
+	pc := &precompiler{sp: sp}
+	if opt.DeterministicCoins {
+		c.coin = junta.NewSyntheticCoin(sp, "Sc")
+		pc.coin = c.coin
+		background = append(background, c.coin.Rules())
+	}
+	for _, th := range prog.Threads {
+		if forever, rs, err := foreverRules(sp, th); err != nil {
+			return nil, fmt.Errorf("compile: thread %s: %w", th.Name, err)
+		} else if forever {
+			background = append(background, rs)
+			continue
+		}
+		if mainTree != nil {
+			return nil, fmt.Errorf("compile: multiple repeat threads are not supported by the direct compiler (thread %s); compose them via the frame executor", th.Name)
+		}
+		body := th.Body
+		if len(body) == 1 {
+			if rep, ok := body[0].(lang.Repeat); ok {
+				body = rep.Body
+			}
+		}
+		nodes, err := pc.block(body)
+		if err != nil {
+			return nil, fmt.Errorf("compile: thread %s: %w", th.Name, err)
+		}
+		mainTree = &tree{children: nodes}
+	}
+	if mainTree == nil {
+		return nil, fmt.Errorf("compile: program has no repeat thread")
+	}
+
+	// Geometry: pad to a complete w_max-ary tree of depth l_max.
+	c.LMax = mainTree.depth() - 1 // root is the unbounded repeat
+	if c.LMax < 1 {
+		c.LMax = 1
+	}
+	c.WMax = mainTree.width()
+	if c.WMax < 1 {
+		c.WMax = 1
+	}
+	c.M = 4 * c.WMax
+	if c.M < 8 {
+		c.M = 8
+	}
+	pad(mainTree, c.LMax+1, c.WMax)
+
+	// Build the clock hierarchy and X-control over the same space.
+	c.X = sp.Bool("Xctl")
+	c.Hierarchy = clock.NewHierarchy(sp, c.X, c.LMax, c.M, opt.K, opt.Osc)
+	var controlRS *rules.Ruleset
+	switch opt.Control {
+	case XTwoMeet:
+		c.twoMeet = junta.NewTwoMeet(sp, c.X)
+		controlRS = c.twoMeet.Rules()
+	case XCascade:
+		c.cascade = junta.NewCascade(sp, "Jc", c.X, 2)
+		controlRS = c.cascade.Rules()
+	case XPreReduced:
+		// no reduction rules
+	default:
+		return nil, fmt.Errorf("compile: unknown X control %d", opt.Control)
+	}
+
+	// Emit leaf rules guarded by their time paths (§5.4).
+	gated := rules.NewRuleset(sp)
+	c.progWeight = opt.ProgramWeight
+	c.emit(mainTree, nil, gated)
+
+	parts := []*rules.Ruleset{c.Hierarchy.Rules()}
+	if controlRS != nil {
+		parts = append(parts, controlRS)
+	}
+	if gated.Len() > 0 {
+		parts = append(parts, gated)
+	}
+	parts = append(parts, background...)
+	c.Rules = rules.Concat(parts...)
+	if err := c.Rules.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: emitted ruleset invalid: %w", err)
+	}
+	return c, nil
+}
+
+// foreverRules returns the merged ruleset of a Forever thread.
+func foreverRules(sp *bitmask.Space, th lang.Thread) (bool, *rules.Ruleset, error) {
+	if len(th.Body) == 0 {
+		return false, nil, nil
+	}
+	var parts []*rules.Ruleset
+	for _, st := range th.Body {
+		ex, ok := st.(lang.Execute)
+		if !ok || !ex.Forever {
+			return false, nil, nil
+		}
+		rs, err := rules.Parse(sp, joinLines(ex.Rules))
+		if err != nil {
+			return true, nil, err
+		}
+		parts = append(parts, rs)
+	}
+	return true, rules.Concat(parts...), nil
+}
+
+// pad makes the tree a complete wide-ary tree of the given depth by
+// wrapping shallow leaves in artificial single-work chains and appending
+// idle leaves.
+func pad(t *tree, depth, width int) {
+	if depth <= 1 {
+		return
+	}
+	if t.isLeaf() {
+		// Wrap the leaf's work one level down; the work simply repeats
+		// during the inner cycles, which the language permits ("≥ c ln n").
+		child := &tree{leaf: t.leaf}
+		t.leaf = nil
+		t.children = []*tree{child}
+	}
+	for len(t.children) < width {
+		t.children = append(t.children, &tree{}) // idle leaf
+	}
+	for _, ch := range t.children {
+		pad(ch, depth-1, width)
+	}
+}
+
+// emit walks the padded tree, attaching Π_τ guards. path holds child
+// indices from the root (outermost level first).
+func (c *Compiled) emit(t *tree, path []int, out *rules.Ruleset) {
+	if t.isLeaf() {
+		if t.leaf == nil || t.leaf.Len() == 0 {
+			return
+		}
+		guard := c.timePathGuard(path)
+		gr := t.leaf.Guarded(guard)
+		base := len(out.Rules)
+		out.Rules = append(out.Rules, gr.Rules...)
+		for _, g := range gr.Groups {
+			g.Start += base
+			g.End += base
+			g.Weight *= c.progWeight
+			out.Groups = append(out.Groups, g)
+		}
+		c.Leaves++
+		c.LeafWindows = append(c.LeafWindows, append([]int(nil), path...))
+		return
+	}
+	for i, ch := range t.children {
+		c.emit(ch, append(path, i), out)
+	}
+}
+
+// timePathGuard builds Π_τ for a root-first path: position k in the path
+// corresponds to hierarchy level LMax−k, and child index i selects phase
+// 4·i at that level. Level 1 reads its live counter; higher levels read
+// their stored copies (Proposition 5.6).
+func (c *Compiled) timePathGuard(path []int) bitmask.Formula {
+	parts := make([]bitmask.Formula, 0, len(path))
+	for k, idx := range path {
+		level := c.LMax - k
+		phase := 4 * idx
+		if level == 1 {
+			parts = append(parts, c.Hierarchy.Clocks[0].PhaseFormula(phase))
+		} else {
+			parts = append(parts, c.Hierarchy.StoredPhaseFormula(level, phase))
+		}
+	}
+	return bitmask.And(parts...)
+}
+
+// InitAgent builds one agent's start state: program initial values, fresh
+// hierarchy layers, and the control flag per the chosen process. For
+// XPreReduced, pass preX=true for the junta members only; for the other
+// modes preX is ignored (every agent starts in X, as §5.2 prescribes).
+func (c *Compiled) InitAgent(s bitmask.State, rng *engine.RNG, preX bool) bitmask.State {
+	s.Lo |= c.progInit.Lo
+	s.Hi |= c.progInit.Hi
+	switch c.control {
+	case XTwoMeet:
+		s = c.twoMeet.InitAgent(s)
+	case XCascade:
+		s = c.cascade.InitAgent(s)
+	case XPreReduced:
+		s = c.X.Set(s, preX)
+	}
+	return c.Hierarchy.InitAgent(s, rng)
+}
+
+// NewPopulation builds an n-agent population. For XPreReduced, ⌈√n/2⌉
+// agents start in X.
+func (c *Compiled) NewPopulation(n int, rng *engine.RNG) *engine.Dense {
+	nx := isqrt(n)/2 + 1
+	return engine.NewDenseInit(n, func(i int) bitmask.State {
+		s := c.InitAgent(bitmask.State{}, rng, i < nx)
+		if c.coin != nil {
+			s = c.coin.InitAgent(s, i)
+		}
+		return s
+	})
+}
+
+// Describe summarizes the compilation for popc and logs.
+func (c *Compiled) Describe() string {
+	return fmt.Sprintf("%s: l_max=%d w_max=%d m=%d leaves=%d rules=%d groups=%d bits=%d",
+		c.Prog.Name, c.LMax, c.WMax, c.M, c.Leaves, c.Rules.Len(), c.Rules.NumGroups(), c.Space.NumBitsUsed())
+}
+
+func isqrt(n int) int {
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n"
+		}
+		out += l
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package compile
+
+import (
+	"math"
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/lang"
+	"popkit/internal/protocols"
+)
+
+func TestCompileGeometry(t *testing.T) {
+	le, err := Compile(protocols.LeaderElection(), Options{Control: XPreReduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le.LMax != 1 {
+		t.Errorf("LeaderElection l_max = %d, want 1", le.LMax)
+	}
+	if le.WMax < 8 || le.WMax > 12 {
+		t.Errorf("LeaderElection w_max = %d, want ≈10", le.WMax)
+	}
+	if le.M != 4*le.WMax {
+		t.Errorf("module = %d, want %d", le.M, 4*le.WMax)
+	}
+	if le.Leaves < 8 {
+		t.Errorf("only %d emitted leaves", le.Leaves)
+	}
+	t.Log(le.Describe())
+
+	maj, err := Compile(protocols.Majority(2), Options{Control: XTwoMeet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maj.LMax != 2 {
+		t.Errorf("Majority l_max = %d, want 2", maj.LMax)
+	}
+	t.Log(maj.Describe())
+}
+
+func TestCompileRejectsMultipleRepeatThreads(t *testing.T) {
+	_, err := Compile(protocols.LeaderElectionExact(), Options{})
+	if err != nil {
+		// LeaderElectionExact has one repeat thread (Main) plus two
+		// Forever threads — it must compile.
+		t.Fatalf("LeaderElectionExact failed to compile: %v", err)
+	}
+	two := lang.MustParse(`
+protocol Two
+var A = off
+var B = off
+
+thread T1 uses A
+  repeat:
+    A := on
+
+thread T2 uses B
+  repeat:
+    B := on
+`)
+	if _, err := Compile(two, Options{}); err == nil {
+		t.Error("two repeat threads accepted")
+	}
+}
+
+// TestCompiledInputsNeverWritten is the Definition 2.1 guarantee at the
+// rule level: no emitted rule's update touches an input variable.
+func TestCompiledInputsNeverWritten(t *testing.T) {
+	maj, err := Compile(protocols.Majority(2), Options{Control: XCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A", "B"} {
+		v, ok := maj.Space.LookupVar(name)
+		if !ok {
+			t.Fatalf("input %s missing", name)
+		}
+		var mLo, mHi uint64
+		if v.Pos() < 64 {
+			mLo = 1 << uint(v.Pos())
+		} else {
+			mHi = 1 << uint(v.Pos()-64)
+		}
+		for i, r := range maj.Rules.Rules {
+			if r.U1.Touches(mLo, mHi) || r.U2.Touches(mLo, mHi) {
+				t.Errorf("rule %d writes input %s: %s", i, name, r.String())
+			}
+		}
+	}
+}
+
+// trivialProgram is a depth-1, single-leaf program: a one-way epidemic.
+const trivialProgram = `
+protocol Epidemic
+var I = off output
+
+thread Main uses I
+  repeat:
+    execute for >= 2 ln n rounds ruleset:
+      (I) + (!I) -> (I) + (I)
+`
+
+// TestCompiledEpidemicEndToEnd runs a compiled single-leaf program under
+// the raw uniform scheduler: the epidemic leaf is active during one clock
+// window per cycle and must still complete.
+func TestCompiledEpidemicEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end compiled run is long")
+	}
+	prog := lang.MustParse(trivialProgram)
+	c, err := Compile(prog, Options{Control: XPreReduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	rng := engine.NewRNG(7)
+	pop := c.NewPopulation(n, rng)
+	// Seed one infected agent.
+	iv, _ := c.Space.LookupVar("I")
+	pop.SetAgent(0, iv.Set(pop.Agent(0), true))
+	p := engine.CompileProtocol(c.Rules)
+	r := engine.NewRunner(p, pop, rng)
+	tr := r.Track("I", bitmask.Is(iv))
+	budget := 600 * math.Log(n) * float64(c.M)
+	rounds, ok := r.RunUntil(func(*engine.Runner) bool { return tr.Count() == n }, 5, budget)
+	if !ok {
+		t.Fatalf("compiled epidemic reached %d/%d within %.0f rounds", tr.Count(), n, budget)
+	}
+	t.Logf("compiled epidemic completed in %.0f rounds (m=%d)", rounds, c.M)
+}
+
+// TestCompiledLeaderElectionEndToEnd is the flagship test: the §3.1
+// program compiled to a flat rule set (clock + gated leaves) elects a
+// unique leader under the plain uniform-random pairwise scheduler.
+func TestCompiledLeaderElectionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end compiled run is long")
+	}
+	prog := protocols.LeaderElection()
+	c, err := Compile(prog, Options{Control: XPreReduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	rng := engine.NewRNG(11)
+	pop := c.NewPopulation(n, rng)
+	p := engine.CompileProtocol(c.Rules)
+	r := engine.NewRunner(p, pop, rng)
+	lv, _ := c.Space.LookupVar("L")
+	tr := r.Track("L", bitmask.Is(lv))
+	if tr.Count() != n {
+		t.Fatalf("all agents should start as leaders, got %d", tr.Count())
+	}
+	// Budget: ≈ 40 outer cycles; each cycle is m windows of Θ(slot·ln n).
+	budget := 40.0 * float64(c.M) * 60 * math.Log(n)
+	rounds, ok := r.RunUntil(func(*engine.Runner) bool { return tr.Count() == 1 }, 20, budget)
+	if !ok {
+		t.Fatalf("compiled LeaderElection: %d leaders after %.0f rounds", tr.Count(), budget)
+	}
+	t.Logf("compiled LeaderElection elected a unique leader in %.0f rounds (m=%d, rules=%d)",
+		rounds, c.M, c.Rules.Len())
+	// Run on: the leader must persist (w.h.p. stability of Thm 3.1).
+	r.RunRounds(budget / 40)
+	if got := tr.Count(); got != 1 {
+		t.Errorf("leader count drifted to %d", got)
+	}
+}
+
+func TestTimePathGuardShape(t *testing.T) {
+	c, err := Compile(protocols.Majority(2), Options{Control: XPreReduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.LeafWindows) != c.Leaves {
+		t.Fatalf("leaf window index out of sync")
+	}
+	for _, w := range c.LeafWindows {
+		if len(w) != c.LMax {
+			t.Errorf("leaf path %v has depth %d, want %d", w, len(w), c.LMax)
+		}
+		for _, idx := range w {
+			if idx < 0 || idx >= c.WMax {
+				t.Errorf("leaf path %v out of range", w)
+			}
+		}
+	}
+}
+
+func TestPadProducesCompleteTree(t *testing.T) {
+	// A mixed-depth program: one shallow leaf and one nested loop.
+	prog := lang.MustParse(`
+protocol Mixed
+var A = off
+
+thread Main uses A
+  repeat:
+    A := on
+    repeat >= 2 ln n times:
+      execute for >= 2 ln n rounds ruleset:
+        (A) + (!A) -> (A) + (A)
+`)
+	c, err := Compile(prog, Options{Control: XPreReduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LMax != 2 {
+		t.Fatalf("l_max = %d, want 2", c.LMax)
+	}
+	for _, w := range c.LeafWindows {
+		if len(w) != 2 {
+			t.Errorf("leaf %v not at depth 2 after padding", w)
+		}
+	}
+}

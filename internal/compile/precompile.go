@@ -1,0 +1,227 @@
+package compile
+
+import (
+	"fmt"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/junta"
+	"popkit/internal/lang"
+	"popkit/internal/rules"
+)
+
+// precompiler performs the §4 elimination passes, allocating one fresh
+// K(#) trigger per assignment and one Z(#) flag per branch.
+type precompiler struct {
+	sp      *bitmask.Space
+	counter int
+	// coin, when non-nil, compiles "X := rand" deterministically by
+	// reading the partner's synthetic-coin bit.
+	coin *junta.SyntheticCoin
+}
+
+func (p *precompiler) fresh(prefix string) bitmask.Var {
+	p.counter++
+	return p.sp.Bool(fmt.Sprintf("%s%d", prefix, p.counter))
+}
+
+// block lowers a statement sequence to a sequence of tree nodes.
+func (p *precompiler) block(b lang.Block) ([]*tree, error) {
+	var out []*tree
+	for _, s := range b {
+		nodes, err := p.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nodes...)
+	}
+	return out, nil
+}
+
+func (p *precompiler) stmt(s lang.Stmt) ([]*tree, error) {
+	switch st := s.(type) {
+	case lang.Execute:
+		rs, err := rules.Parse(p.sp, joinLines(st.Rules))
+		if err != nil {
+			return nil, err
+		}
+		return []*tree{{leaf: rs}}, nil
+
+	case lang.Assign:
+		return p.assign(st)
+
+	case lang.IfExists:
+		return p.ifExists(st)
+
+	case lang.RepeatLog:
+		children, err := p.block(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return []*tree{{children: children}}, nil
+
+	case lang.Repeat:
+		return nil, fmt.Errorf("nested unbounded repeat")
+	}
+	return nil, fmt.Errorf("unsupported statement %T", s)
+}
+
+// assign lowers "X := expr" to the Fig. 1 two-leaf trigger pattern.
+func (p *precompiler) assign(st lang.Assign) ([]*tree, error) {
+	x, ok := p.sp.LookupVar(st.Var)
+	if !ok {
+		return nil, fmt.Errorf("unknown variable %s", st.Var)
+	}
+	k := p.fresh("Kt")
+
+	arm := rules.NewRuleset(p.sp)
+	arm.Add(bitmask.IsNot(k), bitmask.True(), bitmask.Is(k), bitmask.True())
+
+	fire := rules.NewRuleset(p.sp)
+	kOn := bitmask.Is(k)
+	setX := bitmask.And(bitmask.Is(x), bitmask.IsNot(k))
+	clrX := bitmask.And(bitmask.IsNot(x), bitmask.IsNot(k))
+	addSat := func(name string, rs ...rules.Rule) {
+		kept := rs[:0]
+		for _, r := range rs {
+			if !r.G1.IsFalse() && !r.G2.IsFalse() {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) > 0 {
+			fire.AddGroup(name, 1, kept...)
+		}
+	}
+	switch st.Expr {
+	case lang.OnExpr:
+		fire.Add(kOn, bitmask.True(), setX, bitmask.True())
+	case lang.OffExpr:
+		fire.Add(kOn, bitmask.True(), clrX, bitmask.True())
+	case lang.RandExpr:
+		if p.coin != nil {
+			// Deterministic variant: read the partner's synthetic-coin
+			// bit ([AAE+17]); one group, disjoint responder guards.
+			heads := p.coin.CoinFormula()
+			fire.AddGroup("assignrand", 1,
+				rules.MustNew(kOn, heads, setX, bitmask.True()),
+				rules.MustNew(kOn, bitmask.Not(heads), clrX, bitmask.True()),
+			)
+			break
+		}
+		// Two overlapping singleton groups realize the fair coin: the
+		// scheduler picks one uniformly; the trigger guarantees exactly
+		// one of them fires per agent.
+		fire.Add(kOn, bitmask.True(), setX, bitmask.True())
+		fire.Add(kOn, bitmask.True(), clrX, bitmask.True())
+	default:
+		// Tautological or unsatisfiable Σ (e.g. "C | !C") leaves one side
+		// of the pair with an unsatisfiable guard; drop it.
+		sigma, err := rules.ParseFormula(p.sp, st.Expr)
+		if err != nil {
+			return nil, err
+		}
+		addSat("assign",
+			rules.MustNew(bitmask.And(sigma, kOn), bitmask.True(), setX, bitmask.True()),
+			rules.MustNew(bitmask.And(bitmask.Not(sigma), kOn), bitmask.True(), clrX, bitmask.True()),
+		)
+	}
+	return []*tree{{leaf: arm}, {leaf: fire}}, nil
+}
+
+// ifExists lowers the branch to the Fig. 2 two-leaf evaluation followed by
+// the Z-guarded zip of the two branches.
+func (p *precompiler) ifExists(st lang.IfExists) ([]*tree, error) {
+	cond, err := rules.ParseFormula(p.sp, st.Cond)
+	if err != nil {
+		return nil, err
+	}
+	z := p.fresh("Zf")
+
+	clear := rules.NewRuleset(p.sp)
+	clear.Add(bitmask.Is(z), bitmask.True(), bitmask.IsNot(z), bitmask.True())
+
+	spread := rules.NewRuleset(p.sp)
+	spread.AddGroup("exists", 1,
+		// Ignition: a satisfying agent raises its own flag…
+		rules.MustNew(bitmask.And(cond, bitmask.IsNot(z)), bitmask.True(), bitmask.Is(z), bitmask.True()),
+		// …and the flag spreads epidemically (initiators disjoint on Z).
+		rules.MustNew(bitmask.Is(z), bitmask.IsNot(z), bitmask.True(), bitmask.Is(z)),
+	)
+
+	thenNodes, err := p.block(st.Then)
+	if err != nil {
+		return nil, err
+	}
+	guardNodes(thenNodes, bitmask.Is(z))
+	var elseNodes []*tree
+	if len(st.Else) > 0 {
+		elseNodes, err = p.block(st.Else)
+		if err != nil {
+			return nil, err
+		}
+		guardNodes(elseNodes, bitmask.IsNot(z))
+	}
+	zipped := zipNodes(thenNodes, elseNodes)
+	return append([]*tree{{leaf: clear}, {leaf: spread}}, zipped...), nil
+}
+
+// guardNodes conjoins the guard onto every leaf ruleset of the subtrees.
+func guardNodes(nodes []*tree, guard bitmask.Formula) {
+	for _, n := range nodes {
+		if n.isLeaf() {
+			if n.leaf != nil {
+				n.leaf = n.leaf.Guarded(guard)
+			}
+			continue
+		}
+		guardNodes(n.children, guard)
+	}
+}
+
+// zipNodes merges the then- and else-branch node sequences position by
+// position (the §4 bottom-up compaction): both branches' rules share the
+// same windows, distinguished only by their Z(#) guards.
+func zipNodes(a, b []*tree) []*tree {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]*tree, 0, n)
+	for i := 0; i < n; i++ {
+		var ta, tb *tree
+		if i < len(a) {
+			ta = a[i]
+		}
+		if i < len(b) {
+			tb = b[i]
+		}
+		out = append(out, zipPair(ta, tb))
+	}
+	return out
+}
+
+func zipPair(a, b *tree) *tree {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	if a.isLeaf() && b.isLeaf() {
+		switch {
+		case a.leaf == nil:
+			return b
+		case b.leaf == nil:
+			return a
+		}
+		return &tree{leaf: rules.Concat(a.leaf, b.leaf)}
+	}
+	// Normalize mixed shapes: a shallow leaf joins the other side's first
+	// window one level down.
+	if a.isLeaf() {
+		a = &tree{children: []*tree{a}}
+	}
+	if b.isLeaf() {
+		b = &tree{children: []*tree{b}}
+	}
+	return &tree{children: zipNodes(a.children, b.children)}
+}

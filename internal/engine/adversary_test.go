@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+func TestStepPairDrivesChosenAgents(t *testing.T) {
+	p, _, infected := epidemicProtocol()
+	pop := NewDenseInit(10, func(i int) bitmask.State {
+		var s bitmask.State
+		if i == 0 {
+			s = infected.Set(s, true)
+		}
+		return s
+	})
+	r := NewRunner(p, pop, NewRNG(1))
+	// Drive only the pair (0, 1): agent 1 gets infected, nobody else.
+	for k := 0; k < 20; k++ {
+		r.StepPair(0, 1)
+	}
+	g := bitmask.Compile(bitmask.Is(infected))
+	if !g.Match(pop.Agent(1)) {
+		t.Error("driven responder not infected")
+	}
+	for i := 2; i < 10; i++ {
+		if g.Match(pop.Agent(i)) {
+			t.Errorf("agent %d infected without ever interacting", i)
+		}
+	}
+}
+
+func TestStepPairRejectsSelfInteraction(t *testing.T) {
+	p, _, _ := epidemicProtocol()
+	r := NewRunner(p, NewDense(4), NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("self-interaction did not panic")
+		}
+	}()
+	r.StepPair(2, 2)
+}
+
+// TestRunIsolatedStarvesOutsiders is the paper's isolation adversary: a
+// fair-looking scheduler restricted to a subset leaves everyone else
+// untouched, which is why convergence is not locally detectable.
+func TestRunIsolatedStarvesOutsiders(t *testing.T) {
+	p, _, infected := epidemicProtocol()
+	const n = 50
+	pop := NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < 5 {
+			s = infected.Set(s, true)
+		}
+		return s
+	})
+	r := NewRunner(p, pop, NewRNG(3))
+	live := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.RunIsolated(live, 2000)
+	g := bitmask.Compile(bitmask.Is(infected))
+	for _, i := range live {
+		if !g.Match(pop.Agent(i)) {
+			t.Errorf("live agent %d not infected after 2000 isolated steps", i)
+		}
+	}
+	for i := 8; i < n; i++ {
+		if g.Match(pop.Agent(i)) {
+			t.Errorf("starved agent %d changed state", i)
+		}
+	}
+}
+
+// TestGuaranteedBehaviorUnderAdversary drives a compiled-style Z-flag
+// epidemic with an empty source under an adversarial schedule: the flag
+// must never appear (Definition 2.1, second condition).
+func TestGuaranteedBehaviorUnderAdversary(t *testing.T) {
+	sp := bitmask.NewSpace()
+	src := sp.Bool("Src")
+	z := sp.Bool("Z")
+	rs := rules.NewRuleset(sp)
+	rs.AddGroup("exists", 1,
+		rules.MustNew(bitmask.And(bitmask.Is(src), bitmask.IsNot(z)), bitmask.True(), bitmask.Is(z), bitmask.True()),
+		rules.MustNew(bitmask.Is(z), bitmask.IsNot(z), bitmask.True(), bitmask.Is(z)),
+	)
+	p := CompileProtocol(rs)
+	const n = 40
+	pop := NewDense(n) // source empty everywhere
+	r := NewRunner(p, pop, NewRNG(9))
+	gZ := bitmask.Compile(bitmask.Is(z))
+	// Mix of uniform and adversarial scheduling.
+	r.RunRounds(50)
+	r.RunIsolated([]int{0, 1, 2}, 500)
+	for i := 0; i < 300; i++ {
+		r.StepPair(r.RNG.Intn(n/2), n/2+r.RNG.Intn(n/2))
+	}
+	if got := pop.Count(gZ); got != 0 {
+		t.Errorf("Z flag appeared on %d agents with an empty source", got)
+	}
+}
+
+// TestMatchingSchedulerEquivalence: the paper's analyses carry over from
+// the sequential to the random-matching scheduler (§5.3 footnote). Check
+// the shape empirically: absorption time of the cancellation protocol
+// agrees between schedulers within sampling error.
+func TestMatchingSchedulerEquivalence(t *testing.T) {
+	sp := bitmask.NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	rs := rules.NewRuleset(sp)
+	rs.Add(bitmask.Is(a), bitmask.Is(b),
+		bitmask.And(bitmask.IsNot(a), bitmask.IsNot(b)), bitmask.And(bitmask.IsNot(a), bitmask.IsNot(b)))
+	rs.Add(bitmask.Is(b), bitmask.Is(a),
+		bitmask.And(bitmask.IsNot(a), bitmask.IsNot(b)), bitmask.And(bitmask.IsNot(a), bitmask.IsNot(b)))
+	p := CompileProtocol(rs)
+
+	const n = 400
+	mk := func() *Dense {
+		return NewDenseInit(n, func(i int) bitmask.State {
+			var s bitmask.State
+			switch {
+			case i < 150:
+				s = a.Set(s, true)
+			case i < 300:
+				s = b.Set(s, true)
+			}
+			return s
+		})
+	}
+	gB := bitmask.Compile(bitmask.Is(b))
+	const seeds = 12
+	var seq, match float64
+	for seed := uint64(0); seed < seeds; seed++ {
+		pop := mk()
+		r := NewRunner(p, pop, NewRNG(seed))
+		tr := r.Track("B", bitmask.Is(b))
+		rounds, ok := r.RunUntil(func(*Runner) bool { return tr.Count() == 0 }, 1, 1e5)
+		if !ok {
+			t.Fatal("sequential did not absorb")
+		}
+		seq += rounds
+
+		pop2 := mk()
+		r2 := NewRunner(p, pop2, NewRNG(seed+1000))
+		for r2.Rounds() < 1e5 && pop2.Count(gB) > 0 {
+			r2.MatchingRound()
+		}
+		if pop2.Count(gB) > 0 {
+			t.Fatal("matching did not absorb")
+		}
+		match += r2.Rounds()
+	}
+	seq /= seeds
+	match /= seeds
+	ratio := seq / match
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Errorf("scheduler absorption times diverge: sequential %.0f vs matching %.0f rounds", seq, match)
+	}
+}

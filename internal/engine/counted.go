@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sort"
+
+	"popkit/internal/bitmask"
+)
+
+// Counted is a population represented as a species vector: a count per
+// occupied state. It is exact (it simulates the same Markov chain as Dense
+// under the sequential scheduler) but scales to populations of 10^9 agents
+// for protocols whose occupied-state count stays small — all the paper's
+// constant-state protocols. Its runner can also leap over stretches of
+// non-reactive interactions in O(1) per stretch, which makes slow baselines
+// such as the 4-state exact-majority protocol (Θ(n log n) rounds) feasible
+// to measure.
+type Counted struct {
+	n      int64
+	counts map[bitmask.State]int64
+	keys   []bitmask.State        // occupied states, compacted lazily
+	inKeys map[bitmask.State]bool // membership of keys (counts may be 0)
+	dirty  bool                   // keys may contain zero-count entries
+}
+
+// NewCounted builds a counted population from a state→count table.
+func NewCounted(counts map[bitmask.State]int64) *Counted {
+	c := &Counted{
+		counts: make(map[bitmask.State]int64, len(counts)),
+		inKeys: make(map[bitmask.State]bool, len(counts)),
+	}
+	for s, k := range counts {
+		if k < 0 {
+			panic("engine: negative species count")
+		}
+		if k == 0 {
+			continue
+		}
+		c.counts[s] = k
+		c.keys = append(c.keys, s)
+		c.inKeys[s] = true
+		c.n += k
+	}
+	if c.n < 2 {
+		panic("engine: population needs at least 2 agents")
+	}
+	c.sortKeys()
+	return c
+}
+
+func (c *Counted) sortKeys() {
+	sort.Slice(c.keys, func(i, j int) bool {
+		a, b := c.keys[i], c.keys[j]
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	})
+}
+
+// N returns the population size.
+func (c *Counted) N() int { return int(c.n) }
+
+// N64 returns the population size as int64 (counted populations may exceed
+// the range convenient for int arithmetic on 32-bit platforms).
+func (c *Counted) N64() int64 { return c.n }
+
+// NumSpecies returns the number of occupied states.
+func (c *Counted) NumSpecies() int {
+	c.compact()
+	return len(c.keys)
+}
+
+// CountState returns the number of agents in exactly state s.
+func (c *Counted) CountState(s bitmask.State) int64 { return c.counts[s] }
+
+// Count returns the number of agents matching the guard.
+func (c *Counted) Count(g bitmask.Guard) int64 {
+	c.compact()
+	var total int64
+	for _, s := range c.keys {
+		if g.Match(s) {
+			total += c.counts[s]
+		}
+	}
+	return total
+}
+
+// CountFormula counts agents satisfying the formula.
+func (c *Counted) CountFormula(f bitmask.Formula) int64 {
+	return c.Count(bitmask.Compile(f))
+}
+
+// ForEach visits every occupied state with its count.
+func (c *Counted) ForEach(fn func(s bitmask.State, count int64)) {
+	c.compact()
+	for _, s := range c.keys {
+		fn(s, c.counts[s])
+	}
+}
+
+// Histogram returns a copy of the species table.
+func (c *Counted) Histogram() map[bitmask.State]int64 {
+	c.compact()
+	out := make(map[bitmask.State]int64, len(c.keys))
+	for _, s := range c.keys {
+		out[s] = c.counts[s]
+	}
+	return out
+}
+
+// compact drops zero-count keys when the list has grown stale.
+func (c *Counted) compact() {
+	if !c.dirty {
+		return
+	}
+	kept := c.keys[:0]
+	for _, s := range c.keys {
+		if c.counts[s] > 0 {
+			kept = append(kept, s)
+		} else {
+			delete(c.counts, s)
+			delete(c.inKeys, s)
+		}
+	}
+	c.keys = kept
+	c.dirty = false
+}
+
+// add adjusts the count of state s by delta, registering new states.
+func (c *Counted) add(s bitmask.State, delta int64) {
+	old := c.counts[s]
+	now := old + delta
+	if now < 0 {
+		panic("engine: species count went negative")
+	}
+	c.counts[s] = now
+	if now > 0 && !c.inKeys[s] {
+		c.keys = append(c.keys, s)
+		c.inKeys[s] = true
+	}
+	if now == 0 {
+		c.dirty = true
+	}
+}
+
+// sample returns a state drawn proportionally to counts, excluding one
+// agent of state excl if exclOne is true.
+func (c *Counted) sample(rng *RNG, exclOne bool, excl bitmask.State) bitmask.State {
+	total := c.n
+	if exclOne {
+		total--
+	}
+	r := rng.Int63n(total)
+	for _, s := range c.keys {
+		k := c.counts[s]
+		if exclOne && s == excl {
+			k--
+		}
+		if r < k {
+			return s
+		}
+		r -= k
+	}
+	panic("engine: sample walked off the species table")
+}

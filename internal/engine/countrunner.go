@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"math"
+
+	"popkit/internal/bitmask"
+)
+
+// CountRunner drives a Counted population under the asynchronous sequential
+// scheduler. It simulates exactly the same Markov chain as Runner, but
+// leaps over maximal stretches of non-matching interactions with a single
+// geometric sample, making protocols with long quiescent phases (e.g. the
+// Θ(n log n)-round 4-state exact-majority baseline) tractable at large n.
+type CountRunner struct {
+	P   *Protocol
+	Pop *Counted
+	RNG *RNG
+
+	// Interactions counts scheduler activations including the leapt
+	// non-matching ones.
+	Interactions uint64
+
+	// scratch per rule
+	m1, m2, m12 []int64
+}
+
+// NewCountRunner assembles a counted runner. Protocols with ordered
+// (first-match) groups are rejected: their event rates are not sums of
+// per-rule matching counts.
+func NewCountRunner(p *Protocol, pop *Counted, rng *RNG) *CountRunner {
+	if p.Set.HasOrderedGroups() {
+		panic("engine: counted runner does not support ordered rule groups")
+	}
+	nr := len(p.Set.Rules)
+	return &CountRunner{
+		P: p, Pop: pop, RNG: rng,
+		m1: make([]int64, nr), m2: make([]int64, nr), m12: make([]int64, nr),
+	}
+}
+
+// Rounds returns elapsed parallel time (interactions / n).
+func (r *CountRunner) Rounds() float64 {
+	return float64(r.Interactions) / float64(r.Pop.n)
+}
+
+// matchCounts refreshes the per-rule species tallies:
+// m1 = agents matching G1, m2 = agents matching G2,
+// m12 = agents matching both (the same-agent correction).
+func (r *CountRunner) matchCounts() {
+	pop := r.Pop
+	pop.compact()
+	for i, rule := range r.P.Set.Rules {
+		var a, b, ab int64
+		for _, s := range pop.keys {
+			cnt := pop.counts[s]
+			g1 := rule.G1.Match(s)
+			g2 := rule.G2.Match(s)
+			if g1 {
+				a += cnt
+			}
+			if g2 {
+				b += cnt
+			}
+			if g1 && g2 {
+				ab += cnt
+			}
+		}
+		r.m1[i], r.m2[i], r.m12[i] = a, b, ab
+	}
+}
+
+// matchingPairs returns the number of ordered pairs of distinct agents
+// matching rule i.
+func (r *CountRunner) matchingPairs(i int) int64 {
+	return r.m1[i]*r.m2[i] - r.m12[i]
+}
+
+// stepProbability returns the probability that a single scheduler
+// activation fires some rule, given fresh matchCounts.
+func (r *CountRunner) stepProbability() float64 {
+	n := float64(r.Pop.n)
+	totalPairs := n * (n - 1)
+	w := float64(r.P.NumSlots())
+	var q float64
+	for i := range r.P.Set.Rules {
+		q += float64(r.P.RuleWeight(i)) / w * float64(r.matchingPairs(i)) / totalPairs
+	}
+	return q
+}
+
+// LeapStep advances the chain to (and through) the next rule-firing
+// interaction. It returns false (without advancing) when no rule can ever
+// fire again — the protocol is silent. maxInteractions bounds the leap so
+// callers can stop at a time horizon; if the next firing lies beyond the
+// bound, the runner advances exactly to the bound and returns true without
+// firing.
+func (r *CountRunner) LeapStep(maxInteractions uint64) bool {
+	r.matchCounts()
+	q := r.stepProbability()
+	if q <= 0 {
+		return false
+	}
+	skip := r.RNG.Geometric(q)
+	if maxInteractions > 0 && r.Interactions+skip+1 > maxInteractions {
+		r.Interactions = maxInteractions
+		return true
+	}
+	r.Interactions += skip + 1
+	r.fireMatching()
+	return true
+}
+
+// fireMatching executes one uniformly chosen matching (rule, ordered pair)
+// event, conditioned on the interaction firing.
+func (r *CountRunner) fireMatching() {
+	// Pick the rule with probability ∝ weight × matching pairs.
+	var total float64
+	for i := range r.P.Set.Rules {
+		total += float64(r.P.RuleWeight(i)) * float64(r.matchingPairs(i))
+	}
+	pick := r.RNG.Float64() * total
+	idx := -1
+	for i := range r.P.Set.Rules {
+		pick -= float64(r.P.RuleWeight(i)) * float64(r.matchingPairs(i))
+		if pick < 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = len(r.P.Set.Rules) - 1
+	}
+	rule := r.P.Rule(idx)
+
+	// Pick the initiator species s1 with weight cnt(s1)·(m2 − [G2(s1)]).
+	pop := r.Pop
+	m2 := r.m2[idx]
+	target := r.RNG.Int63n(r.matchingPairs(idx))
+	var s1 bitmask.State
+	found := false
+	for _, s := range pop.keys {
+		if !rule.G1.Match(s) {
+			continue
+		}
+		w := pop.counts[s] * (m2 - boolToInt64(rule.G2.Match(s)))
+		if target < w {
+			s1 = s
+			found = true
+			break
+		}
+		target -= w
+	}
+	if !found {
+		panic("engine: initiator sampling walked off the table")
+	}
+	// Pick the responder species s2 among G2-matchers, excluding the
+	// initiator agent itself.
+	avail := m2 - boolToInt64(rule.G2.Match(s1))
+	t2 := r.RNG.Int63n(avail)
+	var s2 bitmask.State
+	found = false
+	for _, s := range pop.keys {
+		if !rule.G2.Match(s) {
+			continue
+		}
+		w := pop.counts[s]
+		if s == s1 {
+			w -= boolToInt64(rule.G2.Match(s1))
+		}
+		if t2 < w {
+			s2 = s
+			found = true
+			break
+		}
+		t2 -= w
+	}
+	if !found {
+		panic("engine: responder sampling walked off the table")
+	}
+
+	ns1, ns2 := rule.Apply(s1, s2)
+	pop.add(s1, -1)
+	pop.add(s2, -1)
+	pop.add(ns1, 1)
+	pop.add(ns2, 1)
+}
+
+// Step performs one literal scheduler activation (no leaping): sample an
+// ordered pair and a rule, fire if matching. Exists for equivalence tests
+// against Runner and LeapStep.
+func (r *CountRunner) Step() bool {
+	pop := r.Pop
+	pop.compact()
+	s1 := pop.sample(r.RNG, false, bitmask.State{})
+	s2 := pop.sample(r.RNG, true, s1)
+	r.Interactions++
+	rule := r.P.PickRule(r.RNG, s1, s2)
+	if rule == nil {
+		return false
+	}
+	ns1, ns2 := rule.Apply(s1, s2)
+	pop.add(s1, -1)
+	pop.add(s2, -1)
+	pop.add(ns1, 1)
+	pop.add(ns2, 1)
+	return true
+}
+
+// RunUntil leaps until the condition holds (checked after every firing and
+// at least every checkEvery rounds) or maxRounds elapses or the protocol
+// goes silent. It returns the parallel time consumed in this call, and
+// whether the condition was met.
+func (r *CountRunner) RunUntil(cond func(*CountRunner) bool, maxRounds float64) (rounds float64, ok bool) {
+	start := r.Rounds()
+	n := float64(r.Pop.n)
+	budget := uint64(math.Ceil(maxRounds*n)) + r.Interactions
+	for {
+		if cond(r) {
+			return r.Rounds() - start, true
+		}
+		if r.Interactions >= budget {
+			return r.Rounds() - start, false
+		}
+		if !r.LeapStep(budget) {
+			// Silent: the configuration can never change again.
+			return r.Rounds() - start, cond(r)
+		}
+	}
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

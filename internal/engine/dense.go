@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"popkit/internal/bitmask"
+)
+
+// Dense is a population holding one explicit state per agent. It supports
+// both scheduler models exactly and scales to ~10^7 agents.
+type Dense struct {
+	agents []bitmask.State
+	perm   []int32 // scratch for random matchings, allocated lazily
+}
+
+// NewDense returns a population of n agents, all in the zero state.
+func NewDense(n int) *Dense {
+	if n < 2 {
+		panic("engine: population needs at least 2 agents")
+	}
+	return &Dense{agents: make([]bitmask.State, n)}
+}
+
+// NewDenseInit returns a population of n agents where agent i starts in
+// init(i).
+func NewDenseInit(n int, init func(i int) bitmask.State) *Dense {
+	d := NewDense(n)
+	for i := range d.agents {
+		d.agents[i] = init(i)
+	}
+	return d
+}
+
+// N returns the population size.
+func (d *Dense) N() int { return len(d.agents) }
+
+// Agent returns the state of agent i.
+func (d *Dense) Agent(i int) bitmask.State { return d.agents[i] }
+
+// SetAgent overwrites the state of agent i (initialization only; scheduler
+// trackers are not adjusted).
+func (d *Dense) SetAgent(i int, s bitmask.State) { d.agents[i] = s }
+
+// Count returns the number of agents matching the guard (linear scan).
+func (d *Dense) Count(g bitmask.Guard) int {
+	c := 0
+	for _, s := range d.agents {
+		if g.Match(s) {
+			c++
+		}
+	}
+	return c
+}
+
+// CountFormula counts agents satisfying the formula.
+func (d *Dense) CountFormula(f bitmask.Formula) int {
+	return d.Count(bitmask.Compile(f))
+}
+
+// ForEach visits every agent state.
+func (d *Dense) ForEach(fn func(i int, s bitmask.State)) {
+	for i, s := range d.agents {
+		fn(i, s)
+	}
+}
+
+// Histogram returns the multiset of states as a count map.
+func (d *Dense) Histogram() map[bitmask.State]int64 {
+	h := make(map[bitmask.State]int64)
+	for _, s := range d.agents {
+		h[s]++
+	}
+	return h
+}
+
+// ApplyAll applies the update to every agent matching the guard and returns
+// how many were updated. This is the framework executor's bulk-assignment
+// primitive; it bypasses interaction scheduling.
+func (d *Dense) ApplyAll(g bitmask.Guard, u bitmask.Update) int {
+	c := 0
+	for i, s := range d.agents {
+		if g.Match(s) {
+			d.agents[i] = u.Apply(s)
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// Protocol is a ruleset compiled for fast scheduling. The scheduler picks a
+// rule group uniformly by weight (the paper's "one rule picked uniformly at
+// random" convention of §1.3, with a field-indexed family counting as one
+// logical rule) and fires the unique rule of the group matching the ordered
+// agent pair, if any. Groups whose rules share a common single-cube
+// initiator guard structure get an O(1) hash index; others fall back to a
+// linear scan.
+type Protocol struct {
+	Set    *rules.Ruleset
+	slots  []int32 // slot → group number
+	groups []groupIndex
+	// ruleWeight[i] is the weight of rule i's group, used by the counted
+	// engine's exact event-rate computation.
+	ruleWeight []int
+}
+
+type groupIndex struct {
+	start, end int32
+	// Initiator hash index, valid when every rule's G1 is a single cube
+	// and all rules share the same care mask.
+	indexed        bool
+	careLo, careHi uint64
+	buckets        map[[2]uint64][]int32
+}
+
+// CompileProtocol prepares a ruleset for simulation. The ruleset must be
+// valid (disjoint groups) and non-empty.
+func CompileProtocol(rs *rules.Ruleset) *Protocol {
+	if err := rs.Validate(); err != nil {
+		panic("engine: " + err.Error())
+	}
+	if rs.Len() == 0 {
+		panic("engine: empty ruleset")
+	}
+	p := &Protocol{Set: rs, ruleWeight: make([]int, len(rs.Rules))}
+	p.slots = make([]int32, 0, rs.TotalWeight())
+	p.groups = make([]groupIndex, len(rs.Groups))
+	for gi, g := range rs.Groups {
+		for w := 0; w < g.Weight; w++ {
+			p.slots = append(p.slots, int32(gi))
+		}
+		for i := g.Start; i < g.End; i++ {
+			p.ruleWeight[i] = g.Weight
+		}
+		p.groups[gi] = buildGroupIndex(rs, g)
+	}
+	return p
+}
+
+func buildGroupIndex(rs *rules.Ruleset, g rules.Group) groupIndex {
+	idx := groupIndex{start: int32(g.Start), end: int32(g.End)}
+	if g.Ordered || g.End-g.Start < 4 {
+		// Ordered groups need in-order scanning; tiny groups scan faster
+		// than they hash.
+		return idx
+	}
+	first := rs.Rules[g.Start].G1
+	if len(first.Cubes) != 1 {
+		return idx
+	}
+	careLo, careHi := first.Cubes[0].CareLo, first.Cubes[0].CareHi
+	for i := g.Start + 1; i < g.End; i++ {
+		c := rs.Rules[i].G1.Cubes
+		if len(c) != 1 || c[0].CareLo != careLo || c[0].CareHi != careHi {
+			return idx
+		}
+	}
+	idx.indexed = true
+	idx.careLo, idx.careHi = careLo, careHi
+	idx.buckets = make(map[[2]uint64][]int32, g.End-g.Start)
+	for i := g.Start; i < g.End; i++ {
+		c := rs.Rules[i].G1.Cubes[0]
+		key := [2]uint64{c.WantLo, c.WantHi}
+		idx.buckets[key] = append(idx.buckets[key], int32(i))
+	}
+	return idx
+}
+
+// NumRules returns the number of distinct rules.
+func (p *Protocol) NumRules() int { return len(p.Set.Rules) }
+
+// NumSlots returns the number of scheduler slots (total group weight).
+func (p *Protocol) NumSlots() int { return len(p.slots) }
+
+// Rule returns rule i.
+func (p *Protocol) Rule(i int) *rules.Rule { return &p.Set.Rules[i] }
+
+// RuleWeight returns the scheduler weight of rule i's group.
+func (p *Protocol) RuleWeight(i int) int { return p.ruleWeight[i] }
+
+// PickRule draws a uniform scheduler slot and resolves it against the
+// ordered pair (a, b): it returns the matching rule of the picked group, or
+// nil if none matches (a non-firing interaction).
+func (p *Protocol) PickRule(rng *RNG, a, b bitmask.State) *rules.Rule {
+	gi := p.slots[rng.Intn(len(p.slots))]
+	return p.matchGroup(gi, a, b)
+}
+
+// matchGroup finds the unique rule of group gi matching (a, b), or nil.
+func (p *Protocol) matchGroup(gi int32, a, b bitmask.State) *rules.Rule {
+	g := &p.groups[gi]
+	if g.indexed {
+		key := [2]uint64{a.Lo & g.careLo, a.Hi & g.careHi}
+		for _, ri := range g.buckets[key] {
+			r := &p.Set.Rules[ri]
+			if r.G2.Match(b) {
+				return r
+			}
+		}
+		return nil
+	}
+	for ri := g.start; ri < g.end; ri++ {
+		r := &p.Set.Rules[ri]
+		if r.G1.Match(a) && r.G2.Match(b) {
+			return r
+		}
+	}
+	return nil
+}
+
+// ReachableStates enumerates the set of states reachable from the given
+// initial states under the protocol's rules (bounded breadth-first closure;
+// gives up and returns ok=false once more than limit states are found).
+// Used to report exact automaton sizes for constant-state protocols.
+func (p *Protocol) ReachableStates(initial []bitmask.State, limit int) (states []bitmask.State, ok bool) {
+	seen := make(map[bitmask.State]bool, len(initial))
+	queue := make([]bitmask.State, 0, len(initial))
+	push := func(s bitmask.State) bool {
+		if !seen[s] {
+			if len(seen) >= limit {
+				return false
+			}
+			seen[s] = true
+			queue = append(queue, s)
+		}
+		return true
+	}
+	for _, s := range initial {
+		if !push(s) {
+			return nil, false
+		}
+	}
+	// Closure: for every pair of known states and every rule, add the
+	// successor states. Pairs include (s, s): two distinct agents can hold
+	// the same state.
+	for head := 0; head < len(queue); head++ {
+		a := queue[head]
+		for i := 0; i <= head; i++ {
+			b := queue[i]
+			for _, pair := range [2][2]bitmask.State{{a, b}, {b, a}} {
+				for _, r := range p.Set.Rules {
+					if r.Matches(pair[0], pair[1]) {
+						na, nb := r.Apply(pair[0], pair[1])
+						if !push(na) || !push(nb) {
+							return nil, false
+						}
+					}
+				}
+			}
+		}
+	}
+	out := make([]bitmask.State, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	return out, true
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+
+	"popkit/internal/bitmask"
+)
+
+// A Tracker incrementally maintains the number of agents matching a guard,
+// so stop conditions do not rescan the population every round.
+type Tracker struct {
+	Name  string
+	guard bitmask.Guard
+	count int
+}
+
+// Count returns the current number of matching agents.
+func (t *Tracker) Count() int { return t.count }
+
+// Runner drives a Dense population under a compiled protocol with the
+// asynchronous sequential scheduler (uniform random ordered pairs) or the
+// random-matching parallel scheduler. One parallel round is n interactions
+// (sequential) or one matching (parallel); Rounds() reports parallel time
+// t/n as used throughout the paper.
+type Runner struct {
+	P   *Protocol
+	Pop *Dense
+	RNG *RNG
+
+	// Interactions counts scheduler activations, including non-matching
+	// picks (the paper's convention counts those as steps too).
+	Interactions uint64
+
+	trackers []*Tracker
+}
+
+// NewRunner assembles a runner. The population must already be initialized.
+func NewRunner(p *Protocol, pop *Dense, rng *RNG) *Runner {
+	return &Runner{P: p, Pop: pop, RNG: rng}
+}
+
+// Rounds returns elapsed parallel time (interactions / n).
+func (r *Runner) Rounds() float64 {
+	return float64(r.Interactions) / float64(r.Pop.N())
+}
+
+// Track registers a guard for incremental counting and returns its tracker.
+// Must be called before stepping (or counts resynced via ResyncTrackers).
+func (r *Runner) Track(name string, f bitmask.Formula) *Tracker {
+	t := &Tracker{Name: name, guard: bitmask.Compile(f)}
+	t.count = r.Pop.Count(t.guard)
+	r.trackers = append(r.trackers, t)
+	return t
+}
+
+// ResyncTrackers recomputes all tracker counts by scanning the population.
+// Needed after out-of-band mutations (Dense.SetAgent / ApplyAll).
+func (r *Runner) ResyncTrackers() {
+	for _, t := range r.trackers {
+		t.count = r.Pop.Count(t.guard)
+	}
+}
+
+// applyTo applies new states to agents i and j, updating trackers.
+func (r *Runner) applyTo(i, j int, ni, nj bitmask.State) {
+	a := r.Pop.agents
+	oi, oj := a[i], a[j]
+	if oi == ni && oj == nj {
+		return
+	}
+	a[i], a[j] = ni, nj
+	for _, t := range r.trackers {
+		if t.guard.Match(oi) {
+			t.count--
+		}
+		if t.guard.Match(oj) {
+			t.count--
+		}
+		if t.guard.Match(ni) {
+			t.count++
+		}
+		if t.guard.Match(nj) {
+			t.count++
+		}
+	}
+}
+
+// Step performs one asynchronous interaction: a uniform random ordered pair
+// of distinct agents and one uniform rule pick. It reports whether a rule
+// fired.
+func (r *Runner) Step() bool {
+	n := len(r.Pop.agents)
+	i := r.RNG.Intn(n)
+	j := r.RNG.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	r.Interactions++
+	a := r.Pop.agents
+	rule := r.P.PickRule(r.RNG, a[i], a[j])
+	if rule == nil {
+		return false
+	}
+	ni, nj := rule.Apply(a[i], a[j])
+	r.applyTo(i, j, ni, nj)
+	return true
+}
+
+// RunRounds advances the sequential scheduler by k parallel rounds
+// (k·n interactions).
+func (r *Runner) RunRounds(k float64) {
+	steps := uint64(k * float64(r.Pop.N()))
+	for s := uint64(0); s < steps; s++ {
+		r.Step()
+	}
+}
+
+// MatchingRound performs one round of the random-matching parallel
+// scheduler: a uniform random matching of ⌊n/2⌋ pairs is activated, and
+// each pair independently picks one uniform rule. Counts as n interactions
+// of parallel time (one round).
+func (r *Runner) MatchingRound() {
+	n := len(r.Pop.agents)
+	perm := r.perm()
+	r.RNG.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for k := 0; k+1 < n; k += 2 {
+		i, j := int(perm[k]), int(perm[k+1])
+		// Orientation of the pair is random via the shuffle.
+		a := r.Pop.agents
+		if rule := r.P.PickRule(r.RNG, a[i], a[j]); rule != nil {
+			ni, nj := rule.Apply(a[i], a[j])
+			r.applyTo(i, j, ni, nj)
+		}
+	}
+	r.Interactions += uint64(n)
+}
+
+func (r *Runner) perm() []int32 {
+	if r.Pop.perm == nil {
+		n := len(r.Pop.agents)
+		r.Pop.perm = make([]int32, n)
+		for i := range r.Pop.perm {
+			r.Pop.perm[i] = int32(i)
+		}
+	}
+	return r.Pop.perm
+}
+
+// StopCondition is evaluated between rounds; returning true stops the run.
+type StopCondition func(r *Runner) bool
+
+// RunUntil advances the sequential scheduler until the condition holds
+// (checked every checkEvery rounds) or maxRounds elapses. It returns the
+// parallel time consumed in this call and whether the condition was met.
+func (r *Runner) RunUntil(cond StopCondition, checkEvery, maxRounds float64) (rounds float64, ok bool) {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	start := r.Rounds()
+	for {
+		if cond(r) {
+			return r.Rounds() - start, true
+		}
+		if r.Rounds()-start >= maxRounds {
+			return r.Rounds() - start, false
+		}
+		r.RunRounds(checkEvery)
+	}
+}
+
+// Snapshot renders tracker state for debugging.
+func (r *Runner) Snapshot() string {
+	s := fmt.Sprintf("t=%.1f rounds", r.Rounds())
+	for _, tr := range r.trackers {
+		s += fmt.Sprintf(" %s=%d", tr.Name, tr.count)
+	}
+	return s
+}
+
+// StepPair performs one scheduler activation on the chosen ordered pair
+// (i, j): one uniform rule pick, fired if matching. It lets tests drive
+// adversarial schedulers — the paper's guaranteed-behavior property
+// (Definition 2.1) must hold under *any* interaction sequence, including
+// ones that isolate subsets of agents indefinitely.
+func (r *Runner) StepPair(i, j int) bool {
+	if i == j {
+		panic("engine: an agent cannot interact with itself")
+	}
+	r.Interactions++
+	a := r.Pop.agents
+	rule := r.P.PickRule(r.RNG, a[i], a[j])
+	if rule == nil {
+		return false
+	}
+	ni, nj := rule.Apply(a[i], a[j])
+	r.applyTo(i, j, ni, nj)
+	return true
+}
+
+// RunIsolated advances k interactions restricted to the agents whose
+// indices lie in live (which must contain at least two indices): a simple
+// adversarial scheduler that starves everyone else.
+func (r *Runner) RunIsolated(live []int, k int) {
+	if len(live) < 2 {
+		panic("engine: isolation set needs at least two agents")
+	}
+	for s := 0; s < k; s++ {
+		pi := r.RNG.Intn(len(live))
+		pj := r.RNG.Intn(len(live) - 1)
+		if pj >= pi {
+			pj++
+		}
+		r.StepPair(live[pi], live[pj])
+	}
+}

@@ -1,0 +1,311 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/clock"
+	"popkit/internal/engine"
+	"popkit/internal/osc"
+	"popkit/internal/rules"
+	"popkit/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Claim: "Oscillator escapes the centre in O(log n) rounds and oscillates with window Θ(log n) in cyclic order (Thm 5.1)",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E4",
+		Claim: "Base modulo-m phase clock ticks cyclically with ≥90% peak agreement and Θ(log n) spacing (Thm 5.2)",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Claim: "Clock hierarchy: level j+1 runs Θ(log n) times slower than level j (§5.3)",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "F1",
+		Claim: "Figure: oscillator species trajectories",
+		Run:   runF1,
+	})
+	register(Experiment{
+		ID:    "F3",
+		Claim: "Figure: two-level hierarchy phase traces",
+		Run:   runF3,
+	})
+}
+
+// buildOscRun assembles an oscillator population with nx sources.
+func buildOscRun(n, nx int, seed uint64) (*osc.Oscillator, *engine.Runner) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	proto := engine.CompileProtocol(o.Ruleset())
+	rng := engine.NewRNG(seed)
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < nx {
+			s = x.Set(s, true)
+		}
+		return o.InitState(s, uint64(rng.Intn(3)), false)
+	})
+	return o, engine.NewRunner(proto, pop, rng)
+}
+
+func runE3(cfg Config) Result {
+	sizes := []int{2000, 20000, 200000}
+	if cfg.Quick {
+		sizes = []int{2000, 20000}
+	}
+	seeds := cfg.Seeds
+	if seeds > 5 {
+		seeds = 5
+	}
+	tb := stats.NewTable("E3 — Oscillator dynamics (Thm 5.1)",
+		"n", "#X", "escape rounds (/ln n)", "window rounds (/ln n)", "cyclic order", "a_min range during osc.")
+	for _, n := range sizes {
+		nx := int(math.Sqrt(float64(n)) / 2)
+		if nx < 1 {
+			nx = 1
+		}
+		var escapes, windows []float64
+		cyclic := true
+		minA, maxA := n, 0
+		for s := 0; s < seeds; s++ {
+			o, r := buildOscRun(n, nx, cfg.BaseSeed+uint64(n+s))
+			probe := osc.NewProbe(o)
+			budget := 120 * math.Log(float64(n))
+			for r.Rounds() < budget && len(probe.Events()) < 8 {
+				r.RunRounds(1)
+				probe.Observe(r)
+				if len(probe.Events()) >= 2 {
+					am := o.MinSpecies(r.Pop)
+					if am < minA {
+						minA = am
+					}
+					if am > maxA {
+						maxA = am
+					}
+				}
+			}
+			if esc, ok := probe.EscapeTime(); ok {
+				escapes = append(escapes, esc)
+			}
+			windows = append(windows, probe.Windows()...)
+			if !probe.CyclicOK() {
+				cyclic = false
+			}
+		}
+		se, sw := stats.Summarize(escapes), stats.Summarize(windows)
+		logn := math.Log(float64(n))
+		tb.AddRow(n, nx,
+			fmt.Sprintf("%.0f (%.1f)", se.Mean, se.Mean/logn),
+			fmt.Sprintf("%.0f (%.1f)", sw.Mean, sw.Mean/logn),
+			cyclic,
+			fmt.Sprintf("[%d, %d]", minA, maxA))
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}
+
+// clockQuality runs a composed oscillator+clock and measures tick metrics.
+func clockQuality(n, m, k int, seed uint64, cycles int) (ticks, skips int, spacing, minPeak float64) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := osc.New(sp, "O", x, osc.DefaultParams())
+	b := clock.NewBase(sp, "C", o, m, k, o.Ruleset().TotalWeight())
+	proto := engine.CompileProtocol(rules.Concat(o.Ruleset(), b.Rules()))
+	rng := engine.NewRNG(seed)
+	nx := int(math.Sqrt(float64(n)) / 2)
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < nx {
+			s = x.Set(s, true)
+		}
+		return o.InitState(s, osc.RandSpecies(rng), false)
+	})
+	r := engine.NewRunner(proto, pop, rng)
+	slow := float64(proto.NumSlots()) / float64(o.Ruleset().TotalWeight())
+	r.RunRounds(900 * slow)
+	lastPhase := -1
+	var tickTimes []float64
+	peak := map[int]float64{}
+	horizon := float64(cycles*m) * 12 * math.Log(float64(n)) * slow / 6
+	for elapsed := 0.0; elapsed < horizon; elapsed++ {
+		r.RunRounds(1)
+		counts := b.PhaseCounts(pop)
+		bestJ, bestC := 0, 0
+		for j, c := range counts {
+			if c > bestC {
+				bestJ, bestC = j, c
+			}
+		}
+		frac := float64(bestC) / float64(n)
+		if frac > peak[bestJ] {
+			peak[bestJ] = frac
+		}
+		if frac > 0.6 && bestJ != lastPhase {
+			if lastPhase >= 0 && bestJ != (lastPhase+1)%m {
+				skips++
+			}
+			ticks++
+			lastPhase = bestJ
+			tickTimes = append(tickTimes, r.Rounds())
+		}
+	}
+	var mean float64
+	for i := 1; i < len(tickTimes); i++ {
+		mean += tickTimes[i] - tickTimes[i-1]
+	}
+	if len(tickTimes) > 1 {
+		mean /= float64(len(tickTimes) - 1)
+	}
+	minPeak = 1
+	for _, p := range peak {
+		if p < minPeak {
+			minPeak = p
+		}
+	}
+	if len(peak) == 0 {
+		minPeak = 0
+	}
+	return ticks, skips, mean / slow, minPeak
+}
+
+func runE4(cfg Config) Result {
+	sizes := []int{2000, 20000}
+	if cfg.Quick {
+		sizes = []int{2000}
+	}
+	tb := stats.NewTable("E4 — Base modulo-12 phase clock (Thm 5.2)",
+		"n", "K", "ticks", "skips", "tick spacing (/ln n, osc-rate)", "min peak agreement")
+	for _, n := range sizes {
+		for _, k := range []int{6, clock.DefaultK} {
+			ticks, skips, spacing, minPeak := clockQuality(n, 12, k, cfg.BaseSeed+uint64(n+k), 2)
+			tb.AddRow(n, k, ticks, skips,
+				fmt.Sprintf("%.1f", spacing/math.Log(float64(n))), minPeak)
+		}
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}
+
+// hierarchyRun builds a 2-level hierarchy and measures per-level tick
+// spacing over the horizon (in rounds).
+func hierarchyRun(n int, seed uint64, horizon float64, trace *strings.Builder) (spacing [2]float64, ticks [2]int) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	h := clock.NewHierarchy(sp, x, 2, 12, 6, osc.DefaultParams())
+	proto := engine.CompileProtocol(h.Rules())
+	rng := engine.NewRNG(seed)
+	nx := int(math.Sqrt(float64(n)) / 2)
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < nx {
+			s = x.Set(s, true)
+		}
+		return h.InitAgent(s, rng)
+	})
+	r := engine.NewRunner(proto, pop, rng)
+	last := [2]int{-1, -1}
+	var first, lastT [2]float64
+	step := 25.0
+	if trace != nil {
+		trace.WriteString("rounds,level1_phase,level2_phase\n")
+	}
+	for r.Rounds() < horizon {
+		r.RunRounds(step)
+		for lvl := 1; lvl <= 2; lvl++ {
+			counts := h.PhaseCounts(lvl, pop)
+			bestJ, bestC := 0, 0
+			for j, c := range counts {
+				if c > bestC {
+					bestJ, bestC = j, c
+				}
+			}
+			if float64(bestC) > 0.6*float64(n) && bestJ != last[lvl-1] {
+				ticks[lvl-1]++
+				if first[lvl-1] == 0 {
+					first[lvl-1] = r.Rounds()
+				}
+				lastT[lvl-1] = r.Rounds()
+				last[lvl-1] = bestJ
+			}
+		}
+		if trace != nil && int(r.Rounds())%500 < int(step) {
+			fmt.Fprintf(trace, "%.0f,%d,%d\n", r.Rounds(), last[0], last[1])
+		}
+	}
+	for lvl := 0; lvl < 2; lvl++ {
+		if ticks[lvl] > 1 {
+			spacing[lvl] = (lastT[lvl] - first[lvl]) / float64(ticks[lvl]-1)
+		}
+	}
+	return spacing, ticks
+}
+
+func runE5(cfg Config) Result {
+	tb := stats.NewTable("E5 — Two-level clock hierarchy (§5.3)",
+		"n", "L1 ticks", "L2 ticks", "L1 spacing", "L2 spacing", "rate ratio r(2)/r(1)", "implied α = ratio/ln n")
+	// The hierarchy is the most expensive experiment: one L2 tick costs
+	// ≈ 4·(slot share)·(α′ ln n) L1 ticks. The horizons below yield ≥ 4
+	// L2 ticks. (The reference run in EXPERIMENTS.md used n = 1000 over
+	// 2·10⁶ rounds: 7 L2 ticks, ratio ≈ 1027 ≈ 149·ln n.)
+	sizes := []int{600}
+	horizons := []float64{1.3e6}
+	if cfg.Quick {
+		horizons = []float64{4e5}
+	}
+	for i, n := range sizes {
+		spacing, ticks := hierarchyRun(n, cfg.BaseSeed+uint64(n), horizons[i], nil)
+		ratio := math.NaN()
+		if spacing[0] > 0 && spacing[1] > 0 {
+			ratio = spacing[1] / spacing[0]
+		}
+		tb.AddRow(n, ticks[0], ticks[1], spacing[0], spacing[1], ratio, ratio/math.Log(float64(n)))
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}
+
+func runF1(cfg Config) Result {
+	n := 20000
+	if cfg.Quick {
+		n = 5000
+	}
+	o, r := buildOscRun(n, int(math.Sqrt(float64(n))/2), cfg.BaseSeed+42)
+	var b strings.Builder
+	b.WriteString("rounds,A0,A1,A2\n")
+	horizon := 130 * math.Log(float64(n))
+	for r.Rounds() < horizon {
+		r.RunRounds(2)
+		c := o.SpeciesCounts(r.Pop)
+		fmt.Fprintf(&b, "%.0f,%d,%d,%d\n", r.Rounds(), c[0], c[1], c[2])
+	}
+	tb := stats.NewTable("F1 — Oscillator trajectory", "series", "points")
+	tb.AddRow("species counts CSV", strings.Count(b.String(), "\n")-1)
+	return Result{
+		Tables:  []*stats.Table{tb},
+		Figures: map[string]string{"F1_oscillator_trajectory.csv": b.String()},
+	}
+}
+
+func runF3(cfg Config) Result {
+	n := 600
+	horizon := 4e5
+	if cfg.Quick {
+		horizon = 1.5e5
+	}
+	var trace strings.Builder
+	spacing, ticks := hierarchyRun(n, cfg.BaseSeed+7, horizon, &trace)
+	tb := stats.NewTable("F3 — Hierarchy phase trace", "level", "ticks", "spacing")
+	tb.AddRow(1, ticks[0], spacing[0])
+	tb.AddRow(2, ticks[1], spacing[1])
+	return Result{
+		Tables:  []*stats.Table{tb},
+		Figures: map[string]string{"F3_hierarchy_trace.csv": trace.String()},
+	}
+}

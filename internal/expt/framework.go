@@ -1,0 +1,360 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/frame"
+	"popkit/internal/protocols"
+	"popkit/internal/semilinear"
+	"popkit/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Claim: "LeaderElection converges in O(log n) good iterations ≈ O(log² n) rounds, w.h.p. correct (Thm 3.1)",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Claim: "Majority converges in O(log³ n) rounds, correct w.h.p. independent of the gap (Thm 3.2)",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Claim: "Exact protocols are always correct; LeaderElectionExact stays at one leader forever (Thms 6.1–6.3)",
+		Run:   runE8,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Claim: "Semi-linear predicates: fast w.h.p. for thresholds, exact via the slow blackbox (Thm 6.4)",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Claim: "Plurality consensus with l colours matches majority's shape using O(l²) states (§1.1)",
+		Run:   runE10,
+	})
+}
+
+func sizesE1(cfg Config) []int {
+	if cfg.Quick {
+		return []int{256, 1024}
+	}
+	return []int{256, 1024, 4096, 16384, 65536}
+}
+
+func runE1(cfg Config) Result {
+	prog := protocols.LeaderElection()
+	tb := stats.NewTable("E1 — LeaderElection (framework semantics)",
+		"n", "iterations mean±sd", "rounds mean", "rounds/log²n", "unique leader", "stable after +5 iters")
+	var ns, rounds []float64
+	for _, n := range sizesE1(cfg) {
+		var iters, rnds []float64
+		correct, stable := 0, 0
+		for s := 0; s < cfg.Seeds; s++ {
+			e, err := frame.New(prog, n, cfg.BaseSeed+uint64(1000*n+s))
+			if err != nil {
+				panic(err)
+			}
+			it, ok := e.RunUntil(func(e *frame.Executor) bool { return e.CountVar("L") == 1 }, 40*int(math.Log2(float64(n)))+40)
+			if ok {
+				correct++
+			}
+			iters = append(iters, float64(it))
+			rnds = append(rnds, e.Rounds)
+			e.RunIterations(5)
+			if e.CountVar("L") == 1 {
+				stable++
+			}
+		}
+		si, sr := stats.Summarize(iters), stats.Summarize(rnds)
+		logn := math.Log(float64(n))
+		tb.AddRow(n, fmt.Sprintf("%.1f ± %.1f", si.Mean, si.Std), sr.Mean,
+			sr.Mean/(logn*logn),
+			fmt.Sprintf("%d/%d", correct, cfg.Seeds),
+			fmt.Sprintf("%d/%d", stable, cfg.Seeds))
+		ns = append(ns, float64(n))
+		rounds = append(rounds, sr.Mean)
+	}
+	d, r2 := stats.PolylogExponent(ns, rounds)
+	fit := stats.NewTable("E1 fit", "model", "exponent", "R²")
+	fit.AddRow("rounds ~ (ln n)^d", d, r2)
+	return Result{Tables: []*stats.Table{tb, fit}}
+}
+
+func runE2(cfg Config) Result {
+	prog := protocols.Majority(2)
+	sizes := []int{256, 1024, 4096}
+	if cfg.Quick {
+		sizes = []int{256, 1024}
+	}
+	tb := stats.NewTable("E2 — Majority correctness and time vs gap (framework semantics)",
+		"n", "gap", "uncoloured", "correct", "rounds mean")
+	for _, n := range sizes {
+		gaps := []int{1, int(math.Sqrt(float64(n))), n / 3}
+		for gi, gap := range gaps {
+			uncol := 0
+			if gi == 0 {
+				uncol = n / 10 // also exercise the paper's uncoloured-agent generality
+			}
+			correct := 0
+			var rnds []float64
+			for s := 0; s < cfg.Seeds; s++ {
+				nB := (n - uncol - gap) / 2
+				nA := nB + gap
+				e, err := frame.New(prog, n, cfg.BaseSeed+uint64(n*31+gap*7+s))
+				if err != nil {
+					panic(err)
+				}
+				a, _ := e.Space.LookupVar("A")
+				b, _ := e.Space.LookupVar("B")
+				e.SetInput(func(i int, st bitmask.State) bitmask.State {
+					switch {
+					case i < nA:
+						return a.Set(st, true)
+					case i < nA+nB:
+						return b.Set(st, true)
+					}
+					return st
+				})
+				e.RunIterations(3)
+				if e.CountVar("YA") == n {
+					correct++
+				}
+				rnds = append(rnds, e.Rounds)
+			}
+			sr := stats.Summarize(rnds)
+			tb.AddRow(n, gap, uncol, fmt.Sprintf("%d/%d", correct, cfg.Seeds), sr.Mean)
+		}
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}
+
+func runE8(cfg Config) Result {
+	tb := stats.NewTable("E8 — Always-correct protocols (framework semantics)",
+		"protocol", "n", "converged", "stable under faults", "iterations mean")
+	sizes := []int{256, 1024}
+	if cfg.Quick {
+		sizes = []int{256}
+	}
+	for _, n := range sizes {
+		var iters []float64
+		conv, stable := 0, 0
+		for s := 0; s < cfg.Seeds; s++ {
+			e, err := frame.New(protocols.LeaderElectionExact(), n, cfg.BaseSeed+uint64(n+s))
+			if err != nil {
+				panic(err)
+			}
+			it, ok := e.RunUntil(func(e *frame.Executor) bool {
+				return e.CountVar("L") == 1 && e.CountVar("R") == 1
+			}, 600)
+			if ok {
+				conv++
+			}
+			iters = append(iters, float64(it))
+			e.Faults = frame.Faults{PartialAssignProb: 0.2}
+			e.RunIterations(10)
+			if e.CountVar("L") == 1 {
+				stable++
+			}
+		}
+		tb.AddRow("LeaderElectionExact", n,
+			fmt.Sprintf("%d/%d", conv, cfg.Seeds),
+			fmt.Sprintf("%d/%d", stable, cfg.Seeds),
+			stats.Summarize(iters).Mean)
+	}
+	for _, n := range sizes {
+		conv, stable := 0, 0
+		var iters []float64
+		for s := 0; s < cfg.Seeds; s++ {
+			gap := 1 + s%3
+			nB := (n - gap) / 2
+			nA := nB + gap
+			e, err := frame.New(protocols.MajorityExact(2), n, cfg.BaseSeed+uint64(n*3+s))
+			if err != nil {
+				panic(err)
+			}
+			a, _ := e.Space.LookupVar("A")
+			b, _ := e.Space.LookupVar("B")
+			at, _ := e.Space.LookupVar("At")
+			bt, _ := e.Space.LookupVar("Bt")
+			e.SetInput(func(i int, st bitmask.State) bitmask.State {
+				switch {
+				case i < nA:
+					st = a.Set(st, true)
+					return at.Set(st, true)
+				case i < nA+nB:
+					st = b.Set(st, true)
+					return bt.Set(st, true)
+				}
+				return st
+			})
+			it, ok := e.RunUntil(func(e *frame.Executor) bool {
+				return e.CountVar("Bt") == 0 && e.CountVar("YA") == n
+			}, 3000)
+			if ok {
+				conv++
+			}
+			iters = append(iters, float64(it))
+			e.Faults = frame.Faults{PartialAssignProb: 0.25}
+			e.RunIterations(10)
+			if e.CountVar("YA") == n {
+				stable++
+			}
+		}
+		tb.AddRow("MajorityExact", n,
+			fmt.Sprintf("%d/%d", conv, cfg.Seeds),
+			fmt.Sprintf("%d/%d", stable, cfg.Seeds),
+			stats.Summarize(iters).Mean)
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}
+
+func runE9(cfg Config) Result {
+	tb := stats.NewTable("E9 — SemilinearPredicateExact (Thm 6.4)",
+		"predicate", "instance", "n", "stable", "iterations", "output correct")
+	seeds := cfg.Seeds
+	if seeds > 5 {
+		seeds = 5
+	}
+	n := 400
+	if cfg.Quick {
+		n = 200
+	}
+
+	thr := semilinear.Threshold{Coef: []int{2, -1}, C: 3} // 2x1 − x2 ≥ 3
+	for _, inst := range [][2]int{{60, 117}, {60, 118}, {30, 56}} {
+		nA, nB := inst[0], inst[1]
+		colour := func(i int) int {
+			switch {
+			case i < nA:
+				return 0
+			case i < nA+nB:
+				return 1
+			}
+			return -1
+		}
+		counts := []int64{int64(nA), int64(nB)}
+		ok, iters, correct := 0, 0.0, 0
+		for s := 0; s < seeds; s++ {
+			e := semilinear.NewExact(thr, n, colour, cfg.BaseSeed+uint64(nA*100+s))
+			it, stable := e.RunUntilStable(colour, counts, 1500)
+			if stable {
+				ok++
+			}
+			iters += float64(it)
+			want := thr.Eval(counts)
+			if (e.Output() == n) == want && (want || e.Output() == 0) {
+				correct++
+			}
+		}
+		tb.AddRow(thr.Name(), fmt.Sprintf("x=(%d,%d)", nA, nB), n,
+			fmt.Sprintf("%d/%d", ok, seeds), iters/float64(seeds),
+			fmt.Sprintf("%d/%d", correct, seeds))
+	}
+
+	mod := semilinear.Mod{Coef: []int{1}, M: 3, R: 1}
+	nMod := 200
+	for _, x := range []int{30, 31} {
+		colour := func(i int) int {
+			if i < x {
+				return 0
+			}
+			return -1
+		}
+		counts := []int64{int64(x)}
+		ok, iters, correct := 0, 0.0, 0
+		for s := 0; s < seeds; s++ {
+			e := semilinear.NewExact(mod, nMod, colour, cfg.BaseSeed+uint64(x*10+s))
+			it, stable := e.RunUntilStable(colour, counts, 6000)
+			if stable {
+				ok++
+			}
+			iters += float64(it)
+			want := mod.Eval(counts)
+			if (e.Output() == nMod) == want && (want || e.Output() == 0) {
+				correct++
+			}
+		}
+		tb.AddRow(mod.Name(), fmt.Sprintf("x=%d", x), nMod,
+			fmt.Sprintf("%d/%d", ok, seeds), iters/float64(seeds),
+			fmt.Sprintf("%d/%d", correct, seeds))
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}
+
+func runE10(cfg Config) Result {
+	tb := stats.NewTable("E10 — Plurality consensus (§1.1 corollary)",
+		"l", "n", "state bits (O(l²))", "correct winner", "iterations")
+	ls := []int{3, 5}
+	if cfg.Quick {
+		ls = []int{3}
+	}
+	for _, l := range ls {
+		prog := protocols.Plurality(l, 2)
+		sp, err := prog.BuildSpace()
+		if err != nil {
+			panic(err)
+		}
+		n := 600
+		correct := 0
+		var iters []float64
+		for s := 0; s < cfg.Seeds; s++ {
+			e, err := frame.New(prog, n, cfg.BaseSeed+uint64(l*1000+s))
+			if err != nil {
+				panic(err)
+			}
+			// Near-tie: winner colour 1 (index 0) by a narrow margin.
+			sizes := make([]int, l)
+			base := n / (l + 1)
+			rem := n
+			for i := range sizes {
+				sizes[i] = base - i // strictly decreasing
+				rem -= sizes[i]
+			}
+			sizes[0] += rem // colour 1 takes the slack (clear winner)
+			vars := make([]bitmask.Var, l)
+			for i := range vars {
+				vars[i], _ = e.Space.LookupVar(fmt.Sprintf("C%d", i+1))
+			}
+			e.SetInput(func(i int, st bitmask.State) bitmask.State {
+				acc := 0
+				for c := 0; c < l; c++ {
+					acc += sizes[c]
+					if i < acc {
+						return vars[c].Set(st, true)
+					}
+				}
+				return st
+			})
+			it, _ := e.RunUntil(func(e *frame.Executor) bool {
+				if e.CountVar("W1") != n {
+					return false
+				}
+				for c := 2; c <= l; c++ {
+					if e.CountVar(fmt.Sprintf("W%d", c)) != 0 {
+						return false
+					}
+				}
+				return true
+			}, 20)
+			iters = append(iters, float64(it))
+			okAll := e.CountVar("W1") == n
+			for c := 2; c <= l; c++ {
+				if e.CountVar(fmt.Sprintf("W%d", c)) != 0 {
+					okAll = false
+				}
+			}
+			if okAll {
+				correct++
+			}
+		}
+		tb.AddRow(l, n, sp.NumBitsUsed(),
+			fmt.Sprintf("%d/%d", correct, cfg.Seeds),
+			stats.Summarize(iters).Mean)
+	}
+	return Result{Tables: []*stats.Table{tb}}
+}

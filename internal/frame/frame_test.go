@@ -1,0 +1,371 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/lang"
+)
+
+const leaderElectionSrc = `
+protocol LeaderElection
+var L = on output
+
+thread Main uses L
+  var D = off
+  var F = on
+  repeat:
+    if exists (L):
+      F := rand
+      D := L & F
+      if exists (D):
+        L := D
+    else:
+      L := on
+`
+
+const majoritySrc = `
+protocol Majority
+var YA = off output
+var A = off input, B = off input
+
+thread Main uses YA reads A, B
+  var As = off
+  var Bs = off
+  var K = off
+  repeat:
+    As := A
+    Bs := B
+    repeat >= 2 ln n times:
+      execute for >= 2 ln n rounds ruleset:
+        (As) + (Bs) -> (!As) + (!Bs)
+      K := off
+      execute for >= 2 ln n rounds ruleset:
+        (As & !K) + (!As & !Bs) -> (As & K) + (As & K)
+        (Bs & !K) + (!As & !Bs) -> (Bs & K) + (Bs & K)
+    if exists (As):
+      YA := on
+    if exists (Bs):
+      YA := off
+`
+
+// TestLeaderElectionTheorem31 reproduces Theorem 3.1: after O(log n) good
+// iterations, exactly one leader remains, and stays.
+func TestLeaderElectionTheorem31(t *testing.T) {
+	prog := lang.MustParse(leaderElectionSrc)
+	for _, n := range []int{256, 2048} {
+		for seed := uint64(0); seed < 3; seed++ {
+			e, err := New(prog, n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters, ok := e.RunUntil(func(e *Executor) bool { return e.CountVar("L") == 1 }, 20*int(math.Log2(float64(n))))
+			if !ok {
+				t.Fatalf("n=%d seed=%d: leaders=%d after %d iterations", n, seed, e.CountVar("L"), iters)
+			}
+			// Theorem 3.1 also promises stability: subsequent iterations
+			// keep the unique leader.
+			e.RunIterations(5)
+			if got := e.CountVar("L"); got != 1 {
+				t.Errorf("n=%d seed=%d: leader count drifted to %d", n, seed, got)
+			}
+			// Convergence takes O(log n) iterations.
+			if iters > 10*int(math.Log2(float64(n))) {
+				t.Errorf("n=%d seed=%d: %d iterations, want O(log n)", n, seed, iters)
+			}
+		}
+	}
+}
+
+// TestMajorityTheorem32 reproduces Theorem 3.2: the output variable
+// converges to the majority side, for both orientations and regardless of
+// the gap — including gap 1.
+func TestMajorityTheorem32(t *testing.T) {
+	prog := lang.MustParse(majoritySrc)
+	const n = 1024
+	cases := []struct {
+		name     string
+		nA, nB   int
+		expectYA bool
+	}{
+		{"A wins big", 600, 200, true},
+		{"B wins big", 200, 600, false},
+		{"A wins by 1", 413, 412, true},
+		{"B wins by 1", 412, 413, false},
+		{"with uncolored agents", 30, 20, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := New(prog, n, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := e.Space.LookupVar("A")
+			b, _ := e.Space.LookupVar("B")
+			e.SetInput(func(i int, s bitmask.State) bitmask.State {
+				switch {
+				case i < tc.nA:
+					return a.Set(s, true)
+				case i < tc.nA+tc.nB:
+					return b.Set(s, true)
+				}
+				return s
+			})
+			e.RunIterations(3)
+			want := 0
+			if tc.expectYA {
+				want = n
+			}
+			if got := e.CountVar("YA"); got != want {
+				t.Errorf("YA count = %d, want %d", got, want)
+			}
+			// Output must be stable across further iterations (§3
+			// constraint (2)).
+			e.RunIterations(2)
+			if got := e.CountVar("YA"); got != want {
+				t.Errorf("YA drifted to %d after extra iterations", got)
+			}
+		})
+	}
+}
+
+// TestMajorityConvergenceTime verifies the O(log³ n) shape: the framework
+// round cost per iteration is Θ(log² n) for the majority program (a depth-2
+// loop nest), so a constant number of iterations is Θ(log² n)·O(log n)
+// loop passes ⇒ rounds grow polylogarithmically, not polynomially.
+func TestMajorityConvergenceTime(t *testing.T) {
+	prog := lang.MustParse(majoritySrc)
+	var prev float64
+	for _, n := range []int{256, 4096} {
+		e, err := New(prog, n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := e.Space.LookupVar("A")
+		b, _ := e.Space.LookupVar("B")
+		e.SetInput(func(i int, s bitmask.State) bitmask.State {
+			if i < n/2+1 {
+				return a.Set(s, true)
+			}
+			return b.Set(s, true)
+		})
+		e.RunIterations(1)
+		perIter := e.Rounds
+		logn := math.Log(float64(n))
+		lo, hi := math.Pow(logn, 2), 100*math.Pow(logn, 3)
+		if perIter < lo || perIter > hi {
+			t.Errorf("n=%d: iteration cost %.0f rounds outside [log²n=%.0f, 100·log³n=%.0f]",
+				n, perIter, lo, hi)
+		}
+		if prev > 0 {
+			// Growing n 16× must grow cost far slower than linearly
+			// (polylog vs polynomial).
+			if perIter > 8*prev {
+				t.Errorf("iteration cost scaled superpolylogarithmically: %.0f -> %.0f", prev, perIter)
+			}
+		}
+		prev = perIter
+	}
+}
+
+// TestGuaranteedBehaviorUnderFaults: with mid-iteration stops and partial
+// assignments, majority may fail to converge quickly, but the §3 program
+// constraints keep a settled output stable: once A* and B* are exhausted
+// with a correct output, faulty extra iterations never flip it.
+func TestGuaranteedBehaviorUnderFaults(t *testing.T) {
+	prog := lang.MustParse(majoritySrc)
+	const n = 512
+	e, err := New(prog, n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Space.LookupVar("A")
+	b, _ := e.Space.LookupVar("B")
+	e.SetInput(func(i int, s bitmask.State) bitmask.State {
+		if i < 300 {
+			return a.Set(s, true)
+		}
+		return b.Set(s, true)
+	})
+	// Converge cleanly first.
+	e.RunIterations(3)
+	if got := e.CountVar("YA"); got != n {
+		t.Fatalf("clean convergence failed: YA=%d", got)
+	}
+	// Now inject partial assignments and stops; the answer must not flip,
+	// because flipping YA requires a nonempty B* surviving cancellation.
+	e.Faults = Faults{PartialAssignProb: 0.3}
+	e.RunIterations(3)
+	if got := e.CountVar("YA"); got != n {
+		t.Errorf("faulty iterations flipped settled output: YA=%d", got)
+	}
+}
+
+// TestSkipIterationFault verifies the executor models the uncontrolled
+// prefix: skipped iterations leave foreground variables untouched.
+func TestSkipIterationFault(t *testing.T) {
+	prog := lang.MustParse(leaderElectionSrc)
+	e, err := New(prog, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Faults = Faults{SkipIterationProb: 1.0}
+	before := e.CountVar("L")
+	e.RunIterations(4)
+	if got := e.CountVar("L"); got != before {
+		t.Errorf("skipped iterations changed L: %d -> %d", before, got)
+	}
+	if e.Iterations != 4 {
+		t.Errorf("Iterations = %d", e.Iterations)
+	}
+	if e.Rounds == 0 {
+		t.Error("skipped iterations charged no time")
+	}
+}
+
+// TestStopAfterLeaves checks the stop fault halts mid-iteration.
+func TestStopAfterLeaves(t *testing.T) {
+	prog := lang.MustParse(majoritySrc)
+	e, err := New(prog, 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Faults = Faults{StopAfterLeaves: 3}
+	e.RunIteration()
+	if !e.Stopped() {
+		t.Error("executor did not stop")
+	}
+}
+
+// TestForeverThreadRuns: a background thread makes progress even when the
+// main thread only does assignments.
+func TestForeverThreadRuns(t *testing.T) {
+	src := `
+protocol BG
+var R = on
+var T = off
+
+thread Main uses T
+  repeat:
+    T := on
+
+thread ReduceSets uses R
+  execute ruleset:
+    (R) + (R) -> (R) + (!R)
+`
+	prog := lang.MustParse(src)
+	e, err := New(prog, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunIterations(30)
+	if got := e.CountVar("R"); got != 1 {
+		t.Errorf("background coalescence left %d R agents, want 1", got)
+	}
+	if got := e.CountVar("T"); got != 256 {
+		t.Errorf("assignment did not run: T=%d", got)
+	}
+}
+
+func TestCountFormula(t *testing.T) {
+	prog := lang.MustParse(leaderElectionSrc)
+	e, err := New(prog, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("L & F"); got != 64 {
+		t.Errorf("Count(L & F) = %d, want 64", got)
+	}
+	if got := e.Count("D"); got != 0 {
+		t.Errorf("Count(D) = %d, want 0", got)
+	}
+}
+
+// TestIterationCostAccounting: the framework charges c·ln n per leaf, two
+// leaves per assignment/branch, and multiplies nested loop bodies by
+// ⌈c·ln n⌉ passes — the §4 cost model the round measurements rely on.
+func TestIterationCostAccounting(t *testing.T) {
+	src := `
+protocol Cost
+var A = off
+
+thread Main uses A
+  repeat:
+    A := on
+    repeat >= 2 ln n times:
+      execute for >= 2 ln n rounds ruleset:
+        (A) + (.) -> (A) + (.)
+`
+	prog := lang.MustParse(src)
+	const n = 1024
+	e, err := New(prog, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunIteration()
+	logn := math.Log(n)
+	leaf := 2 * logn // c = 2
+	passes := math.Ceil(2 * logn)
+	want := 2*leaf + passes*leaf // assignment (2 leaves) + loop passes × 1 leaf
+	if math.Abs(e.Rounds-want) > 1e-6 {
+		t.Errorf("iteration cost = %.2f rounds, want %.2f", e.Rounds, want)
+	}
+}
+
+// TestAssignmentSemantics: formula assignments evaluate per agent on its
+// own local state (Definition 2.3's expected outcome).
+func TestAssignmentSemantics(t *testing.T) {
+	src := `
+protocol Assign
+var A = off
+var B = off
+
+thread Main uses B
+  repeat:
+    B := !A
+`
+	prog := lang.MustParse(src)
+	e, err := New(prog, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Space.LookupVar("A")
+	e.SetInput(func(i int, s bitmask.State) bitmask.State {
+		if i < 40 {
+			return a.Set(s, true)
+		}
+		return s
+	})
+	e.RunIteration()
+	if got := e.Count("B"); got != 60 {
+		t.Errorf("B count = %d, want 60 (complement of A)", got)
+	}
+	if got := e.Count("A & B"); got != 0 {
+		t.Errorf("A∧B = %d, want 0", got)
+	}
+}
+
+// TestRandAssignmentIsPerAgent: each agent flips its own coin, so the set
+// size concentrates around n/2 and differs across agents.
+func TestRandAssignmentIsPerAgent(t *testing.T) {
+	src := `
+protocol Coin
+var F = off
+
+thread Main uses F
+  repeat:
+    F := rand
+`
+	prog := lang.MustParse(src)
+	const n = 10000
+	e, err := New(prog, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunIteration()
+	got := e.Count("F")
+	if got < n/2-300 || got > n/2+300 {
+		t.Errorf("coin flip count = %d, want ≈ %d", got, n/2)
+	}
+}

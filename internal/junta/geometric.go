@@ -1,0 +1,111 @@
+package junta
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// Geometric is the fast junta-election comparator (Proposition 5.4, in the
+// spirit of [GS18]). Every agent draws a geometric rank by repeated fair
+// flips — one flip per interaction while still flipping, realized as two
+// equal-weight scheduler groups — then the maximum rank seen propagates
+// epidemically, and agents whose own rank falls below the running maximum
+// leave the junta (clear X). The junta is exactly the set of agents holding
+// the global maximum rank: it is never empty, and its size is
+// O(polylog n) ≤ n^(1−ε) w.h.p. after O(log n) rounds.
+type Geometric struct {
+	X        bitmask.Var
+	Flipping bitmask.Var
+	Rank     bitmask.Field // own geometric rank
+	Max      bitmask.Field // largest rank seen
+	MaxLevel int
+
+	rs *rules.Ruleset
+}
+
+// NewGeometric builds the junta election with ranks capped at maxLevel
+// (use ≳ log2 n + 4; the cap only matters with vanishing probability).
+func NewGeometric(sp *bitmask.Space, prefix string, x bitmask.Var, maxLevel int) *Geometric {
+	if maxLevel < 1 {
+		panic("junta: maxLevel must be ≥ 1")
+	}
+	g := &Geometric{
+		X:        x,
+		Flipping: sp.Bool(prefix + "Fl"),
+		Rank:     sp.Field(prefix+"Rk", uint64(maxLevel)),
+		Max:      sp.Field(prefix+"Mx", uint64(maxLevel)),
+		MaxLevel: maxLevel,
+	}
+	g.rs = rules.NewRuleset(sp)
+
+	// Coin flips: while flipping, each interaction either advances the
+	// rank (heads) or stops (tails) — two equal-weight groups realize the
+	// fair coin. Rank and Max advance together while flipping.
+	heads := make([]rules.Rule, 0, maxLevel)
+	for l := 0; l < maxLevel; l++ {
+		heads = append(heads, rules.MustNew(
+			bitmask.And(bitmask.Is(g.Flipping), bitmask.FieldIs(g.Rank, uint64(l))),
+			bitmask.True(),
+			bitmask.FieldIs(g.Rank, uint64(l+1)),
+			bitmask.True()))
+	}
+	// At the cap, heads also stops.
+	heads = append(heads, rules.MustNew(
+		bitmask.And(bitmask.Is(g.Flipping), bitmask.FieldIs(g.Rank, uint64(maxLevel))),
+		bitmask.True(),
+		bitmask.IsNot(g.Flipping),
+		bitmask.True()))
+	g.rs.AddGroup(prefix+"heads", 1, heads...)
+	g.rs.Add(bitmask.Is(g.Flipping), bitmask.True(), bitmask.IsNot(g.Flipping), bitmask.True())
+
+	// Feed the agent's own rank into its running maximum (kept separate
+	// from the heads rule so concurrent propagation can never lower Max).
+	ownmax := make([]rules.Rule, 0, maxLevel*maxLevel/2)
+	for l := 1; l <= maxLevel; l++ {
+		for m := 0; m < l; m++ {
+			ownmax = append(ownmax, rules.MustNew(
+				bitmask.And(bitmask.FieldIs(g.Rank, uint64(l)), bitmask.FieldIs(g.Max, uint64(m))),
+				bitmask.True(),
+				bitmask.FieldIs(g.Max, uint64(l)),
+				bitmask.True()))
+		}
+	}
+	g.rs.AddGroup(prefix+"ownmax", 1, ownmax...)
+
+	// Max propagation: adopt any larger observed maximum.
+	prop := make([]rules.Rule, 0, maxLevel*maxLevel)
+	for own := 0; own <= maxLevel; own++ {
+		for seen := own + 1; seen <= maxLevel; seen++ {
+			prop = append(prop, rules.MustNew(
+				bitmask.FieldIs(g.Max, uint64(own)),
+				bitmask.FieldIs(g.Max, uint64(seen)),
+				bitmask.FieldIs(g.Max, uint64(seen)),
+				bitmask.True()))
+		}
+	}
+	g.rs.AddGroup(prefix+"maxprop", 1, prop...)
+
+	// Junta maintenance: an agent whose rank is below the running maximum
+	// leaves the junta. (Rank never exceeds Max by construction.)
+	leave := make([]rules.Rule, 0, maxLevel*maxLevel)
+	for own := 0; own <= maxLevel; own++ {
+		for seen := own + 1; seen <= maxLevel; seen++ {
+			leave = append(leave, rules.MustNew(
+				bitmask.And(bitmask.Is(g.X), bitmask.FieldIs(g.Rank, uint64(own)), bitmask.FieldIs(g.Max, uint64(seen))),
+				bitmask.True(),
+				bitmask.IsNot(g.X),
+				bitmask.True()))
+		}
+	}
+	g.rs.AddGroup(prefix+"leave", 1, leave...)
+	return g
+}
+
+// Rules returns the process ruleset.
+func (g *Geometric) Rules() *rules.Ruleset { return g.rs }
+
+// InitAgent marks the agent as a flipping junta candidate of rank 0.
+func (g *Geometric) InitAgent(s bitmask.State) bitmask.State {
+	s = g.X.Set(s, true)
+	return g.Flipping.Set(s, true)
+}

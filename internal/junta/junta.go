@@ -1,0 +1,151 @@
+// Package junta implements the control-state (X) reduction processes of
+// §5.2's "Controlling |X|" paragraphs. The phase clocks operate correctly
+// while 1 ≤ #X ≤ n^(1−ε); these processes bring #X into that range:
+//
+//   - TwoMeet (Proposition 5.3): the always-correct reducer. #X never
+//     increases, never reaches 0, and drops below n^(1−ε) within O(n^ε)
+//     rounds.
+//   - Cascade (Proposition 5.5): the w.h.p. reducer. A k-level cascade
+//     drives #X below n^(1−ε) within polylogarithmic time; #X eventually
+//     hits 0, but stays positive long enough for the clock hierarchy to
+//     complete its work.
+//   - Geometric (Proposition 5.4 comparator, in the spirit of [GS18]):
+//     junta election via geometric ranks and max propagation, reaching
+//     #X ≤ n^(1−ε) in O(log n) rounds with super-constant states. (GS18
+//     achieve O(log log n) states; this implementation uses O(log n)
+//     states — the rank field — which suffices for the time-bound
+//     comparison; see DESIGN.md, "Substitutions".)
+package junta
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// TwoMeet is the Proposition 5.3 process: ▷ (X) + (X) → (¬X) + (X).
+type TwoMeet struct {
+	X  bitmask.Var
+	rs *rules.Ruleset
+}
+
+// NewTwoMeet builds the two-meet reducer over the shared control variable.
+func NewTwoMeet(sp *bitmask.Space, x bitmask.Var) *TwoMeet {
+	t := &TwoMeet{X: x, rs: rules.NewRuleset(sp)}
+	t.rs.Add(bitmask.Is(x), bitmask.Is(x), bitmask.IsNot(x), bitmask.Is(x))
+	return t
+}
+
+// Rules returns the process ruleset.
+func (t *TwoMeet) Rules() *rules.Ruleset { return t.rs }
+
+// InitAgent marks the agent as a control agent (all agents start in X).
+func (t *TwoMeet) InitAgent(s bitmask.State) bitmask.State {
+	return t.X.Set(s, true)
+}
+
+// Cascade is the Proposition 5.5 process. A helper signal Z decays
+// polynomially — an agent drops Z after k+1 consecutive meetings with Z
+// agents, counted in unary flags Z_1 … Z_k that reset on meeting a non-Z
+// agent — which realizes d|Z|/dt ≈ −|Z|·(|Z|/n)^k and |Z| = Θ(n·t^(−1/k)).
+// The control signal X then decays super-polynomially: an agent drops X
+// after k consecutive meetings with Z agents (flags X_1 … X_{k−1}),
+// realizing d|X|/dt ≈ −|X|·(|Z|/n)^k and |X| ≈ n·exp(−t^(1/k)) — below
+// n^(1−ε) within polylog(n) rounds for any fixed ε.
+type Cascade struct {
+	X  bitmask.Var
+	Z  bitmask.Var
+	Zl []bitmask.Var // Z_1 … Z_k
+	Xl []bitmask.Var // X_1 … X_{k−1}
+	K  int
+
+	rs *rules.Ruleset
+}
+
+// NewCascade builds the k-level cascade (k ≥ 1) over the shared control
+// variable x.
+func NewCascade(sp *bitmask.Space, prefix string, x bitmask.Var, k int) *Cascade {
+	if k < 1 {
+		panic("junta: cascade level must be ≥ 1")
+	}
+	c := &Cascade{X: x, Z: sp.Bool(prefix + "Z"), K: k}
+	for i := 1; i <= k; i++ {
+		c.Zl = append(c.Zl, sp.Bool(prefix+"Z"+itoa(i)))
+	}
+	for i := 1; i <= k-1; i++ {
+		c.Xl = append(c.Xl, sp.Bool(prefix+"X"+itoa(i)))
+	}
+	c.rs = rules.NewRuleset(sp)
+
+	// Reset rule: meeting a non-Z agent clears all cascade counters.
+	clearAll := make([]bitmask.Formula, 0, 2*k)
+	for _, v := range c.Zl {
+		clearAll = append(clearAll, bitmask.IsNot(v))
+	}
+	for _, v := range c.Xl {
+		clearAll = append(clearAll, bitmask.IsNot(v))
+	}
+	c.rs.Add(bitmask.True(), bitmask.IsNot(c.Z), bitmask.And(clearAll...), bitmask.True())
+
+	// Z decay: k+1 consecutive Z-meetings drop Z.
+	noZFlags := make([]bitmask.Formula, 0, k)
+	for _, v := range c.Zl {
+		noZFlags = append(noZFlags, bitmask.IsNot(v))
+	}
+	c.rs.Add(
+		bitmask.And(append([]bitmask.Formula{bitmask.Is(c.Z)}, noZFlags...)...),
+		bitmask.Is(c.Z),
+		bitmask.Is(c.Zl[0]),
+		bitmask.True())
+	for i := 0; i < k-1; i++ {
+		c.rs.Add(
+			bitmask.Is(c.Zl[i]), bitmask.Is(c.Z),
+			bitmask.And(bitmask.IsNot(c.Zl[i]), bitmask.Is(c.Zl[i+1])),
+			bitmask.True())
+	}
+	c.rs.Add(
+		bitmask.Is(c.Zl[k-1]), bitmask.Is(c.Z),
+		bitmask.And(bitmask.IsNot(c.Z), bitmask.IsNot(c.Zl[k-1])),
+		bitmask.True())
+
+	// X decay: k consecutive Z-meetings drop X.
+	if k == 1 {
+		c.rs.Add(bitmask.Is(x), bitmask.Is(c.Z), bitmask.IsNot(x), bitmask.True())
+	} else {
+		noXFlags := make([]bitmask.Formula, 0, k-1)
+		for _, v := range c.Xl {
+			noXFlags = append(noXFlags, bitmask.IsNot(v))
+		}
+		c.rs.Add(
+			bitmask.And(append([]bitmask.Formula{bitmask.Is(x)}, noXFlags...)...),
+			bitmask.Is(c.Z),
+			bitmask.Is(c.Xl[0]),
+			bitmask.True())
+		for i := 0; i < k-2; i++ {
+			c.rs.Add(
+				bitmask.Is(c.Xl[i]), bitmask.Is(c.Z),
+				bitmask.And(bitmask.IsNot(c.Xl[i]), bitmask.Is(c.Xl[i+1])),
+				bitmask.True())
+		}
+		c.rs.Add(
+			bitmask.Is(c.Xl[k-2]), bitmask.Is(c.Z),
+			bitmask.And(bitmask.IsNot(x), bitmask.IsNot(c.Xl[k-2])),
+			bitmask.True())
+	}
+	return c
+}
+
+// Rules returns the process ruleset.
+func (c *Cascade) Rules() *rules.Ruleset { return c.rs }
+
+// InitAgent marks the agent with both X and Z set and all counters clear.
+func (c *Cascade) InitAgent(s bitmask.State) bitmask.State {
+	s = c.X.Set(s, true)
+	return c.Z.Set(s, true)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

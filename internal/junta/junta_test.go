@@ -1,0 +1,243 @@
+package junta
+
+import (
+	"math"
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/rules"
+)
+
+func TestTwoMeetMonotoneAndPositive(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	tm := NewTwoMeet(sp, x)
+	p := engine.CompileProtocol(tm.Rules())
+	const n = 500
+	pop := engine.NewDenseInit(n, func(int) bitmask.State {
+		return tm.InitAgent(bitmask.State{})
+	})
+	r := engine.NewRunner(p, pop, engine.NewRNG(1))
+	tr := r.Track("X", bitmask.Is(x))
+	last := tr.Count()
+	if last != n {
+		t.Fatalf("initial #X = %d", last)
+	}
+	for i := 0; i < 200; i++ {
+		r.RunRounds(1)
+		now := tr.Count()
+		if now > last {
+			t.Fatal("#X increased")
+		}
+		if now < 1 {
+			t.Fatal("#X reached 0")
+		}
+		last = now
+	}
+}
+
+// TestTwoMeetReductionTime checks the Proposition 5.3 time bound shape:
+// #X drops below n^(1-ε) within O(n^ε) rounds. For ε = 1/2: below √n
+// within O(√n) rounds.
+func TestTwoMeetReductionTime(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	tm := NewTwoMeet(sp, x)
+	p := engine.CompileProtocol(tm.Rules())
+	const n = 4096
+	sqrtN := math.Sqrt(n)
+	var within, total int
+	for seed := uint64(0); seed < 5; seed++ {
+		pop := engine.NewDenseInit(n, func(int) bitmask.State {
+			return tm.InitAgent(bitmask.State{})
+		})
+		r := engine.NewRunner(p, pop, engine.NewRNG(seed))
+		tr := r.Track("X", bitmask.Is(x))
+		rounds, ok := r.RunUntil(func(*engine.Runner) bool {
+			return float64(tr.Count()) < sqrtN
+		}, 1, 100*sqrtN)
+		if !ok {
+			t.Fatalf("seed %d: #X did not reach √n within %.0f rounds", seed, 100*sqrtN)
+		}
+		total++
+		if rounds < 20*sqrtN {
+			within++
+		}
+	}
+	if within < total {
+		t.Errorf("only %d/%d runs reduced #X below √n within 20√n rounds", within, total)
+	}
+}
+
+func TestCascadePolylogReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	const n = 10000
+	for _, k := range []int{1, 2} {
+		sp := bitmask.NewSpace()
+		x := sp.Bool("X")
+		c := NewCascade(sp, "J", x, k)
+		p := engine.CompileProtocol(c.Rules())
+		pop := engine.NewDenseInit(n, func(int) bitmask.State {
+			return c.InitAgent(bitmask.State{})
+		})
+		r := engine.NewRunner(p, pop, engine.NewRNG(7))
+		trX := r.Track("X", bitmask.Is(x))
+		threshold := math.Pow(n, 0.5)
+		logn := math.Log(n)
+		budget := 400 * math.Pow(logn, float64(k)) // generous polylog budget
+		rounds, ok := r.RunUntil(func(*engine.Runner) bool {
+			return float64(trX.Count()) < threshold
+		}, 1, budget)
+		if !ok {
+			t.Errorf("k=%d: #X=%d not below n^0.5 within %.0f rounds", k, trX.Count(), budget)
+			continue
+		}
+		t.Logf("k=%d: #X < √n after %.0f rounds (%.1f·log^%d n)", k, rounds, rounds/math.Pow(logn, float64(k)), k)
+	}
+}
+
+// TestCascadeXSurvives: after #X drops below the threshold, it must stay
+// positive for a while (the clock hierarchy needs the window).
+func TestCascadeXSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	const n = 10000
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	c := NewCascade(sp, "J", x, 2)
+	p := engine.CompileProtocol(c.Rules())
+	pop := engine.NewDenseInit(n, func(int) bitmask.State {
+		return c.InitAgent(bitmask.State{})
+	})
+	r := engine.NewRunner(p, pop, engine.NewRNG(3))
+	trX := r.Track("X", bitmask.Is(x))
+	threshold := math.Pow(n, 0.5)
+	_, ok := r.RunUntil(func(*engine.Runner) bool {
+		return float64(trX.Count()) < threshold
+	}, 1, 1e6)
+	if !ok {
+		t.Fatal("cascade never reduced #X")
+	}
+	// Survive for at least a few multiples of log² n more rounds.
+	survival := 5 * math.Pow(math.Log(n), 2)
+	r.RunRounds(survival)
+	if trX.Count() == 0 {
+		t.Errorf("#X hit 0 within %.0f rounds of crossing the threshold", survival)
+	}
+}
+
+func TestGeometricJunta(t *testing.T) {
+	const n = 8192
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	g := NewGeometric(sp, "G", x, 20)
+	p := engine.CompileProtocol(g.Rules())
+	for seed := uint64(0); seed < 3; seed++ {
+		pop := engine.NewDenseInit(n, func(int) bitmask.State {
+			return g.InitAgent(bitmask.State{})
+		})
+		r := engine.NewRunner(p, pop, engine.NewRNG(seed))
+		trX := r.Track("X", bitmask.Is(x))
+		trFlip := r.Track("Fl", bitmask.Is(g.Flipping))
+		budget := 60 * math.Log(n)
+		r.RunRounds(budget)
+		if trFlip.Count() > 0 {
+			t.Errorf("seed %d: %d agents still flipping after %.0f rounds", seed, trFlip.Count(), budget)
+		}
+		junta := trX.Count()
+		if junta < 1 {
+			t.Fatalf("seed %d: junta empty", seed)
+		}
+		// Junta holds the max geometric rank: tiny compared to n^(1-ε).
+		if float64(junta) > math.Pow(n, 0.75) {
+			t.Errorf("seed %d: junta size %d exceeds n^0.75", seed, junta)
+		}
+		// The junta is exactly the set of max-rank agents.
+		maxRank := uint64(0)
+		pop.ForEach(func(_ int, s bitmask.State) {
+			if v := g.Rank.Get(s); v > maxRank {
+				maxRank = v
+			}
+		})
+		bad := 0
+		pop.ForEach(func(_ int, s bitmask.State) {
+			inJunta := x.Get(s)
+			if inJunta != (g.Rank.Get(s) == maxRank) {
+				bad++
+			}
+		})
+		if bad > 0 {
+			t.Errorf("seed %d: %d agents with junta flag inconsistent with max rank", seed, bad)
+		}
+	}
+}
+
+func TestCascadeValidation(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 cascade did not panic")
+		}
+	}()
+	NewCascade(sp, "J", x, 0)
+}
+
+func TestRulesetsValidate(t *testing.T) {
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	if err := NewTwoMeet(sp, x).Rules().Validate(); err != nil {
+		t.Errorf("TwoMeet: %v", err)
+	}
+	sp2 := bitmask.NewSpace()
+	x2 := sp2.Bool("X")
+	if err := NewCascade(sp2, "J", x2, 3).Rules().Validate(); err != nil {
+		t.Errorf("Cascade: %v", err)
+	}
+	sp3 := bitmask.NewSpace()
+	x3 := sp3.Bool("X")
+	if err := NewGeometric(sp3, "G", x3, 10).Rules().Validate(); err != nil {
+		t.Errorf("Geometric: %v", err)
+	}
+}
+
+func TestSyntheticCoinFairness(t *testing.T) {
+	sp := bitmask.NewSpace()
+	coin := NewSyntheticCoin(sp, "S")
+	// Compose the toggle rules with a sampler that records the partner's
+	// bit into the initiator's Heads flag.
+	heads := sp.Bool("H")
+	sampler := coin.Rules().Clone()
+	sampler.AddGroup("sample", 1,
+		// (.) + (coin) → (H) + (.) ; (.) + (!coin) → (!H) + (.)
+		mustRule(bitmask.True(), coin.CoinFormula(), bitmask.Is(heads), bitmask.True()),
+		mustRule(bitmask.True(), bitmask.Not(coin.CoinFormula()), bitmask.IsNot(heads), bitmask.True()),
+	)
+	p := engine.CompileProtocol(sampler)
+	const n = 2000
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		return coin.InitAgent(bitmask.State{}, i)
+	})
+	r := engine.NewRunner(p, pop, engine.NewRNG(5))
+	tr := r.Track("H", bitmask.Is(heads))
+	// After a few rounds, roughly half the population's last sample was
+	// heads; bounded bias is the [AAE+17] guarantee.
+	var acc float64
+	const probes = 50
+	for i := 0; i < probes; i++ {
+		r.RunRounds(2)
+		acc += float64(tr.Count()) / n
+	}
+	mean := acc / probes
+	if mean < 0.40 || mean > 0.60 {
+		t.Errorf("synthetic coin heads rate = %.3f, want ≈ 0.5", mean)
+	}
+}
+
+func mustRule(a, b, c, d bitmask.Formula) rules.Rule {
+	return rules.MustNew(a, b, c, d)
+}

@@ -1,0 +1,50 @@
+package junta
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// SyntheticCoin implements the paper's closing remark (§1.1, "Extensions of
+// results"): randomized protocols can be made deterministic by extracting
+// coin flips from the randomness of the fair scheduler — the synthetic-coin
+// technique of [AAE+17]. Every agent carries one bit that it toggles on
+// every interaction it initiates; because interaction partners are chosen
+// uniformly at random, reading the *partner's* toggle bit is close to a
+// fair coin flip (the bias decays geometrically with the number of
+// intervening interactions).
+//
+// Consumers read the coin by guarding a rule pair on the responder's bit:
+//
+//	▷ (trigger) + (CoinFormula)  → (outcome-heads) + (.)
+//	▷ (trigger) + (!CoinFormula) → (outcome-tails) + (.)
+//
+// which is a deterministic transition function — the randomness comes
+// entirely from the scheduler.
+type SyntheticCoin struct {
+	Bit bitmask.Var
+	rs  *rules.Ruleset
+}
+
+// NewSyntheticCoin allocates the coin bit and its toggle rules.
+func NewSyntheticCoin(sp *bitmask.Space, prefix string) *SyntheticCoin {
+	c := &SyntheticCoin{Bit: sp.Bool(prefix + "Coin")}
+	c.rs = rules.NewRuleset(sp)
+	c.rs.AddGroup(prefix+"coinflip", 1,
+		rules.MustNew(bitmask.Is(c.Bit), bitmask.True(), bitmask.IsNot(c.Bit), bitmask.True()),
+		rules.MustNew(bitmask.IsNot(c.Bit), bitmask.True(), bitmask.Is(c.Bit), bitmask.True()),
+	)
+	return c
+}
+
+// Rules returns the toggle ruleset, to be composed with the host protocol.
+func (c *SyntheticCoin) Rules() *rules.Ruleset { return c.rs }
+
+// CoinFormula is the formula reading the coin from an interaction partner.
+func (c *SyntheticCoin) CoinFormula() bitmask.Formula { return bitmask.Is(c.Bit) }
+
+// InitAgent seeds the coin bit from the agent index parity — any fixed
+// initialization works; the toggling decorrelates it within O(1) rounds.
+func (c *SyntheticCoin) InitAgent(s bitmask.State, i int) bitmask.State {
+	return c.Bit.Set(s, i%2 == 1)
+}

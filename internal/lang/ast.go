@@ -1,0 +1,186 @@
+// Package lang defines the paper's imperative "sequential code" language
+// for population protocols (§2.1): programs are collections of threads over
+// a shared pool of boolean state variables, whose bodies are built from an
+// outermost repeat loop, nested "repeat ≥ c·ln n times" loops, "execute for
+// ≥ c·ln n rounds ruleset" leaves, "if exists (Σ)" branching, and "X := Σ"
+// assignments (including the coin-flip assignment X := rand used by
+// LeaderElection). The package provides the AST, a text parser in the
+// paper's indentation style, and the static checks assumed by compilation.
+package lang
+
+import "fmt"
+
+// Role classifies a protocol variable.
+type Role int
+
+const (
+	// Internal variables are working state.
+	Internal Role = iota
+	// Input variables encode the problem instance; programs must not
+	// write them.
+	Input
+	// Output variables carry the result.
+	Output
+)
+
+func (r Role) String() string {
+	switch r {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return "internal"
+	}
+}
+
+// VarDecl declares a protocol or thread variable with its initial value.
+type VarDecl struct {
+	Name string
+	Init bool
+	Role Role
+}
+
+// Program is a full protocol definition.
+type Program struct {
+	Name    string
+	Vars    []VarDecl
+	Threads []Thread
+}
+
+// Thread is one composed protocol thread: local declarations and a body.
+// Per the paper's convention the body behaves as if wrapped in an
+// outermost "repeat:" unless it consists of a bare "execute ruleset:"
+// (like thread ReduceSets of LeaderElectionExact).
+type Thread struct {
+	Name string
+	Vars []VarDecl
+	Body Block
+}
+
+// Block is a statement sequence.
+type Block []Stmt
+
+// Stmt is one language construct.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Repeat is the outermost unbounded control loop of a thread.
+type Repeat struct {
+	Body Block
+}
+
+// RepeatLog is "repeat ≥ C·ln n times: body".
+type RepeatLog struct {
+	C    int
+	Body Block
+}
+
+// Execute is "execute for ≥ C·ln n rounds ruleset: rules". Rules hold the
+// rule lines in the textual DSL of the rules package; they are parsed
+// against the program's variable space at compile time. An Execute with
+// Forever set models the bare "execute ruleset:" thread form, which runs
+// its rules unconditionally at all times.
+type Execute struct {
+	C       int
+	Rules   []string
+	Forever bool
+}
+
+// IfExists is "if exists (Cond): Then else: Else".
+type IfExists struct {
+	Cond string // boolean formula over state variables, textual
+	Then Block
+	Else Block
+}
+
+// Assign is "X := Expr" where Expr is a boolean formula, or "X := rand"
+// for the uniform coin flip.
+type Assign struct {
+	Var  string
+	Expr string // formula text, or "rand"
+}
+
+func (Repeat) stmt()    {}
+func (RepeatLog) stmt() {}
+func (Execute) stmt()   {}
+func (IfExists) stmt()  {}
+func (Assign) stmt()    {}
+
+func (s Repeat) String() string    { return "repeat:" }
+func (s RepeatLog) String() string { return fmt.Sprintf("repeat >= %d ln n times:", s.C) }
+func (s Execute) String() string {
+	if s.Forever {
+		return "execute ruleset:"
+	}
+	return fmt.Sprintf("execute for >= %d ln n rounds ruleset:", s.C)
+}
+func (s IfExists) String() string { return fmt.Sprintf("if exists (%s):", s.Cond) }
+func (s Assign) String() string   { return fmt.Sprintf("%s := %s", s.Var, s.Expr) }
+
+// Special right-hand sides of Assign: the uniform coin flip and the
+// constant assignments "X := on" / "X := off".
+const (
+	RandExpr = "rand"
+	OnExpr   = "on"
+	OffExpr  = "off"
+)
+
+// LoopDepth returns the maximum nesting depth of RepeatLog loops in the
+// block (Execute leaves count as depth 1, matching the l_max of §4).
+func (b Block) LoopDepth() int {
+	max := 0
+	for _, s := range b {
+		d := 0
+		switch st := s.(type) {
+		case Repeat:
+			d = st.Body.LoopDepth()
+		case RepeatLog:
+			d = 1 + st.Body.LoopDepth()
+		case IfExists:
+			d = st.Then.LoopDepth()
+			if e := st.Else.LoopDepth(); e > d {
+				d = e
+			}
+		case Execute:
+			d = 1
+		case Assign:
+			d = 1 // compiles to two execute leaves (Fig. 1)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxC returns the largest loop/round constant in the block (the paper
+// takes the maximum across the code, w.l.o.g.).
+func (b Block) MaxC() int {
+	max := 0
+	for _, s := range b {
+		c := 0
+		switch st := s.(type) {
+		case Repeat:
+			c = st.Body.MaxC()
+		case RepeatLog:
+			c = st.C
+			if v := st.Body.MaxC(); v > c {
+				c = v
+			}
+		case Execute:
+			c = st.C
+		case IfExists:
+			c = st.Then.MaxC()
+			if v := st.Else.MaxC(); v > c {
+				c = v
+			}
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,227 @@
+package lang
+
+import (
+	"fmt"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// BuildSpace allocates one boolean state variable per declared program and
+// thread variable in a fresh space (prefixless, in declaration order), as
+// the compilation targets expect. Auxiliary compilation variables (the
+// K(#) triggers, Z(#) flags, clock fields) are allocated later by their
+// respective passes.
+func (p *Program) BuildSpace() (*bitmask.Space, error) {
+	sp := bitmask.NewSpace()
+	seen := map[string]bool{}
+	declare := func(d VarDecl, where string) error {
+		if seen[d.Name] {
+			return fmt.Errorf("variable %s declared twice (%s)", d.Name, where)
+		}
+		seen[d.Name] = true
+		sp.Bool(d.Name)
+		return nil
+	}
+	for _, d := range p.Vars {
+		if err := declare(d, "protocol"); err != nil {
+			return nil, err
+		}
+	}
+	for _, th := range p.Threads {
+		for _, d := range th.Vars {
+			if err := declare(d, "thread "+th.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sp, nil
+}
+
+// InitialState returns the agent state encoding all declared initial
+// values. Input variables are initialized by the caller per agent.
+func (p *Program) InitialState(sp *bitmask.Space) bitmask.State {
+	var s bitmask.State
+	set := func(d VarDecl) {
+		if v, ok := sp.LookupVar(d.Name); ok && d.Init {
+			s = v.Set(s, true)
+		}
+	}
+	for _, d := range p.Vars {
+		set(d)
+	}
+	for _, th := range p.Threads {
+		for _, d := range th.Vars {
+			set(d)
+		}
+	}
+	return s
+}
+
+// Check statically validates the program:
+//   - all variables are declared exactly once; formulas and rulesets parse
+//     and reference declared variables only;
+//   - assignments and rules never write input variables;
+//   - each thread body is either a single unbounded "repeat:" (possibly
+//     after none) of structured statements, or consists of Forever
+//     executes; unbounded repeats never nest;
+//   - loop and round constants are ≥ 1 (guaranteed by the parser, checked
+//     again for programmatically-built ASTs).
+func (p *Program) Check() error {
+	sp, err := p.BuildSpace()
+	if err != nil {
+		return err
+	}
+	inputs := map[string]bool{}
+	for _, d := range p.Vars {
+		if d.Role == Input {
+			inputs[d.Name] = true
+		}
+	}
+	for _, th := range p.Threads {
+		if len(th.Body) == 0 {
+			return fmt.Errorf("thread %s: empty body", th.Name)
+		}
+		for _, st := range th.Body {
+			if err := p.checkStmt(sp, inputs, th.Name, st, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) checkStmt(sp *bitmask.Space, inputs map[string]bool, thread string, s Stmt, top bool) error {
+	ctx := func(err error) error {
+		return fmt.Errorf("thread %s: %s: %w", thread, s.String(), err)
+	}
+	switch st := s.(type) {
+	case Repeat:
+		if !top {
+			return ctx(fmt.Errorf("unbounded repeat may only appear at thread top level"))
+		}
+		for _, inner := range st.Body {
+			if err := p.checkStmt(sp, inputs, thread, inner, false); err != nil {
+				return err
+			}
+		}
+	case RepeatLog:
+		if st.C < 1 {
+			return ctx(fmt.Errorf("loop constant must be ≥ 1"))
+		}
+		if len(st.Body) == 0 {
+			return ctx(fmt.Errorf("empty loop body"))
+		}
+		for _, inner := range st.Body {
+			if err := p.checkStmt(sp, inputs, thread, inner, false); err != nil {
+				return err
+			}
+		}
+	case Execute:
+		if !st.Forever && st.C < 1 {
+			return ctx(fmt.Errorf("round constant must be ≥ 1"))
+		}
+		rs, err := rules.Parse(sp, joinLines(st.Rules))
+		if err != nil {
+			return ctx(err)
+		}
+		if err := rs.Validate(); err != nil {
+			return ctx(err)
+		}
+		for i, r := range rs.Rules {
+			for _, name := range writtenInputs(sp, inputs, r) {
+				return ctx(fmt.Errorf("rule %d writes input variable %s", i, name))
+			}
+		}
+	case IfExists:
+		if _, err := rules.ParseFormula(sp, st.Cond); err != nil {
+			return ctx(err)
+		}
+		if len(st.Then) == 0 {
+			return ctx(fmt.Errorf("empty if body"))
+		}
+		for _, inner := range st.Then {
+			if err := p.checkStmt(sp, inputs, thread, inner, false); err != nil {
+				return err
+			}
+		}
+		for _, inner := range st.Else {
+			if err := p.checkStmt(sp, inputs, thread, inner, false); err != nil {
+				return err
+			}
+		}
+	case Assign:
+		if _, ok := sp.LookupVar(st.Var); !ok {
+			return ctx(fmt.Errorf("assignment to undeclared variable %s", st.Var))
+		}
+		if inputs[st.Var] {
+			return ctx(fmt.Errorf("assignment to input variable %s", st.Var))
+		}
+		switch st.Expr {
+		case RandExpr, OnExpr, OffExpr:
+		default:
+			if _, err := rules.ParseFormula(sp, st.Expr); err != nil {
+				return ctx(err)
+			}
+		}
+	default:
+		return ctx(fmt.Errorf("unknown statement type %T", s))
+	}
+	return nil
+}
+
+// writtenInputs lists input variables written by the rule's updates.
+func writtenInputs(sp *bitmask.Space, inputs map[string]bool, r rules.Rule) []string {
+	var out []string
+	for name := range inputs {
+		v, ok := sp.LookupVar(name)
+		if !ok {
+			continue
+		}
+		var maskLo, maskHi uint64
+		if v.Pos() < 64 {
+			maskLo = 1 << uint(v.Pos())
+		} else {
+			maskHi = 1 << uint(v.Pos()-64)
+		}
+		if r.U1.Touches(maskLo, maskHi) || r.U2.Touches(maskLo, maskHi) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n"
+		}
+		out += l
+	}
+	return out
+}
+
+// LoopDepth returns the program's l_max: the maximum RepeatLog/Execute
+// nesting depth across threads.
+func (p *Program) LoopDepth() int {
+	max := 0
+	for _, th := range p.Threads {
+		if d := th.Body.LoopDepth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxC returns the program-wide maximum loop constant (the single c the
+// compiled protocol uses throughout, per §4).
+func (p *Program) MaxC() int {
+	max := 1
+	for _, th := range p.Threads {
+		if c := th.Body.MaxC(); c > max {
+			max = c
+		}
+	}
+	return max
+}

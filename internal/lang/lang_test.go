@@ -1,0 +1,293 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// leaderElectionSrc is the paper's LeaderElection program (§3.1) in the
+// textual syntax.
+const leaderElectionSrc = `
+protocol LeaderElection
+var L = on output
+
+thread Main uses L
+  var D = off
+  var F = on
+  repeat:
+    if exists (L):
+      F := rand
+      D := L & F
+    if exists (D):
+      L := D
+    else:
+      L := on
+`
+
+// majoritySrc is the paper's Majority program (§3.2).
+const majoritySrc = `
+protocol Majority
+var YA = off output
+var A = off input, B = off input
+
+thread Main uses YA reads A, B
+  var As = off
+  var Bs = off
+  var K = off
+  repeat:
+    As := A
+    Bs := B
+    repeat >= 2 ln n times:
+      execute for >= 2 ln n rounds ruleset:
+        (As) + (Bs) -> (!As) + (!Bs)
+      K := off
+      execute for >= 2 ln n rounds ruleset:
+        (As & !K) + (!As & !Bs) -> (As & K) + (As & K)
+        (Bs & !K) + (!As & !Bs) -> (Bs & K) + (Bs & K)
+    if exists (As):
+      YA := on
+    if exists (Bs):
+      YA := off
+`
+
+func TestParseLeaderElection(t *testing.T) {
+	prog, err := Parse(leaderElectionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "LeaderElection" {
+		t.Errorf("name = %q", prog.Name)
+	}
+	if len(prog.Vars) != 1 || prog.Vars[0].Name != "L" || !prog.Vars[0].Init || prog.Vars[0].Role != Output {
+		t.Errorf("vars = %+v", prog.Vars)
+	}
+	if len(prog.Threads) != 1 {
+		t.Fatalf("threads = %d", len(prog.Threads))
+	}
+	th := prog.Threads[0]
+	if th.Name != "Main" || len(th.Vars) != 2 {
+		t.Errorf("thread = %+v", th)
+	}
+	if len(th.Body) != 1 {
+		t.Fatalf("body length = %d", len(th.Body))
+	}
+	rep, ok := th.Body[0].(Repeat)
+	if !ok {
+		t.Fatalf("top statement is %T, want Repeat", th.Body[0])
+	}
+	if len(rep.Body) != 2 {
+		t.Fatalf("repeat body = %d stmts", len(rep.Body))
+	}
+	first, ok := rep.Body[0].(IfExists)
+	if !ok || first.Cond != "L" {
+		t.Errorf("first stmt = %+v", rep.Body[0])
+	}
+	if len(first.Then) != 2 || first.Else != nil {
+		t.Errorf("if structure wrong: %+v", first)
+	}
+	if a, ok := first.Then[0].(Assign); !ok || a.Var != "F" || a.Expr != RandExpr {
+		t.Errorf("rand assignment = %+v", first.Then[0])
+	}
+	second, ok := rep.Body[1].(IfExists)
+	if !ok || second.Cond != "D" || len(second.Else) != 1 {
+		t.Errorf("second if = %+v", rep.Body[1])
+	}
+	if err := prog.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestParseMajority(t *testing.T) {
+	prog, err := Parse(majoritySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if prog.LoopDepth() != 2 {
+		t.Errorf("LoopDepth = %d, want 2", prog.LoopDepth())
+	}
+	if prog.MaxC() != 2 {
+		t.Errorf("MaxC = %d, want 2", prog.MaxC())
+	}
+	rep := prog.Threads[0].Body[0].(Repeat)
+	if len(rep.Body) != 5 {
+		t.Fatalf("repeat body = %d stmts", len(rep.Body))
+	}
+	inner, ok := rep.Body[2].(RepeatLog)
+	if !ok || inner.C != 2 {
+		t.Fatalf("nested loop = %+v", rep.Body[2])
+	}
+	exec, ok := inner.Body[0].(Execute)
+	if !ok || exec.C != 2 || exec.Forever || len(exec.Rules) != 1 {
+		t.Errorf("execute = %+v", inner.Body[0])
+	}
+}
+
+func TestParseForeverExecute(t *testing.T) {
+	src := `
+protocol ReduceDemo
+var R = on
+
+thread ReduceSets uses R
+  execute ruleset:
+    (R) + (R) -> (R) + (!R)
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	exec, ok := prog.Threads[0].Body[0].(Execute)
+	if !ok || !exec.Forever {
+		t.Fatalf("statement = %+v", prog.Threads[0].Body[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no protocol", "var A = on\n", "must start with 'protocol"},
+		{"no threads", "protocol P\nvar A = on\n", "no threads"},
+		{"bad init", "protocol P\nvar A = maybe\nthread T\n  repeat:\n    A := A\n", "bad initializer"},
+		{"bad role", "protocol P\nvar A = on banana\nthread T\n  repeat:\n    A := A\n", "bad role"},
+		{"odd indent", "protocol P\nvar A = on\nthread T\n repeat:\n", "odd indentation"},
+		{"empty repeat", "protocol P\nvar A = on\nthread T\n  repeat:\n", "empty repeat body"},
+		{"orphan else", "protocol P\nvar A = on\nthread T\n  repeat:\n    else:\n", "'else:' without"},
+		{"bad loop header", "protocol P\nvar A = on\nthread T\n  repeat >= x ln n times:\n    A := A\n", "repeat >= C ln n"},
+		{"empty ruleset", "protocol P\nvar A = on\nthread T\n  execute ruleset:\n", "empty ruleset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"write to input",
+			"protocol P\nvar A = on input\nthread T\n  repeat:\n    A := A\n",
+			"assignment to input",
+		},
+		{
+			"rule writes input",
+			"protocol P\nvar A = on input, B = off\nthread T\n  repeat:\n    execute for >= 1 ln n rounds ruleset:\n      (A) + (.) -> (!A) + (.)\n",
+			"writes input variable",
+		},
+		{
+			"undeclared in condition",
+			"protocol P\nvar A = on\nthread T\n  repeat:\n    if exists (Q):\n      A := A\n",
+			"unknown variable",
+		},
+		{
+			"undeclared assignment",
+			"protocol P\nvar A = on\nthread T\n  repeat:\n    Q := A\n",
+			"undeclared variable",
+		},
+		{
+			"duplicate variable",
+			"protocol P\nvar A = on\nvar A = off\nthread T\n  repeat:\n    A := A\n",
+			"declared twice",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = prog.Check()
+			if err == nil {
+				t.Fatal("Check succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	prog := MustParse(leaderElectionSrc)
+	sp, err := prog.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.InitialState(sp)
+	l, _ := sp.LookupVar("L")
+	d, _ := sp.LookupVar("D")
+	f, _ := sp.LookupVar("F")
+	if !l.Get(s) || d.Get(s) || !f.Get(s) {
+		t.Errorf("initial state = %s", sp.Format(s))
+	}
+}
+
+func TestLoopDepthCounting(t *testing.T) {
+	prog := MustParse(leaderElectionSrc)
+	// Assignments compile to execute leaves: depth 1.
+	if got := prog.LoopDepth(); got != 1 {
+		t.Errorf("LeaderElection LoopDepth = %d, want 1", got)
+	}
+}
+
+// TestSourceRoundTrip: printing and reparsing a program preserves its
+// structure.
+func TestSourceRoundTrip(t *testing.T) {
+	for _, src := range []string{leaderElectionSrc, majoritySrc} {
+		orig := MustParse(src)
+		printed := orig.Source()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+		}
+		if back.Name != orig.Name || len(back.Threads) != len(orig.Threads) {
+			t.Fatalf("round trip changed structure")
+		}
+		if back.Source() != printed {
+			t.Errorf("second print differs from first:\n%s\n----\n%s", printed, back.Source())
+		}
+		if back.LoopDepth() != orig.LoopDepth() || back.MaxC() != orig.MaxC() {
+			t.Errorf("round trip changed metrics")
+		}
+		if err := back.Check(); err != nil {
+			t.Errorf("round-tripped program fails Check: %v", err)
+		}
+	}
+}
+
+func TestSourceForeverThread(t *testing.T) {
+	src := `
+protocol P
+var R = on
+
+thread T uses R
+  execute ruleset:
+    (R) + (R) -> (R) + (!R)
+`
+	p := MustParse(src)
+	printed := p.Source()
+	if !strings.Contains(printed, "execute ruleset:") {
+		t.Errorf("forever execute lost:\n%s", printed)
+	}
+	if _, err := Parse(printed); err != nil {
+		t.Errorf("reparse: %v", err)
+	}
+}

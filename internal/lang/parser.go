@@ -1,0 +1,374 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the paper's indentation-based pseudocode style:
+//
+//	protocol LeaderElection
+//	var L = on output
+//
+//	thread Main
+//	  var D = off
+//	  var F = on
+//	  repeat:
+//	    if exists (L):
+//	      F := rand
+//	      D := L & F
+//	    if exists (D):
+//	      L := D
+//	    else:
+//	      L := on
+//
+// Indentation is two spaces (or one tab) per level. '#' starts a comment.
+// Other accepted statement forms:
+//
+//	repeat >= 2 ln n times:
+//	execute for >= 2 ln n rounds ruleset:
+//	  (A) + (B) -> (!A) + (!B)
+//	execute ruleset:
+//	  (R) + (R) -> (R) + (!R)
+func Parse(src string) (*Program, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &progParser{lines: lines}
+	return p.parse()
+}
+
+// MustParse is Parse for statically-known programs; it panics on error.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic("lang: " + err.Error())
+	}
+	return prog
+}
+
+type line struct {
+	no     int // 1-based source line
+	indent int
+	text   string
+}
+
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		code := raw
+		if idx := strings.Index(code, "#"); idx >= 0 {
+			code = code[:idx]
+		}
+		if strings.TrimSpace(code) == "" {
+			continue
+		}
+		indent := 0
+		pos := 0
+		for pos < len(code) {
+			if code[pos] == '\t' {
+				indent++
+				pos++
+			} else if strings.HasPrefix(code[pos:], "  ") {
+				indent++
+				pos += 2
+			} else if code[pos] == ' ' {
+				return nil, fmt.Errorf("line %d: odd indentation", i+1)
+			} else {
+				break
+			}
+		}
+		out = append(out, line{no: i + 1, indent: indent, text: strings.TrimSpace(code[pos:])})
+	}
+	return out, nil
+}
+
+type progParser struct {
+	lines []line
+	pos   int
+}
+
+func (p *progParser) peek() (line, bool) {
+	if p.pos < len(p.lines) {
+		return p.lines[p.pos], true
+	}
+	return line{}, false
+}
+
+func (p *progParser) next() (line, bool) {
+	l, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return l, ok
+}
+
+func (p *progParser) errf(l line, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.no, fmt.Sprintf(format, args...))
+}
+
+func (p *progParser) parse() (*Program, error) {
+	l, ok := p.next()
+	if !ok || !strings.HasPrefix(l.text, "protocol ") || l.indent != 0 {
+		return nil, fmt.Errorf("program must start with 'protocol NAME'")
+	}
+	prog := &Program{Name: strings.TrimSpace(strings.TrimPrefix(l.text, "protocol "))}
+	if prog.Name == "" {
+		return nil, p.errf(l, "missing protocol name")
+	}
+	for {
+		l, ok := p.peek()
+		if !ok {
+			break
+		}
+		if l.indent != 0 {
+			return nil, p.errf(l, "unexpected indentation at top level")
+		}
+		switch {
+		case strings.HasPrefix(l.text, "var "):
+			p.pos++
+			d, err := parseVarDecl(l)
+			if err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, d...)
+		case strings.HasPrefix(l.text, "thread ") || l.text == "thread":
+			p.pos++
+			th, err := p.parseThread(l)
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, th)
+		default:
+			return nil, p.errf(l, "expected 'var' or 'thread', got %q", l.text)
+		}
+	}
+	if len(prog.Threads) == 0 {
+		return nil, fmt.Errorf("program has no threads")
+	}
+	return prog, nil
+}
+
+// parseVarDecl parses "var A = on, B = off input" style lines: one or more
+// comma-separated declarations, each optionally followed by a role word.
+func parseVarDecl(l line) ([]VarDecl, error) {
+	body := strings.TrimPrefix(l.text, "var ")
+	var out []VarDecl
+	for _, part := range strings.Split(body, ",") {
+		fields := strings.Fields(part)
+		if len(fields) < 3 || fields[1] != "=" {
+			return nil, fmt.Errorf("line %d: var declaration %q must be 'NAME = on|off [input|output]'", l.no, strings.TrimSpace(part))
+		}
+		d := VarDecl{Name: fields[0]}
+		switch fields[2] {
+		case "on":
+			d.Init = true
+		case "off":
+			d.Init = false
+		default:
+			return nil, fmt.Errorf("line %d: bad initializer %q", l.no, fields[2])
+		}
+		if len(fields) >= 4 {
+			switch fields[3] {
+			case "input":
+				d.Role = Input
+			case "output":
+				d.Role = Output
+			default:
+				return nil, fmt.Errorf("line %d: bad role %q", l.no, fields[3])
+			}
+		}
+		if len(fields) > 4 {
+			return nil, fmt.Errorf("line %d: trailing tokens in var declaration", l.no)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (p *progParser) parseThread(header line) (Thread, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(header.text, "thread"))
+	// "uses"/"reads" clauses are informational, as in the paper.
+	name := rest
+	for _, kw := range []string{" uses ", " reads "} {
+		if i := strings.Index(name, kw); i >= 0 {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Thread{}, p.errf(header, "missing thread name")
+	}
+	th := Thread{Name: name}
+	// Leading local var declarations.
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != 1 || !strings.HasPrefix(l.text, "var ") {
+			break
+		}
+		p.pos++
+		d, err := parseVarDecl(l)
+		if err != nil {
+			return th, err
+		}
+		th.Vars = append(th.Vars, d...)
+	}
+	body, err := p.parseBlock(1)
+	if err != nil {
+		return th, err
+	}
+	if len(body) == 0 {
+		return th, p.errf(header, "thread %s has an empty body", name)
+	}
+	th.Body = body
+	return th, nil
+}
+
+func (p *progParser) parseBlock(indent int) (Block, error) {
+	var out Block
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return out, nil
+		}
+		if l.indent > indent {
+			return nil, p.errf(l, "unexpected indentation")
+		}
+		st, err := p.parseStmt(indent)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			out = append(out, st)
+		}
+	}
+}
+
+func (p *progParser) parseStmt(indent int) (Stmt, error) {
+	l, _ := p.next()
+	text := l.text
+	switch {
+	case text == "repeat:":
+		body, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) == 0 {
+			return nil, p.errf(l, "empty repeat body")
+		}
+		return Repeat{Body: body}, nil
+
+	case strings.HasPrefix(text, "repeat >="):
+		c, rest, err := parseLnConstant(strings.TrimPrefix(text, "repeat >="))
+		if err != nil || rest != "times:" {
+			return nil, p.errf(l, "expected 'repeat >= C ln n times:'")
+		}
+		body, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) == 0 {
+			return nil, p.errf(l, "empty repeat body")
+		}
+		return RepeatLog{C: c, Body: body}, nil
+
+	case text == "execute ruleset:":
+		rulesLines, err := p.collectRuleLines(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(rulesLines) == 0 {
+			return nil, p.errf(l, "empty ruleset")
+		}
+		return Execute{Forever: true, Rules: rulesLines}, nil
+
+	case strings.HasPrefix(text, "execute for >="):
+		c, rest, err := parseLnConstant(strings.TrimPrefix(text, "execute for >="))
+		if err != nil || rest != "rounds ruleset:" {
+			return nil, p.errf(l, "expected 'execute for >= C ln n rounds ruleset:'")
+		}
+		rulesLines, err := p.collectRuleLines(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(rulesLines) == 0 {
+			return nil, p.errf(l, "empty ruleset")
+		}
+		return Execute{C: c, Rules: rulesLines}, nil
+
+	case strings.HasPrefix(text, "if exists"):
+		cond := strings.TrimSpace(strings.TrimPrefix(text, "if exists"))
+		if !strings.HasSuffix(cond, ":") {
+			return nil, p.errf(l, "missing ':' after if exists condition")
+		}
+		cond = strings.TrimSpace(strings.TrimSuffix(cond, ":"))
+		cond = strings.TrimPrefix(cond, "(")
+		cond = strings.TrimSuffix(cond, ")")
+		if cond == "" {
+			return nil, p.errf(l, "empty if exists condition")
+		}
+		then, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(then) == 0 {
+			return nil, p.errf(l, "empty if body")
+		}
+		var elseBlock Block
+		if el, ok := p.peek(); ok && el.indent == indent && el.text == "else:" {
+			p.pos++
+			elseBlock, err = p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			if len(elseBlock) == 0 {
+				return nil, p.errf(el, "empty else body")
+			}
+		}
+		return IfExists{Cond: cond, Then: then, Else: elseBlock}, nil
+
+	case text == "else:":
+		return nil, p.errf(l, "'else:' without matching 'if exists'")
+
+	case strings.Contains(text, ":="):
+		parts := strings.SplitN(text, ":=", 2)
+		name := strings.TrimSpace(parts[0])
+		expr := strings.TrimSpace(parts[1])
+		if name == "" || expr == "" {
+			return nil, p.errf(l, "malformed assignment")
+		}
+		return Assign{Var: name, Expr: expr}, nil
+	}
+	return nil, p.errf(l, "unrecognized statement %q", text)
+}
+
+// collectRuleLines gathers the indented rule lines of an execute block.
+func (p *progParser) collectRuleLines(indent int) ([]string, error) {
+	var out []string
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return out, nil
+		}
+		if l.indent > indent {
+			return nil, p.errf(l, "unexpected indentation in ruleset")
+		}
+		p.pos++
+		out = append(out, l.text)
+	}
+}
+
+// parseLnConstant parses "C ln n REST" returning C and REST.
+func parseLnConstant(s string) (int, string, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 || fields[1] != "ln" || fields[2] != "n" {
+		return 0, "", fmt.Errorf("expected 'C ln n'")
+	}
+	c, err := strconv.Atoi(fields[0])
+	if err != nil || c < 1 {
+		return 0, "", fmt.Errorf("bad constant %q", fields[0])
+	}
+	return c, strings.Join(fields[3:], " "), nil
+}

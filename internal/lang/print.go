@@ -1,0 +1,79 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source renders the program back into the textual syntax accepted by
+// Parse. Parse(p.Source()) is structurally identical to p, which the tests
+// verify; popc and documentation use it to display generated programs
+// (e.g. the Plurality family).
+func (p *Program) Source() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s\n", p.Name)
+	for _, d := range p.Vars {
+		writeDecl(&b, 0, d)
+	}
+	for _, th := range p.Threads {
+		fmt.Fprintf(&b, "\nthread %s\n", th.Name)
+		for _, d := range th.Vars {
+			writeDecl(&b, 1, d)
+		}
+		writeBlock(&b, 1, th.Body)
+	}
+	return b.String()
+}
+
+func writeDecl(b *strings.Builder, indent int, d VarDecl) {
+	init := "off"
+	if d.Init {
+		init = "on"
+	}
+	role := ""
+	switch d.Role {
+	case Input:
+		role = " input"
+	case Output:
+		role = " output"
+	}
+	fmt.Fprintf(b, "%svar %s = %s%s\n", pad(indent), d.Name, init, role)
+}
+
+func writeBlock(b *strings.Builder, indent int, blk Block) {
+	for _, s := range blk {
+		writeStmt(b, indent, s)
+	}
+}
+
+func writeStmt(b *strings.Builder, indent int, s Stmt) {
+	ind := pad(indent)
+	switch st := s.(type) {
+	case Repeat:
+		fmt.Fprintf(b, "%srepeat:\n", ind)
+		writeBlock(b, indent+1, st.Body)
+	case RepeatLog:
+		fmt.Fprintf(b, "%srepeat >= %d ln n times:\n", ind, st.C)
+		writeBlock(b, indent+1, st.Body)
+	case Execute:
+		if st.Forever {
+			fmt.Fprintf(b, "%sexecute ruleset:\n", ind)
+		} else {
+			fmt.Fprintf(b, "%sexecute for >= %d ln n rounds ruleset:\n", ind, st.C)
+		}
+		for _, r := range st.Rules {
+			fmt.Fprintf(b, "%s%s\n", pad(indent+1), r)
+		}
+	case IfExists:
+		fmt.Fprintf(b, "%sif exists (%s):\n", ind, st.Cond)
+		writeBlock(b, indent+1, st.Then)
+		if len(st.Else) > 0 {
+			fmt.Fprintf(b, "%selse:\n", ind)
+			writeBlock(b, indent+1, st.Else)
+		}
+	case Assign:
+		fmt.Fprintf(b, "%s%s := %s\n", ind, st.Var, st.Expr)
+	}
+}
+
+func pad(indent int) string { return strings.Repeat("  ", indent) }

@@ -1,0 +1,94 @@
+package osc
+
+import "math"
+
+// MeanField integrates the deterministic continuum limit (n → ∞) of the
+// oscillator dynamics, the same approximation the paper's analysis leans on
+// ("mean-field approximation", §1.1). It is used by the calibration tests
+// to verify that the central fixed point is unstable — the property that
+// gives the O(log n) escape of Theorem 5.1(i) — and by the design docs to
+// justify the parameter choice.
+type MeanField struct {
+	P Params
+	// Chi is the fraction of agents in the control state X, held constant
+	// during integration (the X-control processes evolve on a slower or
+	// faster timescale and are analyzed separately).
+	Chi float64
+	// U and S are the weak and strong fractions per species.
+	U, S [3]float64
+}
+
+// NewMeanField returns a mean-field state at the symmetric fixed point,
+// displaced by the given perturbation eps on species 0's totals.
+func NewMeanField(p Params, chi, eps float64) *MeanField {
+	m := &MeanField{P: p, Chi: chi}
+	free := (1 - chi) / 3
+	for i := 0; i < 3; i++ {
+		m.U[i] = free / 2
+		m.S[i] = free / 2
+	}
+	m.U[0] += eps
+	m.U[1] -= eps
+	return m
+}
+
+// deriv computes the time derivatives of (U, S) per parallel round, up to a
+// common positive constant (the total slot weight) that only rescales time.
+func (m *MeanField) deriv(u, s [3]float64) (du, ds [3]float64) {
+	p := m.P
+	pS, pW := float64(p.StrongPrey), float64(p.WeakPrey)
+	pM, pSrc := float64(p.Mature), float64(p.Source)
+	chi := m.Chi
+	for i := 0; i < 3; i++ {
+		prev := (i + 2) % 3
+		next := (i + 1) % 3
+		xPrev := u[prev] + s[prev]
+		predIn := (pS*s[i] + pW*u[i]) * xPrev        // conversions into weak i
+		predOutU := (pS*s[next] + pW*u[next]) * u[i] // weak i eaten by next
+		predOutS := (pS*s[next] + pW*u[next]) * s[i] // strong i eaten by next
+		srcIn := pSrc * chi * (1 - chi)              // X reseeds weak i
+		srcOutU := 3 * pSrc * chi * u[i]             // X converts weak i away
+		srcOutS := 3 * pSrc * chi * s[i]             // X converts strong i away
+		du[i] = predIn + srcIn - pM*u[i] - predOutU - srcOutU
+		ds[i] = pM*u[i] - predOutS - srcOutS
+	}
+	return du, ds
+}
+
+// Step advances the dynamics by dt (classical RK4).
+func (m *MeanField) Step(dt float64) {
+	add := func(a [3]float64, b [3]float64, w float64) [3]float64 {
+		for i := range a {
+			a[i] += w * b[i]
+		}
+		return a
+	}
+	k1u, k1s := m.deriv(m.U, m.S)
+	k2u, k2s := m.deriv(add(m.U, k1u, dt/2), add(m.S, k1s, dt/2))
+	k3u, k3s := m.deriv(add(m.U, k2u, dt/2), add(m.S, k2s, dt/2))
+	k4u, k4s := m.deriv(add(m.U, k3u, dt), add(m.S, k3s, dt))
+	for i := 0; i < 3; i++ {
+		m.U[i] += dt / 6 * (k1u[i] + 2*k2u[i] + 2*k3u[i] + k4u[i])
+		m.S[i] += dt / 6 * (k1s[i] + 2*k2s[i] + 2*k3s[i] + k4s[i])
+		if m.U[i] < 0 {
+			m.U[i] = 0
+		}
+		if m.S[i] < 0 {
+			m.S[i] = 0
+		}
+	}
+}
+
+// Species returns the total fraction of species i.
+func (m *MeanField) Species(i int) float64 { return m.U[i] + m.S[i] }
+
+// Amplitude measures the departure from the symmetric point: the maximum
+// over species of |x_i − x̄|.
+func (m *MeanField) Amplitude() float64 {
+	mean := (m.Species(0) + m.Species(1) + m.Species(2)) / 3
+	a := 0.0
+	for i := 0; i < 3; i++ {
+		a = math.Max(a, math.Abs(m.Species(i)-mean))
+	}
+	return a
+}

@@ -1,0 +1,237 @@
+package osc
+
+import (
+	"math"
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+)
+
+// buildRun assembles an oscillator population with nx source agents.
+func buildRun(t *testing.T, p Params, n int, nx int, seed uint64) (*Oscillator, *engine.Runner) {
+	t.Helper()
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := New(sp, "O", x, p)
+	proto := engine.CompileProtocol(o.Ruleset())
+	rng := engine.NewRNG(seed)
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		if i < nx {
+			s = x.Set(s, true)
+		}
+		return o.InitState(s, uint64(rng.Intn(3)), false)
+	})
+	return o, engine.NewRunner(proto, pop, rng)
+}
+
+// TestOscillatorContract is the calibration test fixing DefaultParams: from
+// a uniform start with a sub-polynomial source set, the system must reach
+// sustained oscillation (several dominance events in the predation order)
+// within a O(log n) budget, with window length Θ(log n).
+func TestOscillatorContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oscillator contract test is long")
+	}
+	for _, n := range []int{2000, 20000} {
+		n := n
+		nx := int(math.Sqrt(float64(n)) / 2)
+		o, r := buildRun(t, DefaultParams(), n, nx, 7)
+		probe := NewProbe(o)
+		budget := 80 * math.Log(float64(n)) // generous c·ln n
+		for r.Rounds() < budget && len(probe.Events()) < 8 {
+			r.RunRounds(1)
+			probe.Observe(r)
+		}
+		if len(probe.Events()) < 6 {
+			t.Fatalf("n=%d: only %d dominance events within %.0f rounds", n, len(probe.Events()), budget)
+		}
+		if !probe.CyclicOK() {
+			t.Errorf("n=%d: dominance order %v violates A_i→A_{i+1}", n, probe.Order())
+		}
+		// Windows are Θ(log n): between 0.5·ln n and 20·ln n each, after
+		// the oscillation has settled (skip the first window).
+		logn := math.Log(float64(n))
+		for i, w := range probe.Windows()[1:] {
+			if w < 0.5*logn || w > 20*logn {
+				t.Errorf("n=%d: window %d = %.0f rounds, outside [%.0f, %.0f]", n, i, w, 0.5*logn, 20*logn)
+			}
+		}
+	}
+}
+
+// TestOscillatorNeedsSource verifies the #X ≥ 1 requirement: with no source
+// agents the oscillator's minority species eventually dies and dominance
+// stops rotating (the clock would halt). This is the failure mode the
+// control-state processes of §5.2 exist to prevent.
+func TestOscillatorNeedsSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	const n = 2000
+	o, r := buildRun(t, DefaultParams(), n, 0, 3)
+	probe := NewProbe(o)
+	for r.Rounds() < 4000 {
+		r.RunRounds(1)
+		probe.Observe(r)
+		if o.MinSpecies(r.Pop) == 0 {
+			// A species went extinct; without X it can never recover.
+			r.RunRounds(50)
+			if o.MinSpecies(r.Pop) != 0 {
+				t.Fatal("extinct species recovered without any source agent")
+			}
+			return
+		}
+	}
+	t.Log("no extinction within 4000 rounds (possible but unlikely); order:", probe.Order())
+}
+
+// TestOscillatorSourceKeepsSpeciesAlive: with #X ≥ 1 the population never
+// reaches an absorbing single-species state — X keeps reseeding.
+func TestOscillatorSourceKeepsSpeciesAlive(t *testing.T) {
+	const n = 1000
+	o, r := buildRun(t, DefaultParams(), n, 5, 11)
+	// Start from a fully absorbed configuration: everyone species 0 strong.
+	for i := 5; i < n; i++ {
+		r.Pop.SetAgent(i, o.InitState(r.Pop.Agent(i), 0, true))
+	}
+	r.RunRounds(200)
+	counts := o.SpeciesCounts(r.Pop)
+	if counts[1] == 0 && counts[2] == 0 {
+		t.Errorf("source agents failed to reseed: %v", counts)
+	}
+}
+
+// TestLargeSourceSuppressesOscillation: with #X = Θ(n) the reseeding noise
+// dominates and no species reaches dominance — the regime where the clock
+// must not be trusted (the complement of Theorem 5.1's hypothesis).
+func TestLargeSourceSuppressesOscillation(t *testing.T) {
+	const n = 2000
+	o, r := buildRun(t, DefaultParams(), n, n/2, 5)
+	probe := NewProbe(o)
+	for r.Rounds() < 500 {
+		r.RunRounds(1)
+		probe.Observe(r)
+	}
+	if len(probe.Events()) != 0 {
+		t.Errorf("dominance events with #X = n/2: %v", probe.Events())
+	}
+}
+
+func TestMeanFieldInteriorUnstable(t *testing.T) {
+	// A small perturbation of the symmetric fixed point must grow — the
+	// delay-induced instability that gives O(log n) escape.
+	m := NewMeanField(DefaultParams(), 0.001, 0.005)
+	initial := m.Amplitude()
+	for i := 0; i < 20000; i++ {
+		m.Step(0.01)
+	}
+	if m.Amplitude() < 20*initial {
+		t.Errorf("amplitude grew only from %.4f to %.4f; interior looks stable", initial, m.Amplitude())
+	}
+}
+
+func TestMeanFieldConservesMass(t *testing.T) {
+	m := NewMeanField(DefaultParams(), 0.01, 0.01)
+	for i := 0; i < 5000; i++ {
+		m.Step(0.01)
+	}
+	total := m.Chi
+	for i := 0; i < 3; i++ {
+		total += m.U[i] + m.S[i]
+	}
+	if math.Abs(total-1) > 0.02 {
+		t.Errorf("mass drifted to %.4f", total)
+	}
+}
+
+func TestSpeciesCountsExcludeSources(t *testing.T) {
+	o, r := buildRun(t, DefaultParams(), 100, 10, 1)
+	c := o.SpeciesCounts(r.Pop)
+	if c[0]+c[1]+c[2] != 90 {
+		t.Errorf("species counts %v should total 90 (sources excluded)", c)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid params did not panic")
+		}
+	}()
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	New(sp, "O", x, Params{StrongPrey: 0, Mature: 1, Source: 1})
+}
+
+func TestProbeCyclicDetection(t *testing.T) {
+	p := &Probe{order: []int{0, 1, 2, 0, 1}}
+	if !p.CyclicOK() {
+		t.Error("valid cycle rejected")
+	}
+	p = &Probe{order: []int{0, 2}}
+	if p.CyclicOK() {
+		t.Error("skipping a species accepted")
+	}
+}
+
+// TestMeanFieldTracksStochastic validates the paper's methodology claim
+// that the finite-state protocol is well approximated by its continuum
+// limit (§1.1 "mean-field approximation"): starting both from the same
+// skewed configuration, the ODE and a large stochastic run stay close for
+// a while (before stochastic phase drift decorrelates the oscillations).
+func TestMeanFieldTracksStochastic(t *testing.T) {
+	const n = 200000
+	p := DefaultParams()
+
+	// Skewed start: 50% / 30% / 20%, all weak, no sources.
+	m := NewMeanField(p, 0, 0)
+	m.U = [3]float64{0.5, 0.3, 0.2}
+	m.S = [3]float64{0, 0, 0}
+
+	sp := bitmask.NewSpace()
+	x := sp.Bool("X")
+	o := New(sp, "O", x, p)
+	proto := engine.CompileProtocol(o.Ruleset())
+	rng := engine.NewRNG(5)
+	pop := engine.NewDenseInit(n, func(i int) bitmask.State {
+		var s bitmask.State
+		var species uint64
+		switch {
+		case i < n/2:
+			species = 0
+		case i < n/2+n*3/10:
+			species = 1
+		default:
+			species = 2
+		}
+		return o.InitState(s, species, false)
+	})
+	r := engine.NewRunner(proto, pop, rng)
+
+	// Time mapping: one parallel round = n interactions, each firing one
+	// slot among W with per-capita pair probabilities matching the ODE's
+	// raw coefficients, so the ODE advances by dt = 1/W per round.
+	w := float64(o.Ruleset().TotalWeight())
+	const horizonRounds = 40
+	const stepsPerRound = 20
+	worst := 0.0
+	for round := 0; round < horizonRounds; round++ {
+		r.RunRounds(1)
+		for i := 0; i < stepsPerRound; i++ {
+			m.Step(1 / w / stepsPerRound)
+		}
+		c := o.SpeciesCounts(r.Pop)
+		for i := 0; i < 3; i++ {
+			diff := math.Abs(float64(c[i])/float64(n) - m.Species(i))
+			if diff > worst {
+				worst = diff
+			}
+		}
+	}
+	if worst > 0.08 {
+		t.Errorf("mean-field diverged from stochastic run by %.3f within %d rounds",
+			worst, horizonRounds)
+	}
+}

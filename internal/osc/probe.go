@@ -1,0 +1,78 @@
+package osc
+
+import "popkit/internal/engine"
+
+// Probe observes an oscillator run and records dominance events: the times
+// (in parallel rounds) at which a new species first exceeds the threshold
+// fraction of the population. The event sequence directly measures the
+// Theorem 5.1 quantities — escape time (first event), oscillation period
+// (event spacing / 3), and cyclic order.
+type Probe struct {
+	Osc *Oscillator
+	// Threshold is the dominance fraction; 0 means the default 0.8.
+	Threshold float64
+
+	lastDom int
+	times   []float64
+	order   []int
+}
+
+// NewProbe returns a probe for the oscillator.
+func NewProbe(o *Oscillator) *Probe {
+	return &Probe{Osc: o, Threshold: 0.8, lastDom: -1}
+}
+
+// Observe samples the population; call it once per round (or at any fixed
+// cadence). It records an event when the dominant species changes while
+// above the threshold.
+func (p *Probe) Observe(r *engine.Runner) {
+	dom, cnt := p.Osc.Dominant(r.Pop)
+	th := p.Threshold
+	if th == 0 {
+		th = 0.8
+	}
+	if float64(cnt) > th*float64(r.Pop.N()) && dom != p.lastDom {
+		p.times = append(p.times, r.Rounds())
+		p.order = append(p.order, dom)
+		p.lastDom = dom
+	}
+}
+
+// Events returns the recorded event times in rounds.
+func (p *Probe) Events() []float64 { return p.times }
+
+// Order returns the species sequence of the events.
+func (p *Probe) Order() []int { return p.order }
+
+// EscapeTime returns the time of the first dominance event and whether one
+// occurred — the empirical Theorem 5.1(i) escape time.
+func (p *Probe) EscapeTime() (float64, bool) {
+	if len(p.times) == 0 {
+		return 0, false
+	}
+	return p.times[0], true
+}
+
+// Windows returns the durations between successive dominance events (one
+// third of the full oscillation period each).
+func (p *Probe) Windows() []float64 {
+	if len(p.times) < 2 {
+		return nil
+	}
+	out := make([]float64, len(p.times)-1)
+	for i := range out {
+		out[i] = p.times[i+1] - p.times[i]
+	}
+	return out
+}
+
+// CyclicOK reports whether every recorded dominance transition follows the
+// predation order A_i → A_{i+1} (Theorem 5.1(ii)).
+func (p *Probe) CyclicOK() bool {
+	for i := 1; i < len(p.order); i++ {
+		if p.order[i] != (p.order[i-1]+1)%3 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,295 @@
+// Package protocols contains the paper's example programs, expressed in the
+// lang package's syntax: LeaderElection (§3.1), Majority (§3.2), their
+// always-correct variants LeaderElectionExact (§6.1) and MajorityExact
+// (§6.2), and the plurality-consensus generalization (§1.1, O(l²) states).
+//
+// Two places where the paper's pseudocode is under-determined are resolved
+// here the way its theorems require (see DESIGN.md):
+//
+//   - In LeaderElection, the final "else: L := on" branch belongs to
+//     "if exists (L)" (repairing an empty leader set), not to
+//     "if exists (D)": attaching it to the inner branch would restart the
+//     whole population whenever all coins fail — at |L| = 1 that happens
+//     with probability ½ per iteration, contradicting Theorem 3.1 and its
+//     recursion E[ℓ'] = ℓ/2 + 2^(−ℓ)·ℓ, which treats the no-survivor case
+//     as "keep ℓ". In LeaderElectionExact the flat attachment is correct
+//     (the fallback L := R is exactly how Theorem 6.1 converges).
+//   - In MajorityExact, the stars must be refreshed from one-shot *tokens*
+//     (cancelled at most once, difference exactly invariant) rather than
+//     from the raw inputs; this is what makes "eventually the minority set
+//     is empty and never changes again" in the Theorem 6.3 proof true with
+//     certainty.
+package protocols
+
+import (
+	"fmt"
+	"strings"
+
+	"popkit/internal/lang"
+)
+
+// LeaderElection returns the §3.1 w.h.p. program. Output variable: L.
+func LeaderElection() *lang.Program {
+	return lang.MustParse(`
+protocol LeaderElection
+var L = on output
+
+thread Main uses L
+  var D = off
+  var F = on
+  repeat:
+    if exists (L):
+      F := rand
+      D := L & F
+      if exists (D):
+        L := D
+    else:
+      L := on
+`)
+}
+
+// Majority returns the §3.2 w.h.p. program with loop constant c.
+// Inputs: A, B. Output: YA (on iff |A| > |B|).
+func Majority(c int) *lang.Program {
+	return lang.MustParse(fmt.Sprintf(`
+protocol Majority
+var YA = off output
+var A = off input, B = off input
+
+thread Main uses YA reads A, B
+  var As = off
+  var Bs = off
+  var K = off
+  repeat:
+    As := A
+    Bs := B
+    repeat >= %[1]d ln n times:
+      execute for >= %[1]d ln n rounds ruleset:
+        (As) + (Bs) -> (!As) + (!Bs)
+      K := off
+      execute for >= %[1]d ln n rounds ruleset:
+        (As & !K) + (!As & !Bs) -> (As & K) + (As & K)
+        (Bs & !K) + (!As & !Bs) -> (Bs & K) + (Bs & K)
+    if exists (As):
+      YA := on
+    if exists (Bs):
+      YA := off
+`, c))
+}
+
+// LeaderElectionExact returns the §6.1 always-correct program: the Main
+// thread's fast halving is driven by the FilteredCoin synthetic coin
+// (which eventually dies, silencing the randomized path), while the
+// ReduceSets thread deterministically coalesces R down to a single agent
+// that the fallback "L := R" then installs forever. Output variable: L.
+func LeaderElectionExact() *lang.Program {
+	return lang.MustParse(`
+protocol LeaderElectionExact
+var L = on output
+var R = on
+var F = on
+
+thread Main uses L reads R, F
+  var D = off
+  repeat:
+    if exists (L):
+      D := L & F
+    if exists (D):
+      L := L & D
+    else:
+      L := R
+
+thread FilteredCoin uses F
+  var I = on
+  var S = on
+  execute ruleset:
+    (I) + (I) -> (!I & S) + (!I & !S)
+    (I) + (!I) -> (!I) + (!I)
+    (S) + (!S) -> (S & F) + (S & F)
+    (!S) + (S) -> (!S & F) + (!S & F)
+    (F) + (.) -> (!F) + (.)
+
+thread ReduceSets uses R reads L
+  execute ruleset:
+    (R) + (R & !L) -> (R) + (!R & !L)
+    (R & L) + (R & L) -> (R & L) + (!R & !L)
+`)
+}
+
+// MajorityExact returns the §6.2 always-correct program with loop constant
+// c. Inputs: A, B (also copied into the one-shot tokens At, Bt by
+// InitMajorityExactInputs). Output: YA.
+//
+// The background Cancel thread consumes tokens pairwise, exactly
+// preserving #At − #Bt, so with probability 1 the true minority's tokens
+// reach zero and stay there; from then on the star refresh leaves the
+// minority stars permanently empty, the corresponding "if exists" branch
+// is never entered again, and YA is correct forever (Theorem 6.3).
+func MajorityExact(c int) *lang.Program {
+	return lang.MustParse(fmt.Sprintf(`
+protocol MajorityExact
+var YA = off output
+var A = off input, B = off input
+var At = off, Bt = off
+
+thread Main uses YA reads At, Bt
+  var As = off
+  var Bs = off
+  var K = off
+  repeat:
+    As := At
+    Bs := Bt
+    repeat >= %[1]d ln n times:
+      execute for >= %[1]d ln n rounds ruleset:
+        (As) + (Bs) -> (!As) + (!Bs)
+      K := off
+      execute for >= %[1]d ln n rounds ruleset:
+        (As & !K) + (!As & !Bs) -> (As & K) + (As & K)
+        (Bs & !K) + (!As & !Bs) -> (Bs & K) + (Bs & K)
+    if exists (As):
+      YA := on
+    if exists (Bs):
+      YA := off
+
+thread Cancel uses At, Bt
+  execute ruleset:
+    (At) + (Bt) -> (!At) + (!Bt)
+`, c))
+}
+
+// Plurality returns the l-colour plurality-consensus program (l ≥ 2) with
+// loop constant c. Inputs: C1 … Cl; outputs: W1 … Wl, where Wi converges
+// on for exactly the plurality colour. Following the paper's O(l²)-state
+// hint, every unordered colour pair runs its own §3.2-style contest: token
+// T<i>v<j> is colour i's token in the contest against colour j; colour i
+// wins iff its tokens survive every contest.
+func Plurality(l, c int) *lang.Program {
+	if l < 2 {
+		panic("protocols: plurality needs at least 2 colours")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol Plurality%d\n", l)
+	for i := 1; i <= l; i++ {
+		fmt.Fprintf(&b, "var C%d = off input\n", i)
+		fmt.Fprintf(&b, "var W%d = off output\n", i)
+	}
+	b.WriteString("\nthread Main\n")
+	for i := 1; i <= l; i++ {
+		for j := 1; j <= l; j++ {
+			if i != j {
+				fmt.Fprintf(&b, "  var T%dv%d = off\n", i, j)
+				fmt.Fprintf(&b, "  var K%dv%d = off\n", i, j)
+			}
+		}
+	}
+	b.WriteString("  repeat:\n")
+	for i := 1; i <= l; i++ {
+		for j := 1; j <= l; j++ {
+			if i != j {
+				fmt.Fprintf(&b, "    T%dv%d := C%d\n", i, j, i)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "    repeat >= %d ln n times:\n", c)
+	// Cancellation: one leaf with every pair's cancellation rule.
+	fmt.Fprintf(&b, "      execute for >= %d ln n rounds ruleset:\n", c)
+	for i := 1; i <= l; i++ {
+		for j := i + 1; j <= l; j++ {
+			fmt.Fprintf(&b, "        (T%[1]dv%[2]d) + (T%[2]dv%[1]d) -> (!T%[1]dv%[2]d) + (!T%[2]dv%[1]d)\n", i, j)
+		}
+	}
+	// Reset duplication flags.
+	for i := 1; i <= l; i++ {
+		for j := 1; j <= l; j++ {
+			if i != j {
+				fmt.Fprintf(&b, "      K%dv%d := off\n", i, j)
+			}
+		}
+	}
+	// Duplication: per contest, blanks are agents holding neither token.
+	fmt.Fprintf(&b, "      execute for >= %d ln n rounds ruleset:\n", c)
+	for i := 1; i <= l; i++ {
+		for j := 1; j <= l; j++ {
+			if i != j {
+				fmt.Fprintf(&b, "        (T%[1]dv%[2]d & !K%[1]dv%[2]d) + (!T%[1]dv%[2]d & !T%[2]dv%[1]d) -> (T%[1]dv%[2]d & K%[1]dv%[2]d) + (T%[1]dv%[2]d & K%[1]dv%[2]d)\n", i, j)
+			}
+		}
+	}
+	// Winner flags: colour i wins iff its tokens survive every contest
+	// (a conjunction of population-level exists-checks, i.e. nested ifs)
+	// and loses as soon as any opponent's token against it survives.
+	for i := 1; i <= l; i++ {
+		indent := "    "
+		for j := 1; j <= l; j++ {
+			if i != j {
+				fmt.Fprintf(&b, "%sif exists (T%dv%d):\n", indent, i, j)
+				indent += "  "
+			}
+		}
+		fmt.Fprintf(&b, "%sW%d := on\n", indent, i)
+		for j := 1; j <= l; j++ {
+			if i != j {
+				fmt.Fprintf(&b, "    if exists (T%[2]dv%[1]d):\n      W%[1]d := off\n", i, j)
+			}
+		}
+	}
+	return lang.MustParse(b.String())
+}
+
+// ThresholdExact returns an always-correct program for the predicate
+// a1·x1 − a2·x2 ≥ 1 with unit-or-double coefficients a1, a2 ∈ {1, 2},
+// entirely in the paper's language — the §6.2 token pattern generalized:
+// an agent of colour i carries a_i one-shot tokens (encoded as separate
+// boolean variables T<i>a, T<i>b), the background thread cancels opposite
+// tokens pairwise (preserving a1·x1 − a2·x2 exactly), and the fast
+// §3.2-style loop computes the surviving sign w.h.p. each iteration.
+// Inputs: A, B; output: Y (on iff a1·#A − a2·#B ≥ 1).
+func ThresholdExact(a1, a2, c int) *lang.Program {
+	if a1 < 1 || a1 > 2 || a2 < 1 || a2 > 2 {
+		panic("protocols: ThresholdExact supports coefficients 1 and 2")
+	}
+	var b strings.Builder
+	b.WriteString("protocol ThresholdExact\n")
+	b.WriteString("var Y = off output\nvar A = off input, B = off input\n")
+	// Token variables: up to two per side.
+	b.WriteString("var Pa = off, Pb = off, Na = off, Nb = off\n")
+	b.WriteString("\nthread Main uses Y reads Pa, Pb, Na, Nb\n")
+	b.WriteString("  var Ps = off\n  var Ns = off\n  var K = off\n")
+	b.WriteString("  repeat:\n")
+	// Refresh stars from any surviving token of each sign.
+	b.WriteString("    Ps := Pa | Pb\n")
+	b.WriteString("    Ns := Na | Nb\n")
+	fmt.Fprintf(&b, "    repeat >= %d ln n times:\n", c)
+	fmt.Fprintf(&b, "      execute for >= %d ln n rounds ruleset:\n", c)
+	b.WriteString("        (Ps) + (Ns) -> (!Ps) + (!Ns)\n")
+	b.WriteString("      K := off\n")
+	fmt.Fprintf(&b, "      execute for >= %d ln n rounds ruleset:\n", c)
+	b.WriteString("        (Ps & !K) + (!Ps & !Ns) -> (Ps & K) + (Ps & K)\n")
+	b.WriteString("        (Ns & !K) + (!Ps & !Ns) -> (Ns & K) + (Ns & K)\n")
+	b.WriteString("    if exists (Ps):\n      Y := on\n")
+	b.WriteString("    else:\n      Y := off\n") // covers the tie: no tokens left on either side
+	b.WriteString("    if exists (Ns):\n      Y := off\n")
+	// Background cancellation between any positive and any negative token:
+	// one token of each sign per meeting, exactly preserving the signed sum.
+	b.WriteString("\nthread Cancel uses Pa, Pb, Na, Nb\n")
+	b.WriteString("  execute ruleset:\n")
+	for _, p := range []string{"Pa", "Pb"} {
+		for _, n := range []string{"Na", "Nb"} {
+			fmt.Fprintf(&b, "    (%s) + (%s) -> (!%s) + (!%s)\n", p, n, p, n)
+		}
+	}
+	return lang.MustParse(b.String())
+}
+
+// InitThresholdTokens returns, for an agent of the given colour (0 = A,
+// 1 = B, −1 = uncoloured), which token variables to set for ThresholdExact
+// with coefficients a1, a2.
+func InitThresholdTokens(colour, a1, a2 int) (pa, pb, na, nb bool) {
+	switch colour {
+	case 0:
+		return true, a1 == 2, false, false
+	case 1:
+		return false, false, true, a2 == 2
+	}
+	return false, false, false, false
+}

@@ -1,0 +1,286 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/frame"
+	"popkit/internal/lang"
+)
+
+func TestProgramsCheck(t *testing.T) {
+	progs := map[string]*lang.Program{
+		"LeaderElection":      LeaderElection(),
+		"Majority":            Majority(2),
+		"LeaderElectionExact": LeaderElectionExact(),
+		"MajorityExact":       MajorityExact(2),
+		"Plurality3":          Plurality(3, 2),
+		"Plurality5":          Plurality(5, 2),
+	}
+	for name, p := range progs {
+		if err := p.Check(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLeaderElectionExactConverges(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		e, err := frame.New(LeaderElectionExact(), 512, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters, ok := e.RunUntil(func(e *frame.Executor) bool {
+			return e.CountVar("L") == 1 && e.CountVar("R") == 1
+		}, 400)
+		if !ok {
+			t.Fatalf("seed %d: L=%d R=%d after %d iterations",
+				seed, e.CountVar("L"), e.CountVar("R"), iters)
+		}
+		// Exactness: once R is the singleton and the coin is quiet, L must
+		// never change again, under faults or not.
+		e.Faults = frame.Faults{PartialAssignProb: 0.2}
+		e.RunIterations(20)
+		if got := e.CountVar("L"); got != 1 {
+			t.Errorf("seed %d: leader count drifted to %d under faults", seed, got)
+		}
+	}
+}
+
+// TestLeaderElectionExactCoinDies checks the FilteredCoin mechanism: the S
+// voter-consensus eventually silences the coin (F ≡ off forever), the
+// precondition for Theorem 6.1's deterministic tail.
+func TestLeaderElectionExactCoinDies(t *testing.T) {
+	e, err := frame.New(LeaderElectionExact(), 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voter-model consensus takes Θ(n) rounds; iterations charge Θ(log n)
+	// background rounds each, so allow plenty.
+	_, ok := e.RunUntil(func(e *frame.Executor) bool {
+		s := e.CountVar("S")
+		return (s == 0 || s == e.Pop.N()) && e.CountVar("F") == 0
+	}, 3000)
+	if !ok {
+		t.Fatalf("coin never died: S=%d F=%d", e.CountVar("S"), e.CountVar("F"))
+	}
+	// Once dead it stays dead.
+	e.RunIterations(10)
+	if got := e.CountVar("F"); got != 0 {
+		t.Errorf("dead coin came back: F=%d", got)
+	}
+}
+
+func TestMajorityExactAlwaysCorrect(t *testing.T) {
+	const n = 512
+	for _, tc := range []struct {
+		nA, nB int
+		wantYA bool
+	}{
+		{257, 255, true},
+		{255, 257, false},
+		{100, 300, false},
+	} {
+		e, err := frame.New(MajorityExact(2), n, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := e.Space.LookupVar("A")
+		b, _ := e.Space.LookupVar("B")
+		at, _ := e.Space.LookupVar("At")
+		bt, _ := e.Space.LookupVar("Bt")
+		e.SetInput(func(i int, s bitmask.State) bitmask.State {
+			switch {
+			case i < tc.nA:
+				s = a.Set(s, true)
+				s = at.Set(s, true)
+			case i < tc.nA+tc.nB:
+				s = b.Set(s, true)
+				s = bt.Set(s, true)
+			}
+			return s
+		})
+		// Run until the minority token pool is exhausted (the
+		// probability-1 event Theorem 6.3 relies on) plus a few
+		// iterations for the output to settle.
+		minorityTokens := func(e *frame.Executor) int {
+			if tc.wantYA {
+				return e.CountVar("Bt")
+			}
+			return e.CountVar("At")
+		}
+		_, ok := e.RunUntil(func(e *frame.Executor) bool { return minorityTokens(e) == 0 }, 2000)
+		if !ok {
+			t.Fatalf("nA=%d nB=%d: minority tokens never exhausted (%d left)", tc.nA, tc.nB, minorityTokens(e))
+		}
+		e.RunIterations(3)
+		want := 0
+		if tc.wantYA {
+			want = n
+		}
+		if got := e.CountVar("YA"); got != want {
+			t.Fatalf("nA=%d nB=%d: YA=%d, want %d", tc.nA, tc.nB, got, want)
+		}
+		// Permanence under faulty iterations: the minority token set is
+		// empty forever, so YA can never flip back.
+		e.Faults = frame.Faults{PartialAssignProb: 0.25}
+		e.RunIterations(15)
+		if got := e.CountVar("YA"); got != want {
+			t.Errorf("nA=%d nB=%d: YA drifted to %d under faults", tc.nA, tc.nB, got)
+		}
+	}
+}
+
+func TestPluralityThreeColours(t *testing.T) {
+	const n = 600
+	prog := Plurality(3, 2)
+	e, err := frame.New(prog, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colour 2 is the plurality with a narrow margin: 210 vs 205 vs 185.
+	sizes := []int{205, 210, 185}
+	vars := make([]bitmask.Var, 3)
+	for i := range vars {
+		vars[i], _ = e.Space.LookupVar("C" + string(rune('1'+i)))
+	}
+	e.SetInput(func(i int, s bitmask.State) bitmask.State {
+		switch {
+		case i < sizes[0]:
+			return vars[0].Set(s, true)
+		case i < sizes[0]+sizes[1]:
+			return vars[1].Set(s, true)
+		default:
+			return vars[2].Set(s, true)
+		}
+	})
+	e.RunIterations(3)
+	if got := e.CountVar("W2"); got != n {
+		t.Errorf("W2 = %d, want %d (plurality winner)", got, n)
+	}
+	for _, loser := range []string{"W1", "W3"} {
+		if got := e.CountVar(loser); got != 0 {
+			t.Errorf("%s = %d, want 0", loser, got)
+		}
+	}
+}
+
+func TestPluralityStateCount(t *testing.T) {
+	// The §1.1 claim: plurality uses O(l²) states — here l(l−1) token vars
+	// plus l(l−1) duplication flags plus l inputs and l outputs.
+	for _, l := range []int{3, 5} {
+		prog := Plurality(l, 2)
+		sp, err := prog.BuildSpace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := sp.NumBitsUsed()
+		want := 2*l + 2*l*(l-1)
+		if bits != want {
+			t.Errorf("l=%d: %d bits used, want %d", l, bits, want)
+		}
+	}
+}
+
+// TestLeaderElectionIterationScaling measures Theorem 3.1's O(log n)
+// iteration count directly across a size sweep.
+func TestLeaderElectionIterationScaling(t *testing.T) {
+	prog := LeaderElection()
+	for _, n := range []int{64, 1024, 16384} {
+		var total int
+		const seeds = 5
+		for seed := uint64(0); seed < seeds; seed++ {
+			e, err := frame.New(prog, n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters, ok := e.RunUntil(func(e *frame.Executor) bool { return e.CountVar("L") == 1 }, 1000)
+			if !ok {
+				t.Fatalf("n=%d seed=%d did not converge", n, seed)
+			}
+			total += iters
+		}
+		mean := float64(total) / seeds
+		logn := math.Log2(float64(n))
+		if mean < 0.4*logn || mean > 4*logn {
+			t.Errorf("n=%d: mean iterations %.1f outside [0.4 log2 n, 4 log2 n] = [%.1f, %.1f]",
+				n, mean, 0.4*logn, 4*logn)
+		}
+	}
+}
+
+// TestThresholdExactSignTest: the generalized token program decides
+// 2·#A − #B ≥ 1 exactly, including near ties.
+func TestThresholdExactSignTest(t *testing.T) {
+	const n = 400
+	prog := ThresholdExact(2, 1, 2)
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		nA, nB int
+		want   bool
+	}{
+		{50, 99, true},   // 100 − 99 = 1 ≥ 1
+		{50, 100, false}, // 100 − 100 = 0 < 1
+		{50, 101, false},
+		{80, 60, true},
+	} {
+		e, err := frame.New(prog, n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := e.Space.LookupVar("A")
+		b, _ := e.Space.LookupVar("B")
+		toks := map[string]bitmask.Var{}
+		for _, name := range []string{"Pa", "Pb", "Na", "Nb"} {
+			v, _ := e.Space.LookupVar(name)
+			toks[name] = v
+		}
+		e.SetInput(func(i int, s bitmask.State) bitmask.State {
+			colour := -1
+			switch {
+			case i < tc.nA:
+				colour = 0
+				s = a.Set(s, true)
+			case i < tc.nA+tc.nB:
+				colour = 1
+				s = b.Set(s, true)
+			}
+			pa, pb, na, nb := InitThresholdTokens(colour, 2, 1)
+			s = toks["Pa"].Set(s, pa)
+			s = toks["Pb"].Set(s, pb)
+			s = toks["Na"].Set(s, na)
+			s = toks["Nb"].Set(s, nb)
+			return s
+		})
+		// Run until the minority-sign tokens are exhausted, then settle.
+		minority := func(e *frame.Executor) int {
+			if tc.want {
+				return e.Count("Na | Nb")
+			}
+			return e.Count("Pa | Pb")
+		}
+		if _, ok := e.RunUntil(func(e *frame.Executor) bool { return minority(e) == 0 }, 3000); !ok {
+			t.Fatalf("nA=%d nB=%d: tokens never exhausted (%d left)", tc.nA, tc.nB, minority(e))
+		}
+		e.RunIterations(3)
+		want := 0
+		if tc.want {
+			want = n
+		}
+		if got := e.CountVar("Y"); got != want {
+			t.Errorf("nA=%d nB=%d: Y=%d, want %d", tc.nA, tc.nB, got, want)
+		}
+	}
+}
+
+func TestThresholdExactRejectsBigCoefficients(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("coefficient 3 accepted")
+		}
+	}()
+	ThresholdExact(3, 1, 2)
+}

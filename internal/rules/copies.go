@@ -1,0 +1,50 @@
+package rules
+
+import (
+	"fmt"
+
+	"popkit/internal/bitmask"
+)
+
+// A BitCopy moves one bit of an agent's own state to another position of
+// the same state during a rule execution. Copies realize transitions whose
+// outcome depends on the agent's current state — e.g. the "current := new"
+// double-buffer swap of the clock-hierarchy slowdown construction (§5.3) —
+// while keeping the rule a finite function of the interacting states.
+// Copies are applied before the rule's mask update, so explicit literals in
+// the rule's right-hand side win over copied bits.
+type BitCopy struct {
+	Src, Dst int // bit positions within the 128-bit state
+}
+
+// applyCopies applies the copies to a state, reading all sources from the
+// pre-copy state (simultaneous assignment).
+func applyCopies(s bitmask.State, copies []BitCopy) bitmask.State {
+	if len(copies) == 0 {
+		return s
+	}
+	out := s
+	for _, c := range copies {
+		out = out.SetBit(c.Dst, s.Bit(c.Src))
+	}
+	return out
+}
+
+// CopyVar returns the bit copy moving boolean variable src to dst.
+func CopyVar(src, dst bitmask.Var) BitCopy {
+	return BitCopy{Src: src.Pos(), Dst: dst.Pos()}
+}
+
+// CopyField returns the bit copies moving field src to dst. The fields must
+// have equal widths.
+func CopyField(src, dst bitmask.Field) []BitCopy {
+	if src.Width() != dst.Width() {
+		panic(fmt.Sprintf("rules: field width mismatch %s(%d) -> %s(%d)",
+			src.Name(), src.Width(), dst.Name(), dst.Width()))
+	}
+	out := make([]BitCopy, src.Width())
+	for i := range out {
+		out[i] = BitCopy{Src: src.BitPos() + i, Dst: dst.BitPos() + i}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package rules
+
+import (
+	"testing"
+
+	"popkit/internal/bitmask"
+)
+
+func TestBitCopySwapBuffer(t *testing.T) {
+	sp := bitmask.NewSpace()
+	cur := sp.Bool("Cur")
+	next := sp.Bool("New")
+	s := sp.Bool("S")
+
+	// The §5.3 double-buffer commit: cur := new, set S.
+	commit := MustNew(bitmask.True(), bitmask.True(), bitmask.Is(s), bitmask.Is(s))
+	commit.Copy1 = []BitCopy{CopyVar(next, cur)}
+	commit.Copy2 = []BitCopy{CopyVar(next, cur)}
+
+	a := next.Set(bitmask.State{}, true) // new on, cur off
+	b := cur.Set(bitmask.State{}, true)  // new off, cur on
+	na, nb := commit.Apply(a, b)
+	if !cur.Get(na) || !s.Get(na) {
+		t.Errorf("initiator after commit: %s", sp.Format(na))
+	}
+	if cur.Get(nb) || !s.Get(nb) {
+		t.Errorf("responder after commit: %s", sp.Format(nb))
+	}
+}
+
+func TestBitCopySimultaneousSwap(t *testing.T) {
+	sp := bitmask.NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	r := MustNew(bitmask.True(), bitmask.True(), bitmask.True(), bitmask.True())
+	// Swap A and B: copies read the pre-copy state, so this must not lose
+	// a bit.
+	r.Copy1 = []BitCopy{CopyVar(a, b), CopyVar(b, a)}
+	s := a.Set(bitmask.State{}, true) // A on, B off
+	na, _ := r.Apply(s, bitmask.State{})
+	if a.Get(na) || !b.Get(na) {
+		t.Errorf("swap failed: %s", sp.Format(na))
+	}
+}
+
+func TestMaskUpdateWinsOverCopy(t *testing.T) {
+	sp := bitmask.NewSpace()
+	src := sp.Bool("Src")
+	dst := sp.Bool("Dst")
+	// Copy src→dst but the rule explicitly clears dst: the literal wins.
+	r := MustNew(bitmask.True(), bitmask.True(), bitmask.IsNot(dst), bitmask.True())
+	r.Copy1 = []BitCopy{CopyVar(src, dst)}
+	s := src.Set(bitmask.State{}, true)
+	na, _ := r.Apply(s, bitmask.State{})
+	if dst.Get(na) {
+		t.Error("explicit right-hand-side literal lost to a copy")
+	}
+}
+
+func TestCopyField(t *testing.T) {
+	sp := bitmask.NewSpace()
+	f := sp.Field("F", 15)
+	g := sp.Field("G", 15)
+	r := MustNew(bitmask.True(), bitmask.True(), bitmask.True(), bitmask.True())
+	r.Copy1 = CopyField(f, g)
+	s := f.Set(bitmask.State{}, 11)
+	na, _ := r.Apply(s, bitmask.State{})
+	if g.Get(na) != 11 || f.Get(na) != 11 {
+		t.Errorf("field copy: F=%d G=%d, want 11 11", f.Get(na), g.Get(na))
+	}
+}
+
+func TestCopyFieldWidthMismatchPanics(t *testing.T) {
+	sp := bitmask.NewSpace()
+	f := sp.Field("F", 15)
+	g := sp.Field("G", 7)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	CopyField(f, g)
+}

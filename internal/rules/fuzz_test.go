@@ -1,0 +1,55 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"popkit/internal/bitmask"
+)
+
+// FuzzParseRule exercises the rule parser with arbitrary inputs: it must
+// never panic, and on success the parsed rule must render and reparse.
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"(A) + (B) -> (!A) + (!B)",
+		"2* (A & !K) + (.) -> (K) + (.)",
+		"(C==3) + (.) -> (C==4) + (.)",
+		"((A | B) & !K) + (X) -> (A) + (B & K)",
+		"(.) + (.) -> (.) + (.)",
+		"(A",
+		") -> (",
+		"(A) + (B) -> (A | B) + (.)",
+		"99999999999999999999* (A)+(A)->(A)+(A)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sp := bitmask.NewSpace()
+		sp.Bools("A", "B", "K", "X")
+		sp.Field("C", 7)
+		rs, err := Parse(sp, src)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must render to something that parses again with
+		// equivalent match behaviour on a few probe states.
+		if rs.Len() == 0 {
+			return
+		}
+		rendered := rs.Rules[0].String()
+		back, err := Parse(sp, rendered)
+		if err != nil {
+			t.Fatalf("rendered rule %q does not reparse: %v", rendered, err)
+		}
+		a, _ := sp.LookupVar("A")
+		probes := []bitmask.State{{}, a.Set(bitmask.State{}, true), {Lo: ^uint64(0) >> 40}}
+		for _, s1 := range probes {
+			for _, s2 := range probes {
+				if rs.Rules[0].Matches(s1, s2) != back.Rules[0].Matches(s1, s2) {
+					t.Fatalf("round-trip changed semantics of %q", rendered)
+				}
+			}
+		}
+		_ = strings.TrimSpace(src)
+	})
+}

@@ -1,0 +1,141 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"popkit/internal/bitmask"
+)
+
+func TestAddGroupAndAccessors(t *testing.T) {
+	sp := bitmask.NewSpace()
+	f := sp.Field("P", 3)
+	var grp []Rule
+	for v := uint64(0); v < 4; v++ {
+		grp = append(grp, MustNew(
+			bitmask.FieldIs(f, v), bitmask.True(),
+			bitmask.FieldIs(f, (v+1)%4), bitmask.True()))
+	}
+	rs := NewRuleset(sp)
+	rs.AddGroup("advance", 5, grp...)
+	if rs.NumGroups() != 1 || rs.Len() != 4 {
+		t.Fatalf("groups=%d rules=%d", rs.NumGroups(), rs.Len())
+	}
+	if rs.TotalWeight() != 5 {
+		t.Errorf("TotalWeight = %d, want 5 (group weight counted once)", rs.TotalWeight())
+	}
+	if got := len(rs.GroupRules(0)); got != 4 {
+		t.Errorf("GroupRules len = %d", got)
+	}
+	if err := rs.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !strings.Contains(rs.String(), "advance") {
+		t.Error("String() missing group name")
+	}
+}
+
+func TestValidateCatchesOverlappingGroupRules(t *testing.T) {
+	sp := bitmask.NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	rs := NewRuleset(sp)
+	// Both rules match an initiator with A∧B set: overlap.
+	rs.AddGroup("bad", 1,
+		MustNew(bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True()),
+		MustNew(bitmask.Is(b), bitmask.True(), bitmask.IsNot(b), bitmask.True()),
+	)
+	if err := rs.Validate(); err == nil {
+		t.Error("overlapping group rules not caught")
+	} else if !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDisjointResponderGuardsAllowed(t *testing.T) {
+	sp := bitmask.NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	rs := NewRuleset(sp)
+	// Same initiator guard but disjoint responder guards: fine.
+	rs.AddGroup("ok", 1,
+		MustNew(bitmask.Is(a), bitmask.Is(b), bitmask.IsNot(a), bitmask.True()),
+		MustNew(bitmask.Is(a), bitmask.IsNot(b), bitmask.Is(b), bitmask.True()),
+	)
+	if err := rs.Validate(); err != nil {
+		t.Errorf("disjoint responder guards rejected: %v", err)
+	}
+}
+
+func TestComposeThreadsPreservesGroups(t *testing.T) {
+	sp := bitmask.NewSpace()
+	f := sp.Field("P", 3)
+	a := sp.Bool("A")
+
+	t1 := NewRuleset(sp)
+	var grp []Rule
+	for v := uint64(0); v < 4; v++ {
+		grp = append(grp, MustNew(
+			bitmask.FieldIs(f, v), bitmask.True(),
+			bitmask.FieldIs(f, (v+1)%4), bitmask.True()))
+	}
+	t1.AddGroup("adv", 1, grp...) // 1 slot
+
+	t2 := NewRuleset(sp)
+	t2.Add(bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True())
+	t2.Add(bitmask.IsNot(a), bitmask.True(), bitmask.Is(a), bitmask.True()) // 2 slots
+
+	m := ComposeThreads(t1, t2)
+	if m.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3", m.NumGroups())
+	}
+	// lcm(1,2) = 2: t1's group doubles to 2, t2's stay at 1 each.
+	if m.Groups[0].Weight != 2 || m.Groups[1].Weight != 1 || m.Groups[2].Weight != 1 {
+		t.Errorf("weights = %d,%d,%d", m.Groups[0].Weight, m.Groups[1].Weight, m.Groups[2].Weight)
+	}
+	// Group rule ranges survive the merge.
+	if len(m.GroupRules(0)) != 4 || len(m.GroupRules(1)) != 1 {
+		t.Errorf("group sizes wrong after compose")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate after compose: %v", err)
+	}
+}
+
+func TestConcatPreservesGroups(t *testing.T) {
+	sp := bitmask.NewSpace()
+	a := sp.Bool("A")
+	r1 := NewRuleset(sp)
+	r1.AddWeighted(3, bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True())
+	r2 := NewRuleset(sp)
+	r2.Add(bitmask.IsNot(a), bitmask.True(), bitmask.Is(a), bitmask.True())
+	c := Concat(r1, r2)
+	if c.NumGroups() != 2 || c.TotalWeight() != 4 {
+		t.Errorf("groups=%d weight=%d", c.NumGroups(), c.TotalWeight())
+	}
+}
+
+func TestGuardedPreservesGroups(t *testing.T) {
+	sp := bitmask.NewSpace()
+	f := sp.Field("P", 3)
+	z := sp.Bool("Z")
+	rs := NewRuleset(sp)
+	var grp []Rule
+	for v := uint64(0); v < 4; v++ {
+		grp = append(grp, MustNew(
+			bitmask.FieldIs(f, v), bitmask.True(),
+			bitmask.FieldIs(f, (v+1)%4), bitmask.True()))
+	}
+	rs.AddGroup("adv", 2, grp...)
+	g := rs.Guarded(bitmask.Is(z))
+	if g.NumGroups() != 1 || g.Groups[0].Weight != 2 {
+		t.Fatalf("Guarded lost group structure")
+	}
+	s := f.Set(bitmask.State{}, 1)
+	if g.Rules[1].Matches(s, s) {
+		t.Error("guarded rule matched without Z")
+	}
+	if !g.Rules[1].Matches(z.Set(s, true), z.Set(s, true)) {
+		t.Error("guarded rule rejected with Z")
+	}
+}

@@ -1,0 +1,288 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"popkit/internal/bitmask"
+)
+
+// Parse reads a textual ruleset, one rule per line, in the paper's notation:
+//
+//	(A & !K) + (!A & !B) -> (A & K) + (A & K)
+//	2* (X) + (X) -> (!X) + (X)        # weighted rule
+//	(C==3) + (.) -> (C==4) + (.)      # field literals
+//
+// '#' starts a comment; blank lines are ignored; a leading "N*" sets the
+// scheduler weight. Identifiers are resolved against the given space;
+// "IDENT==N" refers to an integer field.
+func Parse(sp *bitmask.Space, src string) (*Ruleset, error) {
+	rs := NewRuleset(sp)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		r, weight, err := parseRule(sp, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		rs.AddGroup("", weight, r)
+	}
+	return rs, nil
+}
+
+// MustParse is Parse for statically-known rule text; it panics on error.
+func MustParse(sp *bitmask.Space, src string) *Ruleset {
+	rs, err := Parse(sp, src)
+	if err != nil {
+		panic("rules: " + err.Error())
+	}
+	return rs
+}
+
+type parser struct {
+	sp  *bitmask.Space
+	in  string
+	pos int
+}
+
+func parseRule(sp *bitmask.Space, line string) (Rule, int, error) {
+	p := &parser{sp: sp, in: line}
+	weight := 1
+	p.skipSpace()
+	if w, ok := p.tryWeight(); ok {
+		weight = w
+	}
+	s1, err := p.parenExpr()
+	if err != nil {
+		return Rule{}, 0, err
+	}
+	if err := p.expect("+"); err != nil {
+		return Rule{}, 0, err
+	}
+	s2, err := p.parenExpr()
+	if err != nil {
+		return Rule{}, 0, err
+	}
+	if err := p.expect("->"); err != nil {
+		return Rule{}, 0, err
+	}
+	s3, err := p.parenExpr()
+	if err != nil {
+		return Rule{}, 0, err
+	}
+	if err := p.expect("+"); err != nil {
+		return Rule{}, 0, err
+	}
+	s4, err := p.parenExpr()
+	if err != nil {
+		return Rule{}, 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return Rule{}, 0, fmt.Errorf("trailing input at column %d: %q", p.pos+1, p.in[p.pos:])
+	}
+	r, err := New(s1, s2, s3, s4)
+	if err != nil {
+		return Rule{}, 0, err
+	}
+	return r, weight, nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// tryWeight parses an optional "N*" prefix.
+func (p *parser) tryWeight() (int, bool) {
+	save := p.pos
+	start := p.pos
+	for p.pos < len(p.in) && unicode.IsDigit(rune(p.in[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start || p.pos >= len(p.in) || p.in[p.pos] != '*' {
+		p.pos = save
+		return 0, false
+	}
+	w, err := strconv.Atoi(p.in[start:p.pos])
+	if err != nil || w < 1 {
+		p.pos = save
+		return 0, false
+	}
+	p.pos++ // consume '*'
+	p.skipSpace()
+	return w, true
+}
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if strings.HasPrefix(p.in[p.pos:], tok) {
+		p.pos += len(tok)
+		return nil
+	}
+	return fmt.Errorf("expected %q at column %d", tok, p.pos+1)
+}
+
+// parenExpr parses "(" expr ")" where expr may be ".".
+func (p *parser) parenExpr() (bitmask.Formula, error) {
+	if err := p.expect("("); err != nil {
+		return bitmask.Formula{}, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '.' {
+		p.pos++
+		if err := p.expect(")"); err != nil {
+			return bitmask.Formula{}, err
+		}
+		return bitmask.True(), nil
+	}
+	f, err := p.orExpr()
+	if err != nil {
+		return bitmask.Formula{}, err
+	}
+	if err := p.expect(")"); err != nil {
+		return bitmask.Formula{}, err
+	}
+	return f, nil
+}
+
+func (p *parser) orExpr() (bitmask.Formula, error) {
+	f, err := p.andExpr()
+	if err != nil {
+		return f, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == '|' {
+			p.pos++
+			g, err := p.andExpr()
+			if err != nil {
+				return f, err
+			}
+			f = bitmask.Or(f, g)
+			continue
+		}
+		return f, nil
+	}
+}
+
+func (p *parser) andExpr() (bitmask.Formula, error) {
+	f, err := p.unary()
+	if err != nil {
+		return f, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == '&' {
+			p.pos++
+			g, err := p.unary()
+			if err != nil {
+				return f, err
+			}
+			f = bitmask.And(f, g)
+			continue
+		}
+		return f, nil
+	}
+}
+
+func (p *parser) unary() (bitmask.Formula, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return bitmask.Formula{}, fmt.Errorf("unexpected end of input")
+	}
+	switch p.in[p.pos] {
+	case '!':
+		p.pos++
+		f, err := p.unary()
+		if err != nil {
+			return f, err
+		}
+		return bitmask.Not(f), nil
+	case '(':
+		p.pos++
+		f, err := p.orExpr()
+		if err != nil {
+			return f, err
+		}
+		if err := p.expect(")"); err != nil {
+			return f, err
+		}
+		return f, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (bitmask.Formula, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && isIdentChar(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return bitmask.Formula{}, fmt.Errorf("expected identifier at column %d", p.pos+1)
+	}
+	name := p.in[start:p.pos]
+	p.skipSpace()
+	if strings.HasPrefix(p.in[p.pos:], "==") {
+		p.pos += 2
+		p.skipSpace()
+		numStart := p.pos
+		for p.pos < len(p.in) && unicode.IsDigit(rune(p.in[p.pos])) {
+			p.pos++
+		}
+		if p.pos == numStart {
+			return bitmask.Formula{}, fmt.Errorf("expected number after %q==", name)
+		}
+		val, err := strconv.ParseUint(p.in[numStart:p.pos], 10, 64)
+		if err != nil {
+			return bitmask.Formula{}, err
+		}
+		f, ok := p.sp.LookupField(name)
+		if !ok {
+			return bitmask.Formula{}, fmt.Errorf("unknown field %q", name)
+		}
+		if val > f.Max() {
+			return bitmask.Formula{}, fmt.Errorf("value %d out of range for field %q (max %d)", val, name, f.Max())
+		}
+		return bitmask.FieldIs(f, val), nil
+	}
+	v, ok := p.sp.LookupVar(name)
+	if !ok {
+		return bitmask.Formula{}, fmt.Errorf("unknown variable %q", name)
+	}
+	return bitmask.Is(v), nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// ParseFormula parses a standalone boolean expression (the rule-guard
+// sublanguage: identifiers, field==N, !, &, |, parentheses, ".") against
+// the space.
+func ParseFormula(sp *bitmask.Space, src string) (bitmask.Formula, error) {
+	p := &parser{sp: sp, in: src}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '.' && p.pos+1 == len(p.in) {
+		return bitmask.True(), nil
+	}
+	f, err := p.orExpr()
+	if err != nil {
+		return bitmask.Formula{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return bitmask.Formula{}, fmt.Errorf("trailing input at column %d: %q", p.pos+1, p.in[p.pos:])
+	}
+	return f, nil
+}

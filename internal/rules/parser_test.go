@@ -1,0 +1,198 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"popkit/internal/bitmask"
+)
+
+func parserSpace() *bitmask.Space {
+	sp := bitmask.NewSpace()
+	sp.Bools("A", "B", "K", "X")
+	sp.Field("C", 7)
+	return sp
+}
+
+func TestParsePaperMajorityRules(t *testing.T) {
+	// The cancellation and duplication rules from protocol Majority (§3.2).
+	sp := bitmask.NewSpace()
+	sp.Bools("As", "Bs", "K")
+	src := `
+		# cancellation
+		(As) + (Bs) -> (!As) + (!Bs)
+		# duplication
+		(As & !K) + (!As & !Bs) -> (As & K) + (As & K)
+		(Bs & !K) + (!As & !Bs) -> (Bs & K) + (Bs & K)
+	`
+	rs, err := Parse(sp, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 3 {
+		t.Fatalf("rule count = %d, want 3", rs.Len())
+	}
+	as, _ := sp.LookupVar("As")
+	bs, _ := sp.LookupVar("Bs")
+	k, _ := sp.LookupVar("K")
+
+	sA := as.Set(bitmask.State{}, true)
+	sB := bs.Set(bitmask.State{}, true)
+	if !rs.Rules[0].Matches(sA, sB) {
+		t.Error("cancellation rule does not match (A*, B*)")
+	}
+	na, nb := rs.Rules[0].Apply(sA, sB)
+	if as.Get(na) || bs.Get(nb) {
+		t.Error("cancellation did not clear both stars")
+	}
+
+	blank := bitmask.State{}
+	if !rs.Rules[1].Matches(sA, blank) {
+		t.Error("duplication rule does not match (A*, blank)")
+	}
+	na, nb = rs.Rules[1].Apply(sA, blank)
+	if !as.Get(na) || !k.Get(na) || !as.Get(nb) || !k.Get(nb) {
+		t.Error("duplication did not produce two marked A* agents")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	sp := parserSpace()
+	rs, err := Parse(sp, "3* (X) + (X) -> (!X) + (X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Groups[0].Weight != 3 {
+		t.Errorf("weight = %d, want 3", rs.Groups[0].Weight)
+	}
+}
+
+func TestParseFieldLiterals(t *testing.T) {
+	sp := parserSpace()
+	rs, err := Parse(sp, "(C==3) + (.) -> (C==4) + (.)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := sp.LookupField("C")
+	s := f.Set(bitmask.State{}, 3)
+	if !rs.Rules[0].Matches(s, bitmask.State{}) {
+		t.Error("field guard did not match C==3")
+	}
+	na, _ := rs.Rules[0].Apply(s, bitmask.State{})
+	if f.Get(na) != 4 {
+		t.Errorf("after rule C = %d, want 4", f.Get(na))
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	sp := parserSpace()
+	rs, err := Parse(sp, "(.) + (.) -> (.) + (.)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Rules[0].Matches(bitmask.State{}, bitmask.State{Lo: ^uint64(0)}) {
+		t.Error("wildcard rule does not match arbitrary states")
+	}
+	if !rs.Rules[0].U1.IsNoop() || !rs.Rules[0].U2.IsNoop() {
+		t.Error("wildcard targets are not no-ops")
+	}
+}
+
+func TestParseParensAndOr(t *testing.T) {
+	sp := parserSpace()
+	rs, err := Parse(sp, "((A | B) & !K) + (.) -> (K) + (.)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sp.LookupVar("A")
+	b, _ := sp.LookupVar("B")
+	k, _ := sp.LookupVar("K")
+	for _, s := range []bitmask.State{
+		a.Set(bitmask.State{}, true),
+		b.Set(bitmask.State{}, true),
+	} {
+		if !rs.Rules[0].Matches(s, bitmask.State{}) {
+			t.Errorf("guard did not match %s", sp.Format(s))
+		}
+	}
+	if rs.Rules[0].Matches(k.Set(a.Set(bitmask.State{}, true), true), bitmask.State{}) {
+		t.Error("guard matched with K set")
+	}
+	if rs.Rules[0].Matches(bitmask.State{}, bitmask.State{}) {
+		t.Error("guard matched blank state")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	sp := parserSpace()
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown var", "(Zz) + (.) -> (.) + (.)", "unknown variable"},
+		{"unknown field", "(Zz==1) + (.) -> (.) + (.)", "unknown field"},
+		{"field overflow", "(C==99) + (.) -> (.) + (.)", "out of range"},
+		{"missing arrow", "(A) + (B) (A) + (B)", "expected"},
+		{"trailing garbage", "(A) + (B) -> (A) + (B) junk", "trailing"},
+		{"or target", "(A) + (.) -> (A | B) + (.)", "not a conjunction"},
+		{"missing paren", "(A + (.) -> (A) + (.)", "expected"},
+		{"empty parens", "() + (.) -> (.) + (.)", "expected identifier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(sp, tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	sp := parserSpace()
+	src := "(A & !B) + (X) -> (B & !A) + (X & K)"
+	rs := MustParse(sp, src)
+	reparsed, err := Parse(sp, rs.Rules[0].String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	// Check behavioral equivalence on a few states.
+	a, _ := sp.LookupVar("A")
+	x, _ := sp.LookupVar("X")
+	states := []bitmask.State{
+		{},
+		a.Set(bitmask.State{}, true),
+		x.Set(bitmask.State{}, true),
+		x.Set(a.Set(bitmask.State{}, true), true),
+	}
+	for _, s1 := range states {
+		for _, s2 := range states {
+			m1 := rs.Rules[0].Matches(s1, s2)
+			m2 := reparsed.Rules[0].Matches(s1, s2)
+			if m1 != m2 {
+				t.Errorf("match disagreement on (%s, %s)", sp.Format(s1), sp.Format(s2))
+			}
+			if m1 {
+				a1, b1 := rs.Rules[0].Apply(s1, s2)
+				a2, b2 := reparsed.Rules[0].Apply(s1, s2)
+				if a1 != a2 || b1 != b2 {
+					t.Errorf("apply disagreement on (%s, %s)", sp.Format(s1), sp.Format(s2))
+				}
+			}
+		}
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	sp := parserSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse(sp, "(Nope) + (.) -> (.) + (.)")
+}

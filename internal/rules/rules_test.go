@@ -1,0 +1,157 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"popkit/internal/bitmask"
+)
+
+func twoVarSpace(t *testing.T) (*bitmask.Space, bitmask.Var, bitmask.Var) {
+	t.Helper()
+	sp := bitmask.NewSpace()
+	a := sp.Bool("A")
+	b := sp.Bool("B")
+	return sp, a, b
+}
+
+func TestRuleMatchAndApply(t *testing.T) {
+	sp, a, b := twoVarSpace(t)
+	// (A) + (!A) -> (A) + (A & B): one-way epidemic that also tags B.
+	r := MustNew(bitmask.Is(a), bitmask.IsNot(a), bitmask.Is(a), bitmask.And(bitmask.Is(a), bitmask.Is(b)))
+
+	src := a.Set(bitmask.State{}, true)
+	dst := bitmask.State{}
+	if !r.Matches(src, dst) {
+		t.Fatal("rule should match (A, !A)")
+	}
+	if r.Matches(dst, src) {
+		t.Fatal("rule should not match (¬A, A)")
+	}
+	na, nb := r.Apply(src, dst)
+	if !a.Get(na) {
+		t.Error("initiator lost A")
+	}
+	if !a.Get(nb) || !b.Get(nb) {
+		t.Errorf("responder state wrong: %s", sp.Format(nb))
+	}
+}
+
+func TestNewRejectsDisjunctionTarget(t *testing.T) {
+	_, a, b := twoVarSpace(t)
+	_, err := New(bitmask.True(), bitmask.True(), bitmask.Or(bitmask.Is(a), bitmask.Is(b)), bitmask.True())
+	if err == nil {
+		t.Fatal("disjunctive right-hand side accepted")
+	}
+}
+
+func TestRulesetAddAndValidate(t *testing.T) {
+	sp, a, _ := twoVarSpace(t)
+	rs := NewRuleset(sp)
+	rs.Add(bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True())
+	rs.AddWeighted(3, bitmask.True(), bitmask.True(), bitmask.Is(a), bitmask.True())
+	if rs.Len() != 2 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if rs.TotalWeight() != 4 {
+		t.Errorf("TotalWeight = %d, want 4", rs.TotalWeight())
+	}
+	if err := rs.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesUnsatisfiableGuard(t *testing.T) {
+	sp, a, _ := twoVarSpace(t)
+	rs := NewRuleset(sp)
+	rs.Add(bitmask.And(bitmask.Is(a), bitmask.IsNot(a)), bitmask.True(), bitmask.True(), bitmask.True())
+	if err := rs.Validate(); err == nil {
+		t.Error("unsatisfiable guard not caught")
+	}
+}
+
+func TestGuarded(t *testing.T) {
+	sp, a, b := twoVarSpace(t)
+	rs := NewRuleset(sp)
+	rs.Add(bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True())
+	g := rs.Guarded(bitmask.Is(b))
+
+	withA := a.Set(bitmask.State{}, true)
+	withAB := b.Set(withA, true)
+	if g.Rules[0].Matches(withA, withA) {
+		t.Error("guarded rule matched without the extra flag")
+	}
+	if !g.Rules[0].Matches(withAB, withAB) {
+		t.Error("guarded rule failed to match with the extra flag")
+	}
+	// The original ruleset is untouched.
+	if !rs.Rules[0].Matches(withA, withA) {
+		t.Error("Guarded mutated the source ruleset")
+	}
+}
+
+func TestComposeThreadsEqualSlots(t *testing.T) {
+	sp, a, b := twoVarSpace(t)
+	t1 := NewRuleset(sp)
+	t1.Add(bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True())
+	t1.Add(bitmask.IsNot(a), bitmask.True(), bitmask.Is(a), bitmask.True())
+	t1.Add(bitmask.Is(b), bitmask.True(), bitmask.IsNot(b), bitmask.True()) // 3 slots
+
+	t2 := NewRuleset(sp)
+	t2.Add(bitmask.Is(b), bitmask.True(), bitmask.IsNot(b), bitmask.True())
+	t2.Add(bitmask.IsNot(b), bitmask.True(), bitmask.Is(b), bitmask.True()) // 2 slots
+
+	merged := ComposeThreads(t1, t2)
+	if merged.Len() != 5 {
+		t.Fatalf("merged rule count = %d, want 5", merged.Len())
+	}
+	// lcm(3,2)=6: thread 1 groups get weight 2 each, thread 2 groups 3 each.
+	w1 := merged.Groups[0].Weight + merged.Groups[1].Weight + merged.Groups[2].Weight
+	w2 := merged.Groups[3].Weight + merged.Groups[4].Weight
+	if w1 != w2 {
+		t.Errorf("thread slot totals differ: %d vs %d", w1, w2)
+	}
+	if merged.TotalWeight() != 12 {
+		t.Errorf("TotalWeight = %d, want 12", merged.TotalWeight())
+	}
+}
+
+func TestComposeThreadsDifferentSpacesPanics(t *testing.T) {
+	sp1 := bitmask.NewSpace()
+	sp1.Bool("A")
+	sp2 := bitmask.NewSpace()
+	sp2.Bool("A")
+	r1 := MustParse(sp1, "(A)+(.) -> (!A)+(.)")
+	r2 := MustParse(sp2, "(A)+(.) -> (!A)+(.)")
+	defer func() {
+		if recover() == nil {
+			t.Error("composing across spaces did not panic")
+		}
+	}()
+	ComposeThreads(r1, r2)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	sp, a, _ := twoVarSpace(t)
+	rs := NewRuleset(sp)
+	rs.Add(bitmask.Is(a), bitmask.True(), bitmask.IsNot(a), bitmask.True())
+	c := rs.Clone()
+	c.Add(bitmask.True(), bitmask.True(), bitmask.Is(a), bitmask.True())
+	if rs.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: %d, %d", rs.Len(), c.Len())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	sp, _, _ := twoVarSpace(t)
+	rs := MustParse(sp, "2* (A & !B) + (.) -> (B) + (!A)")
+	if rs.Groups[0].Weight != 2 {
+		t.Errorf("group weight = %d, want 2", rs.Groups[0].Weight)
+	}
+	s := rs.Rules[0].String()
+	for _, want := range []string{"A & !B", "->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

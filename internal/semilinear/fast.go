@@ -1,0 +1,127 @@
+package semilinear
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/rules"
+)
+
+// FastBox is the leader-driven w.h.p. computation of a threshold predicate
+// Σ a_i·x_i ≥ c — the paper's "fast blackbox" (§6.3), realized in the
+// spirit of [AAE08b]: the threshold is reduced to a signed-token majority
+// contest. Every agent holds |a_colour| tokens of sign(a_colour); the
+// leader additionally absorbs the constant as c negative tokens (the one
+// place the unique leader is needed). Cancellation annihilates opposite
+// tokens one per meeting, preserving Σ(positive − negative) = Σa_i·x_i − c
+// exactly; duplication doubles every agent's holding once per phase. After
+// Θ(log n) cancel/duplicate phases only the winning sign survives, w.h.p.,
+// so "does any positive token exist" reads off the predicate.
+type FastBox struct {
+	Pred Threshold
+	Pos  bitmask.Field // positive tokens held
+	Neg  bitmask.Field // negative tokens held
+	K    bitmask.Var   // one-duplication-per-phase flag
+
+	maxTok int
+	cancel *rules.Ruleset
+	dup    *rules.Ruleset
+}
+
+// NewFastBox builds the fast blackbox over the space. Coefficients and
+// constant must satisfy max(|a_i|) + |c| ≤ 15.
+func NewFastBox(sp *bitmask.Space, prefix string, pred Threshold) *FastBox {
+	maxTok := 0
+	for _, a := range pred.Coef {
+		if abs(a) > maxTok {
+			maxTok = abs(a)
+		}
+	}
+	maxTok += abs(pred.C-1) + 1 // leader may combine its coefficient and the offset
+	if maxTok > 15 {
+		panic("semilinear: threshold constants too large for the fast box")
+	}
+	if maxTok == 0 {
+		maxTok = 1
+	}
+	f := &FastBox{
+		Pred:   pred,
+		Pos:    sp.Field(prefix+"P", uint64(maxTok)),
+		Neg:    sp.Field(prefix+"N", uint64(maxTok)),
+		K:      sp.Bool(prefix + "K"),
+		maxTok: maxTok,
+	}
+
+	// Cancellation: a positive-holder meets a negative-holder; one token
+	// each annihilates.
+	f.cancel = rules.NewRuleset(sp)
+	var cancel []rules.Rule
+	for p := 1; p <= maxTok; p++ {
+		for q := 1; q <= maxTok; q++ {
+			cancel = append(cancel, rules.MustNew(
+				bitmask.FieldIs(f.Pos, uint64(p)),
+				bitmask.FieldIs(f.Neg, uint64(q)),
+				bitmask.FieldIs(f.Pos, uint64(p-1)),
+				bitmask.FieldIs(f.Neg, uint64(q-1))))
+		}
+	}
+	f.cancel.AddGroup(prefix+"cancel", 1, cancel...)
+
+	// Duplication: an unduplicated holder clones its full holding onto a
+	// blank agent; both become flagged.
+	blank := bitmask.And(
+		bitmask.FieldIs(f.Pos, 0), bitmask.FieldIs(f.Neg, 0), bitmask.IsNot(f.K))
+	f.dup = rules.NewRuleset(sp)
+	var dup []rules.Rule
+	for p := 1; p <= maxTok; p++ {
+		dup = append(dup, rules.MustNew(
+			bitmask.And(bitmask.FieldIs(f.Pos, uint64(p)), bitmask.FieldIs(f.Neg, 0), bitmask.IsNot(f.K)),
+			blank,
+			bitmask.And(bitmask.FieldIs(f.Pos, uint64(p)), bitmask.Is(f.K)),
+			bitmask.And(bitmask.FieldIs(f.Pos, uint64(p)), bitmask.Is(f.K))))
+		dup = append(dup, rules.MustNew(
+			bitmask.And(bitmask.FieldIs(f.Neg, uint64(p)), bitmask.FieldIs(f.Pos, 0), bitmask.IsNot(f.K)),
+			blank,
+			bitmask.And(bitmask.FieldIs(f.Neg, uint64(p)), bitmask.Is(f.K)),
+			bitmask.And(bitmask.FieldIs(f.Neg, uint64(p)), bitmask.Is(f.K))))
+	}
+	f.dup.AddGroup(prefix+"dup", 1, dup...)
+	return f
+}
+
+// CancelRules returns the cancellation leaf ruleset.
+func (f *FastBox) CancelRules() *rules.Ruleset { return f.cancel }
+
+// DupRules returns the duplication leaf ruleset.
+func (f *FastBox) DupRules() *rules.Ruleset { return f.dup }
+
+// TokenState writes an agent's token holding for a fresh attempt: its
+// colour's coefficient, plus the offset −(c−1) if it is a leader — so the
+// signed token difference is Σa_i·x_i − c + 1, and "some positive token
+// survives" is exactly the predicate Σa_i·x_i ≥ c, including the tight
+// case Σa_i·x_i = c. Opposite tokens self-cancel immediately. colour may
+// be −1 for uncoloured agents.
+func (f *FastBox) TokenState(s bitmask.State, colour int, isLeader bool) bitmask.State {
+	net := 0
+	if colour >= 0 {
+		net = f.Pred.Coef[colour]
+	}
+	if isLeader {
+		net -= f.Pred.C - 1
+	}
+	s = f.K.Set(s, false)
+	if net >= 0 {
+		s = f.Pos.Set(s, uint64(net))
+		return f.Neg.Set(s, 0)
+	}
+	s = f.Pos.Set(s, 0)
+	return f.Neg.Set(s, uint64(-net))
+}
+
+// HasPos is the formula "agent holds at least one positive token".
+func (f *FastBox) HasPos() bitmask.Formula {
+	return bitmask.Not(bitmask.FieldIs(f.Pos, 0))
+}
+
+// HasNeg is the formula "agent holds at least one negative token".
+func (f *FastBox) HasNeg() bitmask.Formula {
+	return bitmask.Not(bitmask.FieldIs(f.Neg, 0))
+}

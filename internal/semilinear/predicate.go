@@ -1,0 +1,114 @@
+// Package semilinear implements the machinery behind Theorem 6.4: semi-
+// linear predicates over input counts, the always-correct "slow blackbox"
+// (stable computation in the style of [AAD+06]), the leader-driven "fast
+// blackbox" for threshold predicates (in the spirit of [AAE08b]), and the
+// SemilinearPredicateExact combination of §6.3 that runs both and lets the
+// slow thread veto the fast one.
+package semilinear
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Predicate is a boolean function of the input colour counts
+// (x_1, …, x_k). The paper's computable class is the semi-linear
+// predicates: boolean combinations of threshold and modulo predicates.
+type Predicate interface {
+	// Eval computes the predicate on exact counts (the test oracle).
+	Eval(counts []int64) bool
+	// Arity returns the number of input colours.
+	Arity() int
+	// Name renders the predicate.
+	Name() string
+}
+
+// Threshold is the predicate Σ Coef[i]·x_i ≥ C.
+type Threshold struct {
+	Coef []int
+	C    int
+}
+
+// Eval implements Predicate.
+func (t Threshold) Eval(counts []int64) bool {
+	var sum int64
+	for i, a := range t.Coef {
+		sum += int64(a) * counts[i]
+	}
+	return sum >= int64(t.C)
+}
+
+// Arity implements Predicate.
+func (t Threshold) Arity() int { return len(t.Coef) }
+
+// Name implements Predicate.
+func (t Threshold) Name() string {
+	return fmt.Sprintf("%s >= %d", renderSum(t.Coef), t.C)
+}
+
+// Mod is the predicate Σ Coef[i]·x_i ≡ R (mod M).
+type Mod struct {
+	Coef []int
+	M, R int
+}
+
+// Eval implements Predicate.
+func (m Mod) Eval(counts []int64) bool {
+	var sum int64
+	for i, a := range m.Coef {
+		sum += int64(a) * counts[i]
+	}
+	r := sum % int64(m.M)
+	if r < 0 {
+		r += int64(m.M)
+	}
+	return r == int64(m.R%m.M)
+}
+
+// Arity implements Predicate.
+func (m Mod) Arity() int { return len(m.Coef) }
+
+// Name implements Predicate.
+func (m Mod) Name() string {
+	return fmt.Sprintf("%s ≡ %d (mod %d)", renderSum(m.Coef), m.R, m.M)
+}
+
+func renderSum(coef []int) string {
+	var b strings.Builder
+	for i, a := range coef {
+		if a == 0 {
+			continue
+		}
+		if b.Len() > 0 && a > 0 {
+			b.WriteByte('+')
+		}
+		switch a {
+		case 1:
+			fmt.Fprintf(&b, "x%d", i+1)
+		case -1:
+			fmt.Fprintf(&b, "-x%d", i+1)
+		default:
+			fmt.Fprintf(&b, "%d·x%d", a, i+1)
+		}
+	}
+	if b.Len() == 0 {
+		return "0"
+	}
+	return b.String()
+}
+
+// MajorityPredicate is the comparison predicate x_1 − x_2 ≥ 1 ("A wins").
+func MajorityPredicate() Threshold {
+	return Threshold{Coef: []int{1, -1}, C: 1}
+}
+
+// AtLeastFraction builds the threshold "x_1 ≥ (p/q)·(x_1+…+x_k)" as
+// q·x_1 − p·Σx_i ≥ 0, a representative population-fraction predicate.
+func AtLeastFraction(k, p, q int) Threshold {
+	coef := make([]int, k)
+	for i := range coef {
+		coef[i] = -p
+	}
+	coef[0] += q
+	return Threshold{Coef: coef, C: 0}
+}

@@ -1,0 +1,210 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, least-squares fits of convergence
+// times against powers of log n (to verify polylogarithmic shapes), and
+// Markdown/CSV table rendering for EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds basic sample statistics.
+type Summary struct {
+	N           int
+	Mean, Std   float64
+	Min, Max    float64
+	Median, P90 float64
+}
+
+// Summarize computes summary statistics of the sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(s.Std / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.P90 = quantile(sorted, 0.9)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f ±%.1f median=%.1f p90=%.1f", s.N, s.Mean, s.Std, s.Median, s.P90)
+}
+
+// Linear fits y = a + b·x by ordinary least squares and returns a, b and
+// the coefficient of determination R².
+func Linear(x, y []float64) (a, b, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range x {
+		d := y[i] - (a + b*x[i])
+		ssRes += d * d
+	}
+	if ssTot == 0 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2
+}
+
+// PolylogExponent estimates d in t(n) ≈ C·(ln n)^d by regressing
+// ln t on ln ln n. It is the headline shape statistic of the experiment
+// tables: leader election should give d ≈ 2, majority d ≈ 3, the
+// polynomial baselines d ≫ (they do not fit a polylog at all — check R²
+// and compare against PolyExponent).
+func PolylogExponent(ns, times []float64) (d, r2 float64) {
+	x := make([]float64, len(ns))
+	y := make([]float64, len(times))
+	for i := range ns {
+		x[i] = math.Log(math.Log(ns[i]))
+		y[i] = math.Log(times[i])
+	}
+	_, d, r2 = Linear(x, y)
+	return d, r2
+}
+
+// PolyExponent estimates e in t(n) ≈ C·n^e by regressing ln t on ln n.
+func PolyExponent(ns, times []float64) (e, r2 float64) {
+	x := make([]float64, len(ns))
+	y := make([]float64, len(times))
+	for i := range ns {
+		x[i] = math.Log(ns[i])
+		y[i] = math.Log(times[i])
+	}
+	_, e, r2 = Linear(x, y)
+	return e, r2
+}
+
+// Table accumulates rows and renders Markdown or CSV.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats compactly.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "—"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Markdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ",") + "\n")
+	for _, r := range t.rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			if strings.ContainsAny(c, ",\"") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			cells[i] = c
+		}
+		b.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return b.String()
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.Median != 5 {
+		t.Errorf("median of {0,10} = %v", s.Median)
+	}
+	if math.Abs(s.P90-9) > 1e-12 {
+		t.Errorf("p90 of {0,10} = %v", s.P90)
+	}
+}
+
+func TestLinearExactFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := Linear(x, y)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = %v %v %v", a, b, r2)
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	if _, b, _ := Linear([]float64{1}, []float64{1}); !math.IsNaN(b) {
+		t.Error("single point fit should be NaN")
+	}
+	if _, b, _ := Linear([]float64{2, 2}, []float64{1, 5}); !math.IsNaN(b) {
+		t.Error("vertical fit should be NaN")
+	}
+}
+
+func TestPolylogExponentRecoversShape(t *testing.T) {
+	// Generate t = 7·(ln n)^2.5 and recover the exponent.
+	var ns, ts []float64
+	for _, n := range []float64{1e3, 1e4, 1e5, 1e6, 1e7} {
+		ns = append(ns, n)
+		ts = append(ts, 7*math.Pow(math.Log(n), 2.5))
+	}
+	d, r2 := PolylogExponent(ns, ts)
+	if math.Abs(d-2.5) > 1e-6 || r2 < 0.999 {
+		t.Errorf("d = %v, r2 = %v", d, r2)
+	}
+}
+
+func TestPolyExponentRecoversShape(t *testing.T) {
+	var ns, ts []float64
+	for _, n := range []float64{1e3, 1e4, 1e5, 1e6} {
+		ns = append(ns, n)
+		ts = append(ts, 0.5*math.Pow(n, 0.75))
+	}
+	e, r2 := PolyExponent(ns, ts)
+	if math.Abs(e-0.75) > 1e-6 || r2 < 0.999 {
+		t.Errorf("e = %v, r2 = %v", e, r2)
+	}
+}
+
+// TestExponentsDistinguishShapes: the polylog fit of a polynomial series
+// has worse R² than its polynomial fit, and vice versa — the discriminator
+// used in EXPERIMENTS.md.
+func TestExponentsDistinguishShapes(t *testing.T) {
+	var ns, poly, plog []float64
+	for _, n := range []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6} {
+		ns = append(ns, n)
+		poly = append(poly, math.Pow(n, 0.5))
+		plog = append(plog, math.Pow(math.Log(n), 2))
+	}
+	_, r2PolyAsPoly := PolyExponent(ns, poly)
+	_, r2PolyAsPlog := PolylogExponent(ns, poly)
+	if r2PolyAsPoly <= r2PolyAsPlog {
+		t.Errorf("polynomial series not identified: %v vs %v", r2PolyAsPoly, r2PolyAsPlog)
+	}
+	_, r2PlogAsPlog := PolylogExponent(ns, plog)
+	dAsPoly, _ := PolyExponent(ns, plog)
+	if r2PlogAsPlog < 0.999 {
+		t.Errorf("polylog series misfit: %v", r2PlogAsPlog)
+	}
+	// A polylog series fit as a polynomial gives a tiny exponent.
+	if dAsPoly > 0.4 {
+		t.Errorf("polylog series produced poly exponent %v", dAsPoly)
+	}
+}
+
+func TestSummarizeQuick(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E1", "n", "rounds", "note")
+	tb.AddRow(1024, 42.5, "ok")
+	tb.AddRow(2048, 1234.5678, "with, comma")
+	md := tb.Markdown()
+	for _, want := range []string{"### E1", "| n | rounds | note |", "| 1024 | 42.50 | ok |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with, comma"`) {
+		t.Errorf("csv did not quote comma: %s", csv)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
