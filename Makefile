@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the full test suite.
+test:
+	$(GO) test ./...
+
+# Tier-2: vet + gofmt + race-detector runs over the concurrent packages.
+check:
+	./scripts/check.sh
+
+# Regenerate the experiment tables and BENCH_results.json into results/.
+bench:
+	$(GO) run ./cmd/popbench -out results

@@ -3,31 +3,63 @@
 //
 // Usage:
 //
-//	popbench [-e E1,E3,F2] [-seeds N] [-quick] [-out DIR] [-list]
+//	popbench [-e E1,E3,F2] [-seeds N] [-workers N] [-quick] [-out DIR] [-list]
 //
 // Without -e it runs every experiment in order. Tables are printed as
-// Markdown to stdout; figure CSVs are written into -out (default ".").
+// Markdown to stdout; figure CSVs and the machine-readable run record
+// BENCH_results.json are written into -out (default "."). Multi-seed
+// experiments fan their replicas out across -workers fleet workers
+// (default: one per CPU); per-replica RNG streams make the output
+// byte-identical for any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/fleet"
+	"popkit/internal/stats"
 )
+
+// benchRecord is one experiment's entry in BENCH_results.json.
+type benchRecord struct {
+	ID      string         `json:"id"`
+	Claim   string         `json:"claim"`
+	WallMS  float64        `json:"wall_ms"`
+	Tables  []*stats.Table `json:"tables"`
+	Figures []string       `json:"figures,omitempty"`
+}
+
+// benchFile is the top-level BENCH_results.json document; the config block
+// makes runs diffable across PRs.
+type benchFile struct {
+	Seeds       int           `json:"seeds"`
+	Quick       bool          `json:"quick"`
+	BaseSeed    uint64        `json:"base_seed"`
+	Workers     int           `json:"workers"`
+	WallMS      float64       `json:"wall_ms"`
+	Experiments []benchRecord `json:"experiments"`
+}
 
 func main() {
 	var (
-		only  = flag.String("e", "", "comma-separated experiment IDs (default: all)")
-		seeds = flag.Int("seeds", 10, "runs per configuration point")
-		quick = flag.Bool("quick", false, "smallest configurations only")
-		out   = flag.String("out", ".", "directory for figure CSV files")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		seed  = flag.Uint64("seed", 0, "base RNG seed")
+		only       = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		seeds      = flag.Int("seeds", 10, "runs per configuration point")
+		quick      = flag.Bool("quick", false, "smallest configurations only")
+		out        = flag.String("out", ".", "directory for figure CSV files and BENCH_results.json")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		seed       = flag.Uint64("seed", 0, "base RNG seed")
+		workers    = flag.Int("workers", runtime.NumCPU(), "fleet workers for multi-seed sweeps")
+		replicaLog = flag.String("replica-log", "", "stream per-replica results to this JSONL file")
+		noProgress = flag.Bool("no-progress", false, "suppress fleet progress reports on stderr")
 	)
 	flag.Parse()
 
@@ -36,6 +68,14 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
 		}
 		return
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "popbench: -workers must be ≥ 1 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "popbench: -seeds must be ≥ 1 (got %d)\n", *seeds)
+		os.Exit(2)
 	}
 
 	var wanted []expt.Experiment
@@ -47,31 +87,73 @@ func main() {
 			e, ok := expt.Lookup(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "popbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				os.Exit(2)
 			}
 			wanted = append(wanted, e)
 		}
 	}
 
-	cfg := expt.Config{Seeds: *seeds, Quick: *quick, BaseSeed: *seed}
+	cfg := expt.Config{Seeds: *seeds, Quick: *quick, BaseSeed: *seed, Workers: *workers}
+	if !*noProgress {
+		cfg.Progress = os.Stderr
+	}
+	if *replicaLog != "" {
+		f, err := os.Create(*replicaLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.ReplicaSink = fleet.NewJSONLSink(f)
+	}
+
+	bench := benchFile{Seeds: *seeds, Quick: *quick, BaseSeed: *seed, Workers: *workers}
+	begin := time.Now()
 	exitCode := 0
 	for _, e := range wanted {
 		fmt.Printf("## %s — %s\n\n", e.ID, e.Claim)
 		start := time.Now()
 		res := e.Run(cfg)
+		elapsed := time.Since(start)
 		for _, tb := range res.Tables {
 			fmt.Println(tb.Markdown())
 		}
-		for name, csv := range res.Figures {
+		rec := benchRecord{
+			ID:     e.ID,
+			Claim:  e.Claim,
+			WallMS: float64(elapsed.Microseconds()) / 1000,
+			Tables: res.Tables,
+		}
+		figNames := make([]string, 0, len(res.Figures))
+		for name := range res.Figures {
+			figNames = append(figNames, name)
+		}
+		sort.Strings(figNames) // stable order keeps BENCH_results.json diffable
+		for _, name := range figNames {
+			csv := res.Figures[name]
 			path := filepath.Join(*out, name)
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "popbench: writing %s: %v\n", path, err)
 				exitCode = 1
 				continue
 			}
+			rec.Figures = append(rec.Figures, name)
 			fmt.Printf("wrote %s (%d bytes)\n\n", path, len(csv))
 		}
-		fmt.Printf("_%s completed in %s_\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		bench.Experiments = append(bench.Experiments, rec)
+		fmt.Printf("_%s completed in %s_\n\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	bench.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+
+	benchPath := filepath.Join(*out, "BENCH_results.json")
+	if data, err := json.MarshalIndent(bench, "", "  "); err != nil {
+		fmt.Fprintf(os.Stderr, "popbench: encoding %s: %v\n", benchPath, err)
+		exitCode = 1
+	} else if err := os.WriteFile(benchPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "popbench: writing %s: %v\n", benchPath, err)
+		exitCode = 1
+	} else {
+		fmt.Fprintf(os.Stderr, "popbench: wrote %s\n", benchPath)
 	}
 	os.Exit(exitCode)
 }

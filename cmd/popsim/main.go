@@ -11,9 +11,14 @@
 //	popsim -p majorityexact -n 1024 -gap 1
 //	popsim -p plurality   -n 1200 -colours 3
 //	popsim -p leader -n 600 -compiled
+//	popsim -p leader -n 4096 -json
+//
+// With -json the run summary is emitted as a single JSON object on stdout
+// for scripting; diagnostics stay on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -24,6 +29,28 @@ import (
 	"popkit/internal/frame"
 )
 
+var knownProtocols = map[string]bool{
+	"leader": true, "leaderexact": true, "majority": true,
+	"majorityexact": true, "plurality": true,
+}
+
+// summary is the -json output document, shared by both execution paths.
+type summary struct {
+	Protocol   string         `json:"protocol"`
+	N          int            `json:"n"`
+	Seed       uint64         `json:"seed"`
+	Compiled   bool           `json:"compiled"`
+	Iterations int            `json:"iterations,omitempty"`
+	Rounds     float64        `json:"rounds"`
+	Converged  bool           `json:"converged"`
+	Counts     map[string]int `json:"counts,omitempty"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "popsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		proto    = flag.String("p", "leader", "protocol: leader | leaderexact | majority | majorityexact | plurality")
@@ -33,11 +60,39 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		maxIters = flag.Int("max-iters", 2000, "iteration budget")
 		compiled = flag.Bool("compiled", false, "run the compiled flat protocol (leader only; slow)")
+		jsonOut  = flag.Bool("json", false, "emit the run summary as one JSON object")
 	)
 	flag.Parse()
 
+	// Validate every flag combination up front, before any work starts.
+	if !knownProtocols[*proto] {
+		fail("unknown protocol %q (want leader | leaderexact | majority | majorityexact | plurality)", *proto)
+	}
+	if *compiled && *proto != "leader" {
+		fail("-compiled supports only -p leader (got %q); the other protocols compile but are too slow to demonstrate here", *proto)
+	}
+	if *n < 2 {
+		fail("-n must be ≥ 2 (got %d)", *n)
+	}
+	if *maxIters < 1 {
+		fail("-max-iters must be ≥ 1 (got %d)", *maxIters)
+	}
+	switch *proto {
+	case "majority", "majorityexact":
+		if *gap < 0 || *gap > *n {
+			fail("-gap must be in [0, n] (got %d with n=%d)", *gap, *n)
+		}
+	case "plurality":
+		if *colours < 2 {
+			fail("-colours must be ≥ 2 (got %d)", *colours)
+		}
+		if *n < (*colours+1)*(*colours) {
+			fail("-n too small for %d colours (need at least %d agents)", *colours, (*colours+1)*(*colours))
+		}
+	}
+
 	if *compiled {
-		runCompiled(*proto, *n, *seed)
+		runCompiled(*proto, *n, *seed, *jsonOut)
 		return
 	}
 
@@ -53,9 +108,6 @@ func main() {
 		prog = popkit.MajorityExact(2)
 	case "plurality":
 		prog = popkit.Plurality(*colours, 2)
-	default:
-		fmt.Fprintf(os.Stderr, "popsim: unknown protocol %q\n", *proto)
-		os.Exit(1)
 	}
 
 	run, err := popkit.NewRun(prog, *n, *seed)
@@ -67,13 +119,50 @@ func main() {
 
 	done := convergence(*proto, *n, *colours)
 	iters, ok := run.RunUntil(done, *maxIters)
-	fmt.Printf("protocol=%s n=%d seed=%d\n", prog.Name, *n, *seed)
-	fmt.Printf("iterations=%d rounds=%.0f (%.1f × ln²n) converged=%v\n",
-		iters, run.Rounds, run.Rounds/math.Pow(math.Log(float64(*n)), 2), ok)
-	report(run, *proto, *colours)
+	if *jsonOut {
+		emit(summary{
+			Protocol:   *proto,
+			N:          *n,
+			Seed:       *seed,
+			Iterations: iters,
+			Rounds:     run.Rounds,
+			Converged:  ok,
+			Counts:     counts(run, *proto, *colours),
+		})
+	} else {
+		fmt.Printf("protocol=%s n=%d seed=%d\n", prog.Name, *n, *seed)
+		fmt.Printf("iterations=%d rounds=%.0f (%.1f × ln²n) converged=%v\n",
+			iters, run.Rounds, run.Rounds/math.Pow(math.Log(float64(*n)), 2), ok)
+		report(run, *proto, *colours)
+	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+func emit(s summary) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(s); err != nil {
+		fmt.Fprintln(os.Stderr, "popsim:", err)
+		os.Exit(1)
+	}
+}
+
+// counts gathers the protocol's headline variable counts for -json.
+func counts(run *popkit.Run, proto string, colours int) map[string]int {
+	out := map[string]int{}
+	switch proto {
+	case "leader", "leaderexact":
+		out["L"] = run.CountVar("L")
+	case "majority", "majorityexact":
+		out["YA"] = run.CountVar("YA")
+	case "plurality":
+		for c := 1; c <= colours; c++ {
+			key := fmt.Sprintf("W%d", c)
+			out[key] = run.CountVar(key)
+		}
+	}
+	return out
 }
 
 func setupInputs(run *popkit.Run, proto string, n, gap, colours int) {
@@ -165,17 +254,15 @@ func report(run *popkit.Run, proto string, colours int) {
 	}
 }
 
-func runCompiled(proto string, n int, seed uint64) {
-	if proto != "leader" {
-		fmt.Fprintln(os.Stderr, "popsim: -compiled currently demonstrates the leader protocol")
-		os.Exit(1)
-	}
+func runCompiled(proto string, n int, seed uint64, jsonOut bool) {
 	c, err := popkit.CompileProgram(popkit.LeaderElection(), popkit.CompileOptions{Control: popkit.XPreReduced})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
-	fmt.Println(c.Describe())
+	if !jsonOut {
+		fmt.Println(c.Describe())
+	}
 	rng := popkit.NewRNG(seed)
 	pop := c.NewPopulation(n, rng)
 	r := popkit.NewScheduler(popkit.NewEngine(c.Rules), pop, rng)
@@ -183,7 +270,19 @@ func runCompiled(proto string, n int, seed uint64) {
 	tr := r.Track("L", bitmask.Is(lv))
 	budget := 60.0 * float64(c.M) * 60 * math.Log(float64(n))
 	rounds, ok := r.RunUntil(func(*popkit.Scheduler) bool { return tr.Count() == 1 }, 25, budget)
-	fmt.Printf("compiled run: leaders=%d rounds=%.0f converged=%v\n", tr.Count(), rounds, ok)
+	if jsonOut {
+		emit(summary{
+			Protocol:  proto,
+			N:         n,
+			Seed:      seed,
+			Compiled:  true,
+			Rounds:    rounds,
+			Converged: ok,
+			Counts:    map[string]int{"L": tr.Count()},
+		})
+	} else {
+		fmt.Printf("compiled run: leaders=%d rounds=%.0f converged=%v\n", tr.Count(), rounds, ok)
+	}
 	if !ok {
 		os.Exit(1)
 	}

@@ -17,6 +17,14 @@ type RNG struct {
 	s [4]uint64
 }
 
+// mix64 is the splitmix64 output function: a bijective avalanche mix used
+// both to expand seeds into xoshiro state and to derive replica sub-seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // NewRNG returns a generator seeded from the given value. Distinct seeds
 // give independent-looking streams; the zero seed is valid.
 func NewRNG(seed uint64) *RNG {
@@ -24,12 +32,24 @@ func NewRNG(seed uint64) *RNG {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = mix64(sm)
 	}
 	return r
+}
+
+// SplitSeed derives the seed of replica i from a root seed. The derivation
+// is a two-stage splitmix64 mix, so nearby (root, replica) pairs map to
+// statistically independent streams: a fleet of replicas seeded with
+// SplitSeed(root, 0..k) reproduces identical trajectories no matter how the
+// replicas are scheduled across workers.
+func SplitSeed(root, replica uint64) uint64 {
+	return mix64(root + 0x9e3779b97f4a7c15*mix64(replica+0x9e3779b97f4a7c15))
+}
+
+// NewReplicaRNG returns the deterministic RNG stream of replica i under the
+// given root seed: NewRNG(SplitSeed(root, replica)).
+func NewReplicaRNG(root, replica uint64) *RNG {
+	return NewRNG(SplitSeed(root, replica))
 }
 
 // Uint64 returns the next 64 random bits.

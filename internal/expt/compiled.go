@@ -35,23 +35,35 @@ func runE13(cfg Config) Result {
 		seeds = 3
 	}
 	for _, n := range sizes {
+		n := n
+		// Compile once; the Compiled artifact and its looked-up vars are
+		// read-only and shared by every replica of the fleet.
 		c, err := compile.Compile(protocols.LeaderElection(), compile.Options{Control: compile.XPreReduced})
 		if err != nil {
 			panic(err)
 		}
+		lv, _ := c.Space.LookupVar("L")
+		type rep struct {
+			Rounds float64
+			OK     bool
+		}
+		reps := replicate(cfg, fmt.Sprintf("E13/n=%d", n), seeds,
+			func(s int) uint64 { return cfg.BaseSeed + uint64(n*13+s) },
+			func(s int, seed uint64) rep {
+				rng := engine.NewRNG(seed)
+				pop := c.NewPopulation(n, rng)
+				r := engine.NewRunner(engine.CompileProtocol(c.Rules), pop, rng)
+				tr := r.Track("L", bitmask.Is(lv))
+				budget := 60.0 * float64(c.M) * 60 * math.Log(float64(n))
+				rounds, ok := r.RunUntil(func(*engine.Runner) bool { return tr.Count() == 1 }, 25, budget)
+				return rep{Rounds: rounds, OK: ok}
+			})
 		conv := 0
 		var rs []float64
-		for s := 0; s < seeds; s++ {
-			rng := engine.NewRNG(cfg.BaseSeed + uint64(n*13+s))
-			pop := c.NewPopulation(n, rng)
-			r := engine.NewRunner(engine.CompileProtocol(c.Rules), pop, rng)
-			lv, _ := c.Space.LookupVar("L")
-			tr := r.Track("L", bitmask.Is(lv))
-			budget := 60.0 * float64(c.M) * 60 * math.Log(float64(n))
-			rounds, ok := r.RunUntil(func(*engine.Runner) bool { return tr.Count() == 1 }, 25, budget)
-			if ok {
+		for _, rp := range reps {
+			if rp.OK {
 				conv++
-				rs = append(rs, rounds)
+				rs = append(rs, rp.Rounds)
 			}
 		}
 		sm := stats.Summarize(rs)

@@ -67,12 +67,22 @@ func runE6(cfg Config) Result {
 	var ns, times []float64
 	for _, n := range sizes {
 		for _, eps := range []float64{0.25, 0.5} {
+			n, eps := n, eps
+			type rep struct {
+				Rounds float64
+				FinalX int64
+			}
+			reps := replicate(cfg, fmt.Sprintf("E6/n=%d/eps=%v", n, eps), seeds,
+				func(s int) uint64 { return cfg.BaseSeed + uint64(n) + uint64(s) },
+				func(s int, seed uint64) rep {
+					r, fx := twoMeetTime(n, eps, seed)
+					return rep{Rounds: r, FinalX: fx}
+				})
 			var rs []float64
 			alive := true
-			for s := 0; s < seeds; s++ {
-				r, fx := twoMeetTime(n, eps, cfg.BaseSeed+uint64(n)+uint64(s))
-				rs = append(rs, r)
-				if fx < 1 {
+			for _, rp := range reps {
+				rs = append(rs, rp.Rounds)
+				if rp.FinalX < 1 {
 					alive = false
 				}
 			}
@@ -132,12 +142,18 @@ func runE7(cfg Config) Result {
 		"n", "k", "rounds to #X<√n", "rounds / log^k n", "survival after (rounds)")
 	for _, n := range sizes {
 		for _, k := range []int{1, 2} {
+			n, k := n, k
+			reps := replicate(cfg, fmt.Sprintf("E7/n=%d/k=%d", n, k), seeds,
+				func(s int) uint64 { return cfg.BaseSeed + uint64(n) + uint64(k*100+s) },
+				func(s int, seed uint64) [2]float64 {
+					r, sr := cascadeTime(n, k, 0.5, seed)
+					return [2]float64{r, sr}
+				})
 			var rs, surv []float64
-			for s := 0; s < seeds; s++ {
-				r, sr := cascadeTime(n, k, 0.5, cfg.BaseSeed+uint64(n)+uint64(k*100+s))
-				if !math.IsNaN(r) {
-					rs = append(rs, r)
-					surv = append(surv, sr)
+			for _, rp := range reps {
+				if !math.IsNaN(rp[0]) {
+					rs = append(rs, rp[0])
+					surv = append(surv, rp[1])
 				}
 			}
 			sm, ss := stats.Summarize(rs), stats.Summarize(surv)
@@ -160,34 +176,38 @@ func runE12(cfg Config) Result {
 	tb := stats.NewTable("E12 — Always-correct time/state trade-off (Thm 2.4(ii)(b))",
 		"mechanism", "ε", "states (per-agent bits added)", "init rounds mean", "rounds/n^ε")
 	for _, eps := range []float64{0.25, 0.33, 0.5} {
-		var rs []float64
-		for s := 0; s < seeds; s++ {
-			r, _ := twoMeetTime(n, eps, cfg.BaseSeed+uint64(17*s)+uint64(eps*100))
-			rs = append(rs, r)
-		}
+		eps := eps
+		rs := replicate(cfg, fmt.Sprintf("E12/eps=%v", eps), seeds,
+			func(s int) uint64 { return cfg.BaseSeed + uint64(17*s) + uint64(eps*100) },
+			func(s int, seed uint64) float64 {
+				r, _ := twoMeetTime(n, eps, seed)
+				return r
+			})
 		sm := stats.Summarize(rs)
 		tb.AddRow("two-meet (O(1) states)", eps, 1, sm.Mean, sm.Mean/math.Pow(float64(n), eps))
 	}
 	// The fast alternative: the geometric junta election reaches
-	// #X ≤ n^(1−ε) in O(log n) rounds with O(log n) states.
+	// #X ≤ n^(1−ε) in O(log n) rounds with O(log n) states. The ruleset is
+	// compiled once and shared read-only across the replica fleet.
 	sp := bitmask.NewSpace()
 	x := sp.Bool("X")
 	g := junta.NewGeometric(sp, "G", x, 24)
 	p := engine.CompileProtocol(g.Rules())
-	var rs []float64
 	nd := 100000
-	for s := 0; s < seeds; s++ {
-		pop := engine.NewDenseInit(nd, func(int) bitmask.State {
-			return g.InitAgent(bitmask.State{})
+	rs := replicate(cfg, "E12/geometric", seeds,
+		func(s int) uint64 { return cfg.BaseSeed + uint64(900+s) },
+		func(s int, seed uint64) float64 {
+			pop := engine.NewDenseInit(nd, func(int) bitmask.State {
+				return g.InitAgent(bitmask.State{})
+			})
+			r := engine.NewRunner(p, pop, engine.NewRNG(seed))
+			tr := r.Track("X", bitmask.Is(x))
+			target := math.Pow(float64(nd), 0.75)
+			rounds, _ := r.RunUntil(func(*engine.Runner) bool {
+				return float64(tr.Count()) < target
+			}, 1, 400*math.Log(float64(nd)))
+			return rounds
 		})
-		r := engine.NewRunner(p, pop, engine.NewRNG(cfg.BaseSeed+uint64(900+s)))
-		tr := r.Track("X", bitmask.Is(x))
-		target := math.Pow(float64(nd), 0.75)
-		rounds, _ := r.RunUntil(func(*engine.Runner) bool {
-			return float64(tr.Count()) < target
-		}, 1, 400*math.Log(float64(nd)))
-		rs = append(rs, rounds)
-	}
 	sm := stats.Summarize(rs)
 	tb.AddRow("geometric junta (O(log n) states, Prop 5.4)", 0.25,
 		sp.NumBitsUsed(), sm.Mean, sm.Mean/math.Log(float64(nd)))

@@ -69,37 +69,60 @@ func runE3(cfg Config) Result {
 	}
 	tb := stats.NewTable("E3 — Oscillator dynamics (Thm 5.1)",
 		"n", "#X", "escape rounds (/ln n)", "window rounds (/ln n)", "cyclic order", "a_min range during osc.")
+	type e3Rep struct {
+		Escape     float64
+		HasEscape  bool
+		Windows    []float64
+		Cyclic     bool
+		MinA, MaxA int
+	}
 	for _, n := range sizes {
+		n := n
 		nx := int(math.Sqrt(float64(n)) / 2)
 		if nx < 1 {
 			nx = 1
 		}
+		reps := replicate(cfg, fmt.Sprintf("E3/n=%d", n), seeds,
+			func(s int) uint64 { return cfg.BaseSeed + uint64(n+s) },
+			func(s int, seed uint64) e3Rep {
+				o, r := buildOscRun(n, nx, seed)
+				probe := osc.NewProbe(o)
+				rep := e3Rep{MinA: n, MaxA: 0}
+				budget := 120 * math.Log(float64(n))
+				for r.Rounds() < budget && len(probe.Events()) < 8 {
+					r.RunRounds(1)
+					probe.Observe(r)
+					if len(probe.Events()) >= 2 {
+						am := o.MinSpecies(r.Pop)
+						if am < rep.MinA {
+							rep.MinA = am
+						}
+						if am > rep.MaxA {
+							rep.MaxA = am
+						}
+					}
+				}
+				rep.Escape, rep.HasEscape = probe.EscapeTime()
+				rep.Windows = probe.Windows()
+				rep.Cyclic = probe.CyclicOK()
+				return rep
+			})
 		var escapes, windows []float64
 		cyclic := true
 		minA, maxA := n, 0
-		for s := 0; s < seeds; s++ {
-			o, r := buildOscRun(n, nx, cfg.BaseSeed+uint64(n+s))
-			probe := osc.NewProbe(o)
-			budget := 120 * math.Log(float64(n))
-			for r.Rounds() < budget && len(probe.Events()) < 8 {
-				r.RunRounds(1)
-				probe.Observe(r)
-				if len(probe.Events()) >= 2 {
-					am := o.MinSpecies(r.Pop)
-					if am < minA {
-						minA = am
-					}
-					if am > maxA {
-						maxA = am
-					}
-				}
+		for _, rp := range reps {
+			if rp.HasEscape {
+				escapes = append(escapes, rp.Escape)
 			}
-			if esc, ok := probe.EscapeTime(); ok {
-				escapes = append(escapes, esc)
-			}
-			windows = append(windows, probe.Windows()...)
-			if !probe.CyclicOK() {
+			windows = append(windows, rp.Windows...)
+			if !rp.Cyclic {
 				cyclic = false
+			}
+			if rp.MinA < minA {
+				minA = rp.MinA
+			}
+			if rp.MaxA > maxA {
+				maxA = rp.MaxA
 			}
 		}
 		se, sw := stats.Summarize(escapes), stats.Summarize(windows)

@@ -7,8 +7,10 @@ package expt
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
+	"popkit/internal/fleet"
 	"popkit/internal/stats"
 )
 
@@ -21,6 +23,17 @@ type Config struct {
 	Quick bool
 	// BaseSeed offsets all RNG seeds for independent replications.
 	BaseSeed uint64
+	// Workers sizes the replica fleet that multi-seed experiments fan out
+	// onto; values < 1 mean one worker per CPU. Results are identical for
+	// any worker count: every replica derives all randomness from its own
+	// seed (see replicate).
+	Workers int
+	// Progress, when non-nil, receives fleet progress reports (replicas
+	// done / in-flight / ETA) during long sweeps.
+	Progress io.Writer
+	// ReplicaSink, when non-nil, receives every replica result as it
+	// completes (e.g. a fleet.JSONLSink for machine-readable run logs).
+	ReplicaSink fleet.ResultSink
 }
 
 // DefaultConfig is the popbench default.

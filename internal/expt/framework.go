@@ -52,21 +52,32 @@ func runE1(cfg Config) Result {
 		"n", "iterations mean±sd", "rounds mean", "rounds/log²n", "unique leader", "stable after +5 iters")
 	var ns, rounds []float64
 	for _, n := range sizesE1(cfg) {
+		n := n
+		type rep struct {
+			Iters, Rounds   float64
+			Correct, Stable bool
+		}
+		reps := replicate(cfg, fmt.Sprintf("E1/n=%d", n), cfg.Seeds,
+			func(s int) uint64 { return cfg.BaseSeed + uint64(1000*n+s) },
+			func(s int, seed uint64) rep {
+				e, err := frame.New(prog, n, seed)
+				if err != nil {
+					panic(err)
+				}
+				it, ok := e.RunUntil(func(e *frame.Executor) bool { return e.CountVar("L") == 1 }, 40*int(math.Log2(float64(n)))+40)
+				atConv := e.Rounds // charge convergence time, not the stability probe
+				e.RunIterations(5)
+				return rep{Iters: float64(it), Rounds: atConv, Correct: ok, Stable: e.CountVar("L") == 1}
+			})
 		var iters, rnds []float64
 		correct, stable := 0, 0
-		for s := 0; s < cfg.Seeds; s++ {
-			e, err := frame.New(prog, n, cfg.BaseSeed+uint64(1000*n+s))
-			if err != nil {
-				panic(err)
-			}
-			it, ok := e.RunUntil(func(e *frame.Executor) bool { return e.CountVar("L") == 1 }, 40*int(math.Log2(float64(n)))+40)
-			if ok {
+		for _, rp := range reps {
+			iters = append(iters, rp.Iters)
+			rnds = append(rnds, rp.Rounds)
+			if rp.Correct {
 				correct++
 			}
-			iters = append(iters, float64(it))
-			rnds = append(rnds, e.Rounds)
-			e.RunIterations(5)
-			if e.CountVar("L") == 1 {
+			if rp.Stable {
 				stable++
 			}
 		}
@@ -100,31 +111,41 @@ func runE2(cfg Config) Result {
 			if gi == 0 {
 				uncol = n / 10 // also exercise the paper's uncoloured-agent generality
 			}
+			n, gap, uncol := n, gap, uncol
+			type rep struct {
+				Rounds  float64
+				Correct bool
+			}
+			reps := replicate(cfg, fmt.Sprintf("E2/n=%d/gap=%d", n, gap), cfg.Seeds,
+				func(s int) uint64 { return cfg.BaseSeed + uint64(n*31+gap*7+s) },
+				func(s int, seed uint64) rep {
+					nB := (n - uncol - gap) / 2
+					nA := nB + gap
+					e, err := frame.New(prog, n, seed)
+					if err != nil {
+						panic(err)
+					}
+					a, _ := e.Space.LookupVar("A")
+					b, _ := e.Space.LookupVar("B")
+					e.SetInput(func(i int, st bitmask.State) bitmask.State {
+						switch {
+						case i < nA:
+							return a.Set(st, true)
+						case i < nA+nB:
+							return b.Set(st, true)
+						}
+						return st
+					})
+					e.RunIterations(3)
+					return rep{Rounds: e.Rounds, Correct: e.CountVar("YA") == n}
+				})
 			correct := 0
 			var rnds []float64
-			for s := 0; s < cfg.Seeds; s++ {
-				nB := (n - uncol - gap) / 2
-				nA := nB + gap
-				e, err := frame.New(prog, n, cfg.BaseSeed+uint64(n*31+gap*7+s))
-				if err != nil {
-					panic(err)
-				}
-				a, _ := e.Space.LookupVar("A")
-				b, _ := e.Space.LookupVar("B")
-				e.SetInput(func(i int, st bitmask.State) bitmask.State {
-					switch {
-					case i < nA:
-						return a.Set(st, true)
-					case i < nA+nB:
-						return b.Set(st, true)
-					}
-					return st
-				})
-				e.RunIterations(3)
-				if e.CountVar("YA") == n {
+			for _, rp := range reps {
+				if rp.Correct {
 					correct++
 				}
-				rnds = append(rnds, e.Rounds)
+				rnds = append(rnds, rp.Rounds)
 			}
 			sr := stats.Summarize(rnds)
 			tb.AddRow(n, gap, uncol, fmt.Sprintf("%d/%d", correct, cfg.Seeds), sr.Mean)
@@ -140,24 +161,34 @@ func runE8(cfg Config) Result {
 	if cfg.Quick {
 		sizes = []int{256}
 	}
+	type e8Rep struct {
+		Iters        float64
+		Conv, Stable bool
+	}
 	for _, n := range sizes {
+		n := n
+		reps := replicate(cfg, fmt.Sprintf("E8/leaderexact/n=%d", n), cfg.Seeds,
+			func(s int) uint64 { return cfg.BaseSeed + uint64(n+s) },
+			func(s int, seed uint64) e8Rep {
+				e, err := frame.New(protocols.LeaderElectionExact(), n, seed)
+				if err != nil {
+					panic(err)
+				}
+				it, ok := e.RunUntil(func(e *frame.Executor) bool {
+					return e.CountVar("L") == 1 && e.CountVar("R") == 1
+				}, 600)
+				e.Faults = frame.Faults{PartialAssignProb: 0.2}
+				e.RunIterations(10)
+				return e8Rep{Iters: float64(it), Conv: ok, Stable: e.CountVar("L") == 1}
+			})
 		var iters []float64
 		conv, stable := 0, 0
-		for s := 0; s < cfg.Seeds; s++ {
-			e, err := frame.New(protocols.LeaderElectionExact(), n, cfg.BaseSeed+uint64(n+s))
-			if err != nil {
-				panic(err)
-			}
-			it, ok := e.RunUntil(func(e *frame.Executor) bool {
-				return e.CountVar("L") == 1 && e.CountVar("R") == 1
-			}, 600)
-			if ok {
+		for _, rp := range reps {
+			iters = append(iters, rp.Iters)
+			if rp.Conv {
 				conv++
 			}
-			iters = append(iters, float64(it))
-			e.Faults = frame.Faults{PartialAssignProb: 0.2}
-			e.RunIterations(10)
-			if e.CountVar("L") == 1 {
+			if rp.Stable {
 				stable++
 			}
 		}
@@ -167,41 +198,47 @@ func runE8(cfg Config) Result {
 			stats.Summarize(iters).Mean)
 	}
 	for _, n := range sizes {
+		n := n
+		reps := replicate(cfg, fmt.Sprintf("E8/majorityexact/n=%d", n), cfg.Seeds,
+			func(s int) uint64 { return cfg.BaseSeed + uint64(n*3+s) },
+			func(s int, seed uint64) e8Rep {
+				gap := 1 + s%3
+				nB := (n - gap) / 2
+				nA := nB + gap
+				e, err := frame.New(protocols.MajorityExact(2), n, seed)
+				if err != nil {
+					panic(err)
+				}
+				a, _ := e.Space.LookupVar("A")
+				b, _ := e.Space.LookupVar("B")
+				at, _ := e.Space.LookupVar("At")
+				bt, _ := e.Space.LookupVar("Bt")
+				e.SetInput(func(i int, st bitmask.State) bitmask.State {
+					switch {
+					case i < nA:
+						st = a.Set(st, true)
+						return at.Set(st, true)
+					case i < nA+nB:
+						st = b.Set(st, true)
+						return bt.Set(st, true)
+					}
+					return st
+				})
+				it, ok := e.RunUntil(func(e *frame.Executor) bool {
+					return e.CountVar("Bt") == 0 && e.CountVar("YA") == n
+				}, 3000)
+				e.Faults = frame.Faults{PartialAssignProb: 0.25}
+				e.RunIterations(10)
+				return e8Rep{Iters: float64(it), Conv: ok, Stable: e.CountVar("YA") == n}
+			})
 		conv, stable := 0, 0
 		var iters []float64
-		for s := 0; s < cfg.Seeds; s++ {
-			gap := 1 + s%3
-			nB := (n - gap) / 2
-			nA := nB + gap
-			e, err := frame.New(protocols.MajorityExact(2), n, cfg.BaseSeed+uint64(n*3+s))
-			if err != nil {
-				panic(err)
-			}
-			a, _ := e.Space.LookupVar("A")
-			b, _ := e.Space.LookupVar("B")
-			at, _ := e.Space.LookupVar("At")
-			bt, _ := e.Space.LookupVar("Bt")
-			e.SetInput(func(i int, st bitmask.State) bitmask.State {
-				switch {
-				case i < nA:
-					st = a.Set(st, true)
-					return at.Set(st, true)
-				case i < nA+nB:
-					st = b.Set(st, true)
-					return bt.Set(st, true)
-				}
-				return st
-			})
-			it, ok := e.RunUntil(func(e *frame.Executor) bool {
-				return e.CountVar("Bt") == 0 && e.CountVar("YA") == n
-			}, 3000)
-			if ok {
+		for _, rp := range reps {
+			iters = append(iters, rp.Iters)
+			if rp.Conv {
 				conv++
 			}
-			iters = append(iters, float64(it))
-			e.Faults = frame.Faults{PartialAssignProb: 0.25}
-			e.RunIterations(10)
-			if e.CountVar("YA") == n {
+			if rp.Stable {
 				stable++
 			}
 		}

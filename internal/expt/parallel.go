@@ -1,0 +1,50 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"popkit/internal/engine"
+	"popkit/internal/fleet"
+)
+
+// replicate runs body for every seed index in [0, seeds) across a replica
+// fleet of cfg.Workers workers and returns the per-seed values in seed
+// order. seedOf maps a seed index to the replica's RNG seed — experiments
+// keep their historical formulas here, so fleet sweeps reproduce the exact
+// trajectories of the sequential loops they replaced, for any worker count.
+//
+// body must derive all randomness from its seed argument and must not write
+// shared state; aggregation happens on the ordered return values. A replica
+// that fails (panic included — the fleet captures it) aborts the experiment
+// with the replica's identity attached, matching the old loops' panic-on-
+// error behavior.
+func replicate[T any](cfg Config, tag string, seeds int, seedOf func(s int) uint64, body func(s int, seed uint64) T) []T {
+	jobs := make([]fleet.Job, seeds)
+	for s := 0; s < seeds; s++ {
+		s := s
+		seed := seedOf(s)
+		jobs[s] = fleet.Job{
+			ID:   s,
+			Tag:  tag,
+			Seed: seed,
+			Run: func(context.Context, *engine.RNG) (any, error) {
+				return body(s, seed), nil
+			},
+		}
+	}
+	opts := fleet.Options{Workers: cfg.Workers, Sink: cfg.ReplicaSink}
+	if cfg.Progress != nil {
+		opts.Progress = &fleet.Progress{W: cfg.Progress, Interval: 10 * time.Second, Label: tag}
+	}
+	results := fleet.Run(context.Background(), jobs, opts)
+	out := make([]T, seeds)
+	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("expt: replica %s[%d] (seed %d) failed: %v", tag, r.ID, r.Seed, r.Err))
+		}
+		out[i] = r.Value.(T)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// render produces the full deterministic output of the experiments: every
+// table as Markdown plus every figure CSV (name-sorted).
+func render(cfg Config, ids []string, t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		res := e.Run(cfg)
+		for _, tb := range res.Tables {
+			b.WriteString(tb.Markdown())
+		}
+		var names []string
+		for name := range res.Figures {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b.WriteString(name + "\n" + res.Figures[name])
+		}
+	}
+	return b.String()
+}
+
+// TestFleetWorkerCrossCheck is the popbench-path reproducibility gate: the
+// experiments must render byte-identical output whether their replica
+// fleets run on 1 worker or 8, because every replica's trajectory is a
+// function of its seed alone.
+func TestFleetWorkerCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-check runs full experiments")
+	}
+	ids := []string{"E1", "E3", "E6", "E12", "E13"}
+	base := Config{Seeds: 3, Quick: true, BaseSeed: 9}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	want := render(seq, ids, t)
+	got := render(par, ids, t)
+	if want != got {
+		line := 1
+		for i := 0; i < len(want) && i < len(got); i++ {
+			if want[i] != got[i] {
+				t.Fatalf("workers=8 output diverges from workers=1 at byte %d (line %d):\nseq: %.120q\npar: %.120q",
+					i, line, tail(want, i), tail(got, i))
+			}
+			if want[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("outputs differ in length: %d vs %d bytes", len(want), len(got))
+	}
+}
+
+func tail(s string, i int) string {
+	if i > len(s) {
+		i = len(s)
+	}
+	return s[i:]
+}
+
+// TestReplicateOrder checks replicate returns values in seed order and
+// feeds each body its formula seed, independent of worker count.
+func TestReplicateOrder(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		cfg := Config{Workers: workers}
+		got := replicate(cfg, "order", 17,
+			func(s int) uint64 { return 100 + uint64(s)*3 },
+			func(s int, seed uint64) [2]uint64 { return [2]uint64{uint64(s), seed} })
+		for s, v := range got {
+			if v[0] != uint64(s) || v[1] != 100+uint64(s)*3 {
+				t.Fatalf("workers=%d: slot %d holds replica %d seed %d", workers, s, v[0], v[1])
+			}
+		}
+	}
+}

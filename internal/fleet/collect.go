@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"popkit/internal/stats"
+)
+
+// Collector aggregates per-tag numeric samples from a running sweep and
+// summarizes them through internal/stats, exactly as the sequential
+// experiment loops do after-the-fact. It implements ResultSink for replicas
+// whose Value is a float64; richer replica payloads add samples explicitly
+// via Add (typically from a SinkFunc that unpacks the payload).
+type Collector struct {
+	mu      sync.Mutex
+	samples map[string][]float64
+	// order[i] remembers the position of each sample so Samples can return
+	// them in replica order regardless of completion order.
+	order map[string][]int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		samples: make(map[string][]float64),
+		order:   make(map[string][]int),
+	}
+}
+
+// Add records one sample for the tag at the given replica position.
+func (c *Collector) Add(tag string, replica int, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples[tag] = append(c.samples[tag], v)
+	c.order[tag] = append(c.order[tag], replica)
+}
+
+// Emit implements ResultSink for float64-valued replicas; results carrying
+// errors or other value types are ignored.
+func (c *Collector) Emit(r Result) {
+	if r.Err != nil {
+		return
+	}
+	if v, ok := r.Value.(float64); ok {
+		c.Add(r.Tag, r.ID, v)
+	}
+}
+
+// Samples returns the tag's samples sorted into replica order, so the
+// sequence is reproducible for any worker count.
+func (c *Collector) Samples(tag string) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.order[tag]
+	vals := c.samples[tag]
+	perm := make([]int, len(idx))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return idx[perm[a]] < idx[perm[b]] })
+	out := make([]float64, len(vals))
+	for i, p := range perm {
+		out[i] = vals[p]
+	}
+	return out
+}
+
+// Summary summarizes the tag's samples (in replica order).
+func (c *Collector) Summary(tag string) stats.Summary {
+	return stats.Summarize(c.Samples(tag))
+}
+
+// Tags returns the known tags, sorted.
+func (c *Collector) Tags() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tags := make([]string, 0, len(c.samples))
+	for t := range c.samples {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}

@@ -1,0 +1,255 @@
+// Package fleet fans independent simulation replicas out across a pool of
+// workers. The experiment harness is dominated by Monte-Carlo sweeps —
+// dozens of (protocol, n, seed) replicas that share nothing but read-only
+// compiled protocols — so the package's contract is determinism by
+// construction: every replica derives all of its randomness from its own
+// seed (see engine.SplitSeed), results are returned in job order, and a
+// sweep therefore produces byte-identical output for any worker count,
+// including the sequential loop it replaces.
+//
+// The executor is a bounded work-stealing pool: jobs are split into
+// contiguous per-worker deques, owners pop from the front, and an idle
+// worker steals from the back of the most loaded victim. Replicas that
+// panic are captured and reported as error results instead of killing the
+// sweep; per-replica timeouts and context cancellation mark the affected
+// results with the corresponding error.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"popkit/internal/engine"
+)
+
+// Job is one independent replica of a sweep.
+type Job struct {
+	// ID is the replica index; Run's result lands at this position of the
+	// slice returned by Run (jobs are addressed by position, so IDs are
+	// informational and normally equal the position).
+	ID int
+	// Tag labels the configuration point (e.g. "E3/n=20000") for sinks and
+	// aggregation.
+	Tag string
+	// Seed is the replica's RNG seed. The executor hands Run an
+	// engine.RNG seeded with it; bodies that build their own generators
+	// (or pass the seed to frame.New) should derive them from this value
+	// only, so the trajectory is independent of scheduling.
+	Seed uint64
+	// Timeout bounds the replica's wall-clock time; zero means none. On
+	// expiry the result carries context.DeadlineExceeded. The replica's
+	// goroutine is signalled via its context; a body that never checks it
+	// keeps running detached, but the sweep moves on.
+	Timeout time.Duration
+	// Run computes the replica. Its value is opaque to the executor.
+	Run func(ctx context.Context, rng *engine.RNG) (any, error)
+}
+
+// Result is the outcome of one replica.
+type Result struct {
+	ID      int
+	Tag     string
+	Seed    uint64
+	Value   any
+	Err     error
+	Elapsed time.Duration
+	// Worker is the index of the worker that ran the replica. It depends
+	// on scheduling — reproducible output must not consume it.
+	Worker int
+}
+
+// PanicError reports a replica that panicked; the sweep continues.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("replica panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Workers is the pool size; values < 1 mean runtime.GOMAXPROCS(0).
+	Workers int
+	// Sink, when non-nil, receives every result as it completes. It is
+	// called concurrently from worker goroutines; implementations must be
+	// safe for concurrent use (the ones in this package are).
+	Sink ResultSink
+	// Progress, when non-nil, receives periodic progress reports.
+	Progress *Progress
+}
+
+// Run executes the jobs across the pool and returns their results indexed
+// by job position. It blocks until every replica has completed, timed out,
+// or been cancelled; cancelling ctx marks not-yet-started replicas with
+// ctx.Err() without running them.
+func Run(ctx context.Context, jobs []Job, opts Options) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	deques := newDeques(len(jobs), workers)
+	var done atomic.Int64
+	var inFlight atomic.Int64
+
+	if opts.Progress != nil {
+		stop := opts.Progress.start(len(jobs), &done, &inFlight)
+		defer stop()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, ok := deques.next(w)
+				if !ok {
+					return
+				}
+				inFlight.Add(1)
+				results[idx] = runOne(ctx, jobs[idx], w)
+				inFlight.Add(-1)
+				done.Add(1)
+				if opts.Sink != nil {
+					opts.Sink.Emit(results[idx])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single replica with panic capture and an optional
+// deadline. The body runs in its own goroutine so a timeout can abandon it;
+// the buffered channel lets an abandoned body finish without leaking a
+// blocked goroutine.
+func runOne(ctx context.Context, job Job, worker int) Result {
+	res := Result{ID: job.ID, Tag: job.Tag, Seed: job.Seed, Worker: worker}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	jctx := ctx
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, job.Timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		value any
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := make([]byte, 16<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				ch <- outcome{err: &PanicError{Value: r, Stack: stack}}
+			}
+		}()
+		v, err := job.Run(jctx, engine.NewRNG(job.Seed))
+		ch <- outcome{value: v, err: err}
+	}()
+	select {
+	case out := <-ch:
+		res.Value, res.Err = out.value, out.err
+	case <-jctx.Done():
+		res.Err = jctx.Err()
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// deques is the work-stealing queue set: worker w owns the contiguous job
+// range [bounds[w], bounds[w+1]) packed into one atomic word as
+// head<<32 | tail. The owner CASes head forward; thieves CAS tail backward,
+// so claims are unique without locks.
+type deques struct {
+	words  []atomic.Uint64
+	bounds []int
+}
+
+func newDeques(jobs, workers int) *deques {
+	d := &deques{
+		words:  make([]atomic.Uint64, workers),
+		bounds: make([]int, workers+1),
+	}
+	for w := 0; w < workers; w++ {
+		lo := w * jobs / workers
+		hi := (w + 1) * jobs / workers
+		d.bounds[w] = lo
+		d.bounds[w+1] = hi
+		d.words[w].Store(uint64(lo)<<32 | uint64(hi))
+	}
+	return d
+}
+
+// next claims the worker's next job index: its own deque front first, then
+// the back of the fullest victim. ok=false means the whole sweep is drained.
+func (d *deques) next(w int) (int, bool) {
+	if idx, ok := d.popFront(w); ok {
+		return idx, true
+	}
+	for {
+		victim, remaining := -1, 0
+		for v := range d.words {
+			if v == w {
+				continue
+			}
+			word := d.words[v].Load()
+			if r := int(word&0xffffffff) - int(word>>32); r > remaining {
+				victim, remaining = v, r
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if idx, ok := d.popBack(victim); ok {
+			return idx, true
+		}
+		// Lost the race for that victim; rescan.
+	}
+}
+
+func (d *deques) popFront(w int) (int, bool) {
+	for {
+		word := d.words[w].Load()
+		head, tail := word>>32, word&0xffffffff
+		if head >= tail {
+			return 0, false
+		}
+		if d.words[w].CompareAndSwap(word, (head+1)<<32|tail) {
+			return int(head), true
+		}
+	}
+}
+
+func (d *deques) popBack(w int) (int, bool) {
+	for {
+		word := d.words[w].Load()
+		head, tail := word>>32, word&0xffffffff
+		if head >= tail {
+			return 0, false
+		}
+		if d.words[w].CompareAndSwap(word, head<<32|(tail-1)) {
+			return int(tail - 1), true
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"popkit/internal/engine"
+)
+
+// sumJob consumes the replica's RNG stream, so the value depends only on
+// the seed — the determinism contract under test.
+func sumJob(steps int) func(context.Context, *engine.RNG) (any, error) {
+	return func(_ context.Context, rng *engine.RNG) (any, error) {
+		var acc uint64
+		for i := 0; i < steps; i++ {
+			acc += rng.Uint64()
+		}
+		return acc, nil
+	}
+}
+
+func makeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Tag: "t", Seed: engine.SplitSeed(42, uint64(i)), Run: sumJob(100 + i)}
+	}
+	return jobs
+}
+
+func values(results []Result, t *testing.T) []uint64 {
+	t.Helper()
+	out := make([]uint64, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("replica %d failed: %v", i, r.Err)
+		}
+		out[i] = r.Value.(uint64)
+	}
+	return out
+}
+
+// TestWorkerCountInvariance is the core fleet determinism guarantee: the
+// ordered results are identical for any worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	jobs := makeJobs(40)
+	want := values(Run(context.Background(), jobs, Options{Workers: 1}), t)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := values(Run(context.Background(), jobs, Options{Workers: workers}), t)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: replica %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	jobs := makeJobs(5)
+	res := Run(context.Background(), jobs, Options{Workers: 2})
+	for i, r := range res {
+		if r.ID != i || r.Tag != "t" || r.Seed != jobs[i].Seed {
+			t.Errorf("replica %d metadata mismatch: %+v", i, r)
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("replica %d has no elapsed time", i)
+		}
+	}
+}
+
+func TestPanicCapture(t *testing.T) {
+	jobs := makeJobs(6)
+	jobs[3].Run = func(context.Context, *engine.RNG) (any, error) {
+		panic("replica exploded")
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 3})
+	var pe *PanicError
+	if !errors.As(res[3].Err, &pe) {
+		t.Fatalf("replica 3: want PanicError, got %v", res[3].Err)
+	}
+	if !strings.Contains(pe.Error(), "replica exploded") {
+		t.Errorf("panic message lost: %v", pe)
+	}
+	for i, r := range res {
+		if i != 3 && r.Err != nil {
+			t.Errorf("healthy replica %d infected: %v", i, r.Err)
+		}
+	}
+}
+
+func TestReplicaTimeout(t *testing.T) {
+	jobs := makeJobs(3)
+	jobs[1].Timeout = 10 * time.Millisecond
+	jobs[1].Run = func(ctx context.Context, _ *engine.RNG) (any, error) {
+		<-ctx.Done() // cooperative body: stops when told
+		return nil, ctx.Err()
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 2})
+	if !errors.Is(res[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", res[1].Err)
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Error("timeout leaked into other replicas")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var bodies atomic.Int64
+	inFirst := make(chan struct{})
+	release := make(chan struct{})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{ID: i, Run: func(context.Context, *engine.RNG) (any, error) {
+			bodies.Add(1)
+			if i == 0 {
+				close(inFirst)
+				<-release
+			}
+			return "done", nil
+		}}
+	}
+	go func() {
+		<-inFirst // replica 0 is in flight…
+		cancel()  // …when the sweep is cancelled
+		close(release)
+	}()
+	res := Run(ctx, jobs, Options{Workers: 1})
+	// Replica 0 raced the cancel — either outcome is fine. Every later
+	// replica must be marked cancelled without its body having run.
+	for i := 1; i < len(jobs); i++ {
+		if !errors.Is(res[i].Err, context.Canceled) {
+			t.Errorf("replica %d: want Canceled, got value=%v err=%v", i, res[i].Value, res[i].Err)
+		}
+	}
+	if got := bodies.Load(); got != 1 {
+		t.Fatalf("%d replica bodies ran after cancellation, want 1", got)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	jobs := makeJobs(7)
+	jobs[2].Run = func(context.Context, *engine.RNG) (any, error) {
+		return nil, errors.New("boom")
+	}
+	Run(context.Background(), jobs, Options{Workers: 3, Sink: sink})
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec struct {
+			ID   int     `json:"id"`
+			Seed uint64  `json:"seed"`
+			Err  string  `json:"err"`
+			Ms   float64 `json:"elapsed_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		seen[rec.ID] = true
+		if rec.ID == 2 && rec.Err != "boom" {
+			t.Errorf("replica 2 error not recorded: %+v", rec)
+		}
+		if rec.Seed != jobs[rec.ID].Seed {
+			t.Errorf("replica %d seed mismatch", rec.ID)
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("sink saw %d replicas, want %d", len(seen), len(jobs))
+	}
+}
+
+func TestCollector(t *testing.T) {
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{ID: i, Tag: fmt.Sprintf("g%d", i%2), Run: func(context.Context, *engine.RNG) (any, error) {
+			return float64(i), nil
+		}}
+	}
+	col := NewCollector()
+	Run(context.Background(), jobs, Options{Workers: 4, Sink: col})
+	if got := col.Tags(); len(got) != 2 || got[0] != "g0" || got[1] != "g1" {
+		t.Fatalf("tags = %v", got)
+	}
+	even := col.Samples("g0")
+	want := []float64{0, 2, 4, 6, 8}
+	if len(even) != len(want) {
+		t.Fatalf("g0 samples = %v", even)
+	}
+	for i := range want {
+		if even[i] != want[i] {
+			t.Fatalf("g0 samples out of replica order: %v", even)
+		}
+	}
+	if s := col.Summary("g1"); s.N != 5 || s.Mean != 5 {
+		t.Errorf("g1 summary = %+v", s)
+	}
+}
+
+func TestProgressReports(t *testing.T) {
+	// Run joins the reporter goroutine before returning, so reading the
+	// buffer afterwards is race-free.
+	var buf bytes.Buffer
+	jobs := makeJobs(12)
+	Run(context.Background(), jobs, Options{
+		Workers:  3,
+		Progress: &Progress{W: &buf, Interval: time.Millisecond, Label: "test"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "test: ") || !strings.Contains(out, "12/12 done") {
+		t.Fatalf("progress output missing final report:\n%s", out)
+	}
+}
+
+// TestStealing races four workers over the deque set and checks every job
+// is claimed exactly once — workers that drain their own deque must steal
+// the rest without duplicating or dropping claims.
+func TestStealing(t *testing.T) {
+	const n = 50
+	d := newDeques(n, 4)
+	claimed := make([]atomic.Int32, n)
+	var finished atomic.Int32
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for {
+				idx, ok := d.next(w)
+				if !ok {
+					if finished.Add(1) == 4 {
+						close(done)
+					}
+					return
+				}
+				claimed[idx].Add(1)
+			}
+		}(w)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deque drain deadlocked")
+	}
+	for i := range claimed {
+		if c := claimed[i].Load(); c != 1 {
+			t.Fatalf("job %d claimed %d times", i, c)
+		}
+	}
+}
+
+func TestSplitSeedStreams(t *testing.T) {
+	// Distinct replicas under one root must get distinct seeds, and the
+	// derivation must be a pure function.
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 4096; i++ {
+		s := engine.SplitSeed(7, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SplitSeed collision: replicas %d and %d both get %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if engine.SplitSeed(7, 3) != engine.SplitSeed(7, 3) {
+		t.Fatal("SplitSeed is not deterministic")
+	}
+	// Replica streams must differ from the raw root stream and each other.
+	a := engine.NewReplicaRNG(7, 0).Uint64()
+	b := engine.NewReplicaRNG(7, 1).Uint64()
+	c := engine.NewRNG(7).Uint64()
+	if a == b || a == c {
+		t.Fatalf("replica streams not independent: %#x %#x %#x", a, b, c)
+	}
+}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Progress periodically reports sweep status — replicas done, in flight,
+// elapsed time and a naive ETA — to a writer (typically stderr). The zero
+// Interval defaults to 10s.
+type Progress struct {
+	W        io.Writer
+	Interval time.Duration
+	// Label prefixes every line (e.g. the experiment ID); empty means
+	// "fleet".
+	Label string
+}
+
+// start launches the reporting goroutine and returns a function that stops
+// it and emits a final line.
+func (p *Progress) start(total int, done, inFlight *atomic.Int64) func() {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	label := p.Label
+	if label == "" {
+		label = "fleet"
+	}
+	begin := time.Now()
+	report := func() {
+		d := done.Load()
+		elapsed := time.Since(begin)
+		eta := "?"
+		if d > 0 && int(d) < total {
+			remaining := time.Duration(float64(elapsed) / float64(d) * float64(int64(total)-d))
+			eta = remaining.Round(time.Second).String()
+		} else if int(d) == total {
+			eta = "0s"
+		}
+		fmt.Fprintf(p.W, "%s: %d/%d done · %d in-flight · elapsed %s · eta %s\n",
+			label, d, total, inFlight.Load(), elapsed.Round(time.Second), eta)
+	}
+	stop := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				report()
+			case <-stop:
+				report()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-finished
+	}
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ResultSink receives results as replicas complete. Emit is called
+// concurrently from worker goroutines, in completion order (which depends
+// on scheduling); anything that must be reproducible should instead consume
+// the ordered slice returned by Run.
+type ResultSink interface {
+	Emit(Result)
+}
+
+// SinkFunc adapts a function to ResultSink. The function must be safe for
+// concurrent calls.
+type SinkFunc func(Result)
+
+// Emit implements ResultSink.
+func (f SinkFunc) Emit(r Result) { f(r) }
+
+// MultiSink fans each result out to every sink in order.
+type MultiSink []ResultSink
+
+// Emit implements ResultSink.
+func (m MultiSink) Emit(r Result) {
+	for _, s := range m {
+		s.Emit(r)
+	}
+}
+
+// JSONLSink streams one JSON object per completed replica to a writer —
+// a machine-readable progress log that survives a crashed or cancelled
+// sweep. Lines are written atomically under a mutex.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink wraps the writer; the caller retains ownership (and closes
+// it, if applicable) after the sweep.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// jsonlRecord is the wire format of one replica line.
+type jsonlRecord struct {
+	ID        int             `json:"id"`
+	Tag       string          `json:"tag,omitempty"`
+	Seed      uint64          `json:"seed"`
+	Worker    int             `json:"worker"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Value     json.RawMessage `json:"value,omitempty"`
+	Err       string          `json:"err,omitempty"`
+}
+
+// Emit implements ResultSink.
+func (s *JSONLSink) Emit(r Result) {
+	rec := jsonlRecord{
+		ID:        r.ID,
+		Tag:       r.Tag,
+		Seed:      r.Seed,
+		Worker:    r.Worker,
+		ElapsedMS: float64(r.Elapsed.Microseconds()) / 1000,
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	if r.Value != nil {
+		if b, err := json.Marshal(r.Value); err == nil {
+			rec.Value = b
+		} else {
+			rec.Value, _ = json.Marshal(fmt.Sprintf("%v", r.Value))
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(line)
+	io.WriteString(s.w, "\n")
+}

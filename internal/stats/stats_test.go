@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -135,5 +136,30 @@ func TestTableRendering(t *testing.T) {
 	}
 	if tb.NumRows() != 2 {
 		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("E1", "n", "rounds")
+	tb.AddRow(1024, 42.5)
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("round-trip failed on %s: %v", data, err)
+	}
+	if got.Title != "E1" || len(got.Headers) != 2 || len(got.Rows) != 1 || got.Rows[0][1] != "42.50" {
+		t.Errorf("JSON table mangled: %s", data)
+	}
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "1024" {
+		t.Error("Rows() exposed internal storage")
 	}
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-2 gate: vet, formatting, and race-detector runs over the packages
+# that execute concurrently (the replica fleet and the simulation engine it
+# drives, plus the experiment harness's worker cross-check).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . )
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race (fleet, engine) =="
+go test -race ./internal/fleet/... ./internal/engine/...
+
+echo "== go test -race (expt fleet cross-check) =="
+go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
+
+echo "check: OK"
