@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench benchdiff kernel
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,20 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-2: vet + gofmt + race-detector runs over the concurrent packages.
+# Tier-2: vet + gofmt + race-detector runs over the concurrent packages,
+# plus a quick parse-through of the benchdiff harness.
 check:
 	./scripts/check.sh
 
 # Regenerate the experiment tables and BENCH_results.json into results/.
 bench:
 	$(GO) run ./cmd/popbench -out results
+
+# Compare kernel benchmarks of the working tree against a baseline ref
+# (default HEAD~1): make benchdiff [REF=main].
+benchdiff:
+	./scripts/benchdiff.sh $(REF)
+
+# Re-measure the raw simulation kernels into results/BENCH_kernel.json.
+kernel:
+	$(GO) run ./cmd/popbench -kernel -out results

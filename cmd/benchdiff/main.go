@@ -1,0 +1,184 @@
+// Command benchdiff compares two `go test -bench` output files in the style
+// of benchstat, using only the standard library (the container bakes no
+// external tooling). scripts/benchdiff.sh drives it to diff the working
+// tree's kernel benchmarks against a baseline git ref.
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] old.txt new.txt
+//
+// Each input is the stdout of `go test -bench ... [-count N]`. Samples of
+// the same benchmark are aggregated by median (robust to the odd noisy
+// run); the report shows old, new, spread, and delta per metric. With
+// -threshold > 0 the exit code is 1 if any ns/op metric regressed by more
+// than that percentage — the CI-gate mode.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sampleSet holds all samples of one (benchmark, unit) pair.
+type sampleSet map[string]map[string][]float64 // name → unit → samples
+
+// parseBench reads `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkCountStep-8   9573058   114.9 ns/op   16 B/op   1 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so runs from different machines
+// still line up.
+func parseBench(path string) (sampleSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := sampleSet{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if out[name] == nil {
+				out[name] = map[string][]float64{}
+			}
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// spread reports the half-range around the median as a percentage — a
+// poor man's confidence interval that needs no distribution assumptions.
+func spread(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := median(s)
+	if m == 0 {
+		return 0
+	}
+	return (s[len(s)-1] - s[0]) / 2 / m * 100
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "exit 1 if any ns/op metric regresses by more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	units := map[string]bool{}
+	names := map[string]bool{}
+	for n, m := range old {
+		names[n] = true
+		for u := range m {
+			units[u] = true
+		}
+	}
+	for n, m := range cur {
+		names[n] = true
+		for u := range m {
+			units[u] = true
+		}
+	}
+	unitOrder := make([]string, 0, len(units))
+	for u := range units {
+		unitOrder = append(unitOrder, u)
+	}
+	// ns/op first, then the allocation metrics alphabetically.
+	sort.Slice(unitOrder, func(i, j int) bool {
+		if (unitOrder[i] == "ns/op") != (unitOrder[j] == "ns/op") {
+			return unitOrder[i] == "ns/op"
+		}
+		return unitOrder[i] < unitOrder[j]
+	})
+	nameOrder := make([]string, 0, len(names))
+	for n := range names {
+		nameOrder = append(nameOrder, n)
+	}
+	sort.Strings(nameOrder)
+
+	regressed := false
+	for _, u := range unitOrder {
+		rows := [][4]string{}
+		for _, n := range nameOrder {
+			o, haveOld := old[n][u]
+			c, haveNew := cur[n][u]
+			if !haveOld && !haveNew {
+				continue
+			}
+			row := [4]string{n, "—", "—", "—"}
+			if haveOld {
+				row[1] = fmt.Sprintf("%.2f ±%2.0f%%", median(o), spread(o))
+			}
+			if haveNew {
+				row[2] = fmt.Sprintf("%.2f ±%2.0f%%", median(c), spread(c))
+			}
+			if haveOld && haveNew && median(o) != 0 {
+				delta := (median(c) - median(o)) / median(o) * 100
+				row[3] = fmt.Sprintf("%+.1f%%", delta)
+				if u == "ns/op" && *threshold > 0 && delta > *threshold {
+					regressed = true
+					row[3] += " !"
+				}
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Printf("%-36s %20s %20s %10s\n", u, "old", "new", "delta")
+		for _, r := range rows {
+			fmt.Printf("%-36s %20s %20s %10s\n", r[0], r[1], r[2], r[3])
+		}
+		fmt.Println()
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.1f%%\n", *threshold)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	popbench [-e E1,E3,F2] [-seeds N] [-workers N] [-quick] [-out DIR] [-list]
+//	popbench -kernel [-quick] [-out DIR]
 //
 // Without -e it runs every experiment in order. Tables are printed as
 // Markdown to stdout; figure CSVs and the machine-readable run record
@@ -11,6 +12,15 @@
 // experiments fan their replicas out across -workers fleet workers
 // (default: one per CPU); per-replica RNG streams make the output
 // byte-identical for any worker count.
+//
+// -kernel skips the experiments and instead measures the raw simulation
+// kernels (dense / counted / batch) on the E11 exact-majority workload,
+// writing BENCH_kernel.json into -out.
+//
+// -cpuprofile, -memprofile and -trace capture pprof/trace artifacts of
+// whichever mode ran, for chasing kernel regressions:
+//
+//	popbench -e E11 -cpuprofile cpu.out && go tool pprof cpu.out
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
 	"time"
@@ -31,11 +43,16 @@ import (
 
 // benchRecord is one experiment's entry in BENCH_results.json.
 type benchRecord struct {
-	ID      string         `json:"id"`
-	Claim   string         `json:"claim"`
-	WallMS  float64        `json:"wall_ms"`
-	Tables  []*stats.Table `json:"tables"`
-	Figures []string       `json:"figures,omitempty"`
+	ID     string  `json:"id"`
+	Claim  string  `json:"claim"`
+	WallMS float64 `json:"wall_ms"`
+	// Interactions counts simulated scheduler activations (including ones
+	// the counted kernels leapt over); NsPerInteraction = wall time divided
+	// by it, the headline throughput number for kernel comparisons.
+	Interactions     uint64         `json:"interactions,omitempty"`
+	NsPerInteraction float64        `json:"ns_per_interaction,omitempty"`
+	Tables           []*stats.Table `json:"tables"`
+	Figures          []string       `json:"figures,omitempty"`
 }
 
 // benchFile is the top-level BENCH_results.json document; the config block
@@ -49,7 +66,10 @@ type benchFile struct {
 	Experiments []benchRecord `json:"experiments"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole program so the profiling defers fire before exit.
+func run() int {
 	var (
 		only       = flag.String("e", "", "comma-separated experiment IDs (default: all)")
 		seeds      = flag.Int("seeds", 10, "runs per configuration point")
@@ -60,6 +80,10 @@ func main() {
 		workers    = flag.Int("workers", runtime.NumCPU(), "fleet workers for multi-seed sweeps")
 		replicaLog = flag.String("replica-log", "", "stream per-replica results to this JSONL file")
 		noProgress = flag.Bool("no-progress", false, "suppress fleet progress reports on stderr")
+		kernel     = flag.Bool("kernel", false, "measure the raw simulation kernels into BENCH_kernel.json and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -67,15 +91,62 @@ func main() {
 		for _, e := range expt.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
 		}
-		return
+		return 0
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			}
+		}()
+	}
+	if *kernel {
+		return runKernel(*out, *quick)
 	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "popbench: -workers must be ≥ 1 (got %d)\n", *workers)
-		os.Exit(2)
+		return 2
 	}
 	if *seeds < 1 {
 		fmt.Fprintf(os.Stderr, "popbench: -seeds must be ≥ 1 (got %d)\n", *seeds)
-		os.Exit(2)
+		return 2
 	}
 
 	var wanted []expt.Experiment
@@ -87,7 +158,7 @@ func main() {
 			e, ok := expt.Lookup(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "popbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			wanted = append(wanted, e)
 		}
@@ -101,7 +172,7 @@ func main() {
 		f, err := os.Create(*replicaLog)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		cfg.ReplicaSink = fleet.NewJSONLSink(f)
@@ -119,10 +190,14 @@ func main() {
 			fmt.Println(tb.Markdown())
 		}
 		rec := benchRecord{
-			ID:     e.ID,
-			Claim:  e.Claim,
-			WallMS: float64(elapsed.Microseconds()) / 1000,
-			Tables: res.Tables,
+			ID:           e.ID,
+			Claim:        e.Claim,
+			WallMS:       float64(elapsed.Microseconds()) / 1000,
+			Interactions: res.Interactions,
+			Tables:       res.Tables,
+		}
+		if res.Interactions > 0 {
+			rec.NsPerInteraction = float64(elapsed.Nanoseconds()) / float64(res.Interactions)
 		}
 		figNames := make([]string, 0, len(res.Figures))
 		for name := range res.Figures {
@@ -155,5 +230,5 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "popbench: wrote %s\n", benchPath)
 	}
-	os.Exit(exitCode)
+	return exitCode
 }

@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"math"
+
+	"popkit/internal/bitmask"
+)
+
+// BatchRunner drives a Counted population through the same Markov chain as
+// Runner and CountRunner, but fires whole runs of interactions between
+// stop-condition checks and strips every RNG draw whose outcome is forced.
+// It is exact in distribution — leaps over non-firing interactions are
+// geometric races against the horizon (the exact analogue of binomial
+// τ-leap batching, without its approximation error), and a draw is skipped
+// only when the pick it would make is deterministic:
+//
+//   - the rule pick, when exactly one rule has matching pairs (epidemics,
+//     coalescence, and the long annihilation tail of exact majority);
+//   - the initiator/responder picks, when the guard has exactly one
+//     occupied species (tracked incrementally as occ1/occ2).
+//
+// Unlike CountRunner it does NOT promise byte-identical RNG streams with
+// the historical kernel — skipped draws shift the stream. What it promises
+// instead is the same law: batch_equiv_test.go cross-validates its
+// hitting-time distributions against both exact runners at small n.
+//
+// Fired[i] counts the firings of rule i, giving experiments per-rule
+// interaction accounting for free.
+type BatchRunner struct {
+	P   *Protocol
+	Pop *Counted
+	RNG *RNG
+
+	// Interactions counts scheduler activations including the leapt
+	// non-matching ones.
+	Interactions uint64
+
+	// Fired counts rule firings, indexed by rule.
+	Fired []uint64
+
+	idx    *matchIndex
+	pairsW []float64
+}
+
+// NewBatchRunner assembles a batched runner. Like NewCountRunner it rejects
+// protocols with ordered (first-match) groups and attaches to the
+// population's mutation hook, so a population can drive only one
+// incremental runner at a time.
+func NewBatchRunner(p *Protocol, pop *Counted, rng *RNG) *BatchRunner {
+	return &BatchRunner{
+		P: p, Pop: pop, RNG: rng,
+		Fired:  make([]uint64, len(p.Set.Rules)),
+		idx:    newMatchIndex(p, pop),
+		pairsW: make([]float64, len(p.Set.Rules)),
+	}
+}
+
+// Rounds returns elapsed parallel time (interactions / n).
+func (r *BatchRunner) Rounds() float64 {
+	return float64(r.Interactions) / float64(r.Pop.n)
+}
+
+// Track registers a guard for incremental counting and returns its
+// tracker. RunUntil re-evaluates its stop condition only when some tracked
+// count moves.
+func (r *BatchRunner) Track(name string, f bitmask.Formula) *CountTracker {
+	return r.idx.track(name, f)
+}
+
+// matchingPairs returns the number of ordered pairs of distinct agents
+// matching rule i.
+func (r *BatchRunner) matchingPairs(i int) int64 {
+	return r.idx.matchingPairs(i)
+}
+
+// stepProbability returns the probability that a single scheduler
+// activation fires some rule.
+func (r *BatchRunner) stepProbability() float64 {
+	n := float64(r.Pop.n)
+	totalPairs := n * (n - 1)
+	var q float64
+	ix := r.idx
+	for i := range r.P.ruleWeightN {
+		q += r.P.ruleWeightN[i] * float64(ix.m1[i]*ix.m2[i]-ix.m12[i]) / totalPairs
+	}
+	return q
+}
+
+// LeapStep advances the chain to (and through) the next rule-firing
+// interaction. It returns false (without advancing) when no rule can ever
+// fire again — the protocol is silent. maxInteractions bounds the leap: if
+// the next firing lies beyond the bound, the runner advances exactly to
+// the bound and returns true without firing.
+func (r *BatchRunner) LeapStep(maxInteractions uint64) bool {
+	_, alive := r.leap(maxInteractions)
+	return alive
+}
+
+// leap is LeapStep distinguishing "fired" from "advanced to the horizon
+// without firing".
+func (r *BatchRunner) leap(maxInteractions uint64) (fired, alive bool) {
+	r.idx.syncCaches()
+	q := r.stepProbability()
+	if q <= 0 {
+		return false, false
+	}
+	skip := r.RNG.Geometric(q)
+	if maxInteractions > 0 && r.Interactions+skip+1 > maxInteractions {
+		r.Interactions = maxInteractions
+		return false, true
+	}
+	r.Interactions += skip + 1
+	r.fireMatching()
+	return true, true
+}
+
+// fireMatching executes one uniformly chosen matching (rule, ordered pair)
+// event, conditioned on the interaction firing, skipping draws whose
+// outcome is forced.
+func (r *BatchRunner) fireMatching() {
+	ix := r.idx
+
+	// Rule pick, probability ∝ weight × matching pairs. With a single
+	// active rule the pick is certain and the Float64 draw is skipped.
+	var total float64
+	active, nActive := 0, 0
+	for i := range r.pairsW {
+		pairs := ix.matchingPairs(i)
+		v := 0.0
+		if pairs > 0 {
+			nActive++
+			active = i
+			v = r.P.ruleWeightF[i] * float64(pairs)
+		}
+		r.pairsW[i] = v
+		total += v
+	}
+	idx := active
+	if nActive > 1 {
+		pick := r.RNG.Float64() * total
+		idx = -1
+		for i, v := range r.pairsW {
+			pick -= v
+			if pick < 0 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(r.pairsW) - 1
+		}
+	}
+	rule := int32(idx)
+	r.Fired[idx]++
+
+	// Initiator pick, weight cnt(s)·(m2 − [G2(s)]). With a single occupied
+	// G1 species all weight sits on one slot: find it without drawing.
+	pop := r.Pop
+	m2 := ix.m2[idx]
+	var target int64
+	byDraw := ix.occ1[idx] > 1
+	if byDraw {
+		target = r.RNG.Int63n(ix.matchingPairs(idx))
+	}
+	slot1 := int32(-1)
+	var g2s1 int64
+	for slot := range pop.keys {
+		f := ix.slotRows[slot].flagsFor(rule)
+		if f&rowG1 == 0 || pop.cnt[slot] == 0 {
+			continue
+		}
+		var b int64
+		if f&rowG2 != 0 {
+			b = 1
+		}
+		if !byDraw {
+			slot1 = int32(slot)
+			g2s1 = b
+			break
+		}
+		w := pop.cnt[slot] * (m2 - b)
+		if target < w {
+			slot1 = int32(slot)
+			g2s1 = b
+			break
+		}
+		target -= w
+	}
+	if slot1 < 0 {
+		panic("engine: initiator sampling walked off the table")
+	}
+
+	// Responder pick among G2-matchers, excluding the initiator agent.
+	avail := m2 - g2s1
+	byDraw = ix.occ2[idx] > 1
+	var t2 int64
+	if byDraw {
+		t2 = r.RNG.Int63n(avail)
+	}
+	slot2 := int32(-1)
+	for slot := range pop.keys {
+		if ix.slotRows[slot].flagsFor(rule)&rowG2 == 0 || pop.cnt[slot] == 0 {
+			continue
+		}
+		w := pop.cnt[slot]
+		if int32(slot) == slot1 {
+			w -= g2s1
+		}
+		if w <= 0 {
+			continue
+		}
+		if !byDraw || t2 < w {
+			slot2 = int32(slot)
+			break
+		}
+		t2 -= w
+	}
+	if slot2 < 0 {
+		panic("engine: responder sampling walked off the table")
+	}
+	ix.fire(rule, slot1, slot2)
+}
+
+// RunBatch fires up to maxFirings rule firings without evaluating any stop
+// condition in between, bounded by maxInteractions total scheduler
+// activations (0 = unbounded). It returns the number of firings executed
+// and whether the protocol can still move. Trajectory collectors use it to
+// advance in fixed-size strides between snapshots.
+func (r *BatchRunner) RunBatch(maxFirings, maxInteractions uint64) (fired uint64, alive bool) {
+	for fired < maxFirings {
+		f, a := r.leap(maxInteractions)
+		if !a {
+			return fired, false
+		}
+		if !f {
+			// Hit the horizon without firing.
+			return fired, true
+		}
+		fired++
+	}
+	return fired, true
+}
+
+// RunUntil leaps until the condition holds or maxRounds elapses or the
+// protocol goes silent, returning the parallel time consumed and whether
+// the condition was met.
+//
+// When trackers are registered (Track), the condition is re-evaluated only
+// after firings that moved a tracked count — the runs of quiescent firings
+// in between form the batches. Conditions must therefore read registered
+// trackers (or state derived from them); with no trackers the condition
+// runs after every firing.
+func (r *BatchRunner) RunUntil(cond func(*BatchRunner) bool, maxRounds float64) (rounds float64, ok bool) {
+	start := r.Rounds()
+	n := float64(r.Pop.n)
+	budget := uint64(math.Ceil(maxRounds*n)) + r.Interactions
+	gated := len(r.idx.trackers) > 0
+	check := true
+	for {
+		if check || !gated {
+			r.idx.trackersMoved = false
+			if cond(r) {
+				return r.Rounds() - start, true
+			}
+		}
+		if r.Interactions >= budget {
+			return r.Rounds() - start, false
+		}
+		if !r.LeapStep(budget) {
+			// Silent: the configuration can never change again.
+			return r.Rounds() - start, cond(r)
+		}
+		check = r.idx.trackersMoved
+	}
+}

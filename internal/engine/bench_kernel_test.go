@@ -1,0 +1,72 @@
+package engine_test
+
+import (
+	"testing"
+
+	"popkit/internal/baseline"
+	"popkit/internal/engine"
+)
+
+// BenchmarkCountStep drives the counted kernel on the E11 4-state
+// exact-majority baseline [DV12] at n = 10^6, gap 1 — the workload whose
+// Θ(n log n) round count makes per-firing cost the wall-clock bottleneck.
+// Each iteration is one LeapStep (one fired interaction plus the geometric
+// leap over the non-matching stretch before it).
+func BenchmarkCountStep(b *testing.B) {
+	em := baseline.NewExactMajority4()
+	proto := engine.CompileProtocol(em.Rules())
+	const n = 1_000_000
+	rng := engine.NewRNG(1)
+	pop := em.Population(n/2+1, n/2)
+	cr := engine.NewCountRunner(proto, pop, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cr.LeapStep(0) {
+			b.StopTimer()
+			pop = em.Population(n/2+1, n/2)
+			cr = engine.NewCountRunner(proto, pop, rng)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkBatchStep is BenchmarkCountStep on the batched runner: same
+// chain, same workload, but forced picks skip their RNG draws.
+func BenchmarkBatchStep(b *testing.B) {
+	em := baseline.NewExactMajority4()
+	proto := engine.CompileProtocol(em.Rules())
+	const n = 1_000_000
+	rng := engine.NewRNG(1)
+	pop := em.Population(n/2+1, n/2)
+	br := engine.NewBatchRunner(proto, pop, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !br.LeapStep(0) {
+			b.StopTimer()
+			pop = em.Population(n/2+1, n/2)
+			br = engine.NewBatchRunner(proto, pop, rng)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkBatchStepCoalescence drives the single-rule coalescence
+// protocol, where every pick is forced and the batch runner's fast paths
+// carry the entire firing.
+func BenchmarkBatchStepCoalescence(b *testing.B) {
+	cl := baseline.NewCoalescenceLeader()
+	proto := engine.CompileProtocol(cl.Rules())
+	const n = 1_000_000
+	rng := engine.NewRNG(1)
+	pop := cl.Population(n)
+	br := engine.NewBatchRunner(proto, pop, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !br.LeapStep(0) {
+			b.StopTimer()
+			pop = cl.Population(n)
+			br = engine.NewBatchRunner(proto, pop, rng)
+			b.StartTimer()
+		}
+	}
+}

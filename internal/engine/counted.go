@@ -10,23 +10,46 @@ import (
 // occupied state. It is exact (it simulates the same Markov chain as Dense
 // under the sequential scheduler) but scales to populations of 10^9 agents
 // for protocols whose occupied-state count stays small — all the paper's
-// constant-state protocols. Its runner can also leap over stretches of
+// constant-state protocols. Its runners can also leap over stretches of
 // non-reactive interactions in O(1) per stretch, which makes slow baselines
 // such as the 4-state exact-majority protocol (Θ(n log n) rounds) feasible
 // to measure.
+//
+// Internally the species table is a slot array: keys[i] is the state of
+// slot i and cnt[i] its count, with index mapping states back to slots.
+// Slot order is the sampling order (sorted at construction, then insertion
+// order), so the Fenwick-tree sampler below reproduces byte-for-byte the
+// RNG stream of the original linear-scan sampler. Slots are only remapped
+// by compact(), which bumps compactGen so runners can invalidate their
+// slot-keyed caches; appends keep existing slot ids stable.
 type Counted struct {
-	n      int64
-	counts map[bitmask.State]int64
-	keys   []bitmask.State        // occupied states, compacted lazily
-	inKeys map[bitmask.State]bool // membership of keys (counts may be 0)
-	dirty  bool                   // keys may contain zero-count entries
+	n     int64
+	keys  []bitmask.State         // slot → state
+	cnt   []int64                 // slot → count (may be 0 until compacted)
+	index map[bitmask.State]int32 // state → slot
+	dirty bool                    // some slot has a zero count
+
+	// compactGen is bumped whenever compact() remaps slots. Runners key
+	// their per-slot caches on it.
+	compactGen uint64
+
+	// fen is a Fenwick (binary indexed) tree over slot counts, used by
+	// sample for O(log #species) draws. It is rebuilt lazily — only when
+	// the occupancy set changed since the last draw (fenOK false) — and
+	// maintained incrementally by addSlot otherwise.
+	fen   []int64
+	fenOK bool
+
+	// hook, when set, receives every count mutation (slot, state, delta).
+	// The simulation runners use it to maintain per-rule match tallies and
+	// tracker counts incrementally instead of rescanning the table.
+	hook func(slot int32, s bitmask.State, delta int64)
 }
 
 // NewCounted builds a counted population from a state→count table.
 func NewCounted(counts map[bitmask.State]int64) *Counted {
 	c := &Counted{
-		counts: make(map[bitmask.State]int64, len(counts)),
-		inKeys: make(map[bitmask.State]bool, len(counts)),
+		index: make(map[bitmask.State]int32, len(counts)),
 	}
 	for s, k := range counts {
 		if k < 0 {
@@ -35,15 +58,18 @@ func NewCounted(counts map[bitmask.State]int64) *Counted {
 		if k == 0 {
 			continue
 		}
-		c.counts[s] = k
 		c.keys = append(c.keys, s)
-		c.inKeys[s] = true
 		c.n += k
 	}
 	if c.n < 2 {
 		panic("engine: population needs at least 2 agents")
 	}
 	c.sortKeys()
+	c.cnt = make([]int64, len(c.keys))
+	for i, s := range c.keys {
+		c.index[s] = int32(i)
+		c.cnt[i] = counts[s]
+	}
 	return c
 }
 
@@ -71,15 +97,19 @@ func (c *Counted) NumSpecies() int {
 }
 
 // CountState returns the number of agents in exactly state s.
-func (c *Counted) CountState(s bitmask.State) int64 { return c.counts[s] }
+func (c *Counted) CountState(s bitmask.State) int64 {
+	if i, ok := c.index[s]; ok {
+		return c.cnt[i]
+	}
+	return 0
+}
 
 // Count returns the number of agents matching the guard.
 func (c *Counted) Count(g bitmask.Guard) int64 {
-	c.compact()
 	var total int64
-	for _, s := range c.keys {
-		if g.Match(s) {
-			total += c.counts[s]
+	for i, s := range c.keys {
+		if c.cnt[i] > 0 && g.Match(s) {
+			total += c.cnt[i]
 		}
 	}
 	return total
@@ -92,74 +122,183 @@ func (c *Counted) CountFormula(f bitmask.Formula) int64 {
 
 // ForEach visits every occupied state with its count.
 func (c *Counted) ForEach(fn func(s bitmask.State, count int64)) {
-	c.compact()
-	for _, s := range c.keys {
-		fn(s, c.counts[s])
+	for i, s := range c.keys {
+		if c.cnt[i] > 0 {
+			fn(s, c.cnt[i])
+		}
 	}
 }
 
 // Histogram returns a copy of the species table.
 func (c *Counted) Histogram() map[bitmask.State]int64 {
-	c.compact()
 	out := make(map[bitmask.State]int64, len(c.keys))
-	for _, s := range c.keys {
-		out[s] = c.counts[s]
-	}
+	c.HistogramInto(out)
 	return out
 }
 
-// compact drops zero-count keys when the list has grown stale.
+// HistogramInto clears dst and fills it with the species table. Trajectory
+// collectors that snapshot the population every few rounds use it to reuse
+// one map across the whole sweep instead of allocating per sample.
+func (c *Counted) HistogramInto(dst map[bitmask.State]int64) {
+	clear(dst)
+	for i, s := range c.keys {
+		if c.cnt[i] > 0 {
+			dst[s] = c.cnt[i]
+		}
+	}
+}
+
+// NumSlots returns the size of the slot table including not-yet-compacted
+// zero-count entries. Runners size their per-slot caches from it.
+func (c *Counted) numSlots() int { return len(c.keys) }
+
+// compact drops zero-count slots when the table has grown stale. Slot ids
+// are remapped, so compactGen is bumped and the sampler invalidated.
 func (c *Counted) compact() {
 	if !c.dirty {
 		return
 	}
-	kept := c.keys[:0]
-	for _, s := range c.keys {
-		if c.counts[s] > 0 {
-			kept = append(kept, s)
+	keys := c.keys[:0]
+	cnt := c.cnt[:0]
+	for i, s := range c.keys {
+		if c.cnt[i] > 0 {
+			keys = append(keys, s)
+			cnt = append(cnt, c.cnt[i])
 		} else {
-			delete(c.counts, s)
-			delete(c.inKeys, s)
+			delete(c.index, s)
 		}
 	}
-	c.keys = kept
+	c.keys, c.cnt = keys, cnt
+	for i, s := range c.keys {
+		c.index[s] = int32(i)
+	}
 	c.dirty = false
+	c.compactGen++
+	c.fenOK = false
+}
+
+// slotFor returns the slot of state s, registering a fresh slot if the
+// state has never been occupied. Appends keep existing slot ids valid.
+func (c *Counted) slotFor(s bitmask.State) int32 {
+	if i, ok := c.index[s]; ok {
+		return i
+	}
+	i := int32(len(c.keys))
+	c.keys = append(c.keys, s)
+	c.cnt = append(c.cnt, 0)
+	c.index[s] = i
+	c.fenOK = false
+	return i
 }
 
 // add adjusts the count of state s by delta, registering new states.
 func (c *Counted) add(s bitmask.State, delta int64) {
-	old := c.counts[s]
-	now := old + delta
+	c.addSlot(c.slotFor(s), delta)
+}
+
+// addSlot is the hot-path variant of add for callers that already know the
+// slot. It keeps the Fenwick sampler and the attached runner's incremental
+// tallies in sync.
+func (c *Counted) addSlot(slot int32, delta int64) {
+	now := c.cnt[slot] + delta
 	if now < 0 {
 		panic("engine: species count went negative")
 	}
-	c.counts[s] = now
-	if now > 0 && !c.inKeys[s] {
-		c.keys = append(c.keys, s)
-		c.inKeys[s] = true
-	}
+	c.cnt[slot] = now
 	if now == 0 {
 		c.dirty = true
 	}
+	if c.fenOK {
+		c.fenAdd(slot, delta)
+	}
+	if c.hook != nil {
+		c.hook(slot, c.keys[slot], delta)
+	}
+}
+
+// attachHook registers the mutation listener of a runner. A population can
+// drive at most one incremental runner at a time: a second attachment would
+// silently desynchronize the first runner's tallies, so it panics instead.
+func (c *Counted) attachHook(h func(slot int32, s bitmask.State, delta int64)) {
+	if c.hook != nil {
+		panic("engine: population already driven by another runner")
+	}
+	c.hook = h
+}
+
+// Fenwick tree over slot counts: fen is 1-based, node i covering the slot
+// range (i − lowbit(i), i].
+
+func (c *Counted) rebuildFen() {
+	if cap(c.fen) < len(c.cnt)+1 {
+		c.fen = make([]int64, len(c.cnt)+1)
+	} else {
+		c.fen = c.fen[:len(c.cnt)+1]
+		clear(c.fen)
+	}
+	for i, k := range c.cnt {
+		j := i + 1
+		c.fen[j] += k
+		if p := j + j&-j; p < len(c.fen) {
+			c.fen[p] += c.fen[j]
+		}
+	}
+	c.fenOK = true
+}
+
+func (c *Counted) fenAdd(slot int32, delta int64) {
+	for i := int(slot) + 1; i < len(c.fen); i += i & -i {
+		c.fen[i] += delta
+	}
+}
+
+// fenSearch returns the first slot whose cumulative count exceeds r — the
+// same slot the original linear scan over keys would return — in
+// O(log #species).
+func (c *Counted) fenSearch(r int64) int32 {
+	idx := 0
+	half := 1
+	for half < len(c.fen)-1 {
+		half <<= 1
+	}
+	for ; half > 0; half >>= 1 {
+		if next := idx + half; next < len(c.fen) && c.fen[next] <= r {
+			idx = next
+			r -= c.fen[next]
+		}
+	}
+	if idx >= len(c.cnt) {
+		return -1
+	}
+	return int32(idx)
 }
 
 // sample returns a state drawn proportionally to counts, excluding one
-// agent of state excl if exclOne is true.
+// agent of state excl if exclOne is true. The draw consumes exactly one
+// Int63n and maps it to the same species as the historical linear scan, so
+// RNG streams are unchanged by the prefix-sum sampler.
 func (c *Counted) sample(rng *RNG, exclOne bool, excl bitmask.State) bitmask.State {
 	total := c.n
+	exclSlot := int32(-1)
 	if exclOne {
 		total--
+		if i, ok := c.index[excl]; ok {
+			exclSlot = i
+		}
+	}
+	if !c.fenOK {
+		c.rebuildFen()
+	}
+	if exclSlot >= 0 {
+		c.fenAdd(exclSlot, -1)
 	}
 	r := rng.Int63n(total)
-	for _, s := range c.keys {
-		k := c.counts[s]
-		if exclOne && s == excl {
-			k--
-		}
-		if r < k {
-			return s
-		}
-		r -= k
+	slot := c.fenSearch(r)
+	if exclSlot >= 0 {
+		c.fenAdd(exclSlot, 1)
 	}
-	panic("engine: sample walked off the species table")
+	if slot < 0 {
+		panic("engine: sample walked off the species table")
+	}
+	return c.keys[slot]
 }

@@ -11,6 +11,11 @@ import (
 // leaps over maximal stretches of non-matching interactions with a single
 // geometric sample, making protocols with long quiescent phases (e.g. the
 // Θ(n log n)-round 4-state exact-majority baseline) tractable at large n.
+//
+// The per-rule match tallies that drive the leap are maintained
+// incrementally (see matchIndex): the historical full rescan per firing is
+// gone, and the RNG stream is byte-identical to the scanning kernel's, so
+// seeds reproduce the exact trajectories recorded before the rewrite.
 type CountRunner struct {
 	P   *Protocol
 	Pop *Counted
@@ -20,21 +25,22 @@ type CountRunner struct {
 	// non-matching ones.
 	Interactions uint64
 
-	// scratch per rule
-	m1, m2, m12 []int64
+	idx *matchIndex
+
+	// pairsW is fireMatching's scratch: per-rule weight × matching pairs,
+	// computed once per firing and reused for the pick walk.
+	pairsW []float64
 }
 
 // NewCountRunner assembles a counted runner. Protocols with ordered
 // (first-match) groups are rejected: their event rates are not sums of
-// per-rule matching counts.
+// per-rule matching counts. The runner attaches to the population's
+// mutation hook; a population can drive only one runner at a time.
 func NewCountRunner(p *Protocol, pop *Counted, rng *RNG) *CountRunner {
-	if p.Set.HasOrderedGroups() {
-		panic("engine: counted runner does not support ordered rule groups")
-	}
-	nr := len(p.Set.Rules)
 	return &CountRunner{
 		P: p, Pop: pop, RNG: rng,
-		m1: make([]int64, nr), m2: make([]int64, nr), m12: make([]int64, nr),
+		idx:    newMatchIndex(p, pop),
+		pairsW: make([]float64, len(p.Set.Rules)),
 	}
 }
 
@@ -43,47 +49,30 @@ func (r *CountRunner) Rounds() float64 {
 	return float64(r.Interactions) / float64(r.Pop.n)
 }
 
-// matchCounts refreshes the per-rule species tallies:
-// m1 = agents matching G1, m2 = agents matching G2,
-// m12 = agents matching both (the same-agent correction).
-func (r *CountRunner) matchCounts() {
-	pop := r.Pop
-	pop.compact()
-	for i, rule := range r.P.Set.Rules {
-		var a, b, ab int64
-		for _, s := range pop.keys {
-			cnt := pop.counts[s]
-			g1 := rule.G1.Match(s)
-			g2 := rule.G2.Match(s)
-			if g1 {
-				a += cnt
-			}
-			if g2 {
-				b += cnt
-			}
-			if g1 && g2 {
-				ab += cnt
-			}
-		}
-		r.m1[i], r.m2[i], r.m12[i] = a, b, ab
-	}
+// Track registers a guard for incremental counting and returns its
+// tracker. RunUntil re-evaluates its stop condition only when some tracked
+// count moves, so conditions should read trackers rather than rescan the
+// population.
+func (r *CountRunner) Track(name string, f bitmask.Formula) *CountTracker {
+	return r.idx.track(name, f)
 }
 
 // matchingPairs returns the number of ordered pairs of distinct agents
 // matching rule i.
 func (r *CountRunner) matchingPairs(i int) int64 {
-	return r.m1[i]*r.m2[i] - r.m12[i]
+	return r.idx.matchingPairs(i)
 }
 
 // stepProbability returns the probability that a single scheduler
-// activation fires some rule, given fresh matchCounts.
+// activation fires some rule. The float expression mirrors the historical
+// per-rule loop exactly so leap lengths stay byte-identical.
 func (r *CountRunner) stepProbability() float64 {
 	n := float64(r.Pop.n)
 	totalPairs := n * (n - 1)
-	w := float64(r.P.NumSlots())
 	var q float64
-	for i := range r.P.Set.Rules {
-		q += float64(r.P.RuleWeight(i)) / w * float64(r.matchingPairs(i)) / totalPairs
+	ix := r.idx
+	for i := range r.P.ruleWeightN {
+		q += r.P.ruleWeightN[i] * float64(ix.m1[i]*ix.m2[i]-ix.m12[i]) / totalPairs
 	}
 	return q
 }
@@ -95,7 +84,7 @@ func (r *CountRunner) stepProbability() float64 {
 // bound, the runner advances exactly to the bound and returns true without
 // firing.
 func (r *CountRunner) LeapStep(maxInteractions uint64) bool {
-	r.matchCounts()
+	r.idx.syncCaches()
 	q := r.stepProbability()
 	if q <= 0 {
 		return false
@@ -115,13 +104,15 @@ func (r *CountRunner) LeapStep(maxInteractions uint64) bool {
 func (r *CountRunner) fireMatching() {
 	// Pick the rule with probability ∝ weight × matching pairs.
 	var total float64
-	for i := range r.P.Set.Rules {
-		total += float64(r.P.RuleWeight(i)) * float64(r.matchingPairs(i))
+	for i := range r.pairsW {
+		v := r.P.ruleWeightF[i] * float64(r.matchingPairs(i))
+		r.pairsW[i] = v
+		total += v
 	}
 	pick := r.RNG.Float64() * total
 	idx := -1
-	for i := range r.P.Set.Rules {
-		pick -= float64(r.P.RuleWeight(i)) * float64(r.matchingPairs(i))
+	for i, v := range r.pairsW {
+		pick -= v
 		if pick < 0 {
 			idx = i
 			break
@@ -130,59 +121,58 @@ func (r *CountRunner) fireMatching() {
 	if idx < 0 {
 		idx = len(r.P.Set.Rules) - 1
 	}
-	rule := r.P.Rule(idx)
+	rule := int32(idx)
 
 	// Pick the initiator species s1 with weight cnt(s1)·(m2 − [G2(s1)]).
 	pop := r.Pop
-	m2 := r.m2[idx]
-	target := r.RNG.Int63n(r.matchingPairs(idx))
-	var s1 bitmask.State
-	found := false
-	for _, s := range pop.keys {
-		if !rule.G1.Match(s) {
+	ix := r.idx
+	m2 := ix.m2[idx]
+	target := r.RNG.Int63n(ix.matchingPairs(idx))
+	slot1 := int32(-1)
+	var g2s1 int64
+	for slot := range pop.keys {
+		f := ix.slotRows[slot].flagsFor(rule)
+		if f&rowG1 == 0 {
 			continue
 		}
-		w := pop.counts[s] * (m2 - boolToInt64(rule.G2.Match(s)))
+		var b int64
+		if f&rowG2 != 0 {
+			b = 1
+		}
+		w := pop.cnt[slot] * (m2 - b)
 		if target < w {
-			s1 = s
-			found = true
+			slot1 = int32(slot)
+			g2s1 = b
 			break
 		}
 		target -= w
 	}
-	if !found {
+	if slot1 < 0 {
 		panic("engine: initiator sampling walked off the table")
 	}
 	// Pick the responder species s2 among G2-matchers, excluding the
 	// initiator agent itself.
-	avail := m2 - boolToInt64(rule.G2.Match(s1))
+	avail := m2 - g2s1
 	t2 := r.RNG.Int63n(avail)
-	var s2 bitmask.State
-	found = false
-	for _, s := range pop.keys {
-		if !rule.G2.Match(s) {
+	slot2 := int32(-1)
+	for slot := range pop.keys {
+		if ix.slotRows[slot].flagsFor(rule)&rowG2 == 0 {
 			continue
 		}
-		w := pop.counts[s]
-		if s == s1 {
-			w -= boolToInt64(rule.G2.Match(s1))
+		w := pop.cnt[slot]
+		if int32(slot) == slot1 {
+			w -= g2s1
 		}
 		if t2 < w {
-			s2 = s
-			found = true
+			slot2 = int32(slot)
 			break
 		}
 		t2 -= w
 	}
-	if !found {
+	if slot2 < 0 {
 		panic("engine: responder sampling walked off the table")
 	}
-
-	ns1, ns2 := rule.Apply(s1, s2)
-	pop.add(s1, -1)
-	pop.add(s2, -1)
-	pop.add(ns1, 1)
-	pop.add(ns2, 1)
+	r.idx.fire(rule, slot1, slot2)
 }
 
 // Step performs one literal scheduler activation (no leaping): sample an
@@ -190,7 +180,6 @@ func (r *CountRunner) fireMatching() {
 // against Runner and LeapStep.
 func (r *CountRunner) Step() bool {
 	pop := r.Pop
-	pop.compact()
 	s1 := pop.sample(r.RNG, false, bitmask.State{})
 	s2 := pop.sample(r.RNG, true, s1)
 	r.Interactions++
@@ -206,17 +195,27 @@ func (r *CountRunner) Step() bool {
 	return true
 }
 
-// RunUntil leaps until the condition holds (checked after every firing and
-// at least every checkEvery rounds) or maxRounds elapses or the protocol
-// goes silent. It returns the parallel time consumed in this call, and
-// whether the condition was met.
+// RunUntil leaps until the condition holds or maxRounds elapses or the
+// protocol goes silent. It returns the parallel time consumed in this
+// call, and whether the condition was met.
+//
+// When trackers are registered (Track), the condition is re-evaluated only
+// after firings that moved a tracked count — quiescent firings skip the
+// check entirely. Conditions must therefore read registered trackers (or
+// state derived from them); with no trackers the condition runs after
+// every firing, as the scanning kernel did.
 func (r *CountRunner) RunUntil(cond func(*CountRunner) bool, maxRounds float64) (rounds float64, ok bool) {
 	start := r.Rounds()
 	n := float64(r.Pop.n)
 	budget := uint64(math.Ceil(maxRounds*n)) + r.Interactions
+	gated := len(r.idx.trackers) > 0
+	check := true
 	for {
-		if cond(r) {
-			return r.Rounds() - start, true
+		if check || !gated {
+			r.idx.trackersMoved = false
+			if cond(r) {
+				return r.Rounds() - start, true
+			}
 		}
 		if r.Interactions >= budget {
 			return r.Rounds() - start, false
@@ -225,6 +224,7 @@ func (r *CountRunner) RunUntil(cond func(*CountRunner) bool, maxRounds float64) 
 			// Silent: the configuration can never change again.
 			return r.Rounds() - start, cond(r)
 		}
+		check = r.idx.trackersMoved
 	}
 }
 

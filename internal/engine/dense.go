@@ -64,11 +64,20 @@ func (d *Dense) ForEach(fn func(i int, s bitmask.State)) {
 
 // Histogram returns the multiset of states as a count map.
 func (d *Dense) Histogram() map[bitmask.State]int64 {
-	h := make(map[bitmask.State]int64)
-	for _, s := range d.agents {
-		h[s]++
-	}
+	h := make(map[bitmask.State]int64, 16)
+	d.HistogramInto(h)
 	return h
+}
+
+// HistogramInto clears dst and fills it with the multiset of states.
+// Trajectory collectors that snapshot the population every few rounds use
+// it to reuse one map across the whole sweep instead of allocating per
+// sample.
+func (d *Dense) HistogramInto(dst map[bitmask.State]int64) {
+	clear(dst)
+	for _, s := range d.agents {
+		dst[s]++
+	}
 }
 
 // ApplyAll applies the update to every agent matching the guard and returns

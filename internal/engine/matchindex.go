@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"popkit/internal/bitmask"
+)
+
+// This file implements the incremental match-count machinery shared by the
+// counted runners. The historical kernel recomputed the per-rule tallies
+// m1/m2/m12 with a full #species × #rules rescan before every leap; the
+// matchIndex maintains them as running sums instead, fed one delta at a
+// time through Counted's mutation hook. Per-state guard evaluations happen
+// once — the first time a state is seen — and are memoized as dispatch
+// rows, so the leap loop itself touches only integer adds.
+
+// rowEntry marks one rule whose guards match a given state.
+type rowEntry struct {
+	rule  int32
+	flags uint8 // rowG1 | rowG2
+}
+
+const (
+	rowG1 = 1 << iota // state matches the rule's initiator guard
+	rowG2             // state matches the rule's responder guard
+)
+
+// stateRow is the dispatch row of one state: the rules it can participate
+// in, with initiator/responder flags. Rules matching neither side are
+// absent, so delta dispatch is O(row length), not O(#rules). The r1/r2/r12
+// slices pre-split the entries by tally so bump runs branch-free.
+type stateRow struct {
+	entries     []rowEntry
+	r1, r2, r12 []int32
+}
+
+// flagsFor returns the row's match flags for one rule (0 if absent).
+func (row *stateRow) flagsFor(rule int32) uint8 {
+	for _, e := range row.entries {
+		if e.rule == rule {
+			return e.flags
+		}
+	}
+	return 0
+}
+
+// A CountTracker incrementally maintains the number of agents matching a
+// guard in a counted population, the counterpart of the dense Runner's
+// Tracker. Stop conditions built on trackers are re-evaluated only when a
+// tracked count actually moves.
+type CountTracker struct {
+	Name  string
+	guard bitmask.Guard
+	count int64
+
+	slotMatch []bool // slot → guard match, synced with the population
+}
+
+// Count returns the current number of matching agents.
+func (t *CountTracker) Count() int64 { return t.count }
+
+// matchIndex binds one (Protocol, Counted) pair: per-rule m1/m2/m12
+// tallies, memoized dispatch rows, and registered trackers, all maintained
+// incrementally from count deltas.
+type matchIndex struct {
+	p   *Protocol
+	pop *Counted
+
+	// m1[i], m2[i] count agents matching rule i's initiator and responder
+	// guards; m12[i] counts agents matching both (the same-agent
+	// correction in the ordered-pair count m1·m2 − m12).
+	m1, m2, m12 []int64
+
+	// occ1[i], occ2[i] count occupied species (not agents) matching rule
+	// i's guards. When a guard has exactly one occupied species the
+	// corresponding participant pick is deterministic, and BatchRunner
+	// skips the RNG draw entirely.
+	occ1, occ2 []int64
+
+	rows     map[bitmask.State]*stateRow
+	slotRows []*stateRow // slot → row, remapped when the population compacts
+
+	trackers []*CountTracker
+	// trackersMoved is set whenever a tracker count changes; RunUntil
+	// clears it after re-evaluating its stop condition.
+	trackersMoved bool
+
+	compactGen uint64 // pop.compactGen the slot caches were built against
+
+	// trans caches rule firings at the species level: (rule, initiator
+	// slot, responder slot) → packed result slots, so the hot loop applies
+	// a firing without re-evaluating updates or hashing states. Rebuilt
+	// whenever the slot table changes shape. Shared by every counted
+	// runner driving this index.
+	trans      []int64
+	transSlots int
+	transGen   uint64
+}
+
+// transUnset marks an empty transition-cache entry.
+const transUnset = int64(-1)
+
+// transCacheLimit bounds the dense cache; protocols with huge live state
+// spaces fall back to applying rules directly.
+const transCacheLimit = 1 << 16
+
+// newMatchIndex builds the index, performs the single full scan that seeds
+// the tallies, and attaches the index to the population's mutation hook.
+func newMatchIndex(p *Protocol, pop *Counted) *matchIndex {
+	if p.Set.HasOrderedGroups() {
+		panic("engine: counted runners do not support ordered rule groups")
+	}
+	nr := len(p.Set.Rules)
+	ix := &matchIndex{
+		p: p, pop: pop,
+		m1: make([]int64, nr), m2: make([]int64, nr), m12: make([]int64, nr),
+		occ1: make([]int64, nr), occ2: make([]int64, nr),
+		rows: make(map[bitmask.State]*stateRow),
+	}
+	ix.syncSlots()
+	for slot, row := range ix.slotRows {
+		if k := pop.cnt[slot]; k > 0 {
+			ix.bump(row, k)
+			ix.occBump(row, 1)
+		}
+	}
+	pop.attachHook(ix.apply)
+	return ix
+}
+
+// rowOf memoizes the dispatch row of a state.
+func (ix *matchIndex) rowOf(s bitmask.State) *stateRow {
+	if row, ok := ix.rows[s]; ok {
+		return row
+	}
+	row := &stateRow{}
+	for i := range ix.p.Set.Rules {
+		var f uint8
+		if ix.p.ruleG1[i].Match(s) {
+			f |= rowG1
+		}
+		if ix.p.ruleG2[i].Match(s) {
+			f |= rowG2
+		}
+		if f != 0 {
+			row.entries = append(row.entries, rowEntry{rule: int32(i), flags: f})
+			if f&rowG1 != 0 {
+				row.r1 = append(row.r1, int32(i))
+			}
+			if f&rowG2 != 0 {
+				row.r2 = append(row.r2, int32(i))
+			}
+			if f == rowG1|rowG2 {
+				row.r12 = append(row.r12, int32(i))
+			}
+		}
+	}
+	ix.rows[s] = row
+	return row
+}
+
+// syncSlots (re)builds the slot-keyed caches: after a compaction they are
+// rebuilt from scratch; after appends they are extended in place.
+func (ix *matchIndex) syncSlots() {
+	pop := ix.pop
+	if ix.compactGen != pop.compactGen {
+		ix.slotRows = ix.slotRows[:0]
+		for _, t := range ix.trackers {
+			t.slotMatch = t.slotMatch[:0]
+		}
+		ix.compactGen = pop.compactGen
+	}
+	for slot := len(ix.slotRows); slot < len(pop.keys); slot++ {
+		s := pop.keys[slot]
+		ix.slotRows = append(ix.slotRows, ix.rowOf(s))
+		for _, t := range ix.trackers {
+			t.slotMatch = append(t.slotMatch, t.guard.Match(s))
+		}
+	}
+}
+
+// bump adds delta to every tally the row participates in.
+func (ix *matchIndex) bump(row *stateRow, delta int64) {
+	for _, i := range row.r1 {
+		ix.m1[i] += delta
+	}
+	for _, i := range row.r2 {
+		ix.m2[i] += delta
+	}
+	for _, i := range row.r12 {
+		ix.m12[i] += delta
+	}
+}
+
+// occBump adds delta to the occupied-species tallies of the row's rules.
+func (ix *matchIndex) occBump(row *stateRow, delta int64) {
+	for _, i := range row.r1 {
+		ix.occ1[i] += delta
+	}
+	for _, i := range row.r2 {
+		ix.occ2[i] += delta
+	}
+}
+
+// apply is the population mutation hook: one count delta in, tally and
+// tracker updates out.
+func (ix *matchIndex) apply(slot int32, s bitmask.State, delta int64) {
+	if delta == 0 {
+		return
+	}
+	if int(slot) >= len(ix.slotRows) || ix.compactGen != ix.pop.compactGen {
+		ix.syncSlots()
+	}
+	row := ix.slotRows[slot]
+	ix.bump(row, delta)
+	if now := ix.pop.cnt[slot]; now == 0 {
+		ix.occBump(row, -1)
+	} else if now == delta {
+		ix.occBump(row, 1)
+	}
+	for _, t := range ix.trackers {
+		if t.slotMatch[slot] {
+			t.count += delta
+			ix.trackersMoved = true
+		}
+	}
+}
+
+// track registers a guard for incremental counting.
+func (ix *matchIndex) track(name string, f bitmask.Formula) *CountTracker {
+	ix.syncSlots()
+	t := &CountTracker{Name: name, guard: bitmask.Compile(f)}
+	t.slotMatch = make([]bool, len(ix.slotRows))
+	for slot, s := range ix.pop.keys {
+		if t.guard.Match(s) {
+			t.slotMatch[slot] = true
+			t.count += ix.pop.cnt[slot]
+		}
+	}
+	ix.trackers = append(ix.trackers, t)
+	return t
+}
+
+// matchingPairs returns the number of ordered pairs of distinct agents
+// matching rule i.
+func (ix *matchIndex) matchingPairs(i int) int64 {
+	return ix.m1[i]*ix.m2[i] - ix.m12[i]
+}
+
+// syncCaches revalidates the slot-keyed caches after any external table
+// reshape (a compaction triggered through the public API, or new species).
+func (ix *matchIndex) syncCaches() {
+	pop := ix.pop
+	if ix.compactGen != pop.compactGen || len(ix.slotRows) != len(pop.keys) {
+		ix.syncSlots()
+	}
+	if ix.transGen != pop.compactGen || ix.transSlots != len(pop.keys) {
+		ix.rebuildTrans()
+	}
+}
+
+func (ix *matchIndex) rebuildTrans() {
+	pop := ix.pop
+	s := len(pop.keys)
+	need := len(ix.p.Set.Rules) * s * s
+	ix.transSlots = s
+	ix.transGen = pop.compactGen
+	if need > transCacheLimit {
+		ix.trans = nil
+		return
+	}
+	if cap(ix.trans) < need {
+		ix.trans = make([]int64, need)
+	} else {
+		ix.trans = ix.trans[:need]
+	}
+	for i := range ix.trans {
+		ix.trans[i] = transUnset
+	}
+}
+
+// fire applies rule → (slot1, slot2) at the species level, going through
+// the transition cache when possible. A participant whose state is
+// unchanged by the rule needs no update at all: the −1/+1 on its slot
+// cancels exactly through counts, tallies, trackers, and the sampler
+// alike.
+func (ix *matchIndex) fire(rule, slot1, slot2 int32) {
+	pop := ix.pop
+	var t1, t2 int32
+	ci := -1
+	if ix.trans != nil {
+		s := int32(ix.transSlots)
+		ci = int((rule*s+slot1)*s + slot2)
+		if packed := ix.trans[ci]; packed != transUnset {
+			t1, t2 = int32(packed>>32), int32(packed&0xffffffff)
+			if t1 != slot1 {
+				pop.addSlot(slot1, -1)
+				pop.addSlot(t1, 1)
+			}
+			if t2 != slot2 {
+				pop.addSlot(slot2, -1)
+				pop.addSlot(t2, 1)
+			}
+			return
+		}
+	}
+	rl := ix.p.Rule(int(rule))
+	ns1, ns2 := rl.Apply(pop.keys[slot1], pop.keys[slot2])
+	t1 = pop.slotFor(ns1)
+	t2 = pop.slotFor(ns2)
+	// slotFor may have grown the table, invalidating the cache layout; in
+	// that case skip the store — the next syncCaches rebuilds the cache.
+	if ci >= 0 && ix.transSlots == len(pop.keys) {
+		ix.trans[ci] = int64(t1)<<32 | int64(t2)
+	}
+	if t1 != slot1 {
+		pop.addSlot(slot1, -1)
+		pop.addSlot(t1, 1)
+	}
+	if t2 != slot2 {
+		pop.addSlot(slot2, -1)
+		pop.addSlot(t2, 1)
+	}
+}
+
+// resync recomputes every tally from a full scan. Only used by tests to
+// cross-check the incremental path; the simulation never needs it.
+func (ix *matchIndex) resync() {
+	clear(ix.m1)
+	clear(ix.m2)
+	clear(ix.m12)
+	clear(ix.occ1)
+	clear(ix.occ2)
+	ix.syncSlots()
+	for slot, row := range ix.slotRows {
+		if k := ix.pop.cnt[slot]; k > 0 {
+			ix.bump(row, k)
+			ix.occBump(row, 1)
+		}
+	}
+	for _, t := range ix.trackers {
+		t.count = 0
+		for slot := range ix.pop.keys {
+			if t.slotMatch[slot] {
+				t.count += ix.pop.cnt[slot]
+			}
+		}
+	}
+}

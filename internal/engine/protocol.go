@@ -19,6 +19,17 @@ type Protocol struct {
 	// ruleWeight[i] is the weight of rule i's group, used by the counted
 	// engine's exact event-rate computation.
 	ruleWeight []int
+	// ruleG1/ruleG2 flatten the per-rule guards into contiguous arrays —
+	// the dispatch table the counted runners' incremental match index
+	// walks when memoizing a new state's rule participation.
+	ruleG1, ruleG2 []bitmask.Guard
+	// ruleWeightF caches float64(ruleWeight) for the event-rate loops;
+	// ruleWeightN is ruleWeightF[i]/NumSlots(), the rule-pick probability,
+	// pre-divided so the per-leap event-rate loop skips a division. (The
+	// quotient is computed once with the same rounding the loop used, so
+	// leap lengths stay bit-identical.)
+	ruleWeightF []float64
+	ruleWeightN []float64
 }
 
 type groupIndex struct {
@@ -50,6 +61,16 @@ func CompileProtocol(rs *rules.Ruleset) *Protocol {
 			p.ruleWeight[i] = g.Weight
 		}
 		p.groups[gi] = buildGroupIndex(rs, g)
+	}
+	p.ruleG1 = make([]bitmask.Guard, len(rs.Rules))
+	p.ruleG2 = make([]bitmask.Guard, len(rs.Rules))
+	p.ruleWeightF = make([]float64, len(rs.Rules))
+	p.ruleWeightN = make([]float64, len(rs.Rules))
+	for i := range rs.Rules {
+		p.ruleG1[i] = rs.Rules[i].G1
+		p.ruleG2[i] = rs.Rules[i].G2
+		p.ruleWeightF[i] = float64(p.ruleWeight[i])
+		p.ruleWeightN[i] = p.ruleWeightF[i] / float64(p.NumSlots())
 	}
 	return p
 }

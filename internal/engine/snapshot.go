@@ -106,8 +106,8 @@ func (c *Counted) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.keys))); err != nil {
 		return 0, err
 	}
-	for _, s := range c.keys {
-		rec := [3]uint64{s.Lo, s.Hi, uint64(c.counts[s])}
+	for i, s := range c.keys {
+		rec := [3]uint64{s.Lo, s.Hi, uint64(c.cnt[i])}
 		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
 			return 0, err
 		}

@@ -25,6 +25,7 @@ func runE11(cfg Config) Result {
 	if seeds > 10 {
 		seeds = 10
 	}
+	var interactions uint64
 
 	// Table 1: majority correctness at gap 1 vs gap √(n log n).
 	t1 := stats.NewTable("E11a — Majority correctness by gap",
@@ -35,21 +36,28 @@ func runE11(cfg Config) Result {
 	}
 	bigGap := int(math.Sqrt(float64(nMaj) * math.Log(float64(nMaj))))
 	for _, gap := range []int{1, bigGap} {
-		// 3-state approximate majority (counted engine).
+		// 3-state approximate majority, on the fastest admissible counted
+		// runner; the stop condition reads incremental trackers so the
+		// kernel skips its re-evaluation while no opinion count moves.
 		am := baseline.NewApproxMajority()
 		proto := engine.CompileProtocol(am.Rules())
+		sA := am.A.Set(bitmask.State{}, true)
+		sB := am.B.Set(bitmask.State{}, true)
 		correct := 0
 		var rounds []float64
 		for s := 0; s < seeds; s++ {
-			pop := am.Population(int64(nMaj/2+gap), int64(nMaj/2), 0)
-			cr := engine.NewCountRunner(proto, pop, engine.NewRNG(cfg.BaseSeed+uint64(gap+s)))
-			r, ok := cr.RunUntil(func(c *engine.CountRunner) bool {
-				return am.Winner(c.Pop) != 0
+			counts := map[bitmask.State]int64{sA: int64(nMaj/2 + gap), sB: int64(nMaj / 2)}
+			drv := NewDriver(am.Rules(), proto, counts, engine.NewRNG(cfg.BaseSeed+uint64(gap+s)))
+			ta := drv.Track("A", bitmask.Is(am.A))
+			tb := drv.Track("B", bitmask.Is(am.B))
+			r, ok := drv.RunUntil(func() bool {
+				return ta.Count() == 0 || tb.Count() == 0
 			}, 1e6)
-			if ok && am.Winner(pop) == +1 {
+			if ok && ta.Count() > 0 && tb.Count() == 0 {
 				correct++
 			}
 			rounds = append(rounds, r)
+			interactions += drv.Interactions()
 		}
 		t1.AddRow("3-state approx [AAE08a]", nMaj, gap,
 			fmt.Sprintf("%d/%d", correct, seeds), stats.Summarize(rounds).Mean)
@@ -91,16 +99,23 @@ func runE11(cfg Config) Result {
 	}
 	em := baseline.NewExactMajority4()
 	emProto := engine.CompileProtocol(em.Rules())
+	emA := em.Strong.Set(em.IsA.Set(bitmask.State{}, true), true)
+	emB := em.Strong.Set(bitmask.State{}, true)
 	for _, n := range sizes {
 		var rounds []float64
 		for s := 0; s < seeds && s < 5; s++ {
-			pop := em.Population(n/2+1, n/2)
-			cr := engine.NewCountRunner(emProto, pop, engine.NewRNG(cfg.BaseSeed+uint64(n)+uint64(s)))
-			r, _ := cr.RunUntil(func(c *engine.CountRunner) bool {
-				d, _ := em.Decided(c.Pop)
-				return d
+			counts := map[bitmask.State]int64{emA: n/2 + 1, emB: n / 2}
+			drv := NewDriver(em.Rules(), emProto, counts, engine.NewRNG(cfg.BaseSeed+uint64(n)+uint64(s)))
+			// The annihilation rule preserves the opinion split, so the
+			// tracked count sits still through the whole Θ(n log n)
+			// annihilation phase and the condition is skipped with it.
+			ta := drv.Track("A", bitmask.Is(em.IsA))
+			r, _ := drv.RunUntil(func() bool {
+				a := ta.Count()
+				return a == 0 || a == n
 			}, 1e9)
 			rounds = append(rounds, r)
+			interactions += drv.Interactions()
 		}
 		m := stats.Summarize(rounds).Mean
 		logn := math.Log(float64(n))
@@ -142,15 +157,16 @@ func runE11(cfg Config) Result {
 		"protocol", "n", "mean rounds", "rounds/n", "rounds/ln²n")
 	cl := baseline.NewCoalescenceLeader()
 	clProto := engine.CompileProtocol(cl.Rules())
+	clL := cl.L.Set(bitmask.State{}, true)
 	for _, n := range sizes {
 		var rounds []float64
 		for s := 0; s < seeds && s < 5; s++ {
-			pop := cl.Population(n)
-			cr := engine.NewCountRunner(clProto, pop, engine.NewRNG(cfg.BaseSeed+uint64(7*n)+uint64(s)))
-			r, _ := cr.RunUntil(func(c *engine.CountRunner) bool {
-				return cl.Leaders(c.Pop) == 1
-			}, 1e9)
+			counts := map[bitmask.State]int64{clL: n}
+			drv := NewDriver(cl.Rules(), clProto, counts, engine.NewRNG(cfg.BaseSeed+uint64(7*n)+uint64(s)))
+			tl := drv.Track("L", bitmask.Is(cl.L))
+			r, _ := drv.RunUntil(func() bool { return tl.Count() == 1 }, 1e9)
 			rounds = append(rounds, r)
+			interactions += drv.Interactions()
 		}
 		m := stats.Summarize(rounds).Mean
 		logn := math.Log(float64(n))
@@ -172,5 +188,5 @@ func runE11(cfg Config) Result {
 		t3.AddRow("framework LeaderElection (§3.1)", n, m, m/float64(n), m/(logn*logn))
 	}
 
-	return Result{Tables: []*stats.Table{t1, t2, t3}}
+	return Result{Tables: []*stats.Table{t1, t2, t3}, Interactions: interactions}
 }

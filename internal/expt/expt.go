@@ -44,6 +44,11 @@ func DefaultConfig() Config { return Config{Seeds: 10} }
 type Result struct {
 	Tables  []*stats.Table
 	Figures map[string]string // name → CSV
+	// Interactions counts the scheduler activations simulated across the
+	// experiment's runs, including activations leapt over by the counted
+	// kernels. popbench divides wall time by it to report ns/interaction
+	// in BENCH_results.json.
+	Interactions uint64
 }
 
 // Experiment couples an ID with its runner.

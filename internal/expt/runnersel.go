@@ -1,0 +1,209 @@
+package expt
+
+import (
+	"math"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/rules"
+)
+
+// Runner selection: the engine offers three exact schedulers with different
+// capability/cost envelopes, and each experiment should get the fastest one
+// that is admissible for its (protocol, n) point. The matrix below is the
+// authoritative capability table (mirrored in EXPERIMENTS.md); the measured
+// per-interaction costs come from the committed kernel benchmark
+// results/BENCH_kernel.json (E11 exact-majority workload, see
+// BenchmarkCountStep/BenchmarkBatchStep).
+
+// RunnerKind names one of the engine's schedulers.
+type RunnerKind int
+
+const (
+	// RunnerDense is engine.Runner: one explicit state per agent, one
+	// scheduler activation per Step. The only runner that supports ordered
+	// (first-match) rule groups, and the fastest at toy sizes where most
+	// interactions fire.
+	RunnerDense RunnerKind = iota
+	// RunnerCounted is engine.CountRunner: species-vector population with
+	// geometric leaps. Byte-identical RNG streams with the historical
+	// scanning kernel, so archived seeds replay exactly.
+	RunnerCounted
+	// RunnerBatch is engine.BatchRunner: the counted chain with forced
+	// picks skipping their RNG draws and per-rule firing counts. Exact in
+	// distribution but not stream-compatible.
+	RunnerBatch
+)
+
+func (k RunnerKind) String() string {
+	switch k {
+	case RunnerDense:
+		return "dense"
+	case RunnerCounted:
+		return "counted"
+	case RunnerBatch:
+		return "batch"
+	}
+	return "unknown"
+}
+
+// RunnerCaps is one row of the capability matrix.
+type RunnerCaps struct {
+	Kind            RunnerKind
+	OrderedGroups   bool // supports first-match rule groups
+	LeapsQuiescence bool // O(1) geometric skips over non-firing stretches
+	HugePopulations bool // counts-only state: n up to ~1e9
+	StreamCompat    bool // reproduces the historical per-interaction RNG stream
+	// NsPerFiring is the measured cost of one rule firing on the E11
+	// exact-majority workload at n = 10^6 (dense: cost per interaction —
+	// it cannot leap, so quiescent activations cost the same).
+	NsPerFiring float64
+}
+
+// CapabilityMatrix returns the runner capability table.
+func CapabilityMatrix() []RunnerCaps {
+	return []RunnerCaps{
+		{Kind: RunnerDense, OrderedGroups: true, NsPerFiring: 72},
+		{Kind: RunnerCounted, LeapsQuiescence: true, HugePopulations: true, StreamCompat: true, NsPerFiring: 115},
+		{Kind: RunnerBatch, LeapsQuiescence: true, HugePopulations: true, NsPerFiring: 107},
+	}
+}
+
+// denseCrossover is the population size below which per-interaction dense
+// stepping beats the counted kernels: the counted per-firing cost (~110 ns)
+// only pays off once leaps skip enough quiescent activations, which needs
+// room that toy populations don't have.
+const denseCrossover = 1024
+
+// SelectRunner picks the fastest admissible runner for simulating rs on a
+// population of n agents. Ordered (first-match) groups rule out the counted
+// kernels entirely; otherwise the batched kernel wins beyond the dense
+// crossover size.
+func SelectRunner(rs *rules.Ruleset, n int64) RunnerKind {
+	if rs.HasOrderedGroups() {
+		return RunnerDense
+	}
+	if n < denseCrossover {
+		return RunnerDense
+	}
+	return RunnerBatch
+}
+
+// Counter is the common face of the engines' incremental trackers.
+type Counter interface{ Count() int64 }
+
+type denseCounter struct{ t *engine.Tracker }
+
+func (c denseCounter) Count() int64 { return int64(c.t.Count()) }
+
+// Driver runs one (protocol, population) pair on whichever runner
+// SelectRunner picked, behind a single tracker-based API. Stop conditions
+// must read trackers obtained from Track — that is what lets the counted
+// kernels skip re-evaluating the condition while no tracked count moves.
+type Driver struct {
+	Kind RunnerKind
+
+	counted *engine.Counted
+	dense   *engine.Dense
+	cr      *engine.CountRunner
+	br      *engine.BatchRunner
+	dr      *engine.Runner
+
+	denseSteps uint64
+}
+
+// NewDriver builds the driver for rs/proto over the given initial counts.
+func NewDriver(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.State]int64, rng *engine.RNG) *Driver {
+	var n int64
+	for _, k := range counts {
+		n += k
+	}
+	d := &Driver{Kind: SelectRunner(rs, n)}
+	switch d.Kind {
+	case RunnerDense:
+		d.dense = engine.NewDense(int(n))
+		i := 0
+		for s, k := range counts {
+			for j := int64(0); j < k; j++ {
+				d.dense.SetAgent(i, s)
+				i++
+			}
+		}
+		d.dr = engine.NewRunner(proto, d.dense, rng)
+	case RunnerCounted:
+		d.counted = engine.NewCounted(counts)
+		d.cr = engine.NewCountRunner(proto, d.counted, rng)
+	default:
+		d.counted = engine.NewCounted(counts)
+		d.br = engine.NewBatchRunner(proto, d.counted, rng)
+	}
+	return d
+}
+
+// Track registers an incremental count of agents matching f.
+func (d *Driver) Track(name string, f bitmask.Formula) Counter {
+	switch d.Kind {
+	case RunnerDense:
+		return denseCounter{d.dr.Track(name, f)}
+	case RunnerCounted:
+		return d.cr.Track(name, f)
+	default:
+		return d.br.Track(name, f)
+	}
+}
+
+// RunUntil advances until cond holds or maxRounds elapses, returning the
+// parallel time consumed and whether cond was met.
+func (d *Driver) RunUntil(cond func() bool, maxRounds float64) (rounds float64, ok bool) {
+	switch d.Kind {
+	case RunnerDense:
+		start := d.dr.Rounds()
+		steps := uint64(math.Ceil(maxRounds * float64(d.dense.N())))
+		for i := uint64(0); i < steps; i++ {
+			if cond() {
+				return d.dr.Rounds() - start, true
+			}
+			d.dr.Step()
+			d.denseSteps++
+		}
+		return d.dr.Rounds() - start, cond()
+	case RunnerCounted:
+		return d.cr.RunUntil(func(*engine.CountRunner) bool { return cond() }, maxRounds)
+	default:
+		return d.br.RunUntil(func(*engine.BatchRunner) bool { return cond() }, maxRounds)
+	}
+}
+
+// Rounds returns total elapsed parallel time.
+func (d *Driver) Rounds() float64 {
+	switch d.Kind {
+	case RunnerDense:
+		return d.dr.Rounds()
+	case RunnerCounted:
+		return d.cr.Rounds()
+	default:
+		return d.br.Rounds()
+	}
+}
+
+// Interactions returns the number of scheduler activations simulated,
+// including leapt quiescent ones.
+func (d *Driver) Interactions() uint64 {
+	switch d.Kind {
+	case RunnerDense:
+		return d.denseSteps
+	case RunnerCounted:
+		return d.cr.Interactions
+	default:
+		return d.br.Interactions
+	}
+}
+
+// HistogramInto snapshots the population into dst (cleared first).
+func (d *Driver) HistogramInto(dst map[bitmask.State]int64) {
+	if d.Kind == RunnerDense {
+		d.dense.HistogramInto(dst)
+		return
+	}
+	d.counted.HistogramInto(dst)
+}

@@ -173,6 +173,23 @@ func (o *Oscillator) SpeciesCounts(pop *engine.Dense) [3]int {
 	return out
 }
 
+// SpeciesCountsFrom tallies the species of non-source agents from a
+// population histogram (as produced by HistogramInto). The oscillator only
+// occupies a handful of states, so this costs O(#species) per sample instead
+// of the O(n) per-agent scan of SpeciesCounts — the difference dominates
+// trajectory collection, which samples every couple of rounds.
+func (o *Oscillator) SpeciesCountsFrom(h map[bitmask.State]int64) [3]int {
+	var out [3]int
+	gX := bitmask.Compile(bitmask.Is(o.X))
+	for s, k := range h {
+		if gX.Match(s) {
+			continue
+		}
+		out[o.Species.Get(s)] += int(k)
+	}
+	return out
+}
+
 // MinSpecies returns a_min = min_i |A_i| for the population.
 func (o *Oscillator) MinSpecies(pop *engine.Dense) int {
 	c := o.SpeciesCounts(pop)

@@ -22,4 +22,10 @@ go test -race ./internal/fleet/... ./internal/engine/...
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
+echo "== benchdiff harness smoke =="
+tmpb=$(mktemp)
+go test -run '^$' -bench 'BenchmarkAliasSample' -benchtime 100x ./internal/engine/ > "$tmpb"
+go run ./cmd/benchdiff "$tmpb" "$tmpb" >/dev/null
+rm -f "$tmpb"
+
 echo "check: OK"
