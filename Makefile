@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchdiff kernel
+.PHONY: build test check bench benchdiff kernel serve-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,20 @@ bench:
 	$(GO) run ./cmd/popbench -out results
 
 # Compare kernel benchmarks of the working tree against a baseline ref
-# (default HEAD~1): make benchdiff [REF=main].
+# (default HEAD~1): make benchdiff [REF=main]. Set FAIL_OVER=10 to exit 1
+# when any ns/op metric regresses by more than 10%.
 benchdiff:
 	./scripts/benchdiff.sh $(REF)
+
+# Boot popserved, run one job through POST /v1/simulate, check the NDJSON
+# stream and a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# Full popserved load test: concurrent streams, 429 backpressure,
+# CLI-vs-HTTP byte-identical determinism, graceful drain.
+loadtest:
+	./scripts/loadtest.sh
 
 # Re-measure the raw simulation kernels into results/BENCH_kernel.json.
 kernel:

@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold PCT] old.txt new.txt
+//	benchdiff [-threshold PCT] [-fail-over PCT] old.txt new.txt
 //
 // Each input is the stdout of `go test -bench ... [-count N]`. Samples of
 // the same benchmark are aggregated by median (robust to the odd noisy
 // run); the report shows old, new, spread, and delta per metric. With
 // -threshold > 0 the exit code is 1 if any ns/op metric regressed by more
-// than that percentage — the CI-gate mode.
+// than that percentage — the CI-gate mode. -fail-over is the CI-facing
+// spelling of the same gate; when both are given the stricter (smaller)
+// percentage wins.
 package main
 
 import (
@@ -95,10 +97,18 @@ func spread(xs []float64) float64 {
 
 func main() {
 	threshold := flag.Float64("threshold", 0, "exit 1 if any ns/op metric regresses by more than this percent (0 = report only)")
+	failOver := flag.Float64("fail-over", 0, "CI-gate alias of -threshold; the stricter of the two wins")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.txt new.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-fail-over PCT] old.txt new.txt")
 		os.Exit(2)
+	}
+	if *failOver < 0 || *threshold < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold and -fail-over must be ≥ 0")
+		os.Exit(2)
+	}
+	if *failOver > 0 && (*threshold == 0 || *failOver < *threshold) {
+		*threshold = *failOver
 	}
 	old, err := parseBench(flag.Arg(0))
 	if err != nil {

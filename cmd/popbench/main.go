@@ -24,16 +24,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"popkit/internal/expt"
@@ -58,11 +61,14 @@ type benchRecord struct {
 // benchFile is the top-level BENCH_results.json document; the config block
 // makes runs diffable across PRs.
 type benchFile struct {
-	Seeds       int           `json:"seeds"`
-	Quick       bool          `json:"quick"`
-	BaseSeed    uint64        `json:"base_seed"`
-	Workers     int           `json:"workers"`
-	WallMS      float64       `json:"wall_ms"`
+	Seeds    int     `json:"seeds"`
+	Quick    bool    `json:"quick"`
+	BaseSeed uint64  `json:"base_seed"`
+	Workers  int     `json:"workers"`
+	WallMS   float64 `json:"wall_ms"`
+	// Interrupted marks a run cut short by SIGINT/SIGTERM: Experiments then
+	// holds only the entries that completed before the signal.
+	Interrupted bool          `json:"interrupted,omitempty"`
 	Experiments []benchRecord `json:"experiments"`
 }
 
@@ -164,7 +170,10 @@ func run() int {
 		}
 	}
 
-	cfg := expt.Config{Seeds: *seeds, Quick: *quick, BaseSeed: *seed, Workers: *workers}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := expt.Config{Seeds: *seeds, Quick: *quick, BaseSeed: *seed, Workers: *workers, Ctx: ctx}
 	if !*noProgress {
 		cfg.Progress = os.Stderr
 	}
@@ -182,9 +191,20 @@ func run() int {
 	begin := time.Now()
 	exitCode := 0
 	for _, e := range wanted {
+		if ctx.Err() != nil {
+			bench.Interrupted = true
+			break
+		}
 		fmt.Printf("## %s — %s\n\n", e.ID, e.Claim)
 		start := time.Now()
-		res := e.Run(cfg)
+		res, err := runExperiment(ctx, e, cfg)
+		if err != nil {
+			// Interrupted mid-experiment: drop this experiment's partial
+			// output but still flush everything that completed before it.
+			fmt.Fprintf(os.Stderr, "popbench: %s %v\n", e.ID, err)
+			bench.Interrupted = true
+			break
+		}
 		elapsed := time.Since(start)
 		for _, tb := range res.Tables {
 			fmt.Println(tb.Markdown())
@@ -230,5 +250,26 @@ func run() int {
 	} else {
 		fmt.Fprintf(os.Stderr, "popbench: wrote %s\n", benchPath)
 	}
+	if bench.Interrupted {
+		fmt.Fprintln(os.Stderr, "popbench: interrupted; partial results flushed")
+		return 130
+	}
 	return exitCode
+}
+
+// runExperiment runs one experiment, converting the panic replicate raises
+// when the fleet context is cancelled back into an error so an interrupt
+// flushes the completed experiments instead of crashing. Panics unrelated
+// to cancellation propagate unchanged.
+func runExperiment(ctx context.Context, e expt.Experiment, cfg expt.Config) (res expt.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ctx.Err() != nil {
+				err = fmt.Errorf("interrupted: %v", ctx.Err())
+				return
+			}
+			panic(r)
+		}
+	}()
+	return e.Run(cfg), nil
 }

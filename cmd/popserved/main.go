@@ -1,0 +1,109 @@
+// Command popserved serves population-protocol simulation jobs over HTTP:
+// clients POST a job spec (protocol, n, seed, replicas, parameters) and
+// receive the per-replica results streamed back as NDJSON while a worker
+// pool computes them on the replica fleet.
+//
+// Usage:
+//
+//	popserved [-addr HOST:PORT] [-queue N] [-workers N] [-fleet-workers N]
+//	          [-job-timeout D] [-drain D] [-max-n N] [-max-replicas N]
+//
+// Endpoints:
+//
+//	POST /v1/simulate   run a job, stream NDJSON records (429 when the
+//	                    queue is full; client disconnect cancels the job)
+//	GET  /v1/protocols  list runnable protocols
+//	GET  /healthz       liveness + queue depth
+//	GET  /metrics       JSON counters and latency histograms
+//
+// Determinism survives the network boundary: the same (protocol, n, seed,
+// replicas) spec returns byte-identical records to `popsim -ndjson`, which
+// runs the same registry code in-process.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, in-flight jobs
+// drain under the -drain deadline, then stragglers are aborted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"popkit/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		queue        = flag.Int("queue", 64, "job queue depth (full queue rejects with 429)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "jobs executing concurrently")
+		fleetWorkers = flag.Int("fleet-workers", 1, "replica-fleet width per job (does not change results)")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock budget")
+		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		maxN         = flag.Int("max-n", 5_000_000, "largest accepted population size")
+		maxReplicas  = flag.Int("max-replicas", 1024, "largest accepted replica count")
+	)
+	flag.Parse()
+	if *queue < 1 || *workers < 1 || *fleetWorkers < 1 || *maxN < 2 || *maxReplicas < 1 {
+		fmt.Fprintln(os.Stderr, "popserved: -queue, -workers, -fleet-workers, -max-replicas must be ≥ 1 and -max-n ≥ 2")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
+		return 1
+	}
+	srv := serve.New(serve.Config{
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		FleetWorkers: *fleetWorkers,
+		JobTimeout:   *jobTimeout,
+		MaxN:         *maxN,
+		MaxReplicas:  *maxReplicas,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The scripts parse this line to discover the bound port.
+	fmt.Fprintf(os.Stderr, "popserved: listening on http://%s (workers=%d queue=%d)\n",
+		ln.Addr(), *workers, *queue)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
+		srv.Abort()
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second ^C kills us
+
+	fmt.Fprintf(os.Stderr, "popserved: shutting down, draining in-flight jobs (deadline %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "popserved: drain deadline exceeded, aborting in-flight jobs: %v\n", err)
+		srv.Abort()
+		hs.Close()
+		code = 1
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "popserved: drained, bye")
+	return code
+}

@@ -12,21 +12,38 @@
 //	popsim -p plurality   -n 1200 -colours 3
 //	popsim -p leader -n 600 -compiled
 //	popsim -p leader -n 4096 -json
+//	popsim -p leader -n 4096 -seed 7 -replicas 8 -ndjson
+//	popsim -p exactmajority -n 100000 -gap 1 -ndjson
 //
 // With -json the run summary is emitted as a single JSON object on stdout
 // for scripting; diagnostics stay on stderr.
+//
+// With -ndjson the run goes through the serving registry — the exact code
+// popserved executes — and one NDJSON record per replica is streamed to
+// stdout in replica order. The stream is byte-identical to a POST
+// /v1/simulate response for the same (protocol, n, seed, replicas,
+// parameters) spec, for any -workers count; -ndjson additionally unlocks
+// the counted baseline protocols (approxmajority, exactmajority,
+// coalescence). SIGINT/SIGTERM cancel the sweep, flush the records already
+// computed, and exit 130.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	popkit "popkit"
 	"popkit/internal/bitmask"
+	"popkit/internal/expt"
 	"popkit/internal/frame"
+	"popkit/internal/serve"
 )
 
 var knownProtocols = map[string]bool{
@@ -53,16 +70,68 @@ func fail(format string, args ...any) {
 
 func main() {
 	var (
-		proto    = flag.String("p", "leader", "protocol: leader | leaderexact | majority | majorityexact | plurality")
-		n        = flag.Int("n", 4096, "population size")
-		gap      = flag.Int("gap", 1, "majority gap (#A − #B)")
-		colours  = flag.Int("colours", 3, "plurality colour count")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
-		maxIters = flag.Int("max-iters", 2000, "iteration budget")
-		compiled = flag.Bool("compiled", false, "run the compiled flat protocol (leader only; slow)")
-		jsonOut  = flag.Bool("json", false, "emit the run summary as one JSON object")
+		proto     = flag.String("p", "leader", "protocol: leader | leaderexact | majority | majorityexact | plurality (with -ndjson: any registry protocol)")
+		n         = flag.Int("n", 4096, "population size")
+		gap       = flag.Int("gap", 1, "majority gap (#A − #B)")
+		colours   = flag.Int("colours", 3, "plurality colour count")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		maxIters  = flag.Int("max-iters", 2000, "iteration budget")
+		maxRounds = flag.Float64("max-rounds", 0, "round budget for counted protocols (-ndjson only; 0 = protocol default)")
+		compiled  = flag.Bool("compiled", false, "run the compiled flat protocol (leader only; slow)")
+		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object")
+		replicas  = flag.Int("replicas", 1, "independent replicas (requires -ndjson when > 1)")
+		ndjson    = flag.Bool("ndjson", false, "stream one NDJSON record per replica (the popserved wire format)")
+		workers   = flag.Int("workers", 1, "fleet workers for -ndjson sweeps (does not change the output)")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *ndjson {
+		if *jsonOut {
+			fail("-json and -ndjson are mutually exclusive")
+		}
+		if *compiled {
+			fail("-compiled does not support -ndjson")
+		}
+		if *replicas < 1 {
+			fail("-replicas must be ≥ 1 (got %d)", *replicas)
+		}
+		if *workers < 1 {
+			fail("-workers must be ≥ 1 (got %d)", *workers)
+		}
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		spec := expt.JobSpec{
+			Protocol:  *proto,
+			N:         *n,
+			Seed:      *seed,
+			Replicas:  *replicas,
+			MaxRounds: *maxRounds,
+		}
+		// Flags with non-zero defaults are forwarded only where the
+		// protocol accepts them (or the user explicitly set them, so the
+		// registry can report the mismatch).
+		switch *proto {
+		case "majority", "majorityexact", "approxmajority", "exactmajority":
+			spec.Gap = *gap
+		default:
+			if set["gap"] {
+				spec.Gap = *gap
+			}
+		}
+		if *proto == "plurality" || set["colours"] {
+			spec.Colours = *colours
+		}
+		if knownProtocols[*proto] || set["max-iters"] {
+			spec.MaxIters = *maxIters
+		}
+		os.Exit(runNDJSON(ctx, spec, *workers))
+	}
+	if *replicas != 1 {
+		fail("-replicas needs -ndjson (per-replica output has no single-summary form)")
+	}
 
 	// Validate every flag combination up front, before any work starts.
 	if !knownProtocols[*proto] {
@@ -92,7 +161,7 @@ func main() {
 	}
 
 	if *compiled {
-		runCompiled(*proto, *n, *seed, *jsonOut)
+		runCompiled(ctx, *proto, *n, *seed, *jsonOut)
 		return
 	}
 
@@ -118,7 +187,15 @@ func main() {
 	setupInputs(run, *proto, *n, *gap, *colours)
 
 	done := convergence(*proto, *n, *colours)
-	iters, ok := run.RunUntil(done, *maxIters)
+	iters, ok := run.RunUntil(func(e *frame.Executor) bool {
+		// SIGINT/SIGTERM break out of the run; the summary computed so far
+		// is still emitted before exiting 130.
+		return ctx.Err() != nil || done(e)
+	}, *maxIters)
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		ok = false
+	}
 	if *jsonOut {
 		emit(summary{
 			Protocol:   *proto,
@@ -135,9 +212,51 @@ func main() {
 			iters, run.Rounds, run.Rounds/math.Pow(math.Log(float64(*n)), 2), ok)
 		report(run, *proto, *colours)
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "popsim: interrupted; partial summary flushed")
+		os.Exit(130)
+	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// runNDJSON executes the spec through the serving registry — the exact code
+// popserved runs — streaming one NDJSON record per replica to stdout in
+// replica order. Cancelling ctx (SIGINT/SIGTERM) aborts outstanding
+// replicas, flushes what completed, and returns 130.
+func runNDJSON(ctx context.Context, spec expt.JobSpec, workers int) int {
+	reg := serve.NewRegistry()
+	p, err := reg.Normalize(&spec, math.MaxInt, 1<<20)
+	if err != nil {
+		fail("%v", err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	unconverged := 0
+	runErr := p.Run(ctx, spec, workers, func(rec expt.ReplicaRecord) {
+		if rec.Err == "" && !rec.Converged {
+			unconverged++
+		}
+		line, err := rec.MarshalLine()
+		if err != nil {
+			return
+		}
+		out.Write(line)
+		out.Flush() // line-wise, so an interrupt loses nothing already done
+	})
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintln(os.Stderr, "popsim: interrupted; partial records flushed")
+		return 130
+	case runErr != nil:
+		fmt.Fprintf(os.Stderr, "popsim: %v\n", runErr)
+		return 1
+	case unconverged > 0:
+		fmt.Fprintf(os.Stderr, "popsim: %d replica(s) did not converge within budget\n", unconverged)
+		return 1
+	}
+	return 0
 }
 
 func emit(s summary) {
@@ -254,7 +373,7 @@ func report(run *popkit.Run, proto string, colours int) {
 	}
 }
 
-func runCompiled(proto string, n int, seed uint64, jsonOut bool) {
+func runCompiled(ctx context.Context, proto string, n int, seed uint64, jsonOut bool) {
 	c, err := popkit.CompileProgram(popkit.LeaderElection(), popkit.CompileOptions{Control: popkit.XPreReduced})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
@@ -269,7 +388,13 @@ func runCompiled(proto string, n int, seed uint64, jsonOut bool) {
 	lv, _ := c.Space.LookupVar("L")
 	tr := r.Track("L", bitmask.Is(lv))
 	budget := 60.0 * float64(c.M) * 60 * math.Log(float64(n))
-	rounds, ok := r.RunUntil(func(*popkit.Scheduler) bool { return tr.Count() == 1 }, 25, budget)
+	rounds, ok := r.RunUntil(func(*popkit.Scheduler) bool {
+		return ctx.Err() != nil || tr.Count() == 1
+	}, 25, budget)
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		ok = tr.Count() == 1
+	}
 	if jsonOut {
 		emit(summary{
 			Protocol:  proto,
@@ -282,6 +407,10 @@ func runCompiled(proto string, n int, seed uint64, jsonOut bool) {
 		})
 	} else {
 		fmt.Printf("compiled run: leaders=%d rounds=%.0f converged=%v\n", tr.Count(), rounds, ok)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "popsim: interrupted; partial summary flushed")
+		os.Exit(130)
 	}
 	if !ok {
 		os.Exit(1)

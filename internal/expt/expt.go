@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,11 @@ import (
 
 // Config scales the experiments.
 type Config struct {
+	// Ctx, when non-nil, cancels the replica fleets of multi-seed sweeps:
+	// on cancellation not-yet-started replicas are skipped and the sweep
+	// aborts with context.Canceled attached (popbench turns SIGINT into
+	// this). Nil means context.Background().
+	Ctx context.Context
 	// Seeds is the number of independent runs per configuration point.
 	Seeds int
 	// Quick restricts every experiment to its smallest configuration —

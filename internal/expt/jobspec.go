@@ -1,0 +1,110 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"popkit/internal/engine"
+)
+
+// JobSpec describes one simulation job — a named protocol run for Replicas
+// independent replicas — in the form shared by every entry point: the
+// popserved HTTP service decodes it from request bodies, popsim builds it
+// from flags, and both hand it to the same registry, which is what makes an
+// HTTP run byte-identical to a CLI run with the same spec.
+//
+// All randomness of replica i derives from ReplicaSeed(Seed, i), so the
+// result set is a pure function of the spec, independent of worker counts,
+// scheduling, or which process executed it.
+type JobSpec struct {
+	// Protocol is the registry name (e.g. "leader", "exactmajority").
+	Protocol string `json:"protocol"`
+	// N is the population size.
+	N int `json:"n"`
+	// Seed is the root RNG seed; replica i runs with ReplicaSeed(Seed, i).
+	Seed uint64 `json:"seed"`
+	// Replicas is the number of independent runs; 0 means 1.
+	Replicas int `json:"replicas,omitempty"`
+	// Gap is the initial |A| − |B| margin (majority-family protocols).
+	Gap int `json:"gap,omitempty"`
+	// Colours is the colour count (plurality).
+	Colours int `json:"colours,omitempty"`
+	// MaxIters bounds framework protocols' outer iterations; 0 = default.
+	MaxIters int `json:"max_iters,omitempty"`
+	// MaxRounds bounds counted protocols' parallel time; 0 = default.
+	MaxRounds float64 `json:"max_rounds,omitempty"`
+}
+
+// ReplicaSeed derives replica i's seed from the spec's root seed. It is
+// engine.SplitSeed, re-exported so spec consumers need not import engine.
+func ReplicaSeed(root uint64, replica int) uint64 {
+	return engine.SplitSeed(root, uint64(replica))
+}
+
+// NormalizeCommon applies spec-level defaults and validates the fields every
+// protocol shares. Protocol-specific validation (name lookup, per-protocol
+// parameter ranges) lives in the serving registry.
+func (s *JobSpec) NormalizeCommon(maxN, maxReplicas int) error {
+	if s.Protocol == "" {
+		return fmt.Errorf("protocol is required")
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Replicas < 1 || s.Replicas > maxReplicas {
+		return fmt.Errorf("replicas must be in [1, %d] (got %d)", maxReplicas, s.Replicas)
+	}
+	if s.N < 2 {
+		return fmt.Errorf("n must be ≥ 2 (got %d)", s.N)
+	}
+	if s.N > maxN {
+		return fmt.Errorf("n must be ≤ %d (got %d)", maxN, s.N)
+	}
+	if s.Gap < 0 || s.Gap > s.N {
+		return fmt.Errorf("gap must be in [0, n] (got %d with n=%d)", s.Gap, s.N)
+	}
+	if s.MaxIters < 0 {
+		return fmt.Errorf("max_iters must be ≥ 0 (got %d)", s.MaxIters)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("max_rounds must be ≥ 0 (got %g)", s.MaxRounds)
+	}
+	return nil
+}
+
+// ReplicaRecord is the result of one replica, the unit of the NDJSON wire
+// format streamed by popserved and printed by popsim -ndjson. It carries no
+// wall-clock fields on purpose: every field is a deterministic function of
+// (protocol, n, seed, parameters), so two records from the same spec are
+// byte-identical wherever they were computed.
+type ReplicaRecord struct {
+	Replica  int    `json:"replica"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	// Seed is the replica's derived seed (ReplicaSeed(root, Replica)).
+	Seed uint64 `json:"seed"`
+	// Iterations is the framework outer-iteration count (framework
+	// protocols only).
+	Iterations int `json:"iterations,omitempty"`
+	// Rounds is the parallel time consumed.
+	Rounds float64 `json:"rounds"`
+	// Interactions counts simulated scheduler activations, including leapt
+	// quiescent ones (counted protocols only).
+	Interactions uint64 `json:"interactions,omitempty"`
+	Converged    bool   `json:"converged"`
+	// Counts holds the protocol's headline variable counts. encoding/json
+	// sorts map keys, so the encoding is deterministic.
+	Counts map[string]int64 `json:"counts,omitempty"`
+	// Err reports a failed replica (panic, timeout, cancellation).
+	Err string `json:"err,omitempty"`
+}
+
+// MarshalLine renders the record as one newline-terminated NDJSON line —
+// the canonical encoding both the CLI and the HTTP service emit.
+func (r ReplicaRecord) MarshalLine() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

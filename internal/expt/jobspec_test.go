@@ -1,0 +1,76 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"popkit/internal/engine"
+)
+
+func TestNormalizeCommon(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		ok   bool
+	}{
+		{"valid", JobSpec{Protocol: "leader", N: 100}, true},
+		{"defaults replicas", JobSpec{Protocol: "leader", N: 100, Replicas: 0}, true},
+		{"missing protocol", JobSpec{N: 100}, false},
+		{"n too small", JobSpec{Protocol: "leader", N: 1}, false},
+		{"n too big", JobSpec{Protocol: "leader", N: 1 << 30}, false},
+		{"too many replicas", JobSpec{Protocol: "leader", N: 100, Replicas: 9999}, false},
+		{"negative gap", JobSpec{Protocol: "majority", N: 100, Gap: -1}, false},
+		{"gap beyond n", JobSpec{Protocol: "majority", N: 100, Gap: 101}, false},
+		{"negative rounds", JobSpec{Protocol: "leader", N: 100, MaxRounds: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.NormalizeCommon(1_000_000, 256)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+		}
+		if c.ok && c.spec.Replicas < 1 {
+			t.Errorf("%s: replicas not defaulted: %d", c.name, c.spec.Replicas)
+		}
+	}
+}
+
+func TestReplicaSeedMatchesEngine(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		if ReplicaSeed(99, i) != engine.SplitSeed(99, uint64(i)) {
+			t.Fatalf("ReplicaSeed diverges from engine.SplitSeed at replica %d", i)
+		}
+	}
+}
+
+// TestMarshalLineDeterministic: the line encoding must be byte-stable,
+// newline-terminated, and sort its count keys (that is what makes CLI and
+// HTTP output comparable with bytes.Equal).
+func TestMarshalLineDeterministic(t *testing.T) {
+	rec := ReplicaRecord{
+		Replica: 3, Protocol: "leader", N: 128, Seed: 7,
+		Iterations: 9, Rounds: 123.25, Converged: true,
+		Counts: map[string]int64{"Z": 1, "A": 2, "M": 3},
+	}
+	a, err := rec.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := rec.MarshalLine()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding not stable:\n%s\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("line not newline-terminated")
+	}
+	var round ReplicaRecord
+	if err := json.Unmarshal(a, &round); err != nil {
+		t.Fatalf("line does not round-trip: %v", err)
+	}
+	if round.Counts["A"] != 2 || round.Rounds != 123.25 {
+		t.Fatalf("round-trip mismatch: %+v", round)
+	}
+	if i := bytes.Index(a, []byte(`"A"`)); i < 0 || i > bytes.Index(a, []byte(`"Z"`)) {
+		t.Fatalf("count keys not sorted: %s", a)
+	}
+}

@@ -38,7 +38,11 @@ func replicate[T any](cfg Config, tag string, seeds int, seedOf func(s int) uint
 	if cfg.Progress != nil {
 		opts.Progress = &fleet.Progress{W: cfg.Progress, Interval: 10 * time.Second, Label: tag}
 	}
-	results := fleet.Run(context.Background(), jobs, opts)
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := fleet.Run(ctx, jobs, opts)
 	out := make([]T, seeds)
 	for i, r := range results {
 		if r.Err != nil {

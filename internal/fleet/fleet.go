@@ -125,13 +125,21 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 				inFlight.Add(-1)
 				done.Add(1)
 				if opts.Sink != nil {
-					opts.Sink.Emit(results[idx])
+					emit(opts.Sink, results[idx])
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	return results
+}
+
+// emit delivers a result to the sink, swallowing sink panics: a crashing
+// observer must not take down the sweep (the result itself is still in the
+// ordered slice Run returns, so nothing is lost).
+func emit(sink ResultSink, r Result) {
+	defer func() { recover() }()
+	sink.Emit(r)
 }
 
 // runOne executes a single replica with panic capture and an optional

@@ -1,0 +1,42 @@
+package fleet
+
+import "sync"
+
+// OrderedSink forwards results to an inner sink in replica-ID order (0, 1,
+// 2, …), regardless of the completion order the workers produce. Results
+// that finish early are buffered until every lower ID has been emitted, so
+// the inner sink sees the exact sequence a one-worker sweep would produce —
+// this is what lets a streaming consumer (an NDJSON response body, a CLI
+// stdout) be byte-identical for any worker count.
+//
+// The inner sink is always invoked under the OrderedSink's mutex, so it
+// additionally never sees concurrent Emit calls, even though OrderedSink
+// itself is safe for concurrent use. Job IDs must be the dense range
+// [0, len(jobs)) — the fleet's normal addressing scheme.
+type OrderedSink struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]Result
+	inner   ResultSink
+}
+
+// NewOrderedSink wraps inner so it receives results in replica order.
+func NewOrderedSink(inner ResultSink) *OrderedSink {
+	return &OrderedSink{pending: make(map[int]Result), inner: inner}
+}
+
+// Emit implements ResultSink.
+func (s *OrderedSink) Emit(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[r.ID] = r
+	for {
+		rr, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		s.inner.Emit(rr)
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"popkit/internal/engine"
+)
+
+// TestOrderedSinkReordering feeds a hand-shuffled completion order and
+// checks the inner sink sees replica order.
+func TestOrderedSinkReordering(t *testing.T) {
+	var got []int
+	s := NewOrderedSink(SinkFunc(func(r Result) { got = append(got, r.ID) }))
+	for _, id := range []int{3, 0, 2, 5, 1, 4} {
+		s.Emit(Result{ID: id})
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("inner sink saw %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inner sink saw %v, want %v", got, want)
+		}
+	}
+}
+
+// TestOrderedSinkWorkerInvariance is the streaming counterpart of
+// TestWorkerCountInvariance: the emitted sequence (IDs and values) must be
+// identical for any worker count, not just the returned slice.
+func TestOrderedSinkWorkerInvariance(t *testing.T) {
+	jobs := makeJobs(24)
+	stream := func(workers int) []uint64 {
+		var seq []uint64
+		sink := NewOrderedSink(SinkFunc(func(r Result) {
+			seq = append(seq, r.Value.(uint64))
+		}))
+		Run(context.Background(), jobs, Options{Workers: workers, Sink: sink})
+		return seq
+	}
+	want := stream(1)
+	if len(want) != len(jobs) {
+		t.Fatalf("1-worker stream has %d entries, want %d", len(want), len(jobs))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got := stream(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: stream has %d entries, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: stream[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSinkPanicIsolation: a crashing sink must not kill workers or lose
+// results.
+func TestSinkPanicIsolation(t *testing.T) {
+	jobs := makeJobs(8)
+	var emitted int
+	sink := SinkFunc(func(r Result) {
+		emitted++
+		if r.ID%2 == 0 {
+			panic("observer exploded")
+		}
+	})
+	res := Run(context.Background(), jobs, Options{Workers: 1, Sink: sink})
+	if emitted != len(jobs) {
+		t.Fatalf("sink saw %d results, want %d", emitted, len(jobs))
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Value == nil {
+			t.Fatalf("replica %d lost to sink panic: %+v", i, r)
+		}
+	}
+}
+
+// TestPanicStackInError: the captured panic must carry the replica body's
+// stack so a failed job is debuggable from the Result alone.
+func TestPanicStackInError(t *testing.T) {
+	jobs := makeJobs(2)
+	jobs[1].Run = func(context.Context, *engine.RNG) (any, error) {
+		explodeForStackTest()
+		return nil, nil
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 2})
+	pe, ok := res[1].Err.(*PanicError)
+	if !ok {
+		t.Fatalf("want *PanicError, got %v", res[1].Err)
+	}
+	if !strings.Contains(string(pe.Stack), "explodeForStackTest") {
+		t.Errorf("stack does not name the panicking frame:\n%s", pe.Stack)
+	}
+}
+
+func explodeForStackTest() { panic("kaboom") }

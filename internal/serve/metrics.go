@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service's expvar-style counters: lock-free atomics,
+// rendered as one JSON document by GET /metrics. Everything is monotonic
+// except the gauges (queue depth, in-flight workers), which are sampled at
+// render time.
+type Metrics struct {
+	JobsAccepted        atomic.Int64
+	JobsRejectedFull    atomic.Int64
+	JobsRejectedInvalid atomic.Int64
+	JobsCompleted       atomic.Int64
+	JobsFailed          atomic.Int64
+	JobsCancelled       atomic.Int64
+	ReplicasCompleted   atomic.Int64
+	Interactions        atomic.Uint64
+	InFlight            atomic.Int64
+
+	// latency histograms, keyed by endpoint name at construction.
+	latency map[string]*Histogram
+}
+
+// NewMetrics returns a metrics set with one latency histogram per endpoint.
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{latency: make(map[string]*Histogram, len(endpoints))}
+	for _, e := range endpoints {
+		m.latency[e] = &Histogram{}
+	}
+	return m
+}
+
+// Latency returns the endpoint's histogram (nil for unknown endpoints, so
+// instrumentation of an unregistered route is a no-op rather than a crash).
+func (m *Metrics) Latency(endpoint string) *Histogram { return m.latency[endpoint] }
+
+// MetricsSnapshot is the /metrics JSON document.
+type MetricsSnapshot struct {
+	JobsAccepted        int64 `json:"jobs_accepted"`
+	JobsRejectedFull    int64 `json:"jobs_rejected_queue_full"`
+	JobsRejectedInvalid int64 `json:"jobs_rejected_invalid"`
+	JobsCompleted       int64 `json:"jobs_completed"`
+	JobsFailed          int64 `json:"jobs_failed"`
+	JobsCancelled       int64 `json:"jobs_cancelled"`
+	ReplicasCompleted   int64 `json:"replicas_completed"`
+	// Interactions is the total number of simulated scheduler activations
+	// served, including ones the counted kernels leapt over.
+	Interactions uint64 `json:"interactions_total"`
+	// InteractionsPerSec is the lifetime average service throughput.
+	InteractionsPerSec float64 `json:"interactions_per_sec"`
+	QueueDepth         int     `json:"queue_depth"`
+	QueueCapacity      int     `json:"queue_capacity"`
+	InFlightWorkers    int64   `json:"inflight_workers"`
+	UptimeSec          float64 `json:"uptime_sec"`
+	// Latency maps endpoint name to its request-latency summary.
+	Latency map[string]HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot renders the counters. queueDepth/queueCap are sampled by the
+// caller (the server owns the queue); started anchors the uptime.
+func (m *Metrics) Snapshot(queueDepth, queueCap int, started time.Time) MetricsSnapshot {
+	up := time.Since(started).Seconds()
+	s := MetricsSnapshot{
+		JobsAccepted:        m.JobsAccepted.Load(),
+		JobsRejectedFull:    m.JobsRejectedFull.Load(),
+		JobsRejectedInvalid: m.JobsRejectedInvalid.Load(),
+		JobsCompleted:       m.JobsCompleted.Load(),
+		JobsFailed:          m.JobsFailed.Load(),
+		JobsCancelled:       m.JobsCancelled.Load(),
+		ReplicasCompleted:   m.ReplicasCompleted.Load(),
+		Interactions:        m.Interactions.Load(),
+		QueueDepth:          queueDepth,
+		QueueCapacity:       queueCap,
+		InFlightWorkers:     m.InFlight.Load(),
+		UptimeSec:           up,
+		Latency:             make(map[string]HistogramSnapshot, len(m.latency)),
+	}
+	if up > 0 {
+		s.InteractionsPerSec = float64(s.Interactions) / up
+	}
+	for name, h := range m.latency {
+		s.Latency[name] = h.Snapshot()
+	}
+	return s
+}
+
+// histBuckets is the number of power-of-two microsecond latency buckets:
+// bucket i counts observations in [2^i µs, 2^(i+1) µs), so the range spans
+// 1 µs to ~67 s — wider than any job the per-job timeout admits.
+const histBuckets = 27
+
+// Histogram is a lock-free power-of-two latency histogram.
+type Histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one request latency.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	i := bits.Len64(uint64(us)) - 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot summarizes a histogram: count, mean, and bucket-upper-
+// bound estimates of the 50th/90th/99th percentiles.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	// BucketsUS maps each non-empty bucket's upper bound in µs to its
+	// count; a poor man's cumulative latency curve.
+	BucketsUS map[string]int64 `json:"buckets_us,omitempty"`
+}
+
+// Snapshot renders the histogram. Concurrent Observe calls may tear the
+// (count, buckets) pair slightly; the summary is monitoring data, not an
+// invariant.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMS = float64(h.sumUS.Load()) / float64(s.Count) / 1000
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50MS = percentile(counts[:], s.Count, 0.50)
+	s.P90MS = percentile(counts[:], s.Count, 0.90)
+	s.P99MS = percentile(counts[:], s.Count, 0.99)
+	s.BucketsUS = make(map[string]int64)
+	for i, c := range counts {
+		if c > 0 {
+			s.BucketsUS[formatBound(i)] = c
+		}
+	}
+	return s
+}
+
+// percentile returns the upper bound (in ms) of the bucket containing the
+// q-quantile observation.
+func percentile(counts []int64, total int64, q float64) float64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return float64(uint64(1)<<(i+1)) / 1000
+		}
+	}
+	return float64(uint64(1)<<len(counts)) / 1000
+}
+
+// formatBound renders bucket i's upper bound in µs.
+func formatBound(i int) string {
+	return strconv.FormatUint(uint64(1)<<(i+1), 10)
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"popkit/internal/expt"
+)
+
+// jobStatus is a queued job's terminal outcome.
+type jobStatus int
+
+const (
+	jobCompleted jobStatus = iota
+	jobFailed
+	jobCancelled
+)
+
+// queuedJob is one accepted simulation job travelling from the HTTP handler
+// through the queue to a pool worker. The worker streams records into the
+// records channel (in replica order) and closes it; the terminal error, if
+// any, is then available from err().
+type queuedJob struct {
+	spec  expt.JobSpec
+	proto *Protocol
+	// ctx is the request-scoped context: client disconnect and the per-job
+	// timeout both cancel it, aborting not-yet-started replicas.
+	ctx     context.Context
+	records chan expt.ReplicaRecord
+
+	mu      sync.Mutex
+	termErr error
+	status  jobStatus
+}
+
+func (j *queuedJob) finish(status jobStatus, err error) {
+	j.mu.Lock()
+	j.status, j.termErr = status, err
+	j.mu.Unlock()
+}
+
+// err returns the terminal error; valid once records is closed.
+func (j *queuedJob) err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.termErr
+}
+
+// errQueueFull is returned by tryEnqueue's callers' contract: the queue is
+// at capacity and the client should back off (HTTP 429).
+var errQueueFull = errors.New("job queue full")
+
+// pool is the bounded job queue plus the workers draining it. Each worker
+// runs one job at a time; a job's replicas fan out across fleetWorkers
+// fleet workers, so total simulation parallelism is workers×fleetWorkers.
+type pool struct {
+	queue        chan *queuedJob
+	workers      int
+	fleetWorkers int
+	metrics      *Metrics
+
+	// hard aborts in-flight fleets when the drain deadline is blown.
+	hard     context.Context
+	hardStop context.CancelFunc
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newPool(queueDepth, workers, fleetWorkers int, metrics *Metrics) *pool {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if fleetWorkers < 1 {
+		fleetWorkers = 1
+	}
+	hard, stop := context.WithCancel(context.Background())
+	p := &pool{
+		queue:        make(chan *queuedJob, queueDepth),
+		workers:      workers,
+		fleetWorkers: fleetWorkers,
+		metrics:      metrics,
+		hard:         hard,
+		hardStop:     stop,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// tryEnqueue offers the job to the queue without blocking; errQueueFull
+// means the caller should reject with backpressure.
+func (p *pool) tryEnqueue(j *queuedJob) error {
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth samples the number of queued (not yet started) jobs.
+func (p *pool) depth() int { return len(p.queue) }
+
+func (p *pool) capacity() int { return cap(p.queue) }
+
+// close stops intake and blocks until every queued and in-flight job has
+// drained. Callers that need a deadline race close against a timer and then
+// call abort.
+func (p *pool) close() {
+	p.closeOnce.Do(func() { close(p.queue) })
+	p.wg.Wait()
+}
+
+// abort cancels the contexts of in-flight jobs so close can finish; queued
+// jobs are still drained (each sees its cancelled context immediately).
+func (p *pool) abort() { p.hardStop() }
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.runJob(j)
+	}
+}
+
+// runJob executes one job's replicas and streams its records.
+func (p *pool) runJob(j *queuedJob) {
+	defer close(j.records)
+	p.metrics.InFlight.Add(1)
+	defer p.metrics.InFlight.Add(-1)
+
+	// Merge the request context with the pool's hard-stop so either aborts
+	// the fleet.
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	stop := context.AfterFunc(p.hard, cancel)
+	defer stop()
+
+	runErr := j.proto.Run(ctx, j.spec, p.fleetWorkers, func(rec expt.ReplicaRecord) {
+		if rec.Err == "" {
+			p.metrics.ReplicasCompleted.Add(1)
+			p.metrics.Interactions.Add(rec.Interactions)
+		}
+		select {
+		case j.records <- rec:
+		case <-ctx.Done():
+			// The consumer is gone; drop the record rather than block the
+			// worker forever.
+		}
+	})
+
+	switch {
+	case runErr == nil:
+		j.finish(jobCompleted, nil)
+		p.metrics.JobsCompleted.Add(1)
+	case ctx.Err() != nil:
+		j.finish(jobCancelled, context.Cause(ctx))
+		p.metrics.JobsCancelled.Add(1)
+	default:
+		j.finish(jobFailed, runErr)
+		p.metrics.JobsFailed.Add(1)
+	}
+}

@@ -1,0 +1,581 @@
+// Package serve exposes the simulation stack as an HTTP service: a
+// protocol registry naming runnable workloads, a bounded job queue with
+// backpressure, a worker pool backed by the replica fleet, and NDJSON
+// streaming of per-replica results.
+//
+// Determinism survives the network boundary by construction: a job is an
+// expt.JobSpec, replica i derives its whole RNG stream from
+// expt.ReplicaSeed(spec.Seed, i), records are streamed in replica order
+// through a fleet.OrderedSink, and the CLI (popsim -ndjson) runs the exact
+// same registry code — so the same spec yields byte-identical output from
+// either entry point, for any worker count.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"popkit/internal/baseline"
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/expt"
+	"popkit/internal/fleet"
+	"popkit/internal/frame"
+	"popkit/internal/lang"
+	"popkit/internal/protocols"
+)
+
+// Protocol is one runnable entry of the registry.
+type Protocol struct {
+	// Name is the spec's protocol field.
+	Name string
+	// Description is shown by GET /v1/protocols.
+	Description string
+	// Kind is "framework" (good-iteration semantics over the paper's
+	// programs) or "counted" (flat rule set on the species-count kernels).
+	Kind string
+	// Params lists the optional JobSpec fields the protocol honours.
+	Params []string
+
+	// normalize applies protocol-specific defaults and validation, after
+	// JobSpec.NormalizeCommon has run.
+	normalize func(spec *expt.JobSpec) error
+	// run executes one replica. All randomness must derive from
+	// expt.ReplicaSeed(spec.Seed, replica); ctx cancellation must abort
+	// within a bounded amount of simulated work.
+	run func(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error)
+}
+
+// Jobs expands a normalized spec into the fleet jobs of its replicas.
+func (p *Protocol) Jobs(spec expt.JobSpec) []fleet.Job {
+	jobs := make([]fleet.Job, spec.Replicas)
+	for i := range jobs {
+		i := i
+		jobs[i] = fleet.Job{
+			ID:   i,
+			Tag:  spec.Protocol,
+			Seed: expt.ReplicaSeed(spec.Seed, i),
+			Run: func(ctx context.Context, _ *engine.RNG) (any, error) {
+				return p.run(ctx, spec, i)
+			},
+		}
+	}
+	return jobs
+}
+
+// RecordOf converts a fleet result back into the wire record: a healthy
+// replica's record is its computed value; a failed one (panic, timeout,
+// cancellation) becomes an error record in its place.
+func RecordOf(spec expt.JobSpec, r fleet.Result) expt.ReplicaRecord {
+	if r.Err == nil {
+		if rec, ok := r.Value.(expt.ReplicaRecord); ok {
+			return rec
+		}
+	}
+	rec := expt.ReplicaRecord{
+		Replica:  r.ID,
+		Protocol: spec.Protocol,
+		N:        spec.N,
+		Seed:     r.Seed,
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	} else {
+		rec.Err = fmt.Sprintf("replica produced %T, want ReplicaRecord", r.Value)
+	}
+	return rec
+}
+
+// Run executes the spec's replicas across workers fleet workers, delivering
+// records to sink in replica order as they complete (sink is never called
+// concurrently). It returns the first replica's error in replica order, if
+// any — cancellations and panics included.
+func (p *Protocol) Run(ctx context.Context, spec expt.JobSpec, workers int, sink func(expt.ReplicaRecord)) error {
+	ordered := fleet.NewOrderedSink(fleet.SinkFunc(func(r fleet.Result) {
+		sink(RecordOf(spec, r))
+	}))
+	results := fleet.Run(ctx, p.Jobs(spec), fleet.Options{Workers: workers, Sink: ordered})
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("replica %d (seed %d): %w", r.ID, r.Seed, r.Err)
+		}
+	}
+	return nil
+}
+
+// Registry maps protocol names to runnable workloads.
+type Registry struct {
+	m map[string]*Protocol
+}
+
+// NewRegistry returns a registry of the built-in protocols: the paper's
+// framework programs (leader, leaderexact, majority, majorityexact,
+// plurality) and the counted prior-work baselines the paper compares
+// against in §1.2 / experiment E11 (approxmajority, exactmajority,
+// coalescence).
+func NewRegistry() *Registry {
+	r := &Registry{m: make(map[string]*Protocol)}
+	for _, p := range builtins() {
+		if err := r.Register(p); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Register adds a protocol; duplicate names are an error.
+func (r *Registry) Register(p *Protocol) error {
+	if p.Name == "" || p.run == nil {
+		return fmt.Errorf("serve: protocol needs a name and a run body")
+	}
+	if _, dup := r.m[p.Name]; dup {
+		return fmt.Errorf("serve: protocol %q already registered", p.Name)
+	}
+	r.m[p.Name] = p
+	return nil
+}
+
+// Lookup finds a protocol by name.
+func (r *Registry) Lookup(name string) (*Protocol, bool) {
+	p, ok := r.m[name]
+	return p, ok
+}
+
+// List returns the protocols sorted by name.
+func (r *Registry) List() []*Protocol {
+	out := make([]*Protocol, 0, len(r.m))
+	for _, p := range r.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted protocol names.
+func (r *Registry) Names() []string {
+	list := r.List()
+	names := make([]string, len(list))
+	for i, p := range list {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Normalize validates the spec against the registry and the given limits,
+// applying defaults in place, and returns the protocol that will run it.
+func (r *Registry) Normalize(spec *expt.JobSpec, maxN, maxReplicas int) (*Protocol, error) {
+	if err := spec.NormalizeCommon(maxN, maxReplicas); err != nil {
+		return nil, err
+	}
+	p, ok := r.Lookup(spec.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (known: %v)", spec.Protocol, r.Names())
+	}
+	if p.normalize != nil {
+		if err := p.normalize(spec); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ---- framework protocols (frame executor, good-iteration semantics) ----
+
+// defaultMaxIters mirrors popsim's historical -max-iters default.
+const defaultMaxIters = 2000
+
+func normalizeFramework(spec *expt.JobSpec) error {
+	if spec.MaxIters == 0 {
+		spec.MaxIters = defaultMaxIters
+	}
+	if spec.MaxRounds != 0 {
+		return fmt.Errorf("max_rounds applies to counted protocols only; use max_iters for %q", spec.Protocol)
+	}
+	return nil
+}
+
+// runFramework builds the program, seeds the inputs, and runs to the
+// convergence condition, mirroring popsim's semantics exactly.
+func runFramework(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{
+		Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed,
+	}
+	prog, err := frameworkProgram(spec)
+	if err != nil {
+		return rec, err
+	}
+	e, err := frame.New(prog, spec.N, seed)
+	if err != nil {
+		return rec, err
+	}
+	setupFrameworkInputs(e, spec)
+	cond := frameworkConvergence(spec)
+	iters, ok := e.RunUntil(func(e *frame.Executor) bool {
+		return ctx.Err() != nil || cond(e)
+	}, spec.MaxIters)
+	if err := ctx.Err(); err != nil {
+		return rec, err
+	}
+	rec.Iterations = iters
+	rec.Rounds = e.Rounds
+	rec.Converged = ok
+	rec.Counts = frameworkCounts(e, spec)
+	return rec, nil
+}
+
+func frameworkProgram(spec expt.JobSpec) (*lang.Program, error) {
+	switch spec.Protocol {
+	case "leader":
+		return protocols.LeaderElection(), nil
+	case "leaderexact":
+		return protocols.LeaderElectionExact(), nil
+	case "majority":
+		return protocols.Majority(2), nil
+	case "majorityexact":
+		return protocols.MajorityExact(2), nil
+	case "plurality":
+		return protocols.Plurality(spec.Colours, 2), nil
+	}
+	return nil, fmt.Errorf("no framework program for %q", spec.Protocol)
+}
+
+// setupFrameworkInputs assigns the initial input variables the same way
+// popsim does: a gap-split A/B population for the majority family, a
+// decreasing colour split for plurality.
+func setupFrameworkInputs(e *frame.Executor, spec expt.JobSpec) {
+	switch spec.Protocol {
+	case "majority", "majorityexact":
+		a, _ := e.Space.LookupVar("A")
+		b, _ := e.Space.LookupVar("B")
+		nB := (spec.N - spec.Gap) / 2
+		nA := nB + spec.Gap
+		e.SetInput(func(i int, s bitmask.State) bitmask.State {
+			switch {
+			case i < nA:
+				s = a.Set(s, true)
+			case i < nA+nB:
+				s = b.Set(s, true)
+			default:
+				return s
+			}
+			if spec.Protocol == "majorityexact" {
+				at, _ := e.Space.LookupVar("At")
+				bt, _ := e.Space.LookupVar("Bt")
+				if i < nA {
+					s = at.Set(s, true)
+				} else {
+					s = bt.Set(s, true)
+				}
+			}
+			return s
+		})
+	case "plurality":
+		colours := spec.Colours
+		vars := make([]bitmask.Var, colours)
+		for i := range vars {
+			vars[i], _ = e.Space.LookupVar(fmt.Sprintf("C%d", i+1))
+		}
+		sizes := make([]int, colours)
+		base := spec.N / (colours + 1)
+		rem := spec.N
+		for i := range sizes {
+			sizes[i] = base - i
+			rem -= sizes[i]
+		}
+		sizes[0] += rem
+		e.SetInput(func(i int, s bitmask.State) bitmask.State {
+			acc := 0
+			for c := 0; c < colours; c++ {
+				acc += sizes[c]
+				if i < acc {
+					return vars[c].Set(s, true)
+				}
+			}
+			return s
+		})
+	}
+}
+
+func frameworkConvergence(spec expt.JobSpec) func(*frame.Executor) bool {
+	n := spec.N
+	switch spec.Protocol {
+	case "leader":
+		return func(e *frame.Executor) bool { return e.CountVar("L") == 1 }
+	case "leaderexact":
+		return func(e *frame.Executor) bool { return e.CountVar("L") == 1 && e.CountVar("R") == 1 }
+	case "majority":
+		return func(e *frame.Executor) bool {
+			y := e.CountVar("YA")
+			return (y == 0 || y == n) && e.Iterations >= 3
+		}
+	case "majorityexact":
+		return func(e *frame.Executor) bool {
+			return (e.CountVar("At") == 0 || e.CountVar("Bt") == 0) && e.Iterations >= 3
+		}
+	default: // plurality
+		return func(e *frame.Executor) bool { return e.CountVar("W1") == n }
+	}
+}
+
+func frameworkCounts(e *frame.Executor, spec expt.JobSpec) map[string]int64 {
+	out := map[string]int64{}
+	switch spec.Protocol {
+	case "leader", "leaderexact":
+		out["L"] = int64(e.CountVar("L"))
+	case "majority", "majorityexact":
+		out["YA"] = int64(e.CountVar("YA"))
+	case "plurality":
+		for c := 1; c <= spec.Colours; c++ {
+			key := fmt.Sprintf("W%d", c)
+			out[key] = int64(e.CountVar(key))
+		}
+	}
+	return out
+}
+
+// ---- counted baselines (species-count kernels via expt.Driver) ----
+
+// driveSliced advances the driver until stop or the round budget, slicing
+// the budget so cancellation is honoured between slices even while the
+// tracker-gated kernels skip condition polls.
+func driveSliced(ctx context.Context, drv *expt.Driver, stop func() bool, maxRounds float64) (rounds float64, ok bool, err error) {
+	const slice = 4096.0
+	for rounds < maxRounds {
+		if err := ctx.Err(); err != nil {
+			return rounds, false, err
+		}
+		step := slice
+		if rem := maxRounds - rounds; rem < step {
+			step = rem
+		}
+		r, done := drv.RunUntil(stop, step)
+		rounds += r
+		if done {
+			return rounds, true, nil
+		}
+		if r <= 0 {
+			// Defensive: a kernel that cannot advance must not spin here.
+			return rounds, stop(), nil
+		}
+	}
+	return rounds, false, nil
+}
+
+// splitGap splits n agents into opinion-A and opinion-B camps with the
+// spec's gap (every agent carries an opinion; odd remainders favour A).
+func splitGap(n, gap int) (nA, nB int64) {
+	b := int64(n-gap) / 2
+	return int64(n) - b, b
+}
+
+func runApproxMajority(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed}
+	am := baseline.NewApproxMajority()
+	sA := am.A.Set(bitmask.State{}, true)
+	sB := am.B.Set(bitmask.State{}, true)
+	nA, nB := splitGap(spec.N, spec.Gap)
+	drv := expt.NewDriver(am.Rules(), engine.CompileProtocol(am.Rules()), map[bitmask.State]int64{sA: nA, sB: nB}, engine.NewRNG(seed))
+	ta := drv.Track("A", bitmask.Is(am.A))
+	tb := drv.Track("B", bitmask.Is(am.B))
+	rounds, ok, err := driveSliced(ctx, drv, func() bool {
+		return ta.Count() == 0 || tb.Count() == 0
+	}, spec.MaxRounds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Rounds = rounds
+	rec.Converged = ok
+	rec.Interactions = drv.Interactions()
+	rec.Counts = map[string]int64{"A": ta.Count(), "B": tb.Count()}
+	return rec, nil
+}
+
+func runExactMajority(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed}
+	em := baseline.NewExactMajority4()
+	emA := em.Strong.Set(em.IsA.Set(bitmask.State{}, true), true)
+	emB := em.Strong.Set(bitmask.State{}, true)
+	nA, nB := splitGap(spec.N, spec.Gap)
+	drv := expt.NewDriver(em.Rules(), engine.CompileProtocol(em.Rules()), map[bitmask.State]int64{emA: nA, emB: nB}, engine.NewRNG(seed))
+	ta := drv.Track("A", bitmask.Is(em.IsA))
+	n64 := int64(spec.N)
+	rounds, ok, err := driveSliced(ctx, drv, func() bool {
+		a := ta.Count()
+		return a == 0 || a == n64
+	}, spec.MaxRounds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Rounds = rounds
+	rec.Converged = ok
+	rec.Interactions = drv.Interactions()
+	rec.Counts = map[string]int64{"A": ta.Count()}
+	return rec, nil
+}
+
+func runCoalescence(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed}
+	cl := baseline.NewCoalescenceLeader()
+	sL := cl.L.Set(bitmask.State{}, true)
+	drv := expt.NewDriver(cl.Rules(), engine.CompileProtocol(cl.Rules()), map[bitmask.State]int64{sL: int64(spec.N)}, engine.NewRNG(seed))
+	tl := drv.Track("L", bitmask.Is(cl.L))
+	rounds, ok, err := driveSliced(ctx, drv, func() bool { return tl.Count() == 1 }, spec.MaxRounds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Rounds = rounds
+	rec.Converged = ok
+	rec.Interactions = drv.Interactions()
+	rec.Counts = map[string]int64{"L": tl.Count()}
+	return rec, nil
+}
+
+func normalizeCounted(defaultRounds float64) func(*expt.JobSpec) error {
+	return func(spec *expt.JobSpec) error {
+		if spec.MaxIters != 0 {
+			return fmt.Errorf("max_iters applies to framework protocols only; use max_rounds for %q", spec.Protocol)
+		}
+		if spec.MaxRounds == 0 {
+			spec.MaxRounds = defaultRounds
+		}
+		return nil
+	}
+}
+
+func builtins() []*Protocol {
+	noGapColours := func(spec *expt.JobSpec) error {
+		if spec.Gap != 0 {
+			return fmt.Errorf("gap does not apply to %q", spec.Protocol)
+		}
+		if spec.Colours != 0 {
+			return fmt.Errorf("colours does not apply to %q", spec.Protocol)
+		}
+		return nil
+	}
+	noColours := func(spec *expt.JobSpec) error {
+		if spec.Colours != 0 {
+			return fmt.Errorf("colours does not apply to %q", spec.Protocol)
+		}
+		return nil
+	}
+	return []*Protocol{
+		{
+			Name:        "leader",
+			Description: "LeaderElection (§3.1): w.h.p. unique leader in O(log² n) rounds",
+			Kind:        "framework",
+			Params:      []string{"max_iters"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noGapColours(spec); err != nil {
+					return err
+				}
+				return normalizeFramework(spec)
+			},
+			run: runFramework,
+		},
+		{
+			Name:        "leaderexact",
+			Description: "LeaderElectionExact (§6.1): always-correct unique leader",
+			Kind:        "framework",
+			Params:      []string{"max_iters"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noGapColours(spec); err != nil {
+					return err
+				}
+				return normalizeFramework(spec)
+			},
+			run: runFramework,
+		},
+		{
+			Name:        "majority",
+			Description: "Majority (§3.2): w.h.p. exact majority for any gap ≥ 1",
+			Kind:        "framework",
+			Params:      []string{"gap", "max_iters"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noColours(spec); err != nil {
+					return err
+				}
+				return normalizeFramework(spec)
+			},
+			run: runFramework,
+		},
+		{
+			Name:        "majorityexact",
+			Description: "MajorityExact (§6.2): always-correct exact majority",
+			Kind:        "framework",
+			Params:      []string{"gap", "max_iters"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noColours(spec); err != nil {
+					return err
+				}
+				return normalizeFramework(spec)
+			},
+			run: runFramework,
+		},
+		{
+			Name:        "plurality",
+			Description: "Plurality consensus (§1.1): l-colour plurality with O(l²) states",
+			Kind:        "framework",
+			Params:      []string{"colours", "max_iters"},
+			normalize: func(spec *expt.JobSpec) error {
+				if spec.Gap != 0 {
+					return fmt.Errorf("gap does not apply to %q", spec.Protocol)
+				}
+				if spec.Colours == 0 {
+					spec.Colours = 3
+				}
+				if spec.Colours < 2 {
+					return fmt.Errorf("colours must be ≥ 2 (got %d)", spec.Colours)
+				}
+				if spec.N < (spec.Colours+1)*spec.Colours {
+					return fmt.Errorf("n too small for %d colours (need at least %d agents)", spec.Colours, (spec.Colours+1)*spec.Colours)
+				}
+				return normalizeFramework(spec)
+			},
+			run: runFramework,
+		},
+		{
+			Name:        "approxmajority",
+			Description: "3-state approximate majority [AAE08a] (§1.2 / E11 baseline)",
+			Kind:        "counted",
+			Params:      []string{"gap", "max_rounds"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noColours(spec); err != nil {
+					return err
+				}
+				return normalizeCounted(1e6)(spec)
+			},
+			run: runApproxMajority,
+		},
+		{
+			Name:        "exactmajority",
+			Description: "4-state exact majority [DV12], Θ(n log n) rounds (the E11 load-test workload)",
+			Kind:        "counted",
+			Params:      []string{"gap", "max_rounds"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noColours(spec); err != nil {
+					return err
+				}
+				return normalizeCounted(1e9)(spec)
+			},
+			run: runExactMajority,
+		},
+		{
+			Name:        "coalescence",
+			Description: "folklore coalescence leader election, Θ(n) rounds (E11 baseline)",
+			Kind:        "counted",
+			Params:      []string{"max_rounds"},
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noGapColours(spec); err != nil {
+					return err
+				}
+				return normalizeCounted(1e9)(spec)
+			},
+			run: runCoalescence,
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"popkit/internal/expt"
+)
+
+// TestBuiltinsRunAndConverge: every registered protocol must normalize a
+// tiny spec and produce a converged record.
+func TestBuiltinsRunAndConverge(t *testing.T) {
+	reg := NewRegistry()
+	for _, p := range reg.List() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			spec := expt.JobSpec{Protocol: p.Name, N: 200, Seed: 11, Replicas: 2}
+			if p.Name == "majority" || p.Name == "majorityexact" || p.Name == "approxmajority" || p.Name == "exactmajority" {
+				spec.Gap = 2
+			}
+			proto, err := reg.Normalize(&spec, 1_000_000, 64)
+			if err != nil {
+				t.Fatalf("normalize: %v", err)
+			}
+			var recs []expt.ReplicaRecord
+			if err := proto.Run(context.Background(), spec, 2, func(r expt.ReplicaRecord) {
+				recs = append(recs, r)
+			}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(recs) != 2 {
+				t.Fatalf("got %d records, want 2", len(recs))
+			}
+			for i, r := range recs {
+				if r.Replica != i {
+					t.Errorf("record %d out of order: %+v", i, r)
+				}
+				if r.Err != "" {
+					t.Errorf("replica %d failed: %s", i, r.Err)
+				}
+				if !r.Converged {
+					t.Errorf("replica %d did not converge: %+v", i, r)
+				}
+				if r.Seed != expt.ReplicaSeed(spec.Seed, i) {
+					t.Errorf("replica %d seed not split from root: %+v", i, r)
+				}
+				if len(r.Counts) == 0 {
+					t.Errorf("replica %d carries no counts: %+v", i, r)
+				}
+			}
+		})
+	}
+}
+
+// TestNormalizeRejections covers protocol-specific validation.
+func TestNormalizeRejections(t *testing.T) {
+	reg := NewRegistry()
+	bad := []expt.JobSpec{
+		{Protocol: "nosuch", N: 100},
+		{Protocol: "leader", N: 100, Gap: 3},             // gap not applicable
+		{Protocol: "leader", N: 100, Colours: 3},         // colours not applicable
+		{Protocol: "leader", N: 100, MaxRounds: 10},      // framework wants max_iters
+		{Protocol: "exactmajority", N: 100, MaxIters: 5}, // counted wants max_rounds
+		{Protocol: "plurality", N: 10, Colours: 4},       // n too small for colours
+		{Protocol: "plurality", N: 100, Colours: 1},
+	}
+	for _, spec := range bad {
+		s := spec
+		if _, err := reg.Normalize(&s, 1_000_000, 64); err == nil {
+			t.Errorf("spec %+v unexpectedly accepted", spec)
+		}
+	}
+
+	good := expt.JobSpec{Protocol: "plurality", N: 400, Seed: 1}
+	if _, err := reg.Normalize(&good, 1_000_000, 64); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	if good.Colours != 3 || good.MaxIters != defaultMaxIters || good.Replicas != 1 {
+		t.Errorf("defaults not applied: %+v", good)
+	}
+}
+
+// TestRunWorkerInvariance: the streamed NDJSON bytes must not depend on the
+// fleet worker count.
+func TestRunWorkerInvariance(t *testing.T) {
+	reg := NewRegistry()
+	render := func(workers int) []byte {
+		spec := expt.JobSpec{Protocol: "leader", N: 300, Seed: 5, Replicas: 6}
+		proto, err := reg.Normalize(&spec, 1_000_000, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := proto.Run(context.Background(), spec, workers, func(r expt.ReplicaRecord) {
+			line, _ := r.MarshalLine()
+			buf.Write(line)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d changed the stream:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestCancelledRunAborts: a cancelled context must abort the replicas and
+// surface the cancellation.
+func TestCancelledRunAborts(t *testing.T) {
+	reg := NewRegistry()
+	spec := expt.JobSpec{Protocol: "exactmajority", N: 100000, Seed: 3, Replicas: 4, Gap: 1}
+	proto, err := reg.Normalize(&spec, 1_000_000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := proto.Run(ctx, spec, 2, func(expt.ReplicaRecord) {}); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}
+
+// TestRegisterDuplicate rejects name collisions.
+func TestRegisterDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.Register(&Protocol{Name: "leader", run: runFramework})
+	if err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"popkit/internal/expt"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Registry names the runnable protocols; nil means NewRegistry().
+	Registry *Registry
+	// QueueDepth bounds the number of accepted-but-not-started jobs; a
+	// full queue rejects with 429. Default 64.
+	QueueDepth int
+	// Workers is the number of jobs executing concurrently. Default:
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// FleetWorkers is the replica-fleet width per job (output is identical
+	// for any value — records stream in replica order). Default 1.
+	FleetWorkers int
+	// JobTimeout bounds one job's wall clock; 0 means 60s.
+	JobTimeout time.Duration
+	// MaxN caps the population size a request may ask for. Default 5e6.
+	MaxN int
+	// MaxReplicas caps replicas per request. Default 1024.
+	MaxReplicas int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Registry == nil {
+		c.Registry = NewRegistry()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.FleetWorkers == 0 {
+		c.FleetWorkers = 1
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 5_000_000
+	}
+	if c.MaxReplicas == 0 {
+		c.MaxReplicas = 1024
+	}
+}
+
+// Server is the HTTP simulation service. Create with New, mount Handler
+// on an http.Server, and call Close (optionally preceded by Abort after a
+// drain deadline) on the way down.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	metrics *Metrics
+	started time.Time
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	m := NewMetrics("simulate", "protocols", "healthz", "metrics")
+	return &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.QueueDepth, cfg.Workers, cfg.FleetWorkers, m),
+		metrics: m,
+		started: time.Now(),
+	}
+}
+
+// Metrics exposes the counter set (tests and embedding binaries).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops job intake and blocks until queued and in-flight jobs have
+// drained. Call http.Server.Shutdown first so no handler is still
+// enqueueing.
+func (s *Server) Close() { s.pool.close() }
+
+// Abort cancels in-flight jobs; pending Close calls then return promptly.
+// Use when the drain deadline is blown.
+func (s *Server) Abort() { s.pool.abort() }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("/v1/protocols", s.instrument("protocols", s.handleProtocols))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// instrument wraps a handler with the endpoint's latency histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.Latency(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		if hist != nil {
+			hist.Observe(time.Since(start))
+		}
+	}
+}
+
+// errorDoc is the JSON body of every non-streaming error response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSimulate is POST /v1/simulate: decode a JobSpec, enqueue it, and
+// stream its per-replica records back as NDJSON while the worker computes
+// them. Client disconnect cancels the job; queue overflow rejects with 429.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var spec expt.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	proto, err := s.cfg.Registry.Normalize(&spec, s.cfg.MaxN, s.cfg.MaxReplicas)
+	if err != nil {
+		s.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+
+	jctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	j := &queuedJob{
+		spec:    spec,
+		proto:   proto,
+		ctx:     jctx,
+		records: make(chan expt.ReplicaRecord, spec.Replicas),
+	}
+	if err := s.pool.tryEnqueue(j); err != nil {
+		s.metrics.JobsRejectedFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.pool.depth())
+		return
+	}
+	s.metrics.JobsAccepted.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the status line out before the first record so a queued
+		// job's client sees the stream open immediately.
+		flusher.Flush()
+	}
+	for rec := range j.records {
+		line, err := rec.MarshalLine()
+		if err != nil {
+			continue
+		}
+		if _, err := w.Write(line); err != nil {
+			// Client is gone; jctx dies with r.Context(), which unwinds the
+			// worker. Keep draining so the channel closes.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := j.err(); err != nil && !errors.Is(err, context.Canceled) {
+		// The status line is sent; signal the failure in-band as a final
+		// NDJSON error object (popsim's stream carries no such line on
+		// success, so successful streams stay byte-identical to the CLI).
+		if doc, merr := json.Marshal(errorDoc{Error: err.Error()}); merr == nil {
+			w.Write(append(doc, '\n'))
+		}
+	}
+}
+
+// protocolDoc is one entry of GET /v1/protocols.
+type protocolDoc struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Kind        string   `json:"kind"`
+	Params      []string `json:"params,omitempty"`
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	list := s.cfg.Registry.List()
+	docs := make([]protocolDoc, len(list))
+	for i, p := range list {
+		docs[i] = protocolDoc{Name: p.Name, Description: p.Description, Kind: p.Kind, Params: p.Params}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Protocols []protocolDoc `json:"protocols"`
+	}{docs})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+		InFlight   int64  `json:"inflight_workers"`
+	}{"ok", s.pool.depth(), s.metrics.InFlight.Load()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.metrics.Snapshot(s.pool.depth(), s.pool.capacity(), s.started))
+}

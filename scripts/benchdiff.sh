@@ -13,6 +13,8 @@
 #   COUNT=5        benchmark repetitions per side (default 5; QUICK uses 2)
 #   BENCHTIME=1s   -benchtime per benchmark (QUICK uses 1000x)
 #   QUICK=1        fast smoke mode for CI / make check
+#   FAIL_OVER=10   exit 1 if any ns/op metric regresses by more than this
+#                  percent (passed through as benchdiff -fail-over)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,4 +44,4 @@ go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" ./in
     | tee "$tmp/new.txt" | grep '^Benchmark' || true
 
 echo
-go run ./cmd/benchdiff "$tmp/old.txt" "$tmp/new.txt"
+go run ./cmd/benchdiff -fail-over "${FAIL_OVER:-0}" "$tmp/old.txt" "$tmp/new.txt"

@@ -28,4 +28,7 @@ go test -run '^$' -bench 'BenchmarkAliasSample' -benchtime 100x ./internal/engin
 go run ./cmd/benchdiff "$tmpb" "$tmpb" >/dev/null
 rm -f "$tmpb"
 
+echo "== popserved smoke =="
+./scripts/serve-smoke.sh
+
 echo "check: OK"

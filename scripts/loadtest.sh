@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Load-test popserved end to end:
+#
+#   scripts/loadtest.sh [CONCURRENCY]
+#
+#   1. liveness + protocol listing
+#   2. CONCURRENCY (default 32) concurrent POST /v1/simulate requests, every
+#      response validated as complete, converged NDJSON
+#   3. metrics sanity: jobs_accepted covers the burst, nothing failed
+#   4. queue backpressure: a 1-worker/1-slot server under long jobs answers
+#      429 with Retry-After
+#   5. determinism across the network boundary: a fixed-seed HTTP stream is
+#      byte-identical to `popsim -ndjson` with the same spec
+#   6. graceful drain: SIGTERM with a stream in flight still completes it
+#
+# Needs curl and jq (both available in the dev container).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONC="${1:-32}"
+command -v curl >/dev/null || { echo "loadtest: curl required" >&2; exit 2; }
+command -v jq   >/dev/null || { echo "loadtest: jq required" >&2; exit 2; }
+
+tmp=$(mktemp -d)
+srv_pid=""
+trap 'kill "$srv_pid" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+echo "== build =="
+go build -o "$tmp/popserved" ./cmd/popserved
+go build -o "$tmp/popsim" ./cmd/popsim
+
+# start_server LOGFILE [flags...] — boots popserved on a free port and sets
+# $srv_pid and $base from the "listening on" line.
+start_server() {
+    local log=$1; shift
+    "$tmp/popserved" -addr 127.0.0.1:0 "$@" 2> "$log" &
+    srv_pid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$log" | head -n 1)
+        [ -n "$base" ] && break
+        sleep 0.05
+    done
+    [ -n "$base" ] || { echo "loadtest: popserved did not announce its port" >&2; cat "$log" >&2; exit 1; }
+}
+
+stop_server() {
+    kill -TERM "$srv_pid" 2>/dev/null || true
+    wait "$srv_pid" 2>/dev/null || true
+    srv_pid=""
+}
+
+echo "== phase 1: liveness =="
+start_server "$tmp/main.log"
+curl -fsS "$base/healthz" | jq -e '.status == "ok"' >/dev/null
+curl -fsS "$base/v1/protocols" | jq -e '.protocols | length >= 8' >/dev/null
+
+echo "== phase 2: $CONC concurrent streams =="
+pids=()
+for i in $(seq 1 "$CONC"); do
+    curl -fsS --max-time 60 \
+        -d "{\"protocol\":\"exactmajority\",\"n\":2000,\"seed\":$i,\"replicas\":2,\"gap\":1}" \
+        "$base/v1/simulate" > "$tmp/stream.$i" &
+    pids+=($!)
+done
+fail=0
+for p in "${pids[@]}"; do wait "$p" || fail=1; done
+[ "$fail" -eq 0 ] || { echo "loadtest: a concurrent request failed" >&2; exit 1; }
+for i in $(seq 1 "$CONC"); do
+    jq -es 'length == 2 and all(.converged and .err == null)' "$tmp/stream.$i" >/dev/null \
+        || { echo "loadtest: stream $i invalid" >&2; cat "$tmp/stream.$i" >&2; exit 1; }
+done
+echo "   all $CONC streams complete and converged"
+
+echo "== phase 3: metrics =="
+curl -fsS "$base/metrics" > "$tmp/metrics.json"
+jq -e --argjson c "$CONC" \
+    '.jobs_accepted >= $c and .jobs_completed >= $c and .jobs_failed == 0 and .interactions_total > 0' \
+    "$tmp/metrics.json" >/dev/null \
+    || { echo "loadtest: metrics inconsistent" >&2; cat "$tmp/metrics.json" >&2; exit 1; }
+stop_server
+
+echo "== phase 4: queue backpressure (1 worker, 1 slot) =="
+start_server "$tmp/full.log" -workers 1 -queue 1 -job-timeout 8s -drain 2s
+# Long jobs occupy the worker and the single queue slot; the burst must
+# then see at least one 429 and at least one accepted stream.
+for i in 1 2 3 4 5 6; do
+    curl -s --max-time 30 -o "$tmp/full.body.$i" -w '%{http_code}\n' \
+        -d '{"protocol":"exactmajority","n":2000000,"seed":1,"replicas":4,"gap":1}' \
+        "$base/v1/simulate" > "$tmp/full.code.$i" &
+done
+wait $(jobs -p | grep -v "^$srv_pid$") 2>/dev/null || true
+codes=$(cat "$tmp"/full.code.* | sort | uniq -c)
+echo "$codes" | sed 's/^/   /'
+grep -q '429' "$tmp"/full.code.* || { echo "loadtest: no 429 under overload" >&2; exit 1; }
+grep -q '200' "$tmp"/full.code.* || { echo "loadtest: no stream accepted under overload" >&2; exit 1; }
+rejected=$(grep -l 429 "$tmp"/full.code.* | head -n 1)
+jq -e '.error | test("queue full")' "${rejected%.code.*}.body.${rejected##*.}" >/dev/null \
+    || { echo "loadtest: 429 body lacks queue-full error" >&2; exit 1; }
+stop_server
+
+echo "== phase 5: CLI vs HTTP determinism =="
+start_server "$tmp/det.log"
+spec='{"protocol":"exactmajority","n":2000,"seed":42,"replicas":4,"gap":1}'
+"$tmp/popsim" -p exactmajority -n 2000 -seed 42 -replicas 4 -gap 1 -ndjson > "$tmp/cli.ndjson"
+curl -fsS -d "$spec" "$base/v1/simulate" > "$tmp/http.ndjson"
+cmp "$tmp/cli.ndjson" "$tmp/http.ndjson" \
+    || { echo "loadtest: HTTP stream differs from popsim -ndjson" >&2; exit 1; }
+echo "   byte-identical ($(wc -c < "$tmp/cli.ndjson") bytes)"
+
+echo "== phase 6: graceful drain =="
+curl -fsS --max-time 30 \
+    -d '{"protocol":"exactmajority","n":200000,"seed":9,"replicas":2,"gap":1}' \
+    "$base/v1/simulate" > "$tmp/drain.ndjson" &
+curl_pid=$!
+sleep 0.3
+kill -TERM "$srv_pid"
+wait "$curl_pid" || { echo "loadtest: in-flight stream was cut off by SIGTERM" >&2; exit 1; }
+jq -es 'length == 2 and all(.converged)' "$tmp/drain.ndjson" >/dev/null \
+    || { echo "loadtest: drained stream incomplete" >&2; cat "$tmp/drain.ndjson" >&2; exit 1; }
+wait "$srv_pid" || { echo "loadtest: server exited non-zero on drain" >&2; cat "$tmp/det.log" >&2; exit 1; }
+srv_pid=""
+grep -q 'drained, bye' "$tmp/det.log" || { echo "loadtest: no clean drain" >&2; exit 1; }
+
+echo "loadtest: OK"

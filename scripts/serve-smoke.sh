@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Smoke-test popserved: boot it on a free port, run one small exact-majority
+# job through POST /v1/simulate, check the NDJSON stream, and verify a clean
+# SIGTERM drain. Used by `make serve-smoke` and scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+srv_pid=""
+trap 'kill "$srv_pid" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/popserved" ./cmd/popserved
+"$tmp/popserved" -addr 127.0.0.1:0 2> "$tmp/log" &
+srv_pid=$!
+
+# The server announces "listening on http://HOST:PORT" on stderr.
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$tmp/log" | head -n 1)
+    [ -n "$base" ] && break
+    sleep 0.05
+done
+[ -n "$base" ] || { echo "serve-smoke: popserved did not announce its port" >&2; cat "$tmp/log" >&2; exit 1; }
+
+curl -fsS "$base/healthz" | grep -q '"status":"ok"'
+curl -fsS "$base/v1/protocols" | grep -q '"exactmajority"'
+
+curl -fsS -d '{"protocol":"exactmajority","n":500,"seed":7,"replicas":2,"gap":1}' \
+    "$base/v1/simulate" > "$tmp/out.ndjson"
+
+lines=$(wc -l < "$tmp/out.ndjson")
+[ "$lines" -eq 2 ] || { echo "serve-smoke: want 2 records, got $lines" >&2; cat "$tmp/out.ndjson" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+    jq -es 'length == 2 and all(.converged and .err == null)' "$tmp/out.ndjson" >/dev/null \
+        || { echo "serve-smoke: bad records" >&2; cat "$tmp/out.ndjson" >&2; exit 1; }
+fi
+
+kill -TERM "$srv_pid"
+wait "$srv_pid"
+grep -q 'drained, bye' "$tmp/log" || { echo "serve-smoke: no clean drain" >&2; cat "$tmp/log" >&2; exit 1; }
+echo "serve-smoke: OK"
