@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchdiff kernel serve-smoke loadtest
+.PHONY: build test check bench benchdiff kernel serve-smoke loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ serve-smoke:
 # CLI-vs-HTTP byte-identical determinism, graceful drain.
 loadtest:
 	./scripts/loadtest.sh
+
+# Chaos gate (race-built): injected replica panics recovered by retry,
+# kill -9 + journal resume, severed streams resumed by the retrying client —
+# each diffed byte-for-byte against a fault-free run.
+chaos:
+	./scripts/chaos.sh
 
 # Re-measure the raw simulation kernels into results/BENCH_kernel.json.
 kernel:

@@ -7,6 +7,17 @@
 //
 //	popserved [-addr HOST:PORT] [-queue N] [-workers N] [-fleet-workers N]
 //	          [-job-timeout D] [-drain D] [-max-n N] [-max-replicas N]
+//	          [-journal DIR] [-retries N] [-failpoints SPEC] [-list-failpoints]
+//
+// With -journal DIR, jobs that carry a job_id checkpoint each completed
+// replica to DIR/<job_id>.ndjson; re-POSTing the same (job_id, spec) —
+// e.g. after a crash of either side — replays the journaled prefix and
+// computes only the rest, byte-identical to an uninterrupted run.
+//
+// -retries re-runs replicas that panic (or hit an injected fault) from
+// their own deterministic seed. -failpoints enables named fault-injection
+// points (also via POPKIT_FAILPOINTS); -list-failpoints prints the
+// registry and exits.
 //
 // Endpoints:
 //
@@ -37,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"popkit/internal/fault"
 	"popkit/internal/serve"
 )
 
@@ -44,19 +56,39 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		queue        = flag.Int("queue", 64, "job queue depth (full queue rejects with 429)")
-		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "jobs executing concurrently")
-		fleetWorkers = flag.Int("fleet-workers", 1, "replica-fleet width per job (does not change results)")
-		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock budget")
-		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
-		maxN         = flag.Int("max-n", 5_000_000, "largest accepted population size")
-		maxReplicas  = flag.Int("max-replicas", 1024, "largest accepted replica count")
+		addr           = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		queue          = flag.Int("queue", 64, "job queue depth (full queue rejects with 429)")
+		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "jobs executing concurrently")
+		fleetWorkers   = flag.Int("fleet-workers", 1, "replica-fleet width per job (does not change results)")
+		jobTimeout     = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock budget")
+		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		maxN           = flag.Int("max-n", 5_000_000, "largest accepted population size")
+		maxReplicas    = flag.Int("max-replicas", 1024, "largest accepted replica count")
+		journalDir     = flag.String("journal", "", "directory for job_id checkpoint journals (empty disables resume)")
+		retries        = flag.Int("retries", 2, "re-runs per crashed replica before its failure reaches the stream")
+		failpoints     = flag.String("failpoints", "", "enable failpoints, e.g. 'serve/stream=panic(after=2,times=1)' (also: POPKIT_FAILPOINTS)")
+		listFailpoints = flag.Bool("list-failpoints", false, "print the failpoint registry and exit")
 	)
 	flag.Parse()
-	if *queue < 1 || *workers < 1 || *fleetWorkers < 1 || *maxN < 2 || *maxReplicas < 1 {
-		fmt.Fprintln(os.Stderr, "popserved: -queue, -workers, -fleet-workers, -max-replicas must be ≥ 1 and -max-n ≥ 2")
+	if *listFailpoints {
+		for _, info := range fault.List() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Doc)
+		}
+		return 0
+	}
+	if *queue < 1 || *workers < 1 || *fleetWorkers < 1 || *maxN < 2 || *maxReplicas < 1 || *retries < 0 {
+		fmt.Fprintln(os.Stderr, "popserved: -queue, -workers, -fleet-workers, -max-replicas must be ≥ 1, -max-n ≥ 2, -retries ≥ 0")
 		return 2
+	}
+	if err := fault.EnableFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
+		return 2
+	}
+	if *failpoints != "" {
+		if err := fault.Enable(*failpoints); err != nil {
+			fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
+			return 2
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -68,6 +100,8 @@ func run() int {
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		FleetWorkers: *fleetWorkers,
+		MaxRetries:   *retries,
+		JournalDir:   *journalDir,
 		JobTimeout:   *jobTimeout,
 		MaxN:         *maxN,
 		MaxReplicas:  *maxReplicas,

@@ -41,7 +41,9 @@ import (
 
 	popkit "popkit"
 	"popkit/internal/bitmask"
+	"popkit/internal/client"
 	"popkit/internal/expt"
+	"popkit/internal/fault"
 	"popkit/internal/frame"
 	"popkit/internal/serve"
 )
@@ -82,8 +84,15 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "independent replicas (requires -ndjson when > 1)")
 		ndjson    = flag.Bool("ndjson", false, "stream one NDJSON record per replica (the popserved wire format)")
 		workers   = flag.Int("workers", 1, "fleet workers for -ndjson sweeps (does not change the output)")
+		retries   = flag.Int("retries", 2, "re-runs per crashed replica (-ndjson local), or HTTP retries per request (-server)")
+		server    = flag.String("server", "", "run the job on a popserved instance at this base URL instead of locally (requires -ndjson)")
+		jobID     = flag.String("job-id", "", "job id for server-side checkpoint/resume (requires -server and a journal-enabled popserved)")
 	)
 	flag.Parse()
+
+	if err := fault.EnableFromEnv(); err != nil {
+		fail("%v", err)
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -127,7 +136,20 @@ func main() {
 		if knownProtocols[*proto] || set["max-iters"] {
 			spec.MaxIters = *maxIters
 		}
-		os.Exit(runNDJSON(ctx, spec, *workers))
+		if *retries < 0 {
+			fail("-retries must be ≥ 0 (got %d)", *retries)
+		}
+		if *server != "" {
+			spec.JobID = *jobID
+			os.Exit(runRemote(ctx, spec, *server, *retries))
+		}
+		if *jobID != "" {
+			fail("-job-id needs -server (journals live on the popserved side)")
+		}
+		os.Exit(runNDJSON(ctx, spec, *workers, *retries))
+	}
+	if *server != "" || *jobID != "" {
+		fail("-server and -job-id need -ndjson (the wire format is per-replica records)")
 	}
 	if *replicas != 1 {
 		fail("-replicas needs -ndjson (per-replica output has no single-summary form)")
@@ -225,7 +247,7 @@ func main() {
 // popserved runs — streaming one NDJSON record per replica to stdout in
 // replica order. Cancelling ctx (SIGINT/SIGTERM) aborts outstanding
 // replicas, flushes what completed, and returns 130.
-func runNDJSON(ctx context.Context, spec expt.JobSpec, workers int) int {
+func runNDJSON(ctx context.Context, spec expt.JobSpec, workers, retries int) int {
 	reg := serve.NewRegistry()
 	p, err := reg.Normalize(&spec, math.MaxInt, 1<<20)
 	if err != nil {
@@ -234,7 +256,7 @@ func runNDJSON(ctx context.Context, spec expt.JobSpec, workers int) int {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	unconverged := 0
-	runErr := p.Run(ctx, spec, workers, func(rec expt.ReplicaRecord) {
+	runErr := p.Run(ctx, spec, serve.RunOptions{Workers: workers, MaxRetries: retries}, func(rec expt.ReplicaRecord) {
 		if rec.Err == "" && !rec.Converged {
 			unconverged++
 		}
@@ -251,6 +273,43 @@ func runNDJSON(ctx context.Context, spec expt.JobSpec, workers int) int {
 		return 130
 	case runErr != nil:
 		fmt.Fprintf(os.Stderr, "popsim: %v\n", runErr)
+		return 1
+	case unconverged > 0:
+		fmt.Fprintf(os.Stderr, "popsim: %d replica(s) did not converge within budget\n", unconverged)
+		return 1
+	}
+	return 0
+}
+
+// runRemote streams the spec from a popserved instance through the retrying
+// client: backpressure (429), busy job ids (409), transient errors, and
+// mid-stream disconnects are retried with backoff, and on reconnect the
+// stream resumes after the last delivered replica — stdout stays
+// byte-identical to a local -ndjson run of the same spec.
+func runRemote(ctx context.Context, spec expt.JobSpec, base string, retries int) int {
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	cl := client.New(client.Options{
+		BaseURL:    base,
+		MaxRetries: retries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "popsim: "+format+"\n", args...)
+		},
+	})
+	unconverged := 0
+	err := cl.Stream(ctx, spec, func(rec expt.ReplicaRecord, line []byte) {
+		if !rec.Converged {
+			unconverged++
+		}
+		out.Write(line)
+		out.Flush() // line-wise, so an interrupt loses nothing already done
+	})
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintln(os.Stderr, "popsim: interrupted; partial records flushed")
+		return 130
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "popsim: %v\n", err)
 		return 1
 	case unconverged > 0:
 		fmt.Fprintf(os.Stderr, "popsim: %d replica(s) did not converge within budget\n", unconverged)

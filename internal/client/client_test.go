@@ -1,0 +1,278 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"popkit/internal/expt"
+)
+
+func testSpec(replicas int) expt.JobSpec {
+	return expt.JobSpec{Protocol: "leader", N: 100, Seed: 7, Replicas: replicas}
+}
+
+// recLine renders replica i's NDJSON line the way the server would.
+func recLine(t *testing.T, i int) []byte {
+	t.Helper()
+	rec := expt.ReplicaRecord{
+		Replica: i, Protocol: "leader", N: 100,
+		Seed: expt.ReplicaSeed(7, i), Rounds: float64(10 + i), Converged: true,
+		Counts: map[string]int64{"L": 1},
+	}
+	line, err := rec.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return line
+}
+
+func fastClient(url string, retries int) *Client {
+	return New(Options{
+		BaseURL:     url,
+		MaxRetries:  retries,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	})
+}
+
+// collect runs Stream and returns the delivered bytes plus the per-replica
+// delivery counts.
+func collect(t *testing.T, c *Client, spec expt.JobSpec) ([]byte, map[int]int, error) {
+	t.Helper()
+	var buf []byte
+	seen := map[int]int{}
+	err := c.Stream(context.Background(), spec, func(rec expt.ReplicaRecord, line []byte) {
+		seen[rec.Replica]++
+		buf = append(buf, line...)
+	})
+	return buf, seen, err
+}
+
+func TestStreamHappyPath(t *testing.T) {
+	var want []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 3; i++ {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		want = append(want, recLine(t, i)...)
+	}
+
+	got, seen, err := collect(t, fastClient(ts.URL, 0), testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("delivered bytes differ:\n%s\nvs\n%s", got, want)
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Errorf("replica %d delivered %d times", i, seen[i])
+		}
+	}
+}
+
+// TestStreamReconnectResumes: the first response ends after two records (a
+// cut connection); the retry replays the full stream and the client skips
+// what it already delivered.
+func TestStreamReconnectResumes(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		stop := 4
+		if n == 1 {
+			stop = 2
+		}
+		for i := 0; i < stop; i++ {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+
+	got, seen, err := collect(t, fastClient(ts.URL, 2), testSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("made %d requests, want 2", calls.Load())
+	}
+	var want []byte
+	for i := 0; i < 4; i++ {
+		want = append(want, recLine(t, i)...)
+		if seen[i] != 1 {
+			t.Errorf("replica %d delivered %d times", i, seen[i])
+		}
+	}
+	if string(got) != string(want) {
+		t.Fatalf("delivered bytes differ after reconnect:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestProgressResetsRetryBudget: with MaxRetries=1, a stream that advances
+// one replica per attempt must still finish — each reconnect that makes
+// progress refills the budget.
+func TestProgressResetsRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1))
+		for i := 0; i < n && i < 5; i++ {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+
+	_, seen, err := collect(t, fastClient(ts.URL, 1), testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 || calls.Load() != 5 {
+		t.Fatalf("delivered %d replicas over %d calls, want 5 over 5", len(seen), calls.Load())
+	}
+}
+
+func TestStreamHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"queue full"}`)
+			return
+		}
+		w.Write(recLine(t, 0))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	_, _, err := collect(t, fastClient(ts.URL, 1), testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("Retry-After: 1 not honored (waited only %v)", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("made %d requests, want 2", calls.Load())
+	}
+}
+
+func TestStreamPermanentRejection(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":"bad job spec: unknown protocol"}`)
+	}))
+	defer ts.Close()
+
+	_, _, err := collect(t, fastClient(ts.URL, 5), testSpec(1))
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v, want the server's rejection", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d requests", calls.Load())
+	}
+}
+
+// TestErrorRecordsNeverDelivered: a failed replica in the stream aborts the
+// attempt (retryable) instead of reaching the callback.
+func TestErrorRecordsNeverDelivered(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Write(recLine(t, 0))
+			bad := expt.ReplicaRecord{Replica: 1, Protocol: "leader", N: 100,
+				Err: "replica panicked: boom", ErrKind: "panic"}
+			line, _ := bad.MarshalLine()
+			w.Write(line)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+
+	_, seen, err := collect(t, fastClient(ts.URL, 2), testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Errorf("replica %d delivered %d times", i, seen[i])
+		}
+	}
+}
+
+// TestInBandErrorObjectRetried: the server's terminal {"error":...} line is
+// a retryable job failure, not a record.
+func TestInBandErrorObjectRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Write(recLine(t, 0))
+			fmt.Fprintln(w, `{"error":"replica 1 (seed 9): boom"}`)
+			return
+		}
+		w.Write(recLine(t, 0))
+		w.Write(recLine(t, 1))
+	}))
+	defer ts.Close()
+
+	_, seen, err := collect(t, fastClient(ts.URL, 2), testSpec(2))
+	if err != nil || len(seen) != 2 {
+		t.Fatalf("err=%v seen=%v", err, seen)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	_, _, err := collect(t, fastClient(ts.URL, 2), testSpec(1))
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want exhaustion", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("made %d requests, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+func TestStreamGapIsPermanent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(recLine(t, 1)) // skips replica 0
+	}))
+	defer ts.Close()
+
+	_, _, err := collect(t, fastClient(ts.URL, 3), testSpec(2))
+	if err == nil || !strings.Contains(err.Error(), "stream gap") {
+		t.Fatalf("err = %v, want stream gap", err)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := fastClient(ts.URL, 100).Stream(ctx, testSpec(1), func(expt.ReplicaRecord, []byte) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -33,6 +33,14 @@ type JobSpec struct {
 	MaxIters int `json:"max_iters,omitempty"`
 	// MaxRounds bounds counted protocols' parallel time; 0 = default.
 	MaxRounds float64 `json:"max_rounds,omitempty"`
+	// JobID, when non-empty, names the job for checkpoint/resume: a
+	// journal-enabled popserved appends each completed replica record to a
+	// per-ID journal, and a later POST with the same ID (and an identical
+	// spec) re-streams the journaled prefix and computes only the rest. It
+	// never appears in replica records, so output stays byte-identical
+	// with or without it. Client-chosen; charset [A-Za-z0-9._-], ≤ 64
+	// bytes, and not "." or ".." (the ID becomes a file name).
+	JobID string `json:"job_id,omitempty"`
 }
 
 // ReplicaSeed derives replica i's seed from the spec's root seed. It is
@@ -69,6 +77,34 @@ func (s *JobSpec) NormalizeCommon(maxN, maxReplicas int) error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("max_rounds must be ≥ 0 (got %g)", s.MaxRounds)
 	}
+	if err := validJobID(s.JobID); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validJobID enforces the JobID contract ("" is valid: no checkpointing).
+// The ID is used as a journal file name, so the charset excludes anything
+// with path or shell meaning.
+func validJobID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("job_id longer than 64 bytes")
+	}
+	if id == "." || id == ".." {
+		return fmt.Errorf("job_id must not be %q", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("job_id contains %q (allowed: letters, digits, '.', '_', '-')", c)
+		}
+	}
 	return nil
 }
 
@@ -97,6 +133,14 @@ type ReplicaRecord struct {
 	Counts map[string]int64 `json:"counts,omitempty"`
 	// Err reports a failed replica (panic, timeout, cancellation).
 	Err string `json:"err,omitempty"`
+	// ErrKind classifies Err: "panic", "timeout", "cancelled", or "error".
+	ErrKind string `json:"err_kind,omitempty"`
+	// Stack is the captured goroutine stack of a panicked replica, so a
+	// crash inside a sweep is debuggable from the record alone. Stacks
+	// contain addresses and goroutine IDs, so two records of the same
+	// panic need not be byte-identical — but error records only exist on
+	// failures, which the retry/resume layers exist to eliminate.
+	Stack string `json:"stack,omitempty"`
 }
 
 // MarshalLine renders the record as one newline-terminated NDJSON line —

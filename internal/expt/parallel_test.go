@@ -1,8 +1,10 @@
 package expt
 
 import (
+	"context"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -68,6 +70,73 @@ func tail(s string, i int) string {
 		i = len(s)
 	}
 	return s[i:]
+}
+
+// TestConfigCtxCancelMidReplica: cancelling Config.Ctx while a replica is
+// in flight must abort the sweep — not-yet-started replicas are skipped and
+// replicate reports the cancellation (as its documented panic) instead of
+// hanging or returning a silently truncated result set.
+func TestConfigCtxCancelMidReplica(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Ctx: ctx, Workers: 1}
+
+	var bodies atomic.Int64
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("replicate returned despite cancellation")
+		}
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, context.Canceled.Error()) {
+			t.Fatalf("panic does not carry the cancellation: %v", v)
+		}
+		// Replica 0 raced the cancel; with one worker nothing else may
+		// have started.
+		if got := bodies.Load(); got != 1 {
+			t.Fatalf("%d replica bodies ran after cancellation, want 1", got)
+		}
+	}()
+	replicate(cfg, "cancel", 16,
+		func(s int) uint64 { return uint64(s) },
+		func(s int, seed uint64) int {
+			bodies.Add(1)
+			if s == 0 {
+				cancel() // cancelled mid-replica: the body is already running
+			}
+			return s
+		})
+}
+
+// TestConfigCtxNilAndDone: a nil Ctx means Background (sweeps run), and a
+// pre-cancelled Ctx skips every replica body.
+func TestConfigCtxNilAndDone(t *testing.T) {
+	got := replicate(Config{Workers: 2}, "nilctx", 4,
+		func(s int) uint64 { return uint64(s) },
+		func(s int, seed uint64) int { return s * 2 })
+	for s, v := range got {
+		if v != s*2 {
+			t.Fatalf("slot %d = %d", s, v)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("pre-cancelled sweep did not abort")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, context.Canceled.Error()) {
+			t.Fatalf("panic does not carry the cancellation: %v", v)
+		}
+	}()
+	replicate(Config{Ctx: ctx, Workers: 2}, "donectx", 4,
+		func(s int) uint64 { return uint64(s) },
+		func(s int, seed uint64) int {
+			t.Error("replica body ran under a pre-cancelled context")
+			return 0
+		})
 }
 
 // TestReplicateOrder checks replicate returns values in seed order and

@@ -1,0 +1,339 @@
+// Package fault is a deterministic failpoint framework: named injection
+// points compiled into the serving stack (replica execution, job admission,
+// NDJSON streaming) that stay inert until activated by an environment
+// variable, a flag, or a test. An activated point fires one of four chaos
+// kinds — panic, error, latency, context-cancel — under a seeded
+// probabilistic trigger, so a chaos run is reproducible from its spec.
+//
+// Activation specs have the form
+//
+//	NAME=KIND[(ARG=V,...)][;NAME=KIND(...)]...
+//
+// for example
+//
+//	POPKIT_FAILPOINTS='fleet/replica=panic(p=0.4,seed=13);serve/stream=panic(after=2,times=1)'
+//
+// Supported kinds are panic, error, sleep, and cancel; arguments are
+// p (fire probability per eligible hit, default 1), seed (trigger RNG seed,
+// default 1), after (skip the first N hits, default 0), times (fire at most
+// N times, default unlimited), and d (sleep duration, default 10ms).
+// NAME=off deactivates a point.
+//
+// The framework exists to prove the recovery layers built on top of it:
+// replica retry in the fleet, journal resume in the serve queue, and
+// reconnect in the HTTP client all promise byte-identical output under
+// injected faults, and scripts/chaos.sh holds them to it.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable CLIs read activation specs from.
+const EnvVar = "POPKIT_FAILPOINTS"
+
+// Kind is what an activated failpoint does when it fires.
+type Kind string
+
+const (
+	// KindPanic panics with a PanicValue naming the point.
+	KindPanic Kind = "panic"
+	// KindError returns an error wrapping ErrInjected.
+	KindError Kind = "error"
+	// KindSleep delays the call site by the trigger's d argument.
+	KindSleep Kind = "sleep"
+	// KindCancel returns a context.Canceled-wrapping error, imitating a
+	// cancellation arriving at the worst possible moment.
+	KindCancel Kind = "cancel"
+)
+
+// ErrInjected is the sentinel wrapped by every error a failpoint returns;
+// recovery layers match it with IsInjected to tell injected failures from
+// organic ones (injected failures are always safe to retry).
+var ErrInjected = errors.New("injected fault")
+
+// IsInjected reports whether err originated from a fired failpoint.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// PanicValue is the value a panic-kind failpoint panics with, so recovery
+// code (and humans reading stacks) can tell chaos from genuine bugs.
+type PanicValue struct{ Name string }
+
+func (v PanicValue) String() string { return "injected panic at failpoint " + v.Name }
+
+// Outcome is one evaluation of a point's trigger.
+type Outcome struct {
+	// Fire reports whether the point fired on this hit.
+	Fire bool
+	// Kind is the activated chaos kind (valid when Fire).
+	Kind Kind
+	// Sleep is the latency to inject for KindSleep.
+	Sleep time.Duration
+}
+
+// trigger is one parsed activation. Its counters and RNG advance under a
+// mutex, so a single-threaded call site replays identically run to run.
+type trigger struct {
+	kind  Kind
+	spec  string // the activation string, echoed by List
+	prob  float64
+	after int
+	times int // < 0 means unlimited
+	sleep time.Duration
+
+	mu    sync.Mutex
+	hits  int
+	fired int
+	rng   uint64
+}
+
+// eval advances the trigger by one hit.
+func (t *trigger) eval() Outcome {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits++
+	if t.hits <= t.after {
+		return Outcome{}
+	}
+	if t.times >= 0 && t.fired >= t.times {
+		return Outcome{}
+	}
+	if t.prob < 1 {
+		if float64(splitmix(&t.rng)>>11)/(1<<53) >= t.prob {
+			return Outcome{}
+		}
+	}
+	t.fired++
+	return Outcome{Fire: true, Kind: t.kind, Sleep: t.sleep}
+}
+
+// splitmix is SplitMix64 — a tiny seeded generator so the framework stays
+// dependency-free (engine.SplitSeed is the same construction).
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Point is one named injection site. Points are package-level variables
+// created with New at init time; an inactive point is a single atomic load.
+type Point struct {
+	name string
+	doc  string
+	trig atomic.Pointer[trigger]
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Point{}
+)
+
+// New registers a failpoint. Call it from a package-level variable
+// declaration; duplicate names panic (they would make specs ambiguous).
+func New(name, doc string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("fault: failpoint %q registered twice", name))
+	}
+	p := &Point{name: name, doc: doc}
+	registry[name] = p
+	return p
+}
+
+// Name returns the point's registry name.
+func (p *Point) Name() string { return p.name }
+
+// Eval advances the point's trigger by one hit and reports whether it
+// fired. Call sites that need a custom interpretation of the kind (e.g.
+// aborting an HTTP connection) use this; the rest use Inject.
+func (p *Point) Eval() Outcome {
+	t := p.trig.Load()
+	if t == nil {
+		return Outcome{}
+	}
+	return t.eval()
+}
+
+// Inject evaluates the point and performs the common interpretation of its
+// kind: panic panics with a PanicValue, error returns an ErrInjected-
+// wrapping error, cancel returns a context.Canceled-wrapping error, and
+// sleep delays (honouring ctx) then proceeds. A nil return means the call
+// site should continue normally.
+func (p *Point) Inject(ctx context.Context) error {
+	out := p.Eval()
+	if !out.Fire {
+		return nil
+	}
+	switch out.Kind {
+	case KindPanic:
+		panic(PanicValue{p.name})
+	case KindError:
+		return fmt.Errorf("failpoint %s: %w", p.name, ErrInjected)
+	case KindCancel:
+		return fmt.Errorf("failpoint %s: %w", p.name, context.Canceled)
+	case KindSleep:
+		if ctx == nil {
+			time.Sleep(out.Sleep)
+			return nil
+		}
+		timer := time.NewTimer(out.Sleep)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	return nil
+}
+
+// Enable activates the points named in spec (see the package comment for
+// the grammar). Points not mentioned keep their current state; NAME=off
+// deactivates one. Unknown names and malformed triggers are errors, with
+// nothing applied.
+func Enable(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	type update struct {
+		p *Point
+		t *trigger
+	}
+	var updates []update
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, trig, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("fault: %q is not NAME=TRIGGER", entry)
+		}
+		name = strings.TrimSpace(name)
+		p, known := registry[name]
+		if !known {
+			return fmt.Errorf("fault: unknown failpoint %q (known: %s)", name, strings.Join(namesLocked(), ", "))
+		}
+		t, err := parseTrigger(strings.TrimSpace(trig))
+		if err != nil {
+			return fmt.Errorf("fault: %s: %w", name, err)
+		}
+		updates = append(updates, update{p, t})
+	}
+	for _, u := range updates {
+		u.p.trig.Store(u.t)
+	}
+	return nil
+}
+
+// EnableFromEnv applies the spec in $POPKIT_FAILPOINTS, if any.
+func EnableFromEnv() error { return Enable(os.Getenv(EnvVar)) }
+
+// Reset deactivates every failpoint (tests).
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range registry {
+		p.trig.Store(nil)
+	}
+}
+
+// Info describes one registered failpoint for listings.
+type Info struct {
+	Name string
+	Doc  string
+	// Active is the point's current activation spec ("" when inactive).
+	Active string
+}
+
+// List returns every registered failpoint sorted by name.
+func List() []Info {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Info, 0, len(registry))
+	for _, name := range namesLocked() {
+		p := registry[name]
+		info := Info{Name: name, Doc: p.doc}
+		if t := p.trig.Load(); t != nil {
+			info.Active = t.spec
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseTrigger parses KIND[(ARG=V,...)] or "off" (nil trigger).
+func parseTrigger(s string) (*trigger, error) {
+	if s == "off" {
+		return nil, nil
+	}
+	kind, args := s, ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("unbalanced parens in trigger %q", s)
+		}
+		kind, args = s[:i], s[i+1:len(s)-1]
+	}
+	t := &trigger{spec: s, prob: 1, times: -1, sleep: 10 * time.Millisecond, rng: 1}
+	switch Kind(kind) {
+	case KindPanic, KindError, KindSleep, KindCancel:
+		t.kind = Kind(kind)
+	default:
+		return nil, fmt.Errorf("unknown trigger kind %q (want panic|error|sleep|cancel|off)", kind)
+	}
+	if args == "" {
+		return t, nil
+	}
+	for _, arg := range strings.Split(args, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(arg), "=")
+		if !ok {
+			return nil, fmt.Errorf("argument %q is not KEY=VALUE", arg)
+		}
+		var err error
+		switch key {
+		case "p":
+			t.prob, err = strconv.ParseFloat(val, 64)
+			if err == nil && (t.prob < 0 || t.prob > 1) {
+				err = fmt.Errorf("probability %v out of [0,1]", t.prob)
+			}
+		case "seed":
+			t.rng, err = strconv.ParseUint(val, 10, 64)
+		case "after":
+			t.after, err = strconv.Atoi(val)
+		case "times":
+			t.times, err = strconv.Atoi(val)
+		case "d":
+			t.sleep, err = time.ParseDuration(val)
+		default:
+			err = fmt.Errorf("unknown argument %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q: %w", arg, err)
+		}
+	}
+	return t, nil
+}

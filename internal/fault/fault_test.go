@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	tpA = New("test/a", "first test point")
+	tpB = New("test/b", "second test point")
+)
+
+func TestInactivePointIsNoop(t *testing.T) {
+	t.Cleanup(Reset)
+	if out := tpA.Eval(); out.Fire {
+		t.Fatal("inactive point fired")
+	}
+	if err := tpA.Inject(context.Background()); err != nil {
+		t.Fatalf("inactive Inject returned %v", err)
+	}
+}
+
+func TestEnableErrorKind(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("test/a=error"); err != nil {
+		t.Fatal(err)
+	}
+	err := tpA.Inject(context.Background())
+	if !IsInjected(err) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "test/a") {
+		t.Errorf("error does not name the point: %v", err)
+	}
+	// Point B stays inert.
+	if err := tpB.Inject(context.Background()); err != nil {
+		t.Fatalf("unmentioned point fired: %v", err)
+	}
+}
+
+func TestPanicKindAndOff(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("test/a=panic"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			v := recover()
+			pv, ok := v.(PanicValue)
+			if !ok || pv.Name != "test/a" {
+				t.Errorf("want PanicValue{test/a}, got %v", v)
+			}
+		}()
+		tpA.Inject(context.Background())
+		t.Error("panic kind did not panic")
+	}()
+	if err := Enable("test/a=off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpA.Inject(context.Background()); err != nil {
+		t.Fatalf("point still active after off: %v", err)
+	}
+}
+
+func TestCancelKind(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("test/a=cancel"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpA.Inject(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+func TestSleepKindHonoursContext(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("test/a=sleep(d=10s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := tpA.Inject(ctx); err != nil {
+		t.Fatalf("sleep returned %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("sleep ignored the cancelled context")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("test/a=error(after=2,times=3)"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []bool
+	for i := 0; i < 8; i++ {
+		fired = append(fired, tpA.Eval().Fire)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit pattern = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestSeededProbabilityIsDeterministic: the same (p, seed) must replay the
+// same fire pattern, and a different seed must (overwhelmingly) differ.
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	pattern := func(spec string) string {
+		Reset()
+		if err := Enable(spec); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if tpA.Eval().Fire {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a1 := pattern("test/a=error(p=0.5,seed=7)")
+	a2 := pattern("test/a=error(p=0.5,seed=7)")
+	b1 := pattern("test/a=error(p=0.5,seed=8)")
+	if a1 != a2 {
+		t.Fatalf("same seed diverged:\n%s\n%s", a1, a2)
+	}
+	if a1 == b1 {
+		t.Fatalf("different seeds produced the same 64-hit pattern %s", a1)
+	}
+	if !strings.Contains(a1, "1") || !strings.Contains(a1, "0") {
+		t.Fatalf("p=0.5 pattern degenerate: %s", a1)
+	}
+}
+
+func TestEnableRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"nosuch/point=panic",
+		"test/a",
+		"test/a=explode",
+		"test/a=panic(p=2)",
+		"test/a=sleep(d=fast)",
+		"test/a=panic(wat=1)",
+		"test/a=panic(p=0.5",
+	} {
+		if err := Enable(spec); err == nil {
+			t.Errorf("Enable(%q) succeeded, want error", spec)
+		}
+	}
+	// A bad entry anywhere applies nothing.
+	if err := Enable("test/a=panic;nosuch/point=panic"); err == nil {
+		t.Fatal("partial spec applied")
+	}
+	if out := tpA.Eval(); out.Fire {
+		t.Fatal("point activated by a rejected spec")
+	}
+}
+
+func TestListReportsRegistryAndActivation(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("test/b=sleep(d=1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	var sawA, sawB bool
+	for _, info := range List() {
+		switch info.Name {
+		case "test/a":
+			sawA = true
+			if info.Active != "" {
+				t.Errorf("test/a active = %q, want inactive", info.Active)
+			}
+			if info.Doc == "" {
+				t.Error("test/a doc missing")
+			}
+		case "test/b":
+			sawB = true
+			if info.Active != "sleep(d=1ms)" {
+				t.Errorf("test/b active = %q", info.Active)
+			}
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("List missing test points (a=%v b=%v)", sawA, sawB)
+	}
+}

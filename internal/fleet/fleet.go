@@ -12,11 +12,15 @@
 // worker steals from the back of the most loaded victim. Replicas that
 // panic are captured and reported as error results instead of killing the
 // sweep; per-replica timeouts and context cancellation mark the affected
-// results with the corresponding error.
+// results with the corresponding error. With Options.MaxRetries set, a
+// panicking (or fault-injected) replica is re-executed from its own seed —
+// because every attempt restarts the replica's entire RNG stream, a
+// recovered replica's value is byte-identical to one that never crashed.
 package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,7 +28,15 @@ import (
 	"time"
 
 	"popkit/internal/engine"
+	"popkit/internal/fault"
 )
+
+// fpReplica injects into replica execution, inside the panic-capture
+// goroutine and before the body runs: panic exercises the retry path the
+// same way a crashing body would, error/cancel surface as the replica's
+// result, sleep perturbs scheduling.
+var fpReplica = fault.New("fleet/replica",
+	"fires in the replica goroutine before the body runs (panic is retried under MaxRetries)")
 
 // Job is one independent replica of a sweep.
 type Job struct {
@@ -60,6 +72,10 @@ type Result struct {
 	// Worker is the index of the worker that ran the replica. It depends
 	// on scheduling — reproducible output must not consume it.
 	Worker int
+	// Attempts is the number of executions the replica took (1 plus the
+	// retries consumed). Like Worker it is diagnostic: reproducible output
+	// must not consume it, since fault triggers may be probabilistic.
+	Attempts int
 }
 
 // PanicError reports a replica that panicked; the sweep continues.
@@ -82,6 +98,14 @@ type Options struct {
 	Sink ResultSink
 	// Progress, when non-nil, receives periodic progress reports.
 	Progress *Progress
+	// MaxRetries re-executes a replica whose attempt ended in a panic or
+	// an injected fault, up to this many extra attempts. Each attempt
+	// restarts from the replica's own seed, so a recovered replica is
+	// indistinguishable from one that never crashed. Timeouts, context
+	// cancellation, and ordinary body errors are not retried: they are
+	// either deliberate aborts or deterministic, so re-running them would
+	// waste the budget.
+	MaxRetries int
 }
 
 // Run executes the jobs across the pool and returns their results indexed
@@ -121,7 +145,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 					return
 				}
 				inFlight.Add(1)
-				results[idx] = runOne(ctx, jobs[idx], w)
+				results[idx] = runOne(ctx, jobs[idx], w, opts.MaxRetries)
 				inFlight.Add(-1)
 				done.Add(1)
 				if opts.Sink != nil {
@@ -142,16 +166,41 @@ func emit(sink ResultSink, r Result) {
 	sink.Emit(r)
 }
 
-// runOne executes a single replica with panic capture and an optional
+// runOne executes a single replica, re-running crashed attempts up to
+// maxRetries times. Every attempt gets a fresh RNG from the job's seed, so
+// whichever attempt completes produces the replica's one deterministic
+// value.
+func runOne(ctx context.Context, job Job, worker, maxRetries int) Result {
+	res := Result{ID: job.ID, Tag: job.Tag, Seed: job.Seed, Worker: worker}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			break
+		}
+		res.Value, res.Err = runAttempt(ctx, job)
+		if res.Err == nil || attempt >= maxRetries || !retryable(res.Err) {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// retryable reports whether an attempt's failure is a crash worth
+// re-executing: a captured panic or an injected fault. Everything else
+// (timeouts, cancellation, body errors) is final.
+func retryable(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe) || fault.IsInjected(err)
+}
+
+// runAttempt executes one attempt with panic capture and an optional
 // deadline. The body runs in its own goroutine so a timeout can abandon it;
 // the buffered channel lets an abandoned body finish without leaking a
 // blocked goroutine.
-func runOne(ctx context.Context, job Job, worker int) Result {
-	res := Result{ID: job.ID, Tag: job.Tag, Seed: job.Seed, Worker: worker}
-	if err := ctx.Err(); err != nil {
-		res.Err = err
-		return res
-	}
+func runAttempt(ctx context.Context, job Job) (any, error) {
 	jctx := ctx
 	if job.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -163,7 +212,6 @@ func runOne(ctx context.Context, job Job, worker int) Result {
 		err   error
 	}
 	ch := make(chan outcome, 1)
-	start := time.Now()
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -172,17 +220,19 @@ func runOne(ctx context.Context, job Job, worker int) Result {
 				ch <- outcome{err: &PanicError{Value: r, Stack: stack}}
 			}
 		}()
+		if err := fpReplica.Inject(jctx); err != nil {
+			ch <- outcome{err: err}
+			return
+		}
 		v, err := job.Run(jctx, engine.NewRNG(job.Seed))
 		ch <- outcome{value: v, err: err}
 	}()
 	select {
 	case out := <-ch:
-		res.Value, res.Err = out.value, out.err
+		return out.value, out.err
 	case <-jctx.Done():
-		res.Err = jctx.Err()
+		return nil, jctx.Err()
 	}
-	res.Elapsed = time.Since(start)
-	return res
 }
 
 // deques is the work-stealing queue set: worker w owns the contiguous job

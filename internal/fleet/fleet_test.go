@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"popkit/internal/engine"
+	"popkit/internal/fault"
 )
 
 // sumJob consumes the replica's RNG stream, so the value depends only on
@@ -92,6 +93,135 @@ func TestPanicCapture(t *testing.T) {
 		if i != 3 && r.Err != nil {
 			t.Errorf("healthy replica %d infected: %v", i, r.Err)
 		}
+	}
+}
+
+// TestRetryRecoversPanic: a replica that panics on its first attempts must
+// be re-executed from its own seed, so the recovered sweep is value-
+// identical to a fault-free one.
+func TestRetryRecoversPanic(t *testing.T) {
+	jobs := makeJobs(12)
+	want := values(Run(context.Background(), jobs, Options{Workers: 1}), t)
+
+	var crashes atomic.Int64
+	for i := range jobs {
+		inner := jobs[i].Run
+		var attempts atomic.Int64
+		jobs[i].Run = func(ctx context.Context, rng *engine.RNG) (any, error) {
+			if attempts.Add(1) <= 2 {
+				crashes.Add(1)
+				panic("transient crash")
+			}
+			return inner(ctx, rng)
+		}
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 4, MaxRetries: 3})
+	got := values(res, t)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica %d recovered to %d, want %d", i, got[i], want[i])
+		}
+		if res[i].Attempts != 3 {
+			t.Errorf("replica %d took %d attempts, want 3", i, res[i].Attempts)
+		}
+	}
+	if crashes.Load() != int64(2*len(jobs)) {
+		t.Fatalf("crash count = %d, want %d", crashes.Load(), 2*len(jobs))
+	}
+}
+
+// TestRetryBudgetExhausted: when every attempt panics, the final attempt's
+// PanicError is the result.
+func TestRetryBudgetExhausted(t *testing.T) {
+	jobs := makeJobs(2)
+	var attempts atomic.Int64
+	jobs[1].Run = func(context.Context, *engine.RNG) (any, error) {
+		attempts.Add(1)
+		panic("hard crash")
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 1, MaxRetries: 2})
+	var pe *PanicError
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("want PanicError, got %v", res[1].Err)
+	}
+	if attempts.Load() != 3 || res[1].Attempts != 3 {
+		t.Fatalf("attempts = %d (recorded %d), want 3", attempts.Load(), res[1].Attempts)
+	}
+	if res[0].Err != nil || res[0].Attempts != 1 {
+		t.Errorf("healthy replica affected: %+v", res[0])
+	}
+}
+
+// TestRetryDoesNotMaskDeterministicFailures: body errors, timeouts, and
+// cancellation must not consume retry attempts.
+func TestRetryDoesNotMaskDeterministicFailures(t *testing.T) {
+	boom := errors.New("deterministic failure")
+	var bodyRuns atomic.Int64
+	jobs := makeJobs(2)
+	jobs[0].Run = func(context.Context, *engine.RNG) (any, error) {
+		bodyRuns.Add(1)
+		return nil, boom
+	}
+	jobs[1].Timeout = 5 * time.Millisecond
+	jobs[1].Run = func(ctx context.Context, _ *engine.RNG) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 2, MaxRetries: 5})
+	if !errors.Is(res[0].Err, boom) || bodyRuns.Load() != 1 {
+		t.Fatalf("body error retried: runs=%d err=%v", bodyRuns.Load(), res[0].Err)
+	}
+	if !errors.Is(res[1].Err, context.DeadlineExceeded) || res[1].Attempts != 1 {
+		t.Fatalf("timeout retried: attempts=%d err=%v", res[1].Attempts, res[1].Err)
+	}
+}
+
+// TestReplicaFailpointRetry drives the fleet/replica failpoint end to end:
+// a deterministic times-bounded panic trigger kills early attempts and the
+// retry budget recovers the sweep to fault-free values.
+func TestReplicaFailpointRetry(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	jobs := makeJobs(6)
+	want := values(Run(context.Background(), jobs, Options{Workers: 1}), t)
+
+	if err := fault.Enable("fleet/replica=panic(times=4)"); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(context.Background(), jobs, Options{Workers: 1, MaxRetries: 6})
+	got := values(res, t)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica %d = %d under faults, want %d", i, got[i], want[i])
+		}
+	}
+	var retried int
+	for _, r := range res {
+		retried += r.Attempts - 1
+	}
+	if retried != 4 {
+		t.Fatalf("consumed %d retries, want 4 (one per injected panic)", retried)
+	}
+
+	// Injected errors are retryable too.
+	fault.Reset()
+	if err := fault.Enable("fleet/replica=error(times=2)"); err != nil {
+		t.Fatal(err)
+	}
+	got = values(Run(context.Background(), jobs, Options{Workers: 1, MaxRetries: 3}), t)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica %d = %d under injected errors, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Without a retry budget the injected failure is the result.
+	fault.Reset()
+	if err := fault.Enable("fleet/replica=error(times=1)"); err != nil {
+		t.Fatal(err)
+	}
+	res = Run(context.Background(), jobs, Options{Workers: 1})
+	if !fault.IsInjected(res[0].Err) {
+		t.Fatalf("want injected error surfaced, got %v", res[0].Err)
 	}
 }
 

@@ -1,6 +1,9 @@
 package fleet
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // OrderedSink forwards results to an inner sink in replica-ID order (0, 1,
 // 2, …), regardless of the completion order the workers produce. Results
@@ -11,18 +14,29 @@ import "sync"
 //
 // The inner sink is always invoked under the OrderedSink's mutex, so it
 // additionally never sees concurrent Emit calls, even though OrderedSink
-// itself is safe for concurrent use. Job IDs must be the dense range
-// [0, len(jobs)) — the fleet's normal addressing scheme.
+// itself is safe for concurrent use. A panicking inner sink is isolated
+// per-result: the ordering cursor still advances (later results are not
+// silently dropped behind a stalled cursor) and the first panic is retained
+// for SinkErr, so the sweep can report the lost delivery instead of
+// claiming success with a gap in the stream. Job IDs must be the dense
+// range [start, start+len(jobs)) — the fleet's normal addressing scheme.
 type OrderedSink struct {
 	mu      sync.Mutex
 	next    int
 	pending map[int]Result
 	inner   ResultSink
+	sinkErr error
 }
 
-// NewOrderedSink wraps inner so it receives results in replica order.
-func NewOrderedSink(inner ResultSink) *OrderedSink {
-	return &OrderedSink{pending: make(map[int]Result), inner: inner}
+// NewOrderedSink wraps inner so it receives results in replica order,
+// starting at replica 0.
+func NewOrderedSink(inner ResultSink) *OrderedSink { return NewOrderedSinkAt(inner, 0) }
+
+// NewOrderedSinkAt wraps inner so it receives results in replica order,
+// starting at replica ID start — the resume case, where replicas below
+// start were already delivered by an earlier (checkpointed) run.
+func NewOrderedSinkAt(inner ResultSink, start int) *OrderedSink {
+	return &OrderedSink{next: start, pending: make(map[int]Result), inner: inner}
 }
 
 // Emit implements ResultSink.
@@ -37,6 +51,27 @@ func (s *OrderedSink) Emit(r Result) {
 		}
 		delete(s.pending, s.next)
 		s.next++
-		s.inner.Emit(rr)
+		s.deliver(rr)
 	}
+}
+
+// deliver hands one result to the inner sink, capturing a panic so a
+// crashing observer cannot stall the ordering cursor.
+func (s *OrderedSink) deliver(r Result) {
+	defer func() {
+		if v := recover(); v != nil && s.sinkErr == nil {
+			s.sinkErr = fmt.Errorf("ordered sink: inner sink panicked on replica %d: %v", r.ID, v)
+		}
+	}()
+	s.inner.Emit(r)
+}
+
+// SinkErr returns the first inner-sink panic observed, or nil. Consumers
+// that stream results (rather than reading Run's slice) should check it
+// after the sweep: a non-nil value means at least one result never reached
+// the inner sink.
+func (s *OrderedSink) SinkErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinkErr
 }

@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"popkit/internal/engine"
@@ -98,3 +100,121 @@ func TestPanicStackInError(t *testing.T) {
 }
 
 func explodeForStackTest() { panic("kaboom") }
+
+// TestOrderedSinkStartOffset: a resumed stream delivers [start, n) in order
+// and never re-delivers the journaled prefix.
+func TestOrderedSinkStartOffset(t *testing.T) {
+	var got []int
+	s := NewOrderedSinkAt(SinkFunc(func(r Result) { got = append(got, r.ID) }), 3)
+	for _, id := range []int{6, 4, 3, 7, 5} {
+		s.Emit(Result{ID: id})
+	}
+	want := []int{3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("inner sink saw %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inner sink saw %v, want %v", got, want)
+		}
+	}
+	if err := s.SinkErr(); err != nil {
+		t.Fatalf("unexpected sink error: %v", err)
+	}
+}
+
+// TestOrderedSinkPanicKeepsOrdering: an inner sink that panics on one
+// result must not stall the cursor — every later result is still delivered
+// in order, and the loss is reported by SinkErr instead of vanishing.
+func TestOrderedSinkPanicKeepsOrdering(t *testing.T) {
+	var got []int
+	s := NewOrderedSink(SinkFunc(func(r Result) {
+		if r.ID == 2 {
+			panic("observer exploded")
+		}
+		got = append(got, r.ID)
+	}))
+	for _, id := range []int{2, 4, 0, 3, 1, 5} {
+		s.Emit(Result{ID: id})
+	}
+	want := []int{0, 1, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("inner sink saw %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inner sink saw %v, want %v", got, want)
+		}
+	}
+	err := s.SinkErr()
+	if err == nil || !strings.Contains(err.Error(), "replica 2") {
+		t.Fatalf("sink panic not surfaced: %v", err)
+	}
+}
+
+// TestOrderedSinkCancellationPanicOutOfOrder is the combined stress the
+// serving path sees under chaos: a sweep cancelled mid-flight (so trailing
+// replicas carry context errors), an inner sink that panics on one record,
+// and out-of-order completion from concurrent workers. The inner sink must
+// still see a strictly increasing ID sequence covering every replica except
+// the panicked delivery, with the cancellation split surfaced as result
+// errors and the sink panic surfaced by SinkErr — not a deadlock, not a
+// silent gap.
+func TestOrderedSinkCancellationPanicOutOfOrder(t *testing.T) {
+	const n = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Replica 9's completion triggers the cancellation, so a nontrivial
+	// suffix of the sweep is cancelled while earlier results stream.
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{ID: i, Seed: uint64(i), Run: func(jctx context.Context, _ *engine.RNG) (any, error) {
+			if i == 9 {
+				cancel()
+			}
+			return i, nil
+		}}
+	}
+
+	var mu sync.Mutex
+	var got []int
+	ordered := NewOrderedSink(SinkFunc(func(r Result) {
+		if r.ID == 5 {
+			panic("observer exploded")
+		}
+		mu.Lock()
+		got = append(got, r.ID)
+		mu.Unlock()
+	}))
+	results := Run(ctx, jobs, Options{Workers: 4, Sink: ordered})
+
+	// Every replica has a result: a value or a cancellation error.
+	for i, r := range results {
+		if r.Err == nil && r.Value != i {
+			t.Fatalf("replica %d value = %v", i, r.Value)
+		}
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("replica %d unexpected error: %v", i, r.Err)
+		}
+	}
+
+	// The stream is strictly increasing, covers all n replicas minus the
+	// panicked delivery, and skips exactly ID 5.
+	seen := map[int]bool{}
+	prev := -1
+	for _, id := range got {
+		if id <= prev {
+			t.Fatalf("stream out of order: %v", got)
+		}
+		prev = id
+		seen[id] = true
+	}
+	if len(got) != n-1 || seen[5] {
+		t.Fatalf("stream = %v, want all IDs except 5", got)
+	}
+	if err := ordered.SinkErr(); err == nil || !strings.Contains(err.Error(), "replica 5") {
+		t.Fatalf("sink panic not surfaced: %v", err)
+	}
+}

@@ -19,9 +19,12 @@ type Metrics struct {
 	JobsCompleted       atomic.Int64
 	JobsFailed          atomic.Int64
 	JobsCancelled       atomic.Int64
-	ReplicasCompleted   atomic.Int64
-	Interactions        atomic.Uint64
-	InFlight            atomic.Int64
+	// JobsResumed counts requests that found a journaled prefix for their
+	// job_id (including jobs served entirely from the journal).
+	JobsResumed       atomic.Int64
+	ReplicasCompleted atomic.Int64
+	Interactions      atomic.Uint64
+	InFlight          atomic.Int64
 
 	// latency histograms, keyed by endpoint name at construction.
 	latency map[string]*Histogram
@@ -48,6 +51,7 @@ type MetricsSnapshot struct {
 	JobsCompleted       int64 `json:"jobs_completed"`
 	JobsFailed          int64 `json:"jobs_failed"`
 	JobsCancelled       int64 `json:"jobs_cancelled"`
+	JobsResumed         int64 `json:"jobs_resumed"`
 	ReplicasCompleted   int64 `json:"replicas_completed"`
 	// Interactions is the total number of simulated scheduler activations
 	// served, including ones the counted kernels leapt over.
@@ -73,6 +77,7 @@ func (m *Metrics) Snapshot(queueDepth, queueCap int, started time.Time) MetricsS
 		JobsCompleted:       m.JobsCompleted.Load(),
 		JobsFailed:          m.JobsFailed.Load(),
 		JobsCancelled:       m.JobsCancelled.Load(),
+		JobsResumed:         m.JobsResumed.Load(),
 		ReplicasCompleted:   m.ReplicasCompleted.Load(),
 		Interactions:        m.Interactions.Load(),
 		QueueDepth:          queueDepth,

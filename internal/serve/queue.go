@@ -29,6 +29,19 @@ type queuedJob struct {
 	ctx     context.Context
 	records chan expt.ReplicaRecord
 
+	// start is the first replica to compute; records below it were already
+	// streamed from the journal by the handler.
+	start int
+	// journal, when non-nil, receives every completed record before it is
+	// offered to the stream, so a crash (of the client or the server)
+	// costs only the replicas past the journaled prefix. The worker owns
+	// it: closed after the job finishes.
+	journal *expt.Journal
+	// onDone, when non-nil, runs exactly once after the job finishes and
+	// the journal is closed — the handler uses it to release the job-ID
+	// lock only when nothing can touch the journal anymore.
+	onDone func()
+
 	mu      sync.Mutex
 	termErr error
 	status  jobStatus
@@ -58,6 +71,7 @@ type pool struct {
 	queue        chan *queuedJob
 	workers      int
 	fleetWorkers int
+	maxRetries   int
 	metrics      *Metrics
 
 	// hard aborts in-flight fleets when the drain deadline is blown.
@@ -66,9 +80,14 @@ type pool struct {
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// jitterMu/jitter randomize the Retry-After hint so a burst of
+	// rejected clients doesn't return in lockstep.
+	jitterMu sync.Mutex
+	jitter   uint64
 }
 
-func newPool(queueDepth, workers, fleetWorkers int, metrics *Metrics) *pool {
+func newPool(queueDepth, workers, fleetWorkers, maxRetries int, metrics *Metrics) *pool {
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
@@ -83,9 +102,11 @@ func newPool(queueDepth, workers, fleetWorkers int, metrics *Metrics) *pool {
 		queue:        make(chan *queuedJob, queueDepth),
 		workers:      workers,
 		fleetWorkers: fleetWorkers,
+		maxRetries:   maxRetries,
 		metrics:      metrics,
 		hard:         hard,
 		hardStop:     stop,
+		jitter:       1,
 	}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -110,6 +131,26 @@ func (p *pool) depth() int { return len(p.queue) }
 
 func (p *pool) capacity() int { return cap(p.queue) }
 
+// retryAfterSeconds computes the Retry-After hint for a rejected request:
+// roughly the time for the backlog to clear one slot, scaled by queue depth
+// over worker count, plus jitter so a burst of rejected clients spreads its
+// return instead of stampeding in lockstep. Bounded to [1, 60].
+func (p *pool) retryAfterSeconds() int {
+	sec := 1 + 2*p.depth()/p.workers
+	p.jitterMu.Lock()
+	p.jitter += 0x9e3779b97f4a7c15
+	z := p.jitter
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	p.jitterMu.Unlock()
+	sec += int(z % uint64(sec/2+2))
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
 // close stops intake and blocks until every queued and in-flight job has
 // drained. Callers that need a deadline race close against a timer and then
 // call abort.
@@ -129,9 +170,21 @@ func (p *pool) worker() {
 	}
 }
 
-// runJob executes one job's replicas and streams its records.
+// runJob executes one job's replicas and streams its records. For
+// journaled jobs it also appends each completed record to the journal
+// before offering it to the (possibly disconnected) stream, closes the
+// journal when the fleet is done, and only then signals onDone — the
+// ordering that makes a resumed request safe to admit.
 func (p *pool) runJob(j *queuedJob) {
-	defer close(j.records)
+	defer func() {
+		close(j.records)
+		if j.journal != nil {
+			j.journal.Close()
+		}
+		if j.onDone != nil {
+			j.onDone()
+		}
+	}()
 	p.metrics.InFlight.Add(1)
 	defer p.metrics.InFlight.Add(-1)
 
@@ -142,10 +195,17 @@ func (p *pool) runJob(j *queuedJob) {
 	stop := context.AfterFunc(p.hard, cancel)
 	defer stop()
 
-	runErr := j.proto.Run(ctx, j.spec, p.fleetWorkers, func(rec expt.ReplicaRecord) {
+	opts := RunOptions{Workers: p.fleetWorkers, MaxRetries: p.maxRetries, Start: j.start}
+	runErr := j.proto.Run(ctx, j.spec, opts, func(rec expt.ReplicaRecord) {
 		if rec.Err == "" {
 			p.metrics.ReplicasCompleted.Add(1)
 			p.metrics.Interactions.Add(rec.Interactions)
+		}
+		if j.journal != nil {
+			// Journal first: the record is durable even if the stream's
+			// client is gone, which is exactly what a resumed request
+			// harvests.
+			j.journal.Append(rec)
 		}
 		select {
 		case j.records <- rec:

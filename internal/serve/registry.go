@@ -13,6 +13,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -47,12 +48,16 @@ type Protocol struct {
 	run func(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error)
 }
 
-// Jobs expands a normalized spec into the fleet jobs of its replicas.
-func (p *Protocol) Jobs(spec expt.JobSpec) []fleet.Job {
-	jobs := make([]fleet.Job, spec.Replicas)
-	for i := range jobs {
-		i := i
-		jobs[i] = fleet.Job{
+// Jobs expands a normalized spec into the fleet jobs of replicas
+// [start, spec.Replicas). A non-zero start is the resume case: replicas
+// below it were already computed (and journaled) by an earlier run, and
+// because replica i's whole RNG stream derives from ReplicaSeed(Seed, i),
+// the remaining replicas are unaffected by the split.
+func (p *Protocol) Jobs(spec expt.JobSpec, start int) []fleet.Job {
+	jobs := make([]fleet.Job, spec.Replicas-start)
+	for k := range jobs {
+		i := start + k
+		jobs[k] = fleet.Job{
 			ID:   i,
 			Tag:  spec.Protocol,
 			Seed: expt.ReplicaSeed(spec.Seed, i),
@@ -66,7 +71,9 @@ func (p *Protocol) Jobs(spec expt.JobSpec) []fleet.Job {
 
 // RecordOf converts a fleet result back into the wire record: a healthy
 // replica's record is its computed value; a failed one (panic, timeout,
-// cancellation) becomes an error record in its place.
+// cancellation) becomes an error record in its place, with the failure
+// classified in ErrKind and a panicking replica's stack preserved so the
+// crash is debuggable from the stream alone.
 func RecordOf(spec expt.JobSpec, r fleet.Result) expt.ReplicaRecord {
 	if r.Err == nil {
 		if rec, ok := r.Value.(expt.ReplicaRecord); ok {
@@ -79,29 +86,63 @@ func RecordOf(spec expt.JobSpec, r fleet.Result) expt.ReplicaRecord {
 		N:        spec.N,
 		Seed:     r.Seed,
 	}
-	if r.Err != nil {
-		rec.Err = r.Err.Error()
-	} else {
+	var pe *fleet.PanicError
+	switch {
+	case r.Err == nil:
 		rec.Err = fmt.Sprintf("replica produced %T, want ReplicaRecord", r.Value)
+		rec.ErrKind = "error"
+	case errors.As(r.Err, &pe):
+		rec.Err = fmt.Sprintf("replica panicked: %v", pe.Value)
+		rec.ErrKind = "panic"
+		rec.Stack = string(pe.Stack)
+	case errors.Is(r.Err, context.DeadlineExceeded):
+		rec.Err = r.Err.Error()
+		rec.ErrKind = "timeout"
+	case errors.Is(r.Err, context.Canceled):
+		rec.Err = r.Err.Error()
+		rec.ErrKind = "cancelled"
+	default:
+		rec.Err = r.Err.Error()
+		rec.ErrKind = "error"
 	}
 	return rec
 }
 
-// Run executes the spec's replicas across workers fleet workers, delivering
-// records to sink in replica order as they complete (sink is never called
-// concurrently). It returns the first replica's error in replica order, if
-// any — cancellations and panics included.
-func (p *Protocol) Run(ctx context.Context, spec expt.JobSpec, workers int, sink func(expt.ReplicaRecord)) error {
-	ordered := fleet.NewOrderedSink(fleet.SinkFunc(func(r fleet.Result) {
+// RunOptions configures one Protocol.Run. None of its fields change the
+// records produced — only how (and whether) they get recomputed.
+type RunOptions struct {
+	// Workers is the replica-fleet width.
+	Workers int
+	// MaxRetries re-executes panicked or fault-killed replicas from their
+	// own seed (fleet.Options.MaxRetries), so transient crashes never
+	// reach the stream.
+	MaxRetries int
+	// Start skips replicas below this index — the checkpoint-resume case,
+	// where a journal already holds records [0, Start).
+	Start int
+}
+
+// Run executes the spec's replicas [opts.Start, spec.Replicas) across the
+// fleet, delivering records to sink in replica order as they complete (sink
+// is never called concurrently). It returns the first replica's error in
+// replica order, if any — cancellations and panics included — and reports a
+// panicking sink, so a record that never reached the stream can't pass for
+// success.
+func (p *Protocol) Run(ctx context.Context, spec expt.JobSpec, opts RunOptions, sink func(expt.ReplicaRecord)) error {
+	ordered := fleet.NewOrderedSinkAt(fleet.SinkFunc(func(r fleet.Result) {
 		sink(RecordOf(spec, r))
-	}))
-	results := fleet.Run(ctx, p.Jobs(spec), fleet.Options{Workers: workers, Sink: ordered})
+	}), opts.Start)
+	results := fleet.Run(ctx, p.Jobs(spec, opts.Start), fleet.Options{
+		Workers:    opts.Workers,
+		MaxRetries: opts.MaxRetries,
+		Sink:       ordered,
+	})
 	for _, r := range results {
 		if r.Err != nil {
 			return fmt.Errorf("replica %d (seed %d): %w", r.ID, r.Seed, r.Err)
 		}
 	}
-	return nil
+	return ordered.SinkErr()
 }
 
 // Registry maps protocol names to runnable workloads.

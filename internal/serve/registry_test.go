@@ -25,7 +25,7 @@ func TestBuiltinsRunAndConverge(t *testing.T) {
 				t.Fatalf("normalize: %v", err)
 			}
 			var recs []expt.ReplicaRecord
-			if err := proto.Run(context.Background(), spec, 2, func(r expt.ReplicaRecord) {
+			if err := proto.Run(context.Background(), spec, RunOptions{Workers: 2}, func(r expt.ReplicaRecord) {
 				recs = append(recs, r)
 			}); err != nil {
 				t.Fatalf("run: %v", err)
@@ -93,7 +93,7 @@ func TestRunWorkerInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := proto.Run(context.Background(), spec, workers, func(r expt.ReplicaRecord) {
+		if err := proto.Run(context.Background(), spec, RunOptions{Workers: workers}, func(r expt.ReplicaRecord) {
 			line, _ := r.MarshalLine()
 			buf.Write(line)
 		}); err != nil {
@@ -120,7 +120,7 @@ func TestCancelledRunAborts(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := proto.Run(ctx, spec, 2, func(expt.ReplicaRecord) {}); err == nil {
+	if err := proto.Run(ctx, spec, RunOptions{Workers: 2}, func(expt.ReplicaRecord) {}); err == nil {
 		t.Fatal("cancelled run reported success")
 	}
 }

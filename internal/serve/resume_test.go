@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"popkit/internal/client"
+	"popkit/internal/expt"
+	"popkit/internal/fault"
+)
+
+const resumeSpec = `{"protocol":"exactmajority","n":2000,"seed":42,"replicas":6,"gap":1,"job_id":%q}`
+
+// baselineBytes renders the fault-free stream of resumeSpec without a
+// job id — the byte-identity reference for every recovery scenario.
+func baselineBytes(t *testing.T) []byte {
+	t.Helper()
+	spec := expt.JobSpec{Protocol: "exactmajority", N: 2000, Seed: 42, Replicas: 6, Gap: 1}
+	proto, err := NewRegistry().Normalize(&spec, 5_000_000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := proto.Run(context.Background(), spec, RunOptions{Workers: 1}, func(r expt.ReplicaRecord) {
+		line, _ := r.MarshalLine()
+		buf.Write(line)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postUntilAccepted re-POSTs while the job id is still winding down from a
+// previous cancelled request (409), honouring the integer Retry-After only
+// long enough for tests.
+func postUntilAccepted(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp := postSpec(t, url, body)
+		if resp.StatusCode != http.StatusConflict {
+			return resp
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if _, err := strconv.Atoi(ra); err != nil {
+				t.Fatalf("409 Retry-After %q is not integer seconds", ra)
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("job id never released")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJournalResumeByteIdentical is the crash-recovery contract: a client
+// that disconnects mid-stream and re-POSTs the same (job_id, spec) gets the
+// full stream, byte-identical to an uninterrupted run, with the journaled
+// prefix replayed from disk rather than recomputed.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	want := baselineBytes(t)
+	s, ts := newTestServer(t, Config{JournalDir: t.TempDir(), Workers: 1})
+	body := strings.Replace(resumeSpec, "%q", `"r1"`, 1)
+
+	// First request: read two records, then walk away mid-stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate", strings.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 2; i++ {
+		if _, err := br.ReadBytes('\n'); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	cancel()
+	resp.Body.Close()
+
+	// Second request with the same id: the journaled prefix replays, the
+	// rest is computed, and the whole stream matches the reference.
+	resp = postUntilAccepted(t, ts.URL, body)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed stream diverges:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if s.Metrics().JobsResumed.Load() == 0 {
+		t.Error("resume not counted in jobs_resumed")
+	}
+
+	// Third request: the journal is complete, so the job serves entirely
+	// from disk — still byte-identical.
+	resp = postUntilAccepted(t, ts.URL, body)
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("journal-only stream diverges:\n%s", got)
+	}
+}
+
+func TestJournalSpecMismatchConflicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{JournalDir: t.TempDir(), Workers: 1})
+	resp := postSpec(t, ts.URL, `{"protocol":"leader","n":128,"seed":1,"replicas":2,"job_id":"m1"}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp = postSpec(t, ts.URL, `{"protocol":"leader","n":128,"seed":2,"replicas":2,"job_id":"m1"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched spec got status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestJobIDWithoutJournalRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := postSpec(t, ts.URL, `{"protocol":"leader","n":128,"seed":1,"job_id":"x"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("job_id on journal-less server got status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClientRecoversMidStreamCut drives the full recovery loop end to end:
+// the serve/stream failpoint cuts the connection after two records, the
+// retrying client reconnects with the same job id, skips the replayed
+// prefix, and the delivered bytes match a fault-free run exactly.
+func TestClientRecoversMidStreamCut(t *testing.T) {
+	want := baselineBytes(t)
+	_, ts := newTestServer(t, Config{JournalDir: t.TempDir(), Workers: 1})
+	if err := fault.Enable("serve/stream=panic(after=2,times=1)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Reset)
+
+	cl := client.New(client.Options{
+		BaseURL:     ts.URL,
+		MaxRetries:  8,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	spec := expt.JobSpec{Protocol: "exactmajority", N: 2000, Seed: 42, Replicas: 6, Gap: 1, JobID: "cut1"}
+	var got bytes.Buffer
+	seen := map[int]int{}
+	if err := cl.Stream(context.Background(), spec, func(rec expt.ReplicaRecord, line []byte) {
+		seen[rec.Replica]++
+		got.Write(line)
+	}); err != nil {
+		t.Fatalf("client did not recover: %v", err)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Errorf("replica %d delivered %d times", r, n)
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("recovered stream diverges:\ngot:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}
+
+// TestEnqueueFailpoint: serve/enqueue=error surfaces as 503, and the client
+// treats it as retryable.
+func TestEnqueueFailpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if err := fault.Enable("serve/enqueue=error(times=1)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Reset)
+
+	resp := postSpec(t, ts.URL, `{"protocol":"leader","n":128,"seed":1}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected enqueue fault got status %d, want 503", resp.StatusCode)
+	}
+
+	cl := client.New(client.Options{BaseURL: ts.URL, MaxRetries: 2, BackoffBase: time.Millisecond})
+	fault.Reset()
+	if err := fault.Enable("serve/enqueue=error(times=1)"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := cl.Stream(context.Background(), expt.JobSpec{Protocol: "leader", N: 128, Seed: 1, Replicas: 2},
+		func(expt.ReplicaRecord, []byte) { n++ })
+	if err != nil || n != 2 {
+		t.Fatalf("client did not ride out the 503: err=%v records=%d", err, n)
+	}
+}

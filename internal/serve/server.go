@@ -7,9 +7,21 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/fault"
+)
+
+// Failpoints of the HTTP layer (see internal/fault). Both are inert unless
+// enabled via POPKIT_FAILPOINTS or popserved -failpoints.
+var (
+	fpEnqueue = fault.New("serve/enqueue",
+		"fires in the simulate handler after spec validation, before enqueue (error → 503, panic aborts the request)")
+	fpStream = fault.New("serve/stream",
+		"fires before each streamed record; sleep delays the record, any other kind cuts the connection mid-stream")
 )
 
 // Config sizes the service.
@@ -25,6 +37,15 @@ type Config struct {
 	// FleetWorkers is the replica-fleet width per job (output is identical
 	// for any value — records stream in replica order). Default 1.
 	FleetWorkers int
+	// MaxRetries re-runs a replica that panicked or hit an injected fault,
+	// restarting it from its own seed so recovery is byte-identical.
+	// Default 0 (no retries).
+	MaxRetries int
+	// JournalDir, when non-empty, enables checkpoint/resume: jobs that
+	// carry a job_id append each completed record to
+	// JournalDir/<job_id>.ndjson, and a later request with the same id and
+	// spec replays the journaled prefix and computes only the rest.
+	JournalDir string
 	// JobTimeout bounds one job's wall clock; 0 means 60s.
 	JobTimeout time.Duration
 	// MaxN caps the population size a request may ask for. Default 5e6.
@@ -61,22 +82,27 @@ func (c *Config) fillDefaults() {
 // on an http.Server, and call Close (optionally preceded by Abort after a
 // drain deadline) on the way down.
 type Server struct {
-	cfg     Config
-	pool    *pool
-	metrics *Metrics
-	started time.Time
+	cfg      Config
+	pool     *pool
+	journals *journalSet
+	metrics  *Metrics
+	started  time.Time
 }
 
 // New builds a server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	m := NewMetrics("simulate", "protocols", "healthz", "metrics")
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
-		pool:    newPool(cfg.QueueDepth, cfg.Workers, cfg.FleetWorkers, m),
+		pool:    newPool(cfg.QueueDepth, cfg.Workers, cfg.FleetWorkers, cfg.MaxRetries, m),
 		metrics: m,
 		started: time.Now(),
 	}
+	if cfg.JournalDir != "" {
+		s.journals = newJournalSet(cfg.JournalDir)
+	}
+	return s
 }
 
 // Metrics exposes the counter set (tests and embedding binaries).
@@ -124,9 +150,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeBackoff is writeError plus a computed Retry-After hint, for the two
+// retryable rejections (queue full, job id busy).
+func (s *Server) writeBackoff(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.pool.retryAfterSeconds()))
+	writeError(w, status, format, args...)
+}
+
 // handleSimulate is POST /v1/simulate: decode a JobSpec, enqueue it, and
 // stream its per-replica records back as NDJSON while the worker computes
-// them. Client disconnect cancels the job; queue overflow rejects with 429.
+// them. Client disconnect cancels the job; queue overflow rejects with 429
+// and a queue-depth-scaled Retry-After.
+//
+// When the server runs with a journal directory and the spec carries a
+// job_id, completed replicas are checkpointed to disk as they finish, and a
+// repeat POST of the same (id, spec) replays the journaled prefix verbatim
+// and computes only the remaining replicas — the full stream is
+// byte-identical to an uninterrupted run.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -147,6 +187,53 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
+	if err := fpEnqueue.Inject(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "injected fault: %v", err)
+		return
+	}
+
+	// Checkpoint/resume: claim the job id, load its journal, and pick up
+	// after the longest contiguous successful prefix.
+	var (
+		journal *expt.Journal
+		replay  [][]byte
+		start   int
+		onDone  func()
+	)
+	if spec.JobID != "" {
+		if s.journals == nil {
+			s.metrics.JobsRejectedInvalid.Add(1)
+			writeError(w, http.StatusBadRequest, "job_id requires a journal-enabled server (start popserved with -journal)")
+			return
+		}
+		if err := s.journals.acquire(spec.JobID); err != nil {
+			s.writeBackoff(w, http.StatusConflict, "job %q is already in flight; retry later", spec.JobID)
+			return
+		}
+		journal, replay, err = s.journals.open(spec.JobID, spec)
+		if err != nil {
+			s.journals.release(spec.JobID)
+			if strings.Contains(err.Error(), "different job spec") {
+				writeError(w, http.StatusConflict, "%v", err)
+			} else {
+				writeError(w, http.StatusInternalServerError, "journal: %v", err)
+			}
+			return
+		}
+		start = journal.Next()
+		if start > 0 {
+			s.metrics.JobsResumed.Add(1)
+		}
+		id := spec.JobID
+		onDone = func() { s.journals.release(id) }
+		if start >= spec.Replicas {
+			// Every replica is journaled: serve the whole job from disk.
+			journal.Close()
+			s.journals.release(id)
+			s.streamJob(w, replay, nil)
+			return
+		}
+	}
 
 	jctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
 	defer cancel()
@@ -154,16 +241,31 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		spec:    spec,
 		proto:   proto,
 		ctx:     jctx,
-		records: make(chan expt.ReplicaRecord, spec.Replicas),
+		records: make(chan expt.ReplicaRecord, spec.Replicas-start),
+		start:   start,
+		journal: journal,
+		onDone:  onDone,
 	}
 	if err := s.pool.tryEnqueue(j); err != nil {
+		if journal != nil {
+			journal.Close()
+			s.journals.release(spec.JobID)
+		}
 		s.metrics.JobsRejectedFull.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.pool.depth())
+		s.writeBackoff(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.pool.depth())
 		return
 	}
+	// The worker now owns the journal and the job-id lock (released via
+	// onDone after the journal is closed).
 	s.metrics.JobsAccepted.Add(1)
+	s.streamJob(w, replay, j)
+}
 
+// streamJob writes the 200 header, the journal replay bytes (verbatim —
+// they are the exact lines streamed when the records were first computed),
+// then the live records, and finally the in-band error object if the job
+// failed. j may be nil when the whole job was served from the journal.
+func (s *Server) streamJob(w http.ResponseWriter, replay [][]byte, j *queuedJob) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -173,19 +275,38 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// job's client sees the stream open immediately.
 		flusher.Flush()
 	}
+	writeLine := func(line []byte) {
+		if out := fpStream.Eval(); out.Fire {
+			if out.Kind == fault.KindSleep {
+				time.Sleep(out.Sleep)
+			} else {
+				// Cut the connection mid-stream: the handler unwinds, the
+				// request context dies, and the worker (if any) aborts its
+				// remaining replicas — journaled progress survives.
+				panic(http.ErrAbortHandler)
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			// Client is gone; the request context dies with it, which
+			// unwinds the worker. Keep draining so the channel closes.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, line := range replay {
+		writeLine(line)
+	}
+	if j == nil {
+		return
+	}
 	for rec := range j.records {
 		line, err := rec.MarshalLine()
 		if err != nil {
 			continue
 		}
-		if _, err := w.Write(line); err != nil {
-			// Client is gone; jctx dies with r.Context(), which unwinds the
-			// worker. Keep draining so the channel closes.
-			continue
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		writeLine(line)
 	}
 	if err := j.err(); err != nil && !errors.Is(err, context.Canceled) {
 		// The status line is sent; signal the failure in-band as a final

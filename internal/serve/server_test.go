@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -172,8 +173,10 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 without Retry-After")
+	} else if sec, err := strconv.Atoi(ra); err != nil || sec < 1 || sec > 60 {
+		t.Errorf("429 Retry-After = %q, want integer seconds in [1, 60]", ra)
 	}
 	var doc errorDoc
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.Error == "" {
@@ -269,7 +272,7 @@ func TestHTTPMatchesDirectRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	var cli bytes.Buffer
-	if err := proto.Run(context.Background(), spec, 1, func(r expt.ReplicaRecord) {
+	if err := proto.Run(context.Background(), spec, RunOptions{Workers: 1}, func(r expt.ReplicaRecord) {
 		line, _ := r.MarshalLine()
 		cli.Write(line)
 	}); err != nil {
@@ -353,7 +356,7 @@ func TestPoolDrainAndAbort(t *testing.T) {
 	release := make(chan struct{})
 	reg := blockingRegistry(t, started, release)
 	m := NewMetrics()
-	p := newPool(4, 1, 1, m)
+	p := newPool(4, 1, 1, 0, m)
 	proto, _ := reg.Lookup("block")
 	j := &queuedJob{
 		spec:    expt.JobSpec{Protocol: "block", N: 10, Seed: 1, Replicas: 1},

@@ -16,8 +16,8 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (fleet, engine) =="
-go test -race ./internal/fleet/... ./internal/engine/...
+echo "== go test -race (fleet, engine, fault, client, serve) =="
+go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/...
 
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
@@ -30,5 +30,8 @@ rm -f "$tmpb"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh
+
+echo "== chaos (fault injection + recovery) =="
+./scripts/chaos.sh
 
 echo "check: OK"

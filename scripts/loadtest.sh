@@ -8,7 +8,8 @@
 #      response validated as complete, converged NDJSON
 #   3. metrics sanity: jobs_accepted covers the burst, nothing failed
 #   4. queue backpressure: a 1-worker/1-slot server under long jobs answers
-#      429 with Retry-After
+#      429 with a computed integer Retry-After, and honoring the hint
+#      eventually gets a job accepted
 #   5. determinism across the network boundary: a fixed-seed HTTP stream is
 #      byte-identical to `popsim -ndjson` with the same spec
 #   6. graceful drain: SIGTERM with a stream in flight still completes it
@@ -85,7 +86,7 @@ start_server "$tmp/full.log" -workers 1 -queue 1 -job-timeout 8s -drain 2s
 # Long jobs occupy the worker and the single queue slot; the burst must
 # then see at least one 429 and at least one accepted stream.
 for i in 1 2 3 4 5 6; do
-    curl -s --max-time 30 -o "$tmp/full.body.$i" -w '%{http_code}\n' \
+    curl -s --max-time 30 -o "$tmp/full.body.$i" -D "$tmp/full.hdr.$i" -w '%{http_code}\n' \
         -d '{"protocol":"exactmajority","n":2000000,"seed":1,"replicas":4,"gap":1}' \
         "$base/v1/simulate" > "$tmp/full.code.$i" &
 done
@@ -97,6 +98,31 @@ grep -q '200' "$tmp"/full.code.* || { echo "loadtest: no stream accepted under o
 rejected=$(grep -l 429 "$tmp"/full.code.* | head -n 1)
 jq -e '.error | test("queue full")' "${rejected%.code.*}.body.${rejected##*.}" >/dev/null \
     || { echo "loadtest: 429 body lacks queue-full error" >&2; exit 1; }
+
+# The 429 must carry a computed integer Retry-After (queue-depth-scaled,
+# jittered — not the old constant), and honoring it must eventually get a
+# small job accepted once the backlog drains.
+ra=$(awk 'tolower($1)=="retry-after:"{print $2}' "${rejected%.code.*}.hdr.${rejected##*.}" | tr -d '\r')
+case "$ra" in
+    ''|*[!0-9]*) echo "loadtest: 429 Retry-After is not integer seconds: '$ra'" >&2; exit 1 ;;
+esac
+[ "$ra" -ge 1 ] && [ "$ra" -le 60 ] \
+    || { echo "loadtest: 429 Retry-After out of range: $ra" >&2; exit 1; }
+echo "   429 carried Retry-After: ${ra}s; honoring it until accepted"
+deadline=$(( $(date +%s) + 60 ))
+while :; do
+    sleep "$ra"
+    code=$(curl -s --max-time 30 -o "$tmp/honor.body" -D "$tmp/honor.hdr" -w '%{http_code}' \
+        -d '{"protocol":"leader","n":128,"seed":5,"replicas":1}' "$base/v1/simulate")
+    [ "$code" = 200 ] && break
+    [ "$code" = 429 ] || { echo "loadtest: unexpected status $code while honoring Retry-After" >&2; exit 1; }
+    ra=$(awk 'tolower($1)=="retry-after:"{print $2}' "$tmp/honor.hdr" | tr -d '\r')
+    case "$ra" in ''|*[!0-9]*) ra=1 ;; esac
+    [ "$(date +%s)" -lt "$deadline" ] || { echo "loadtest: never accepted after honoring Retry-After" >&2; exit 1; }
+done
+jq -es 'length == 1 and all(.converged)' "$tmp/honor.body" >/dev/null \
+    || { echo "loadtest: post-backoff stream invalid" >&2; exit 1; }
+echo "   accepted after backoff"
 stop_server
 
 echo "== phase 5: CLI vs HTTP determinism =="
