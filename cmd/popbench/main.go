@@ -41,6 +41,7 @@ import (
 
 	"popkit/internal/expt"
 	"popkit/internal/fleet"
+	"popkit/internal/obs"
 	"popkit/internal/stats"
 )
 
@@ -68,8 +69,12 @@ type benchFile struct {
 	WallMS   float64 `json:"wall_ms"`
 	// Interrupted marks a run cut short by SIGINT/SIGTERM: Experiments then
 	// holds only the entries that completed before the signal.
-	Interrupted bool          `json:"interrupted,omitempty"`
-	Experiments []benchRecord `json:"experiments"`
+	Interrupted bool `json:"interrupted,omitempty"`
+	// ReplicaLatency summarizes per-replica wall-clock time across every
+	// experiment of the run (count, mean, p50/p90/p95/p99, µs buckets) —
+	// the latency distribution behind the throughput numbers.
+	ReplicaLatency obs.HistogramSnapshot `json:"replica_latency"`
+	Experiments    []benchRecord         `json:"experiments"`
 }
 
 func main() { os.Exit(run()) }
@@ -177,6 +182,14 @@ func run() int {
 	if !*noProgress {
 		cfg.Progress = os.Stderr
 	}
+	// Every replica's wall-clock time feeds one latency histogram, so
+	// BENCH_results.json carries the latency distribution behind the
+	// throughput numbers. Observing Elapsed reads the already-computed
+	// result and cannot change any replica's output.
+	replicaHist := &obs.Histogram{}
+	var replicaSink fleet.ResultSink = fleet.SinkFunc(func(r fleet.Result) {
+		replicaHist.Observe(r.Elapsed)
+	})
 	if *replicaLog != "" {
 		f, err := os.Create(*replicaLog)
 		if err != nil {
@@ -184,8 +197,9 @@ func run() int {
 			return 1
 		}
 		defer f.Close()
-		cfg.ReplicaSink = fleet.NewJSONLSink(f)
+		replicaSink = fleet.MultiSink{fleet.NewJSONLSink(f), replicaSink}
 	}
+	cfg.ReplicaSink = replicaSink
 
 	bench := benchFile{Seeds: *seeds, Quick: *quick, BaseSeed: *seed, Workers: *workers}
 	begin := time.Now()
@@ -239,6 +253,7 @@ func run() int {
 		fmt.Printf("_%s completed in %s_\n\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	bench.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+	bench.ReplicaLatency = replicaHist.Snapshot()
 
 	benchPath := filepath.Join(*out, "BENCH_results.json")
 	if data, err := json.MarshalIndent(bench, "", "  "); err != nil {

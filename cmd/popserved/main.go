@@ -26,6 +26,8 @@
 //	GET  /v1/protocols  list runnable protocols
 //	GET  /healthz       liveness + queue depth
 //	GET  /metrics       JSON counters and latency histograms
+//	GET  /metrics?format=prom   the same registry in Prometheus text format
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //
 // Determinism survives the network boundary: the same (protocol, n, seed,
 // replicas) spec returns byte-identical records to `popsim -ndjson`, which
@@ -66,6 +68,7 @@ func run() int {
 		maxReplicas    = flag.Int("max-replicas", 1024, "largest accepted replica count")
 		journalDir     = flag.String("journal", "", "directory for job_id checkpoint journals (empty disables resume)")
 		retries        = flag.Int("retries", 2, "re-runs per crashed replica before its failure reaches the stream")
+		pprofFlag      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; off by default)")
 		failpoints     = flag.String("failpoints", "", "enable failpoints, e.g. 'serve/stream=panic(after=2,times=1)' (also: POPKIT_FAILPOINTS)")
 		listFailpoints = flag.Bool("list-failpoints", false, "print the failpoint registry and exit")
 	)
@@ -105,6 +108,7 @@ func run() int {
 		JobTimeout:   *jobTimeout,
 		MaxN:         *maxN,
 		MaxReplicas:  *maxReplicas,
+		EnablePprof:  *pprofFlag,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 

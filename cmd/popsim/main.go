@@ -37,14 +37,17 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	popkit "popkit"
 	"popkit/internal/bitmask"
 	"popkit/internal/client"
+	"popkit/internal/clock"
 	"popkit/internal/expt"
 	"popkit/internal/fault"
 	"popkit/internal/frame"
+	"popkit/internal/obs"
 	"popkit/internal/serve"
 )
 
@@ -87,6 +90,7 @@ func main() {
 		retries   = flag.Int("retries", 2, "re-runs per crashed replica (-ndjson local), or HTTP retries per request (-server)")
 		server    = flag.String("server", "", "run the job on a popserved instance at this base URL instead of locally (requires -ndjson)")
 		jobID     = flag.String("job-id", "", "job id for server-side checkpoint/resume (requires -server and a journal-enabled popserved)")
+		traceFile = flag.String("trace", "", "write an NDJSON event timeline of the run to FILE (local modes only; never changes the run's output)")
 	)
 	flag.Parse()
 
@@ -96,6 +100,11 @@ func main() {
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *traceFile != "" && *server != "" {
+		fail("-trace is local-only (the timeline lives in this process; -server runs elsewhere)")
+	}
+	trace, flushTrace := openTrace(*traceFile)
 
 	if *ndjson {
 		if *jsonOut {
@@ -146,7 +155,15 @@ func main() {
 		if *jobID != "" {
 			fail("-job-id needs -server (journals live on the popserved side)")
 		}
-		os.Exit(runNDJSON(ctx, spec, *workers, *retries))
+		if trace != nil {
+			// The registry attaches the context-carried trace to each
+			// replica's executor; tallies happen after every RNG draw, so
+			// the record stream is byte-identical with or without it.
+			ctx = obs.WithTrace(ctx, trace)
+		}
+		code := runNDJSON(ctx, spec, *workers, *retries)
+		flushTrace()
+		os.Exit(code)
 	}
 	if *server != "" || *jobID != "" {
 		fail("-server and -job-id need -ndjson (the wire format is per-replica records)")
@@ -183,7 +200,7 @@ func main() {
 	}
 
 	if *compiled {
-		runCompiled(ctx, *proto, *n, *seed, *jsonOut)
+		runCompiled(ctx, *proto, *n, *seed, *jsonOut, trace, flushTrace)
 		return
 	}
 
@@ -207,6 +224,7 @@ func main() {
 		os.Exit(1)
 	}
 	setupInputs(run, *proto, *n, *gap, *colours)
+	run.Trace = trace
 
 	done := convergence(*proto, *n, *colours)
 	iters, ok := run.RunUntil(func(e *frame.Executor) bool {
@@ -218,6 +236,7 @@ func main() {
 	if interrupted {
 		ok = false
 	}
+	flushTrace()
 	if *jsonOut {
 		emit(summary{
 			Protocol:   *proto,
@@ -316,6 +335,27 @@ func runRemote(ctx context.Context, spec expt.JobSpec, base string, retries int)
 		return 1
 	}
 	return 0
+}
+
+// openTrace builds the -trace timeline: a bounded obs ring buffer plus a
+// flush function that writes it to path as NDJSON. A "" path returns a nil
+// trace (every layer treats that as tracing-off) and a no-op flush.
+func openTrace(path string) (*obs.Trace, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	tr := obs.NewTrace(obs.DefaultTraceCap)
+	return tr, func() {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popsim: trace: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := tr.WriteNDJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "popsim: trace: %v\n", err)
+		}
+	}
 }
 
 func emit(s summary) {
@@ -432,7 +472,7 @@ func report(run *popkit.Run, proto string, colours int) {
 	}
 }
 
-func runCompiled(ctx context.Context, proto string, n int, seed uint64, jsonOut bool) {
+func runCompiled(ctx context.Context, proto string, n int, seed uint64, jsonOut bool, trace *obs.Trace, flushTrace func()) {
 	c, err := popkit.CompileProgram(popkit.LeaderElection(), popkit.CompileOptions{Control: popkit.XPreReduced})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
@@ -443,16 +483,52 @@ func runCompiled(ctx context.Context, proto string, n int, seed uint64, jsonOut 
 	}
 	rng := popkit.NewRNG(seed)
 	pop := c.NewPopulation(n, rng)
-	r := popkit.NewScheduler(popkit.NewEngine(c.Rules), pop, rng)
+	eng := popkit.NewEngine(c.Rules)
+	r := popkit.NewScheduler(eng, pop, rng)
+	if trace != nil {
+		r.Stats = obs.NewRuleStats(eng.NumRules())
+	}
 	lv, _ := c.Space.LookupVar("L")
 	tr := r.Track("L", bitmask.Is(lv))
+	// Phase probes emit a "phase-tick" event whenever a hierarchy clock's
+	// dominant phase moves, sampled at most once per parallel round. They
+	// only read the population, never the RNG, so the run is unchanged.
+	var probes []*clock.PhaseProbe
+	for j, b := range c.Hierarchy.Clocks {
+		if p := clock.NewPhaseProbe(b, j+1, 0, trace); p != nil {
+			probes = append(probes, p)
+		}
+	}
+	nextSample := 0.0
 	budget := 60.0 * float64(c.M) * 60 * math.Log(float64(n))
 	rounds, ok := r.RunUntil(func(*popkit.Scheduler) bool {
+		if len(probes) > 0 {
+			if rt := r.Rounds(); rt >= nextSample {
+				nextSample = math.Floor(rt) + 1
+				for _, p := range probes {
+					p.Sample(pop, rt)
+				}
+			}
+		}
 		return ctx.Err() != nil || tr.Count() == 1
 	}, 25, budget)
 	interrupted := ctx.Err() != nil
 	if interrupted {
 		ok = tr.Count() == 1
+	}
+	if trace != nil {
+		// Per-rule-group firing tallies, one closing event per group in
+		// name order, so the timeline ends with a firing census.
+		tally := eng.GroupTally(r.Stats.Fired())
+		names := make([]string, 0, len(tally))
+		for name := range tally {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			trace.Emit(obs.Event{Kind: "rule-group", Rounds: rounds, Name: name, Value: int64(tally[name])})
+		}
+		flushTrace()
 	}
 	if jsonOut {
 		emit(summary{

@@ -1,0 +1,63 @@
+package clock
+
+import (
+	"popkit/internal/bitmask"
+	"popkit/internal/engine"
+	"popkit/internal/obs"
+)
+
+// PhaseProbe samples a Base clock's population and emits a "phase-tick"
+// obs event whenever the dominant phase (the counter value held by the
+// largest group of agents) changes, producing the phase timeline the
+// paper's round bounds are stated against. A nil probe is inert, and
+// sampling only reads the population — it never draws from any RNG, so
+// probing cannot perturb a run.
+type PhaseProbe struct {
+	b       *Base
+	level   int
+	replica int
+	tr      *obs.Trace
+	xGuard  bitmask.Guard
+	last    int
+}
+
+// NewPhaseProbe builds a probe for the clock at the given hierarchy level
+// (0 for the base clock), emitting into tr. Returns nil when tr is nil so
+// callers can unconditionally Sample.
+func NewPhaseProbe(b *Base, level, replica int, tr *obs.Trace) *PhaseProbe {
+	if tr == nil {
+		return nil
+	}
+	return &PhaseProbe{
+		b: b, level: level, replica: replica, tr: tr,
+		xGuard: bitmask.Compile(bitmask.Is(b.Osc.X)),
+		last:   -1,
+	}
+}
+
+// Sample inspects the population at the given parallel time, emitting one
+// event per dominant-phase change: the event carries the clock level, the
+// new phase, the round number, and the oscillator's #X count (Value). It
+// reports whether an event was emitted.
+func (p *PhaseProbe) Sample(pop *engine.Dense, rounds float64) bool {
+	if p == nil {
+		return false
+	}
+	counts := p.b.PhaseCounts(pop)
+	dom, best := 0, -1
+	for c, k := range counts {
+		if k > best {
+			dom, best = c, k
+		}
+	}
+	if dom == p.last {
+		return false
+	}
+	p.last = dom
+	p.tr.Emit(obs.Event{
+		Kind: "phase-tick", Replica: p.replica, Level: p.level,
+		Phase: dom, Rounds: rounds, Name: "clock",
+		Value: int64(pop.Count(p.xGuard)),
+	})
+	return true
+}

@@ -1,0 +1,89 @@
+package clock
+
+import (
+	"testing"
+
+	"popkit/internal/obs"
+)
+
+func TestPhaseProbeEmitsOnDominantChange(t *testing.T) {
+	_, b, r := buildClock(500, 12, 4, 7)
+	tr := obs.NewTrace(1024)
+	p := NewPhaseProbe(b, 0, 2, tr)
+
+	// First sample always reports the initial dominant phase.
+	if !p.Sample(r.Pop, r.Rounds()) {
+		t.Fatal("first sample did not emit")
+	}
+	// Re-sampling an unchanged population is silent.
+	if p.Sample(r.Pop, r.Rounds()) {
+		t.Fatal("unchanged dominant phase re-emitted")
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != "phase-tick" || e.Level != 0 || e.Replica != 2 || e.Name != "clock" {
+		t.Fatalf("unexpected event: %+v", e)
+	}
+	if e.Phase < 0 || e.Phase >= 12 {
+		t.Fatalf("phase out of range: %+v", e)
+	}
+	if e.Value < 0 || e.Value > 500 {
+		t.Fatalf("#X out of range: %+v", e)
+	}
+
+	// Run the clock and keep sampling: the tick count must match the
+	// number of emitted events, and phases must stay in range.
+	ticks := 1
+	for i := 0; i < 200; i++ {
+		r.RunRounds(5)
+		if p.Sample(r.Pop, r.Rounds()) {
+			ticks++
+		}
+	}
+	if got := tr.Len(); got != ticks {
+		t.Fatalf("trace has %d events, probe reported %d ticks", got, ticks)
+	}
+	for _, e := range tr.Events() {
+		if e.Phase < 0 || e.Phase >= 12 {
+			t.Fatalf("phase out of range in %+v", e)
+		}
+	}
+}
+
+func TestPhaseProbeNilSafety(t *testing.T) {
+	_, b, r := buildClock(100, 12, 4, 1)
+	if NewPhaseProbe(b, 0, 0, nil) != nil {
+		t.Fatal("nil trace produced a live probe")
+	}
+	var p *PhaseProbe
+	if p.Sample(r.Pop, 0) {
+		t.Fatal("nil probe emitted")
+	}
+}
+
+// TestPhaseProbeDoesNotPerturbRun pins the determinism contract: sampling
+// between rounds must leave the trajectory byte-identical to an unprobed
+// run with the same seed.
+func TestPhaseProbeDoesNotPerturbRun(t *testing.T) {
+	_, b1, r1 := buildClock(300, 12, 4, 99)
+	_, _, r2 := buildClock(300, 12, 4, 99)
+	tr := obs.NewTrace(1024)
+	p := NewPhaseProbe(b1, 0, 0, tr)
+	for i := 0; i < 50; i++ {
+		r1.RunRounds(2)
+		p.Sample(r1.Pop, r1.Rounds())
+		r2.RunRounds(2)
+	}
+	h1, h2 := r1.Pop.Histogram(), r2.Pop.Histogram()
+	if len(h1) != len(h2) {
+		t.Fatalf("histogram support differs: %v vs %v", h1, h2)
+	}
+	for s, c := range h1 {
+		if h2[s] != c {
+			t.Fatalf("probed run diverged at species %v: %d vs %d", s, c, h2[s])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"popkit/internal/bitmask"
+	"popkit/internal/obs"
 )
 
 // BatchRunner drives a Counted population through the same Markov chain as
@@ -37,6 +38,10 @@ type BatchRunner struct {
 
 	// Fired counts rule firings, indexed by rule.
 	Fired []uint64
+
+	// Stats, when non-nil, mirrors Fired into a shared obs.RuleStats so
+	// instrumented drivers read one tally type across all three kernels.
+	Stats *obs.RuleStats
 
 	idx    *matchIndex
 	pairsW []float64
@@ -152,6 +157,7 @@ func (r *BatchRunner) fireMatching() {
 	}
 	rule := int32(idx)
 	r.Fired[idx]++
+	r.Stats.Fire(idx, 1)
 
 	// Initiator pick, weight cnt(s)·(m2 − [G2(s)]). With a single occupied
 	// G1 species all weight sits on one slot: find it without drawing.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"popkit/internal/bitmask"
+	"popkit/internal/obs"
 )
 
 // CountRunner drives a Counted population under the asynchronous sequential
@@ -24,6 +25,11 @@ type CountRunner struct {
 	// Interactions counts scheduler activations including the leapt
 	// non-matching ones.
 	Interactions uint64
+
+	// Stats, when non-nil, tallies per-rule firings. The tally is taken
+	// after the rule pick so it never touches the RNG stream — traces stay
+	// byte-identical with or without it.
+	Stats *obs.RuleStats
 
 	idx *matchIndex
 
@@ -122,6 +128,7 @@ func (r *CountRunner) fireMatching() {
 		idx = len(r.P.Set.Rules) - 1
 	}
 	rule := int32(idx)
+	r.Stats.Fire(idx, 1)
 
 	// Pick the initiator species s1 with weight cnt(s1)·(m2 − [G2(s1)]).
 	pop := r.Pop
@@ -183,10 +190,11 @@ func (r *CountRunner) Step() bool {
 	s1 := pop.sample(r.RNG, false, bitmask.State{})
 	s2 := pop.sample(r.RNG, true, s1)
 	r.Interactions++
-	rule := r.P.PickRule(r.RNG, s1, s2)
+	ri, rule := r.P.PickRuleIndexed(r.RNG, s1, s2)
 	if rule == nil {
 		return false
 	}
+	r.Stats.Fire(ri, 1)
 	ns1, ns2 := rule.Apply(s1, s2)
 	pop.add(s1, -1)
 	pop.add(s2, -1)

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"popkit/internal/bitmask"
 	"popkit/internal/rules"
 )
@@ -120,30 +122,61 @@ func (p *Protocol) RuleWeight(i int) int { return p.ruleWeight[i] }
 // ordered pair (a, b): it returns the matching rule of the picked group, or
 // nil if none matches (a non-firing interaction).
 func (p *Protocol) PickRule(rng *RNG, a, b bitmask.State) *rules.Rule {
+	_, r := p.PickRuleIndexed(rng, a, b)
+	return r
+}
+
+// PickRuleIndexed is PickRule also reporting the fired rule's index into
+// Set.Rules ((-1, nil) for a non-firing interaction), so instrumented
+// runners can tally per-rule firings without a pointer-to-index search. It
+// consumes exactly the same RNG draws as PickRule.
+func (p *Protocol) PickRuleIndexed(rng *RNG, a, b bitmask.State) (int, *rules.Rule) {
 	gi := p.slots[rng.Intn(len(p.slots))]
 	return p.matchGroup(gi, a, b)
 }
 
-// matchGroup finds the unique rule of group gi matching (a, b), or nil.
-func (p *Protocol) matchGroup(gi int32, a, b bitmask.State) *rules.Rule {
+// matchGroup finds the unique rule of group gi matching (a, b), or
+// (-1, nil).
+func (p *Protocol) matchGroup(gi int32, a, b bitmask.State) (int, *rules.Rule) {
 	g := &p.groups[gi]
 	if g.indexed {
 		key := [2]uint64{a.Lo & g.careLo, a.Hi & g.careHi}
 		for _, ri := range g.buckets[key] {
 			r := &p.Set.Rules[ri]
 			if r.G2.Match(b) {
-				return r
+				return int(ri), r
 			}
 		}
-		return nil
+		return -1, nil
 	}
 	for ri := g.start; ri < g.end; ri++ {
 		r := &p.Set.Rules[ri]
 		if r.G1.Match(a) && r.G2.Match(b) {
-			return r
+			return int(ri), r
 		}
 	}
-	return nil
+	return -1, nil
+}
+
+// GroupTally aggregates per-rule firing counts (indexed by rule, as
+// produced by obs.RuleStats or BatchRunner.Fired) into per-group totals
+// keyed by group name; unnamed groups key as "group<i>". Extra trailing
+// counts are ignored so a tally sized for a different protocol cannot
+// corrupt the map.
+func (p *Protocol) GroupTally(fired []uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(p.Set.Groups))
+	for gi, g := range p.Set.Groups {
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("group%d", gi)
+		}
+		var sum uint64
+		for i := g.Start; i < g.End && i < len(fired); i++ {
+			sum += fired[i]
+		}
+		out[name] += sum
+	}
+	return out
 }
 
 // ReachableStates enumerates the set of states reachable from the given

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"popkit/internal/bitmask"
+	"popkit/internal/obs"
 )
 
 // A Tracker incrementally maintains the number of agents matching a guard,
@@ -30,6 +31,11 @@ type Runner struct {
 	// Interactions counts scheduler activations, including non-matching
 	// picks (the paper's convention counts those as steps too).
 	Interactions uint64
+
+	// Stats, when non-nil, tallies per-rule firings (obs.NewRuleStats
+	// sized to P.NumRules()). The nil default costs one branch per firing
+	// and never touches the RNG stream.
+	Stats *obs.RuleStats
 
 	trackers []*Tracker
 }
@@ -97,12 +103,13 @@ func (r *Runner) Step() bool {
 	}
 	r.Interactions++
 	a := r.Pop.agents
-	rule := r.P.PickRule(r.RNG, a[i], a[j])
+	ri, rule := r.P.PickRuleIndexed(r.RNG, a[i], a[j])
 	if rule == nil {
 		return false
 	}
 	ni, nj := rule.Apply(a[i], a[j])
 	r.applyTo(i, j, ni, nj)
+	r.Stats.Fire(ri, 1)
 	return true
 }
 
@@ -127,9 +134,10 @@ func (r *Runner) MatchingRound() {
 		i, j := int(perm[k]), int(perm[k+1])
 		// Orientation of the pair is random via the shuffle.
 		a := r.Pop.agents
-		if rule := r.P.PickRule(r.RNG, a[i], a[j]); rule != nil {
+		if ri, rule := r.P.PickRuleIndexed(r.RNG, a[i], a[j]); rule != nil {
 			ni, nj := rule.Apply(a[i], a[j])
 			r.applyTo(i, j, ni, nj)
+			r.Stats.Fire(ri, 1)
 		}
 	}
 	r.Interactions += uint64(n)
@@ -188,12 +196,13 @@ func (r *Runner) StepPair(i, j int) bool {
 	}
 	r.Interactions++
 	a := r.Pop.agents
-	rule := r.P.PickRule(r.RNG, a[i], a[j])
+	ri, rule := r.P.PickRuleIndexed(r.RNG, a[i], a[j])
 	if rule == nil {
 		return false
 	}
 	ni, nj := rule.Apply(a[i], a[j])
 	r.applyTo(i, j, ni, nj)
+	r.Stats.Fire(ri, 1)
 	return true
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"popkit/internal/bitmask"
 	"popkit/internal/engine"
+	"popkit/internal/obs"
 	"popkit/internal/rules"
 )
 
@@ -110,6 +111,18 @@ type Driver struct {
 	dr      *engine.Runner
 
 	denseSteps uint64
+
+	trace        *obs.Trace
+	traceReplica int
+	traceNext    float64
+	tracked      []trackEntry
+}
+
+// trackEntry remembers a registered tracker so the trace can report every
+// tracked count on one timeline event.
+type trackEntry struct {
+	name string
+	c    Counter
 }
 
 // NewDriver builds the driver for rs/proto over the given initial counts.
@@ -142,35 +155,93 @@ func NewDriver(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.Sta
 
 // Track registers an incremental count of agents matching f.
 func (d *Driver) Track(name string, f bitmask.Formula) Counter {
+	var c Counter
 	switch d.Kind {
 	case RunnerDense:
-		return denseCounter{d.dr.Track(name, f)}
+		c = denseCounter{d.dr.Track(name, f)}
 	case RunnerCounted:
-		return d.cr.Track(name, f)
+		c = d.cr.Track(name, f)
 	default:
-		return d.br.Track(name, f)
+		c = d.br.Track(name, f)
 	}
+	d.tracked = append(d.tracked, trackEntry{name: name, c: c})
+	return c
+}
+
+// SetTrace attaches an obs timeline: RunUntil then emits a "count" event —
+// every tracked counter's value, labelled with the runner kind — at most
+// once per parallel round, and the underlying runner tallies per-rule
+// firings into an obs.RuleStats. Tracing reads state the run already
+// maintains and draws nothing from the RNG, so trajectories are
+// byte-identical with and without it.
+func (d *Driver) SetTrace(tr *obs.Trace, replica int) {
+	d.trace = tr
+	d.traceReplica = replica
+}
+
+// SetStats attaches a per-rule firing tally to whichever runner the driver
+// selected (nil detaches).
+func (d *Driver) SetStats(s *obs.RuleStats) {
+	switch d.Kind {
+	case RunnerDense:
+		d.dr.Stats = s
+	case RunnerCounted:
+		d.cr.Stats = s
+	default:
+		d.br.Stats = s
+	}
+}
+
+// maybeTrace emits one "count" timeline event, rate-limited to one per
+// parallel round so long quiescent leaps don't flood the buffer.
+func (d *Driver) maybeTrace() {
+	if d.trace == nil {
+		return
+	}
+	r := d.Rounds()
+	if r < d.traceNext {
+		return
+	}
+	d.traceNext = math.Floor(r) + 1
+	var counts map[string]int64
+	if len(d.tracked) > 0 {
+		counts = make(map[string]int64, len(d.tracked))
+		for _, te := range d.tracked {
+			counts[te.name] = te.c.Count()
+		}
+	}
+	d.trace.Emit(obs.Event{
+		Kind: "count", Replica: d.traceReplica, Rounds: r,
+		Name: d.Kind.String(), Value: int64(d.Interactions()), Counts: counts,
+	})
 }
 
 // RunUntil advances until cond holds or maxRounds elapses, returning the
 // parallel time consumed and whether cond was met.
 func (d *Driver) RunUntil(cond func() bool, maxRounds float64) (rounds float64, ok bool) {
+	probe := cond
+	if d.trace != nil {
+		probe = func() bool {
+			d.maybeTrace()
+			return cond()
+		}
+	}
 	switch d.Kind {
 	case RunnerDense:
 		start := d.dr.Rounds()
 		steps := uint64(math.Ceil(maxRounds * float64(d.dense.N())))
 		for i := uint64(0); i < steps; i++ {
-			if cond() {
+			if probe() {
 				return d.dr.Rounds() - start, true
 			}
 			d.dr.Step()
 			d.denseSteps++
 		}
-		return d.dr.Rounds() - start, cond()
+		return d.dr.Rounds() - start, probe()
 	case RunnerCounted:
-		return d.cr.RunUntil(func(*engine.CountRunner) bool { return cond() }, maxRounds)
+		return d.cr.RunUntil(func(*engine.CountRunner) bool { return probe() }, maxRounds)
 	default:
-		return d.br.RunUntil(func(*engine.BatchRunner) bool { return cond() }, maxRounds)
+		return d.br.RunUntil(func(*engine.BatchRunner) bool { return probe() }, maxRounds)
 	}
 }
 

@@ -106,6 +106,55 @@ type Options struct {
 	// either deliberate aborts or deterministic, so re-running them would
 	// waste the budget.
 	MaxRetries int
+	// Stats, when non-nil, is filled with per-worker utilization tallies
+	// (jobs run, steals, retry attempts, busy time). Valid once Run
+	// returns; collecting stats never affects scheduling or results.
+	Stats *Stats
+}
+
+// WorkerStats is one worker's tallies for a single Run call.
+type WorkerStats struct {
+	// Jobs is the number of replicas the worker executed.
+	Jobs uint64 `json:"jobs"`
+	// Steals is how many of those were claimed from another worker's
+	// deque — the load-balancing traffic.
+	Steals uint64 `json:"steals"`
+	// Retries is the number of extra attempts consumed by crashed
+	// replicas (sum of Attempts−1).
+	Retries uint64 `json:"retries"`
+	// Busy is wall-clock time spent executing replicas; Busy divided by
+	// the sweep's elapsed time is the worker's utilization.
+	Busy time.Duration `json:"busy_ns"`
+}
+
+// Stats aggregates per-worker tallies for one Run call. Each worker writes
+// only its own slot during the sweep, so no synchronization is needed to
+// read the stats after Run returns. Methods are nil-safe.
+type Stats struct {
+	workers []WorkerStats
+}
+
+// Workers returns a copy of the per-worker tallies.
+func (s *Stats) Workers() []WorkerStats {
+	if s == nil {
+		return nil
+	}
+	return append([]WorkerStats(nil), s.workers...)
+}
+
+// Totals sums the tallies across workers.
+func (s *Stats) Totals() WorkerStats {
+	var t WorkerStats
+	if s == nil {
+		return t
+	}
+	for _, w := range s.workers {
+		t.Jobs += w.Jobs
+		t.Steals += w.Steals
+		t.Retries += w.Retries
+		t.Busy += w.Busy
+	}
+	return t
 }
 
 // Run executes the jobs across the pool and returns their results indexed
@@ -129,6 +178,10 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 	var done atomic.Int64
 	var inFlight atomic.Int64
 
+	if opts.Stats != nil {
+		opts.Stats.workers = make([]WorkerStats, workers)
+	}
+
 	if opts.Progress != nil {
 		stop := opts.Progress.start(len(jobs), &done, &inFlight)
 		defer stop()
@@ -139,8 +192,12 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var ws *WorkerStats
+			if opts.Stats != nil {
+				ws = &opts.Stats.workers[w]
+			}
 			for {
-				idx, ok := deques.next(w)
+				idx, stolen, ok := deques.next(w)
 				if !ok {
 					return
 				}
@@ -148,6 +205,14 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 				results[idx] = runOne(ctx, jobs[idx], w, opts.MaxRetries)
 				inFlight.Add(-1)
 				done.Add(1)
+				if ws != nil {
+					ws.Jobs++
+					if stolen {
+						ws.Steals++
+					}
+					ws.Retries += uint64(results[idx].Attempts - 1)
+					ws.Busy += results[idx].Elapsed
+				}
 				if opts.Sink != nil {
 					emit(opts.Sink, results[idx])
 				}
@@ -260,10 +325,11 @@ func newDeques(jobs, workers int) *deques {
 }
 
 // next claims the worker's next job index: its own deque front first, then
-// the back of the fullest victim. ok=false means the whole sweep is drained.
-func (d *deques) next(w int) (int, bool) {
+// the back of the fullest victim. stolen reports whether the claim came
+// from a victim's deque; ok=false means the whole sweep is drained.
+func (d *deques) next(w int) (idx int, stolen, ok bool) {
 	if idx, ok := d.popFront(w); ok {
-		return idx, true
+		return idx, false, true
 	}
 	for {
 		victim, remaining := -1, 0
@@ -277,10 +343,10 @@ func (d *deques) next(w int) (int, bool) {
 			}
 		}
 		if victim < 0 {
-			return 0, false
+			return 0, false, false
 		}
 		if idx, ok := d.popBack(victim); ok {
-			return idx, true
+			return idx, true, true
 		}
 		// Lost the race for that victim; rescan.
 	}

@@ -365,7 +365,7 @@ func TestStealing(t *testing.T) {
 	for w := 0; w < 4; w++ {
 		go func(w int) {
 			for {
-				idx, ok := d.next(w)
+				idx, _, ok := d.next(w)
 				if !ok {
 					if finished.Add(1) == 4 {
 						close(done)

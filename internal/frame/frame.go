@@ -23,6 +23,7 @@ import (
 	"popkit/internal/bitmask"
 	"popkit/internal/engine"
 	"popkit/internal/lang"
+	"popkit/internal/obs"
 	"popkit/internal/rules"
 )
 
@@ -59,6 +60,13 @@ type Executor struct {
 	// Iterations counts completed outer iterations.
 	Iterations int
 	Faults     Faults
+
+	// Trace, when non-nil, receives "leaf" and "iteration" events as the
+	// program runs (obs timeline records). Emission happens outside every
+	// RNG draw, so attaching a trace never changes the trajectory.
+	// TraceReplica labels the events when several replicas share a trace.
+	Trace        *obs.Trace
+	TraceReplica int
 
 	logN       float64
 	background *rules.Ruleset   // merged Forever threads, nil if none
@@ -290,6 +298,12 @@ func (e *Executor) RunIteration() {
 		e.runBlock(th.body)
 	}
 	e.Iterations++
+	if e.Trace != nil {
+		e.Trace.Emit(obs.Event{
+			Kind: "iteration", Replica: e.TraceReplica,
+			Iter: e.Iterations, Leaf: e.leafCount, Rounds: e.Rounds,
+		})
+	}
 }
 
 // RunIterations executes k iterations.
@@ -350,6 +364,13 @@ func (e *Executor) runStmt(s *compiledStmt) {
 		e.Rounds += dt
 		r := engine.NewRunner(s.proto, e.Pop, e.RNG)
 		r.RunRounds(dt)
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Event{
+				Kind: "leaf", Replica: e.TraceReplica, Iter: e.Iterations,
+				Leaf: e.leafCount, Rounds: e.Rounds, Name: "execute",
+				Value: int64(r.Interactions),
+			})
+		}
 
 	case kindRepeatLog:
 		times := int(math.Ceil(float64(s.c) * e.logN))

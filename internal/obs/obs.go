@@ -1,0 +1,463 @@
+// Package obs is popkit's zero-dependency instrumentation layer: atomic
+// counters and gauges, fixed-bucket latency histograms, a process-wide
+// metric registry with Prometheus text exposition, and a bounded trace
+// ring buffer for span/event timelines (trace.go).
+//
+// Everything is designed for the hot kernel path: the no-op default is a
+// nil receiver, so an uninstrumented runner pays exactly one predictable
+// branch per firing and instrumentation never allocates per event on the
+// metrics side. Nothing in this package consumes RNG state — enabling
+// tracing can never perturb a simulation's random stream.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic atomic counter. The zero value is ready to use;
+// all methods are nil-safe no-ops so optional instrumentation costs one
+// branch when absent.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// GaugeInt is a settable signed gauge (queue depth, in-flight workers).
+// The zero value is ready to use; methods are nil-safe.
+type GaugeInt struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta (use negative deltas to decrement).
+func (g *GaugeInt) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Set replaces the gauge value.
+func (g *GaugeInt) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *GaugeInt) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two microsecond latency buckets:
+// bucket i counts observations in [2^i µs, 2^(i+1) µs), so the range spans
+// 1 µs to ~67 s — wider than any job a per-job timeout admits.
+const histBuckets = 27
+
+// Histogram is a lock-free power-of-two latency histogram. The zero value
+// is ready to use; Observe is nil-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	i := bits.Len64(uint64(us)) - 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot summarizes a histogram: count, mean, and bucket-upper-
+// bound estimates of the 50th/90th/95th/99th percentiles.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P95MS  float64 `json:"p95_ms,omitempty"`
+	P99MS  float64 `json:"p99_ms"`
+	// BucketsUS maps each non-empty bucket's upper bound in µs to its
+	// count; a poor man's cumulative latency curve.
+	BucketsUS map[string]int64 `json:"buckets_us,omitempty"`
+}
+
+// Snapshot renders the histogram. Concurrent Observe calls may tear the
+// (count, buckets) pair slightly; the summary is monitoring data, not an
+// invariant.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMS = float64(h.sumUS.Load()) / float64(s.Count) / 1000
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50MS = percentile(counts[:], s.Count, 0.50)
+	s.P90MS = percentile(counts[:], s.Count, 0.90)
+	s.P95MS = percentile(counts[:], s.Count, 0.95)
+	s.P99MS = percentile(counts[:], s.Count, 0.99)
+	s.BucketsUS = make(map[string]int64)
+	for i, c := range counts {
+		if c > 0 {
+			s.BucketsUS[formatBound(i)] = c
+		}
+	}
+	return s
+}
+
+// percentile returns the upper bound (in ms) of the bucket containing the
+// q-quantile observation.
+func percentile(counts []int64, total int64, q float64) float64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return float64(uint64(1)<<(i+1)) / 1000
+		}
+	}
+	return float64(uint64(1)<<len(counts)) / 1000
+}
+
+// formatBound renders bucket i's upper bound in µs.
+func formatBound(i int) string {
+	return strconv.FormatUint(uint64(1)<<(i+1), 10)
+}
+
+// Label is one key=value dimension on a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelKey renders labels into a canonical map key (sorted by label key).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instance of a metric family.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *GaugeInt
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+	order  []string // insertion order of series keys, for stable exposition
+}
+
+// Registry is a process-wide set of named metric families. Registration is
+// idempotent get-or-create keyed by (name, labels), so concurrent workers
+// may all "register" the same series and share the underlying atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // insertion order of family names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// getFamily returns the named family, creating it with the given kind/help,
+// and panics on a kind clash — two meanings for one name is a programming
+// error worth failing loudly over.
+func (r *Registry) getFamily(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	// gauge and gaugeFunc render identically; everything else must match.
+	a, b := f.kind, kind
+	if a == kindGaugeFunc {
+		a = kindGauge
+	}
+	if b == kindGaugeFunc {
+		b = kindGauge
+	}
+	if a != b {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindCounter)
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if !ok {
+		s = &series{labels: labels, counter: &Counter{}}
+		f.series[k] = s
+		f.order = append(f.order, k)
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge series for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *GaugeInt {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGauge)
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if !ok {
+		s = &series{labels: labels, gauge: &GaugeInt{}}
+		f.series[k] = s
+		f.order = append(f.order, k)
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at exposition
+// time (uptime, queue depth owned by another component). Re-registering the
+// same (name, labels) replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGaugeFunc)
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if !ok {
+		s = &series{labels: labels}
+		f.series[k] = s
+		f.order = append(f.order, k)
+	}
+	s.fn = fn
+}
+
+// Histogram returns the histogram series for (name, labels), creating it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindHistogram)
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if !ok {
+		s = &series{labels: labels, hist: &Histogram{}}
+		f.series[k] = s
+		f.order = append(f.order, k)
+	}
+	return s.hist
+}
+
+// promLabels renders a label set in Prometheus exposition syntax, with an
+// optional extra label appended (used for histogram le bounds).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePromTo renders every family in the Prometheus text exposition
+// format (version 0.0.4). Families appear in registration order — stable
+// across renders — with # HELP and # TYPE headers; histogram series render
+// cumulative le buckets in seconds plus _sum and _count.
+func (r *Registry) WritePromTo(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	// Snapshot the structure under the lock; atomic loads happen after.
+	type snapSeries struct {
+		labels []Label
+		s      *series
+	}
+	type snapFamily struct {
+		name, help string
+		kind       metricKind
+		series     []snapSeries
+	}
+	fams := make([]snapFamily, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		sf := snapFamily{name: f.name, help: f.help, kind: f.kind}
+		for _, k := range f.order {
+			s := f.series[k]
+			sf.series = append(sf.series, snapSeries{labels: s.labels, s: s})
+		}
+		fams = append(fams, sf)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ss := range f.series {
+			switch {
+			case ss.s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(ss.labels), ss.s.counter.Load())
+			case ss.s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(ss.labels), ss.s.gauge.Load())
+			case ss.s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, promLabels(ss.labels), formatFloat(ss.s.fn()))
+			case ss.s.hist != nil:
+				writePromHistogram(&b, f.name, ss.labels, ss.s.hist)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets with
+// upper bounds in seconds (the native unit of Prometheus durations), +Inf,
+// then _sum (seconds) and _count.
+func writePromHistogram(b *strings.Builder, name string, labels []Label, h *Histogram) {
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := float64(uint64(1)<<(i+1)) / 1e6 // bucket upper bound, seconds
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(labels, L("le", formatFloat(le))), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(labels, L("le", "+Inf")), h.count.Load())
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, promLabels(labels), formatFloat(float64(h.sumUS.Load())/1e6))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(labels), h.count.Load())
+}

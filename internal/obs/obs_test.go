@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", c.Load())
+	}
+	var g *GaugeInt
+	g.Add(3)
+	g.Set(7)
+	if g.Load() != 0 {
+		t.Fatalf("nil gauge Load = %d, want 0", g.Load())
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if h.Count() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram recorded an observation")
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	var c Counter
+	c.Add(2)
+	c.Inc()
+	if got := c.Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	var g GaugeInt
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	g.Set(-1)
+	if got := g.Load(); got != -1 {
+		t.Fatalf("gauge = %d, want -1", got)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket [64,128) µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond) // bucket [32768,65536) µs
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50MS != 0.128 {
+		t.Fatalf("p50 = %v, want 0.128", s.P50MS)
+	}
+	if s.P99MS != 65.536 {
+		t.Fatalf("p99 = %v, want 65.536", s.P99MS)
+	}
+	if s.P95MS != 65.536 {
+		t.Fatalf("p95 = %v, want 65.536", s.P95MS)
+	}
+	if s.MeanMS <= 0 {
+		t.Fatalf("mean = %v, want > 0", s.MeanMS)
+	}
+	if len(s.BucketsUS) != 2 {
+		t.Fatalf("buckets = %v, want 2 entries", s.BucketsUS)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	var h Histogram
+	h.Observe(0)               // clamps to 1 µs, bucket 0
+	h.Observe(300 * time.Hour) // beyond the top bucket, clamps to last
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	s := h.Snapshot()
+	if _, ok := s.BucketsUS["2"]; !ok {
+		t.Fatalf("missing bottom bucket: %v", s.BucketsUS)
+	}
+}
+
+func TestRegistryIdempotentAndShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("popkit_test_total", "help")
+	b := r.Counter("popkit_test_total", "help")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(4)
+	if b.Load() != 4 {
+		t.Fatal("re-registered counter does not share state")
+	}
+	l1 := r.Counter("popkit_labeled_total", "h", L("x", "1"))
+	l2 := r.Counter("popkit_labeled_total", "h", L("x", "2"))
+	if l1 == l2 {
+		t.Fatal("distinct label sets share a series")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("popkit_clash", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("popkit_clash", "h")
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	if r.Counter("x", "h") != nil {
+		t.Fatal("nil registry returned a counter")
+	}
+	if r.Gauge("x", "h") != nil {
+		t.Fatal("nil registry returned a gauge")
+	}
+	if r.Histogram("x", "h") != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+	r.GaugeFunc("x", "h", func() float64 { return 0 })
+	if err := r.WritePromTo(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePromTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("popkit_jobs_total", "Jobs started.").Add(7)
+	r.Counter("popkit_rejects_total", "Rejected.", L("reason", "full")).Add(2)
+	r.Counter("popkit_rejects_total", "Rejected.", L("reason", "invalid")).Add(1)
+	r.Gauge("popkit_inflight", "In-flight workers.").Set(3)
+	r.GaugeFunc("popkit_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	h := r.Histogram("popkit_latency_seconds", "Request latency.", L("endpoint", "simulate"))
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePromTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP popkit_jobs_total Jobs started.",
+		"# TYPE popkit_jobs_total counter",
+		"popkit_jobs_total 7",
+		`popkit_rejects_total{reason="full"} 2`,
+		`popkit_rejects_total{reason="invalid"} 1`,
+		"# TYPE popkit_inflight gauge",
+		"popkit_inflight 3",
+		"popkit_uptime_seconds 1.5",
+		"# TYPE popkit_latency_seconds histogram",
+		`popkit_latency_seconds_bucket{endpoint="simulate",le="+Inf"} 2`,
+		`popkit_latency_seconds_count{endpoint="simulate"} 2`,
+		`popkit_latency_seconds_sum{endpoint="simulate"} 0.0031`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the 3 ms observation lands in [2048,4096) µs, so
+	// le="0.004096" must already include both samples.
+	if !strings.Contains(out, `popkit_latency_seconds_bucket{endpoint="simulate",le="0.004096"} 2`) {
+		t.Fatalf("histogram buckets not cumulative:\n%s", out)
+	}
+
+	// Rendering twice must produce identical output (stable ordering).
+	var sb2 strings.Builder
+	if err := r.WritePromTo(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("two renders of an unchanged registry differ")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("popkit_conc_total", "h").Inc()
+				r.Gauge("popkit_conc_gauge", "h").Add(1)
+				r.Histogram("popkit_conc_seconds", "h", L("w", "x")).Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	// Render concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePromTo(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("popkit_conc_total", "h").Load(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("popkit_conc_seconds", "h", L("w", "x")).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestLabelKeyCanonical(t *testing.T) {
+	a := labelKey([]Label{L("b", "2"), L("a", "1")})
+	b := labelKey([]Label{L("a", "1"), L("b", "2")})
+	if a != b {
+		t.Fatalf("label key order-sensitive: %q vs %q", a, b)
+	}
+	if labelKey(nil) != "" {
+		t.Fatal("empty label key not empty")
+	}
+}

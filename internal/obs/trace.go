@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one record on a run's timeline. Kind identifies the producer:
+//
+//	"iteration"  — framework good-iteration boundary (frame.Executor)
+//	"leaf"       — framework leaf statement executed
+//	"phase-tick" — phase-clock dominant phase changed (clock.PhaseProbe)
+//	"count"      — tracked species counts sampled (expt.Driver)
+//	"rule-group" — per-rule-group firing tally (engine runners)
+//	"dropped"    — ring-buffer overflow marker appended by WriteNDJSON
+//
+// Rounds is parallel time (interactions/n); Value is kind-specific (#X for
+// phase ticks, dropped count for the overflow marker).
+type Event struct {
+	Kind    string           `json:"kind"`
+	Replica int              `json:"replica,omitempty"`
+	Iter    int              `json:"iter,omitempty"`
+	Leaf    int              `json:"leaf,omitempty"`
+	Level   int              `json:"level,omitempty"`
+	Phase   int              `json:"phase,omitempty"`
+	Rounds  float64          `json:"rounds"`
+	Name    string           `json:"name,omitempty"`
+	Value   int64            `json:"value"`
+	Counts  map[string]int64 `json:"counts,omitempty"`
+}
+
+// DefaultTraceCap bounds a Trace's memory when no explicit capacity is
+// given: 65536 events ≈ a few MB, enough for any experiment timeline.
+const DefaultTraceCap = 65536
+
+// Trace is a bounded in-memory event buffer. When full it drops new events
+// (keeping the timeline's head, which carries the phase structure) and
+// counts the drops. All methods are nil-safe so a nil *Trace is the no-op
+// default.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewTrace returns a trace holding at most capacity events
+// (DefaultTraceCap if capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{cap: capacity}
+}
+
+// Emit appends an event, dropping it (and counting the drop) if the buffer
+// is full. Safe for concurrent use and on a nil receiver.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded due to overflow.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteNDJSON writes the buffered events as newline-delimited JSON, one
+// event per line, appending a final {"kind":"dropped"} marker whose Value
+// is the overflow count when any events were discarded.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		return enc.Encode(Event{Kind: "dropped", Value: int64(dropped)})
+	}
+	return nil
+}
+
+// traceKey is the context key for a run's Trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t, so components that only see a
+// context (the serve registry's run closures) can attach tracing without
+// signature changes.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's Trace, or nil when none is attached —
+// the nil-safe no-op default.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// RuleStats tallies per-rule firings inside a single-threaded runner. It is
+// deliberately not atomic: each runner owns its own RuleStats, and the hot
+// path must stay a plain increment. A nil *RuleStats is the no-op default —
+// Fire inlines to one branch.
+type RuleStats struct {
+	fired []uint64
+}
+
+// NewRuleStats returns stats sized for a protocol with n rules.
+func NewRuleStats(n int) *RuleStats {
+	return &RuleStats{fired: make([]uint64, n)}
+}
+
+// Fire records count firings of rule i. Nil-safe and bounds-guarded so a
+// stale index can never crash a run.
+func (s *RuleStats) Fire(i int, count uint64) {
+	if s == nil {
+		return
+	}
+	if i >= 0 && i < len(s.fired) {
+		s.fired[i] += count
+	}
+}
+
+// Fired returns the per-rule firing counts (nil for a nil receiver).
+func (s *RuleStats) Fired() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return append([]uint64(nil), s.fired...)
+}
+
+// Total returns the sum of all rule firings.
+func (s *RuleStats) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	var sum uint64
+	for _, c := range s.fired {
+		sum += c
+	}
+	return sum
+}

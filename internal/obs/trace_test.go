@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceEmitAndEvents(t *testing.T) {
+	tr := NewTrace(10)
+	tr.Emit(Event{Kind: "phase-tick", Level: 1, Phase: 2, Rounds: 3.5, Value: 42})
+	tr.Emit(Event{Kind: "iteration", Iter: 1, Rounds: 7})
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	evs := tr.Events()
+	if evs[0].Kind != "phase-tick" || evs[0].Value != 42 || evs[1].Iter != 1 {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+	// Events returns a copy.
+	evs[0].Kind = "mutated"
+	if tr.Events()[0].Kind != "phase-tick" {
+		t.Fatal("Events returned a live reference")
+	}
+}
+
+func TestTraceOverflowDropsNewest(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Emit(Event{Kind: "a"})
+	tr.Emit(Event{Kind: "b"})
+	tr.Emit(Event{Kind: "c"})
+	tr.Emit(Event{Kind: "d"})
+	if tr.Len() != 2 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 2/2", tr.Len(), tr.Dropped())
+	}
+	if evs := tr.Events(); evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Fatalf("head not preserved: %+v", evs)
+	}
+	var sb strings.Builder
+	if err := tr.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ndjson lines = %d, want 3 (2 events + dropped marker)", len(lines))
+	}
+	var last Event
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != "dropped" || last.Value != 2 {
+		t.Fatalf("dropped marker = %+v", last)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Emit(Event{Kind: "x"})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace not inert")
+	}
+	if err := tr.WriteNDJSON(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDefaultCap(t *testing.T) {
+	tr := NewTrace(0)
+	if tr.cap != DefaultTraceCap {
+		t.Fatalf("default cap = %d, want %d", tr.cap, DefaultTraceCap)
+	}
+}
+
+func TestTraceNDJSONWellFormed(t *testing.T) {
+	tr := NewTrace(100)
+	tr.Emit(Event{Kind: "count", Rounds: 1.25, Counts: map[string]int64{"X": 12}})
+	var sb strings.Builder
+	if err := tr.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		if e.Counts["X"] != 12 {
+			t.Fatalf("counts lost: %+v", e)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("lines = %d, want 1", n)
+	}
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("nil context carried a trace")
+	}
+	tr := NewTrace(4)
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context round-trip")
+	}
+	// Attaching nil leaves the context unchanged.
+	if ctx2 := WithTrace(context.Background(), nil); FromContext(ctx2) != nil {
+		t.Fatal("nil trace attached")
+	}
+}
+
+func TestTraceConcurrentEmit(t *testing.T) {
+	tr := NewTrace(100000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit(Event{Kind: "leaf", Leaf: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8000 {
+		t.Fatalf("len = %d, want 8000", tr.Len())
+	}
+}
+
+func TestRuleStats(t *testing.T) {
+	s := NewRuleStats(3)
+	s.Fire(0, 1)
+	s.Fire(2, 5)
+	s.Fire(2, 1)
+	s.Fire(-1, 1) // out of range: ignored
+	s.Fire(3, 1)  // out of range: ignored
+	if got := s.Fired(); got[0] != 1 || got[1] != 0 || got[2] != 6 {
+		t.Fatalf("fired = %v", got)
+	}
+	if s.Total() != 7 {
+		t.Fatalf("total = %d, want 7", s.Total())
+	}
+	// Fired returns a copy.
+	s.Fired()[0] = 99
+	if s.Fired()[0] != 1 {
+		t.Fatal("Fired returned live slice")
+	}
+	var nilStats *RuleStats
+	nilStats.Fire(0, 1)
+	if nilStats.Fired() != nil || nilStats.Total() != 0 {
+		t.Fatal("nil RuleStats not inert")
+	}
+}
+
+// TestNoOpOverheadGuard proves the disabled instrumentation path is cheap:
+// 10M nil-receiver Fire calls must finish in well under a second (the real
+// cost is ~1 ns/call; the generous bound keeps CI machines honest without
+// flaking).
+func TestNoOpOverheadGuard(t *testing.T) {
+	var s *RuleStats
+	start := time.Now()
+	for i := 0; i < 10_000_000; i++ {
+		s.Fire(i&7, 1)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("10M no-op Fire calls took %v — no-op path is not cheap", el)
+	}
+}
+
+func BenchmarkRuleStatsFireNil(b *testing.B) {
+	var s *RuleStats
+	for i := 0; i < b.N; i++ {
+		s.Fire(i&7, 1)
+	}
+}
+
+func BenchmarkRuleStatsFire(b *testing.B) {
+	s := NewRuleStats(8)
+	for i := 0; i < b.N; i++ {
+		s.Fire(i&7, 1)
+	}
+}
+
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := NewTrace(1 << 20)
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: "leaf", Leaf: i})
+	}
+}

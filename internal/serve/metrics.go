@@ -1,43 +1,95 @@
 package serve
 
 import (
-	"math"
-	"math/bits"
-	"strconv"
-	"sync/atomic"
+	"io"
 	"time"
+
+	"popkit/internal/obs"
 )
 
-// Metrics holds the service's expvar-style counters: lock-free atomics,
-// rendered as one JSON document by GET /metrics. Everything is monotonic
-// except the gauges (queue depth, in-flight workers), which are sampled at
-// render time.
+// Histogram is the service's request-latency histogram — the shared obs
+// implementation (lock-free, power-of-two µs buckets). The zero value is
+// ready to use.
+type Histogram = obs.Histogram
+
+// HistogramSnapshot summarizes a Histogram for the JSON metrics document.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Metrics holds the service's counters, backed by a shared obs.Registry so
+// one set of atomics feeds both the JSON document (GET /metrics) and the
+// Prometheus text exposition (GET /metrics?format=prom). Everything is
+// monotonic except the gauges (queue depth, in-flight workers), which are
+// sampled at render time.
 type Metrics struct {
-	JobsAccepted        atomic.Int64
-	JobsRejectedFull    atomic.Int64
-	JobsRejectedInvalid atomic.Int64
-	JobsCompleted       atomic.Int64
-	JobsFailed          atomic.Int64
-	JobsCancelled       atomic.Int64
+	reg *obs.Registry
+
+	JobsAccepted        *obs.Counter
+	JobsRejectedFull    *obs.Counter
+	JobsRejectedInvalid *obs.Counter
+	JobsCompleted       *obs.Counter
+	JobsFailed          *obs.Counter
+	JobsCancelled       *obs.Counter
 	// JobsResumed counts requests that found a journaled prefix for their
 	// job_id (including jobs served entirely from the journal).
-	JobsResumed       atomic.Int64
-	ReplicasCompleted atomic.Int64
-	Interactions      atomic.Uint64
-	InFlight          atomic.Int64
+	JobsResumed       *obs.Counter
+	ReplicasCompleted *obs.Counter
+	Interactions      *obs.Counter
+	InFlight          *obs.GaugeInt
+
+	// FleetSteals / FleetRetries aggregate the replica fleet's work-stealing
+	// traffic and crash-retry attempts across jobs (fleet.Stats totals).
+	FleetSteals  *obs.Counter
+	FleetRetries *obs.Counter
+	// ReplicaDuration is the per-replica wall-clock histogram, fed from
+	// every fleet result as it completes.
+	ReplicaDuration *obs.Histogram
+
+	// queueDepth/queueCap mirror the pool's sampled gauges into the prom
+	// exposition; the JSON document samples them directly.
+	queueDepth *obs.GaugeInt
+	queueCap   *obs.GaugeInt
 
 	// latency histograms, keyed by endpoint name at construction.
 	latency map[string]*Histogram
 }
 
-// NewMetrics returns a metrics set with one latency histogram per endpoint.
+// NewMetrics returns a metrics set with one latency histogram per endpoint,
+// all registered on a fresh obs.Registry under popkit_* family names.
 func NewMetrics(endpoints ...string) *Metrics {
-	m := &Metrics{latency: make(map[string]*Histogram, len(endpoints))}
+	reg := obs.NewRegistry()
+	rejected := "jobs rejected before entering the queue, by reason"
+	m := &Metrics{
+		reg:                 reg,
+		JobsAccepted:        reg.Counter("popkit_jobs_accepted_total", "jobs admitted to the queue"),
+		JobsRejectedFull:    reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "queue_full")),
+		JobsRejectedInvalid: reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "invalid")),
+		JobsCompleted:       reg.Counter("popkit_jobs_completed_total", "jobs that ran every replica"),
+		JobsFailed:          reg.Counter("popkit_jobs_failed_total", "jobs that ended with a replica error"),
+		JobsCancelled:       reg.Counter("popkit_jobs_cancelled_total", "jobs aborted by client disconnect or timeout"),
+		JobsResumed:         reg.Counter("popkit_jobs_resumed_total", "requests that replayed a journaled prefix"),
+		ReplicasCompleted:   reg.Counter("popkit_replicas_completed_total", "replicas computed successfully"),
+		Interactions:        reg.Counter("popkit_interactions_total", "simulated scheduler activations served"),
+		InFlight:            reg.Gauge("popkit_jobs_inflight", "jobs currently executing"),
+		FleetSteals:         reg.Counter("popkit_fleet_steals_total", "replicas claimed from another fleet worker's deque"),
+		FleetRetries:        reg.Counter("popkit_fleet_retries_total", "extra replica attempts consumed by crashes"),
+		ReplicaDuration:     reg.Histogram("popkit_fleet_replica_duration_seconds", "per-replica wall-clock time"),
+		queueDepth:          reg.Gauge("popkit_queue_depth", "accepted-but-not-started jobs"),
+		queueCap:            reg.Gauge("popkit_queue_capacity", "job queue capacity"),
+		latency:             make(map[string]*Histogram, len(endpoints)),
+	}
 	for _, e := range endpoints {
-		m.latency[e] = &Histogram{}
+		if _, dup := m.latency[e]; dup {
+			continue
+		}
+		m.latency[e] = reg.Histogram("popkit_http_request_duration_seconds",
+			"HTTP request latency by endpoint", obs.L("endpoint", e))
 	}
 	return m
 }
+
+// Registry exposes the underlying obs registry (embedding binaries that want
+// to add their own series to the same /metrics exposition).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Latency returns the endpoint's histogram (nil for unknown endpoints, so
 // instrumentation of an unregistered route is a no-op rather than a crash).
@@ -58,10 +110,16 @@ type MetricsSnapshot struct {
 	Interactions uint64 `json:"interactions_total"`
 	// InteractionsPerSec is the lifetime average service throughput.
 	InteractionsPerSec float64 `json:"interactions_per_sec"`
-	QueueDepth         int     `json:"queue_depth"`
-	QueueCapacity      int     `json:"queue_capacity"`
-	InFlightWorkers    int64   `json:"inflight_workers"`
-	UptimeSec          float64 `json:"uptime_sec"`
+	// FleetSteals/FleetRetries are the replica fleet's cumulative
+	// work-stealing and crash-retry tallies across all jobs.
+	FleetSteals     int64   `json:"fleet_steals_total"`
+	FleetRetries    int64   `json:"fleet_retries_total"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCapacity   int     `json:"queue_capacity"`
+	InFlightWorkers int64   `json:"inflight_workers"`
+	UptimeSec       float64 `json:"uptime_sec"`
+	// ReplicaLatency summarizes per-replica wall-clock time across jobs.
+	ReplicaLatency HistogramSnapshot `json:"replica_latency"`
 	// Latency maps endpoint name to its request-latency summary.
 	Latency map[string]HistogramSnapshot `json:"latency"`
 }
@@ -71,19 +129,22 @@ type MetricsSnapshot struct {
 func (m *Metrics) Snapshot(queueDepth, queueCap int, started time.Time) MetricsSnapshot {
 	up := time.Since(started).Seconds()
 	s := MetricsSnapshot{
-		JobsAccepted:        m.JobsAccepted.Load(),
-		JobsRejectedFull:    m.JobsRejectedFull.Load(),
-		JobsRejectedInvalid: m.JobsRejectedInvalid.Load(),
-		JobsCompleted:       m.JobsCompleted.Load(),
-		JobsFailed:          m.JobsFailed.Load(),
-		JobsCancelled:       m.JobsCancelled.Load(),
-		JobsResumed:         m.JobsResumed.Load(),
-		ReplicasCompleted:   m.ReplicasCompleted.Load(),
+		JobsAccepted:        int64(m.JobsAccepted.Load()),
+		JobsRejectedFull:    int64(m.JobsRejectedFull.Load()),
+		JobsRejectedInvalid: int64(m.JobsRejectedInvalid.Load()),
+		JobsCompleted:       int64(m.JobsCompleted.Load()),
+		JobsFailed:          int64(m.JobsFailed.Load()),
+		JobsCancelled:       int64(m.JobsCancelled.Load()),
+		JobsResumed:         int64(m.JobsResumed.Load()),
+		ReplicasCompleted:   int64(m.ReplicasCompleted.Load()),
 		Interactions:        m.Interactions.Load(),
+		FleetSteals:         int64(m.FleetSteals.Load()),
+		FleetRetries:        int64(m.FleetRetries.Load()),
 		QueueDepth:          queueDepth,
 		QueueCapacity:       queueCap,
 		InFlightWorkers:     m.InFlight.Load(),
 		UptimeSec:           up,
+		ReplicaLatency:      m.ReplicaDuration.Snapshot(),
 		Latency:             make(map[string]HistogramSnapshot, len(m.latency)),
 	}
 	if up > 0 {
@@ -95,86 +156,13 @@ func (m *Metrics) Snapshot(queueDepth, queueCap int, started time.Time) MetricsS
 	return s
 }
 
-// histBuckets is the number of power-of-two microsecond latency buckets:
-// bucket i counts observations in [2^i µs, 2^(i+1) µs), so the range spans
-// 1 µs to ~67 s — wider than any job the per-job timeout admits.
-const histBuckets = 27
-
-// Histogram is a lock-free power-of-two latency histogram.
-type Histogram struct {
-	count   atomic.Int64
-	sumUS   atomic.Int64
-	buckets [histBuckets]atomic.Int64
-}
-
-// Observe records one request latency.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 1 {
-		us = 1
-	}
-	i := bits.Len64(uint64(us)) - 1
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	h.buckets[i].Add(1)
-}
-
-// HistogramSnapshot summarizes a histogram: count, mean, and bucket-upper-
-// bound estimates of the 50th/90th/99th percentiles.
-type HistogramSnapshot struct {
-	Count  int64   `json:"count"`
-	MeanMS float64 `json:"mean_ms"`
-	P50MS  float64 `json:"p50_ms"`
-	P90MS  float64 `json:"p90_ms"`
-	P99MS  float64 `json:"p99_ms"`
-	// BucketsUS maps each non-empty bucket's upper bound in µs to its
-	// count; a poor man's cumulative latency curve.
-	BucketsUS map[string]int64 `json:"buckets_us,omitempty"`
-}
-
-// Snapshot renders the histogram. Concurrent Observe calls may tear the
-// (count, buckets) pair slightly; the summary is monitoring data, not an
-// invariant.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count.Load()}
-	if s.Count == 0 {
-		return s
-	}
-	s.MeanMS = float64(h.sumUS.Load()) / float64(s.Count) / 1000
-	var counts [histBuckets]int64
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-	}
-	s.P50MS = percentile(counts[:], s.Count, 0.50)
-	s.P90MS = percentile(counts[:], s.Count, 0.90)
-	s.P99MS = percentile(counts[:], s.Count, 0.99)
-	s.BucketsUS = make(map[string]int64)
-	for i, c := range counts {
-		if c > 0 {
-			s.BucketsUS[formatBound(i)] = c
-		}
-	}
-	return s
-}
-
-// percentile returns the upper bound (in ms) of the bucket containing the
-// q-quantile observation.
-func percentile(counts []int64, total int64, q float64) float64 {
-	rank := int64(math.Ceil(q * float64(total)))
-	var seen int64
-	for i, c := range counts {
-		seen += c
-		if seen >= rank {
-			return float64(uint64(1)<<(i+1)) / 1000
-		}
-	}
-	return float64(uint64(1)<<len(counts)) / 1000
-}
-
-// formatBound renders bucket i's upper bound in µs.
-func formatBound(i int) string {
-	return strconv.FormatUint(uint64(1)<<(i+1), 10)
+// WriteProm renders the registry in the Prometheus text exposition format,
+// first refreshing the sampled gauges (queue depth/capacity, uptime) that
+// other components own.
+func (m *Metrics) WriteProm(w io.Writer, queueDepth, queueCap int, started time.Time) error {
+	m.queueDepth.Set(int64(queueDepth))
+	m.queueCap.Set(int64(queueCap))
+	m.reg.GaugeFunc("popkit_uptime_seconds", "seconds since the server started",
+		func() float64 { return time.Since(started).Seconds() })
+	return m.reg.WritePromTo(w)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"popkit/internal/expt"
+	"popkit/internal/fleet"
 )
 
 // jobStatus is a queued job's terminal outcome.
@@ -195,7 +196,16 @@ func (p *pool) runJob(j *queuedJob) {
 	stop := context.AfterFunc(p.hard, cancel)
 	defer stop()
 
-	opts := RunOptions{Workers: p.fleetWorkers, MaxRetries: p.maxRetries, Start: j.start}
+	var fstats fleet.Stats
+	opts := RunOptions{
+		Workers:    p.fleetWorkers,
+		MaxRetries: p.maxRetries,
+		Start:      j.start,
+		FleetStats: &fstats,
+		Observe: func(r fleet.Result) {
+			p.metrics.ReplicaDuration.Observe(r.Elapsed)
+		},
+	}
 	runErr := j.proto.Run(ctx, j.spec, opts, func(rec expt.ReplicaRecord) {
 		if rec.Err == "" {
 			p.metrics.ReplicasCompleted.Add(1)
@@ -214,6 +224,10 @@ func (p *pool) runJob(j *queuedJob) {
 			// worker forever.
 		}
 	})
+
+	tot := fstats.Totals()
+	p.metrics.FleetSteals.Add(tot.Steals)
+	p.metrics.FleetRetries.Add(tot.Retries)
 
 	switch {
 	case runErr == nil:

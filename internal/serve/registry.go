@@ -24,6 +24,7 @@ import (
 	"popkit/internal/fleet"
 	"popkit/internal/frame"
 	"popkit/internal/lang"
+	"popkit/internal/obs"
 	"popkit/internal/protocols"
 )
 
@@ -120,6 +121,14 @@ type RunOptions struct {
 	// Start skips replicas below this index — the checkpoint-resume case,
 	// where a journal already holds records [0, Start).
 	Start int
+	// Observe, when non-nil, receives every fleet result as it completes —
+	// called concurrently from worker goroutines, unlike the ordered record
+	// sink — carrying the latency and attempt telemetry the wire records
+	// don't.
+	Observe func(fleet.Result)
+	// FleetStats, when non-nil, is filled with the sweep's per-worker
+	// utilization tallies (fleet.Options.Stats); valid once Run returns.
+	FleetStats *fleet.Stats
 }
 
 // Run executes the spec's replicas [opts.Start, spec.Replicas) across the
@@ -132,10 +141,15 @@ func (p *Protocol) Run(ctx context.Context, spec expt.JobSpec, opts RunOptions, 
 	ordered := fleet.NewOrderedSinkAt(fleet.SinkFunc(func(r fleet.Result) {
 		sink(RecordOf(spec, r))
 	}), opts.Start)
+	var fanout fleet.ResultSink = ordered
+	if opts.Observe != nil {
+		fanout = fleet.MultiSink{ordered, fleet.SinkFunc(opts.Observe)}
+	}
 	results := fleet.Run(ctx, p.Jobs(spec, opts.Start), fleet.Options{
 		Workers:    opts.Workers,
 		MaxRetries: opts.MaxRetries,
-		Sink:       ordered,
+		Sink:       fanout,
+		Stats:      opts.FleetStats,
 	})
 	for _, r := range results {
 		if r.Err != nil {
@@ -250,6 +264,13 @@ func runFramework(ctx context.Context, spec expt.JobSpec, replica int) (expt.Rep
 	e, err := frame.New(prog, spec.N, seed)
 	if err != nil {
 		return rec, err
+	}
+	// A timeline attached to the context (obs.WithTrace — popsim -trace)
+	// rides along; tracing draws nothing from the RNG, so records stay
+	// byte-identical with or without it.
+	if tr := obs.FromContext(ctx); tr != nil {
+		e.Trace = tr
+		e.TraceReplica = replica
 	}
 	setupFrameworkInputs(e, spec)
 	cond := frameworkConvergence(spec)
@@ -404,6 +425,15 @@ func driveSliced(ctx context.Context, drv *expt.Driver, stop func() bool, maxRou
 	return rounds, false, nil
 }
 
+// attachTrace wires a context-carried obs timeline (if any) into a counted
+// driver, so traced runs emit their tracked-count timeline (one "count"
+// event per parallel round) without perturbing the trajectory.
+func attachTrace(ctx context.Context, drv *expt.Driver, replica int) {
+	if tr := obs.FromContext(ctx); tr != nil {
+		drv.SetTrace(tr, replica)
+	}
+}
+
 // splitGap splits n agents into opinion-A and opinion-B camps with the
 // spec's gap (every agent carries an opinion; odd remainders favour A).
 func splitGap(n, gap int) (nA, nB int64) {
@@ -421,6 +451,7 @@ func runApproxMajority(ctx context.Context, spec expt.JobSpec, replica int) (exp
 	drv := expt.NewDriver(am.Rules(), engine.CompileProtocol(am.Rules()), map[bitmask.State]int64{sA: nA, sB: nB}, engine.NewRNG(seed))
 	ta := drv.Track("A", bitmask.Is(am.A))
 	tb := drv.Track("B", bitmask.Is(am.B))
+	attachTrace(ctx, drv, replica)
 	rounds, ok, err := driveSliced(ctx, drv, func() bool {
 		return ta.Count() == 0 || tb.Count() == 0
 	}, spec.MaxRounds)
@@ -443,6 +474,7 @@ func runExactMajority(ctx context.Context, spec expt.JobSpec, replica int) (expt
 	nA, nB := splitGap(spec.N, spec.Gap)
 	drv := expt.NewDriver(em.Rules(), engine.CompileProtocol(em.Rules()), map[bitmask.State]int64{emA: nA, emB: nB}, engine.NewRNG(seed))
 	ta := drv.Track("A", bitmask.Is(em.IsA))
+	attachTrace(ctx, drv, replica)
 	n64 := int64(spec.N)
 	rounds, ok, err := driveSliced(ctx, drv, func() bool {
 		a := ta.Count()
@@ -465,6 +497,7 @@ func runCoalescence(ctx context.Context, spec expt.JobSpec, replica int) (expt.R
 	sL := cl.L.Set(bitmask.State{}, true)
 	drv := expt.NewDriver(cl.Rules(), engine.CompileProtocol(cl.Rules()), map[bitmask.State]int64{sL: int64(spec.N)}, engine.NewRNG(seed))
 	tl := drv.Track("L", bitmask.Is(cl.L))
+	attachTrace(ctx, drv, replica)
 	rounds, ok, err := driveSliced(ctx, drv, func() bool { return tl.Count() == 1 }, spec.MaxRounds)
 	if err != nil {
 		return rec, err

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -52,6 +53,10 @@ type Config struct {
 	MaxN int
 	// MaxReplicas caps replicas per request. Default 1024.
 	MaxReplicas int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (popserved
+	// -pprof). Off by default: profiling endpoints expose internals and cost
+	// CPU, so they are opt-in.
+	EnablePprof bool
 }
 
 func (c *Config) fillDefaults() {
@@ -92,13 +97,16 @@ type Server struct {
 // New builds a server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
-	m := NewMetrics("simulate", "protocols", "healthz", "metrics")
-	s := &Server{
-		cfg:     cfg,
-		pool:    newPool(cfg.QueueDepth, cfg.Workers, cfg.FleetWorkers, cfg.MaxRetries, m),
-		metrics: m,
-		started: time.Now(),
+	s := &Server{cfg: cfg, started: time.Now()}
+	// The metrics' endpoint set derives from the route table, so adding a
+	// route cannot forget its latency histogram.
+	names := make([]string, 0, 8)
+	for _, rt := range s.routes() {
+		names = append(names, rt.name)
 	}
+	m := NewMetrics(names...)
+	s.metrics = m
+	s.pool = newPool(cfg.QueueDepth, cfg.Workers, cfg.FleetWorkers, cfg.MaxRetries, m)
 	if cfg.JournalDir != "" {
 		s.journals = newJournalSet(cfg.JournalDir)
 	}
@@ -117,13 +125,42 @@ func (s *Server) Close() { s.pool.close() }
 // Use when the drain deadline is blown.
 func (s *Server) Abort() { s.pool.abort() }
 
+// route is one entry of the server's route table: the metric name keying
+// its latency histogram, the mux pattern, and the handler.
+type route struct {
+	name    string
+	pattern string
+	handler http.HandlerFunc
+}
+
+// routes is the authoritative route table. Both Handler (mux registration)
+// and New (the metrics' endpoint set) derive from it, so every registered
+// route gets a latency histogram by construction.
+func (s *Server) routes() []route {
+	rts := []route{
+		{"simulate", "/v1/simulate", s.handleSimulate},
+		{"protocols", "/v1/protocols", s.handleProtocols},
+		{"healthz", "/healthz", s.handleHealthz},
+		{"metrics", "/metrics", s.handleMetrics},
+	}
+	if s.cfg.EnablePprof {
+		rts = append(rts,
+			route{"pprof", "/debug/pprof/", pprof.Index},
+			route{"pprof", "/debug/pprof/cmdline", pprof.Cmdline},
+			route{"pprof", "/debug/pprof/profile", pprof.Profile},
+			route{"pprof", "/debug/pprof/symbol", pprof.Symbol},
+			route{"pprof", "/debug/pprof/trace", pprof.Trace},
+		)
+	}
+	return rts
+}
+
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
-	mux.HandleFunc("/v1/protocols", s.instrument("protocols", s.handleProtocols))
-	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.pattern, s.instrument(rt.name, rt.handler))
+	}
 	return mux
 }
 
@@ -355,6 +392,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WriteProm(w, s.pool.depth(), s.pool.capacity(), s.started)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

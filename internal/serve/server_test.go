@@ -91,7 +91,7 @@ func TestValidationErrors(t *testing.T) {
 			t.Errorf("%s: error body missing (%v)", c.name, err)
 		}
 	}
-	if got := s.Metrics().JobsRejectedInvalid.Load(); got != int64(len(cases)) {
+	if got := s.Metrics().JobsRejectedInvalid.Load(); got != uint64(len(cases)) {
 		t.Errorf("rejected-invalid counter = %d, want %d", got, len(cases))
 	}
 

@@ -22,6 +22,18 @@ go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
+echo "== coverage floors (obs, serve, fleet ≥ 80%) =="
+cover=$(go test -cover ./internal/obs/ ./internal/serve/ ./internal/fleet/ | tee /dev/stderr)
+echo "$cover" | awk '
+    /coverage:/ {
+        pct = $0
+        sub(/.*coverage: /, "", pct)
+        sub(/%.*/, "", pct)
+        if (pct + 0 < 80) { printf "coverage floor: %s is below 80%%\n", $2; bad = 1 }
+    }
+    END { exit bad }
+' || { echo "check: instrumented packages must keep ≥ 80% statement coverage" >&2; exit 1; }
+
 echo "== benchdiff harness smoke =="
 tmpb=$(mktemp)
 go test -run '^$' -bench 'BenchmarkAliasSample' -benchtime 100x ./internal/engine/ > "$tmpb"
@@ -30,6 +42,9 @@ rm -f "$tmpb"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh
+
+echo "== observability smoke (trace byte-identity + event kinds) =="
+./scripts/obs-smoke.sh
 
 echo "== chaos (fault injection + recovery) =="
 ./scripts/chaos.sh

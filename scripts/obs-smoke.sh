@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Observability smoke: check the popsim -trace contract end to end — the
+# NDJSON record stream is byte-identical with and without tracing, and the
+# trace files carry the expected event kinds per execution mode (framework
+# "iteration", counted "count", compiled "phase-tick" + "rule-group").
+# The fleet-backed modes run under the race detector; the compiled runner
+# is single-goroutine, so it uses the plain build to keep this fast.
+# Used by `make obs-smoke` and scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -race -o "$tmp/popsim" ./cmd/popsim
+go build -o "$tmp/popsim-plain" ./cmd/popsim
+
+# Framework protocol through the serving registry: tracing must not change
+# a single output byte, and the timeline must show the iteration structure.
+"$tmp/popsim" -p leader -n 256 -seed 11 -replicas 3 -ndjson > "$tmp/plain.ndjson"
+"$tmp/popsim" -p leader -n 256 -seed 11 -replicas 3 -ndjson -trace "$tmp/leader.trace" > "$tmp/traced.ndjson"
+cmp "$tmp/plain.ndjson" "$tmp/traced.ndjson" \
+    || { echo "obs-smoke: -trace changed the NDJSON stream" >&2; exit 1; }
+grep -q '"kind":"iteration"' "$tmp/leader.trace" \
+    || { echo "obs-smoke: leader trace has no iteration events" >&2; cat "$tmp/leader.trace" >&2; exit 1; }
+
+# Counted baseline: the timeline carries per-round tracked counts.
+"$tmp/popsim" -p coalescence -n 3000 -seed 5 -ndjson -trace "$tmp/coal.trace" > /dev/null
+grep -q '"kind":"count"' "$tmp/coal.trace" \
+    || { echo "obs-smoke: coalescence trace has no count events" >&2; cat "$tmp/coal.trace" >&2; exit 1; }
+
+# Compiled protocol: phase-clock timeline plus the closing per-rule-group
+# firing census, and the run summary is unchanged by tracing.
+"$tmp/popsim-plain" -p leader -n 600 -seed 3 -compiled -json > "$tmp/c1.json"
+"$tmp/popsim-plain" -p leader -n 600 -seed 3 -compiled -json -trace "$tmp/compiled.trace" > "$tmp/c2.json"
+cmp "$tmp/c1.json" "$tmp/c2.json" \
+    || { echo "obs-smoke: -trace changed the compiled summary" >&2; exit 1; }
+grep -q '"kind":"phase-tick"' "$tmp/compiled.trace" \
+    || { echo "obs-smoke: compiled trace has no phase-tick events" >&2; exit 1; }
+grep -q '"kind":"rule-group"' "$tmp/compiled.trace" \
+    || { echo "obs-smoke: compiled trace has no rule-group tallies" >&2; exit 1; }
+
+echo "obs-smoke: OK"

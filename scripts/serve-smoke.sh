@@ -10,7 +10,7 @@ srv_pid=""
 trap 'kill "$srv_pid" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/popserved" ./cmd/popserved
-"$tmp/popserved" -addr 127.0.0.1:0 2> "$tmp/log" &
+"$tmp/popserved" -addr 127.0.0.1:0 -pprof 2> "$tmp/log" &
 srv_pid=$!
 
 # The server announces "listening on http://HOST:PORT" on stderr.
@@ -34,6 +34,18 @@ if command -v jq >/dev/null 2>&1; then
     jq -es 'length == 2 and all(.converged and .err == null)' "$tmp/out.ndjson" >/dev/null \
         || { echo "serve-smoke: bad records" >&2; cat "$tmp/out.ndjson" >&2; exit 1; }
 fi
+
+# Observability surface: JSON metrics, the Prometheus exposition of the
+# same registry, and a short CPU profile from the -pprof mount.
+curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 1' \
+    || { echo "serve-smoke: JSON metrics missing jobs_accepted" >&2; exit 1; }
+curl -fsS "$base/metrics?format=prom" > "$tmp/prom.txt"
+grep -q '^popkit_jobs_accepted_total 1$' "$tmp/prom.txt" \
+    || { echo "serve-smoke: prom exposition missing popkit_jobs_accepted_total" >&2; cat "$tmp/prom.txt" >&2; exit 1; }
+grep -q '^popkit_http_request_duration_seconds_bucket{endpoint="simulate"' "$tmp/prom.txt" \
+    || { echo "serve-smoke: prom exposition missing request-latency histogram" >&2; exit 1; }
+curl -fsS "$base/debug/pprof/profile?seconds=1" > "$tmp/cpu.pprof"
+[ -s "$tmp/cpu.pprof" ] || { echo "serve-smoke: empty CPU profile from /debug/pprof" >&2; exit 1; }
 
 kill -TERM "$srv_pid"
 wait "$srv_pid"
