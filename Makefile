@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchdiff kernel serve-smoke obs-smoke loadtest chaos
+.PHONY: build test check bench benchdiff kernel serve-smoke cluster-smoke obs-smoke loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,11 @@ benchdiff:
 # stream and a clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Boot popcoord over two popserved workers, kill -9 one mid-job, and diff
+# the merged cluster stream against single-node bytes.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # Trace contract: popsim -trace output is byte-identical to an untraced run
 # and the timeline carries the expected event kinds per execution mode.

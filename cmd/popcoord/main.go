@@ -1,0 +1,158 @@
+// Command popcoord is the cluster coordinator: it shards one simulation job
+// across many popserved workers and merges the returning streams in replica
+// order, so the cluster's NDJSON output is byte-identical to a single
+// popserved running the same spec — for any worker count, any shard size,
+// and across worker failures.
+//
+// Usage:
+//
+//	popcoord -workers URL[,URL...] [-addr HOST:PORT] [-shard-size N]
+//	         [-probe-interval D] [-probe-timeout D] [-client-retries N]
+//	         [-dispatch-retries N] [-journal DIR] [-job-timeout D]
+//	         [-max-n N] [-max-replicas N] [-drain D] [-v]
+//
+// Workers are popserved instances reachable at the given base URLs; more
+// can be registered at runtime with POST /v1/workers {"url": "..."}. The
+// coordinator polls each worker's /healthz every -probe-interval and only
+// dispatches shards to live workers. A worker that dies mid-shard (kill -9
+// included) is marked down and its remaining replicas are re-dispatched to
+// another worker, resuming exactly where the stream stopped.
+//
+// With -journal DIR, jobs that carry a job_id checkpoint every merged
+// record to DIR/<job_id>.ndjson; re-POSTing the same (job_id, spec) after a
+// coordinator crash replays the journaled prefix and dispatches only the
+// rest — the same resume contract popserved offers on a single node.
+//
+// Endpoints:
+//
+//	POST /v1/jobs       run a job sharded across the cluster, stream NDJSON
+//	POST /v1/simulate   alias for /v1/jobs (drop-in for a single popserved)
+//	GET  /v1/workers    list registered workers and their health
+//	POST /v1/workers    register a worker: {"url": "http://host:port"}
+//	GET  /v1/protocols  list runnable protocols
+//	GET  /healthz       coordinator liveness + live-worker count
+//	GET  /metrics       JSON counters (cluster size, shards, per-worker
+//	                    latency); ?format=prom for Prometheus text
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops and in-flight
+// jobs drain under the -drain deadline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"popkit/internal/cluster"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		workers         = flag.String("workers", "", "comma-separated popserved base URLs (e.g. http://127.0.0.1:8080)")
+		shardSize       = flag.Int("shard-size", 0, "max replicas per shard (0 = auto: ~2 shards per live worker)")
+		probeInterval   = flag.Duration("probe-interval", time.Second, "worker health-check period")
+		probeTimeout    = flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe timeout")
+		clientRetries   = flag.Int("client-retries", 2, "streaming-client retries per dispatch before failing over")
+		dispatchRetries = flag.Int("dispatch-retries", 4, "consecutive no-progress dispatches before a shard fails")
+		journalDir      = flag.String("journal", "", "directory for job_id checkpoint journals (empty disables resume)")
+		jobTimeout      = flag.Duration("job-timeout", 300*time.Second, "per-job wall-clock budget")
+		maxN            = flag.Int("max-n", 5_000_000, "largest accepted population size (must not exceed the workers' cap)")
+		maxReplicas     = flag.Int("max-replicas", 1024, "largest accepted replica count (must not exceed the workers' cap)")
+		drain           = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		verbose         = flag.Bool("v", false, "log dispatch failures and worker transitions to stderr")
+	)
+	flag.Parse()
+	if *shardSize < 0 || *clientRetries < 0 || *dispatchRetries < 1 || *maxN < 2 || *maxReplicas < 1 {
+		fmt.Fprintln(os.Stderr, "popcoord: -shard-size and -client-retries must be ≥ 0, -dispatch-retries and -max-replicas ≥ 1, -max-n ≥ 2")
+		return 2
+	}
+
+	cfg := cluster.Config{
+		ShardSize:       *shardSize,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		ClientRetries:   *clientRetries,
+		DispatchRetries: *dispatchRetries,
+		JournalDir:      *journalDir,
+		JobTimeout:      *jobTimeout,
+		MaxN:            *maxN,
+		MaxReplicas:     *maxReplicas,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			cfg.Workers = append(cfg.Workers, u)
+		}
+	}
+
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popcoord: %v\n", err)
+		return 2
+	}
+	coord.Start()
+	defer coord.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popcoord: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: coord.Handler()}
+
+	// The scripts parse this line to discover the bound port.
+	_, live := workerCounts(coord)
+	fmt.Fprintf(os.Stderr, "popcoord: listening on http://%s (workers=%d live=%d)\n",
+		ln.Addr(), len(cfg.Workers), live)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "popcoord: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second ^C kills us
+
+	fmt.Fprintf(os.Stderr, "popcoord: shutting down, draining in-flight jobs (deadline %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "popcoord: drain deadline exceeded: %v\n", err)
+		hs.Close()
+		code = 1
+	}
+	fmt.Fprintln(os.Stderr, "popcoord: drained, bye")
+	return code
+}
+
+// workerCounts samples (registered, live) from the coordinator's view.
+func workerCounts(c *cluster.Coordinator) (total, live int) {
+	for _, w := range c.Workers() {
+		total++
+		if w.Live {
+			live++
+		}
+	}
+	return total, live
+}

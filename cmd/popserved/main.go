@@ -22,9 +22,12 @@
 // Endpoints:
 //
 //	POST /v1/simulate   run a job, stream NDJSON records (429 when the
-//	                    queue is full; client disconnect cancels the job)
+//	                    queue is full, 503 while draining; client
+//	                    disconnect cancels the job)
 //	GET  /v1/protocols  list runnable protocols
-//	GET  /healthz       liveness + queue depth
+//	GET  /healthz       cheap liveness + queue depth; bypasses the job
+//	                    queue entirely, and reports "draining" with 503
+//	                    once shutdown begins (cluster health probes)
 //	GET  /metrics       JSON counters and latency histograms
 //	GET  /metrics?format=prom   the same registry in Prometheus text format
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
@@ -131,6 +134,11 @@ func run() int {
 	}
 	stop() // restore default signal behaviour: a second ^C kills us
 
+	// Flip to draining before the listener closes: while the drain runs,
+	// new simulate requests get a retryable 503 + Retry-After and /healthz
+	// answers "draining", so cluster coordinators stop routing shards here
+	// and fail over instead of erroring.
+	srv.SetDraining(true)
 	fmt.Fprintf(os.Stderr, "popserved: shutting down, draining in-flight jobs (deadline %s)\n", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

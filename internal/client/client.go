@@ -81,13 +81,13 @@ func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
 // Stream posts spec to POST /v1/simulate and delivers every replica record
-// to fn exactly once, in replica order, with the record's exact NDJSON line
-// (newline included) — concatenating the lines reproduces the server stream
-// byte for byte. fn is never called with an error record: a failed replica
-// aborts the attempt and is retried instead, because a crash the server can
-// recover from (restart, journal resume, replica retry) must not leak into
-// the output. Stream returns nil only after replica spec.Replicas-1 has
-// been delivered.
+// of the spec's window [spec.Start, spec.Replicas) to fn exactly once, in
+// replica order, with the record's exact NDJSON line (newline included) —
+// concatenating the lines reproduces the server stream byte for byte. fn is
+// never called with an error record: a failed replica aborts the attempt
+// and is retried instead, because a crash the server can recover from
+// (restart, journal resume, replica retry) must not leak into the output.
+// Stream returns nil only after replica spec.Replicas-1 has been delivered.
 func (c *Client) Stream(ctx context.Context, spec expt.JobSpec, fn func(rec expt.ReplicaRecord, line []byte)) error {
 	if c.opt.BaseURL == "" {
 		return &permanentError{errors.New("client: no BaseURL")}
@@ -100,7 +100,7 @@ func (c *Client) Stream(ctx context.Context, spec expt.JobSpec, fn func(rec expt
 	if want < 1 {
 		want = 1
 	}
-	next := 0 // next replica index to deliver; survives reconnects
+	next := spec.Start // next replica index to deliver; survives reconnects
 	fails := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -156,9 +156,11 @@ func (c *Client) attempt(ctx context.Context, body []byte, next *int, want int, 
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusConflict:
-		// Backpressure (queue full) or our own previous request still
-		// winding down (job id busy): honor the server's Retry-After.
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusConflict,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		// Backpressure (queue full), our own previous request still
+		// winding down (job id busy), or a worker draining on SIGTERM:
+		// all transient — honor the server's Retry-After.
 		ra := parseRetryAfter(resp)
 		return ra, fmt.Errorf("server busy (%s): %s", resp.Status, readErrorDoc(resp.Body))
 	case resp.StatusCode >= 500:

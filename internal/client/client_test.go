@@ -276,3 +276,123 @@ func TestContextCancelStopsRetries(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestStreamShardWindowDelivery: a spec with start set delivers exactly the
+// window [start, replicas) — the contract the cluster coordinator builds on.
+func TestStreamShardWindowDelivery(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 2; i < 6; i++ {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+
+	spec := testSpec(6)
+	spec.Start = 2
+	got, seen, err := collect(t, fastClient(ts.URL, 0), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 2; i < 6; i++ {
+		want = append(want, recLine(t, i)...)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("window bytes differ:\n%s\nvs\n%s", got, want)
+	}
+	if len(seen) != 4 || seen[0] != 0 || seen[1] != 0 {
+		t.Fatalf("delivered outside the window: %v", seen)
+	}
+}
+
+// TestStreamReconnectAtShardBoundary: the connection cuts exactly at the end
+// of a shard-sized prefix (a worker died right on the boundary the cluster
+// re-dispatches from), and the replacement stream replays the whole window.
+// The client must suppress the already-delivered prefix and resume without a
+// gap or a duplicate.
+func TestStreamReconnectAtShardBoundary(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Dies after delivering [2, 4) — exactly one whole shard.
+			w.Write(recLine(t, 2))
+			w.Write(recLine(t, 3))
+			return
+		}
+		for i := 2; i < 6; i++ {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+
+	spec := testSpec(6)
+	spec.Start = 2
+	got, seen, err := collect(t, fastClient(ts.URL, 2), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("made %d requests, want 2", calls.Load())
+	}
+	var want []byte
+	for i := 2; i < 6; i++ {
+		want = append(want, recLine(t, i)...)
+		if seen[i] != 1 {
+			t.Errorf("replica %d delivered %d times", i, seen[i])
+		}
+	}
+	if string(got) != string(want) {
+		t.Fatalf("boundary reconnect bytes differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestStreamSuppressesInStreamDuplicates: a single response that repeats
+// already-sent replicas (a resumed journal replaying more than it needed to)
+// still delivers each record exactly once.
+func TestStreamSuppressesInStreamDuplicates(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, i := range []int{0, 0, 1, 0, 1, 2} {
+			w.Write(recLine(t, i))
+		}
+	}))
+	defer ts.Close()
+
+	got, seen, err := collect(t, fastClient(ts.URL, 0), testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 3; i++ {
+		want = append(want, recLine(t, i)...)
+		if seen[i] != 1 {
+			t.Errorf("replica %d delivered %d times", i, seen[i])
+		}
+	}
+	if string(got) != string(want) {
+		t.Fatalf("duplicate suppression bytes differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestStream503DrainingRetried: a worker answering 503 (draining on SIGTERM)
+// is transient exactly like 429 — the client backs off and retries rather
+// than failing the job.
+func TestStream503DrainingRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"server draining"}`)
+			return
+		}
+		w.Write(recLine(t, 0))
+	}))
+	defer ts.Close()
+
+	_, seen, err := collect(t, fastClient(ts.URL, 1), testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 || seen[0] != 1 {
+		t.Fatalf("calls=%d seen=%v, want a single retry then delivery", calls.Load(), seen)
+	}
+}

@@ -1,0 +1,240 @@
+// Package cluster shards one simulation job across many popserved workers.
+//
+// The coordinator accepts the same expt.JobSpec as a single popserved
+// (POST /v1/jobs, with /v1/simulate as an alias), splits the job's replica
+// range [0, Replicas) into contiguous shards, dispatches each shard to a
+// registered worker as the same spec with a [Start, Replicas) window, and
+// merges the returning streams in replica order through a fleet.OrderedSink.
+// Because replica i's whole RNG stream derives from ReplicaSeed(Seed, i),
+// the merged NDJSON output is byte-identical to a single-node run — for any
+// worker count, any shard size, and across worker failures.
+//
+// Failure handling is layered:
+//
+//   - Each shard streams through internal/client, whose retry/reconnect
+//     machinery already survives backpressure (429/409/503 + Retry-After)
+//     and mid-stream cuts against the same worker.
+//   - When a worker dies outright (kill -9, network partition), the client
+//     gives up, the coordinator marks the worker down, and the shard's
+//     remaining replicas [cursor, hi) are re-dispatched to another live
+//     worker via the spec's Start window — replicas already merged are
+//     never recomputed or re-emitted.
+//   - With a journal directory, jobs carrying a job_id checkpoint every
+//     merged record through the same fsynced expt.Journal format popserved
+//     uses, so a coordinator crash costs only the replicas past the
+//     journaled prefix: re-POSTing the same (job_id, spec) replays the
+//     prefix verbatim and dispatches only the rest.
+//
+// Workers are registered explicitly (popcoord -workers, or POST
+// /v1/workers at runtime) and health-checked by polling their cheap
+// /healthz endpoint; a draining worker (SIGTERM) answers 503 and stops
+// receiving shards before its listener closes.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"popkit/internal/expt"
+	"popkit/internal/serve"
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	// Registry validates and normalizes job specs; nil means
+	// serve.NewRegistry(). It must match the workers' registry, since the
+	// workers re-normalize the shard specs they receive.
+	Registry *serve.Registry
+	// Workers is the initial set of popserved base URLs. More can be
+	// registered at runtime via POST /v1/workers.
+	Workers []string
+	// ShardSize caps replicas per shard. 0 sizes shards automatically to
+	// about two per live worker, so one slow worker can't serialize the
+	// tail of a job. Shard size never changes output bytes.
+	ShardSize int
+	// ProbeInterval is the worker health-check period. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe. Default 500ms.
+	ProbeTimeout time.Duration
+	// ClientRetries is the per-dispatch retry budget of the streaming
+	// client against one worker (client.Options.MaxRetries). Default 2.
+	ClientRetries int
+	// DispatchRetries bounds consecutive no-progress dispatch attempts per
+	// shard — re-dispatches that deliver at least one new replica reset the
+	// budget, like the client's own retry accounting. Default 4.
+	DispatchRetries int
+	// MaxInflightShards caps concurrently dispatched shards per job.
+	// Default 2×registered workers (min 4).
+	MaxInflightShards int
+	// JournalDir, when non-empty, enables coordinator checkpoint/resume
+	// for jobs that carry a job_id (same journal format as popserved).
+	JournalDir string
+	// JobTimeout bounds one job's wall clock; 0 means 300s. Workers apply
+	// their own per-shard timeout on top.
+	JobTimeout time.Duration
+	// MaxN / MaxReplicas cap accepted specs; they must not exceed the
+	// workers' own caps. Defaults 5e6 and 1024.
+	MaxN        int
+	MaxReplicas int
+	// HTTPClient overrides http.DefaultClient for probes and shard streams.
+	HTTPClient *http.Client
+	// Logf, when set, receives one line per dispatch failure and worker
+	// transition (diagnostics only).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Registry == nil {
+		c.Registry = serve.NewRegistry()
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.ClientRetries == 0 {
+		c.ClientRetries = 2
+	}
+	if c.DispatchRetries == 0 {
+		c.DispatchRetries = 4
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 300 * time.Second
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 5_000_000
+	}
+	if c.MaxReplicas == 0 {
+		c.MaxReplicas = 1024
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+}
+
+// Coordinator shards jobs across the registered workers. Create with New,
+// start health probing with Start, and mount Handler on an http.Server.
+type Coordinator struct {
+	cfg      Config
+	workers  *workerSet
+	journals *journalSet
+	metrics  *Metrics
+	started  time.Time
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// New builds a coordinator with cfg's initial workers registered (but not
+// yet probed — call Start, or ProbeNow for a synchronous first check).
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fillDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		started: time.Now(),
+		stopCh:  make(chan struct{}),
+	}
+	names := make([]string, 0, 8)
+	for _, rt := range c.routes() {
+		names = append(names, rt.name)
+	}
+	c.metrics = NewMetrics(names...)
+	c.workers = newWorkerSet(cfg.HTTPClient, cfg.ProbeTimeout, c.metrics)
+	for _, u := range cfg.Workers {
+		if err := c.workers.add(u); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.JournalDir != "" {
+		c.journals = &journalSet{dir: cfg.JournalDir, busy: make(map[string]bool)}
+	}
+	return c, nil
+}
+
+// Metrics exposes the counter set (tests and embedding binaries).
+func (c *Coordinator) Metrics() *Metrics { return c.metrics }
+
+// Workers lists the registered workers and their health.
+func (c *Coordinator) Workers() []WorkerInfo { return c.workers.snapshot() }
+
+// Register adds a worker at runtime; it starts receiving shards after its
+// first successful health probe.
+func (c *Coordinator) Register(url string) error { return c.workers.add(url) }
+
+// Start launches the background health-check loop (one concurrent probe
+// sweep per ProbeInterval), beginning with a synchronous sweep so callers
+// observe real liveness as soon as Start returns. Stop ends the loop.
+func (c *Coordinator) Start() {
+	c.ProbeNow()
+	go func() {
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-t.C:
+				c.ProbeNow()
+			}
+		}
+	}()
+}
+
+// ProbeNow runs one synchronous health sweep and returns the live count.
+func (c *Coordinator) ProbeNow() int {
+	return c.workers.probeAll(context.Background())
+}
+
+// Stop ends the health-check loop. In-flight jobs are unaffected (their
+// request contexts govern them).
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// journalSet mirrors popserved's: one expt.Journal per job ID under dir,
+// plus a process-local busy set serializing access per ID. After a
+// coordinator crash the new process starts idle; the journals on disk are
+// the only state that matters, which is exactly what makes restart-resume
+// work.
+type journalSet struct {
+	dir  string
+	mu   sync.Mutex
+	busy map[string]bool
+}
+
+var errJobBusy = fmt.Errorf("job already in flight")
+
+func (s *journalSet) acquire(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.busy[id] {
+		return errJobBusy
+	}
+	s.busy[id] = true
+	return nil
+}
+
+func (s *journalSet) release(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.busy, id)
+}
+
+func (s *journalSet) open(id string, spec expt.JobSpec) (*expt.Journal, [][]byte, error) {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	return expt.LoadJournal(filepath.Join(s.dir, id+".ndjson"), spec)
+}

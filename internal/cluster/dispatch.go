@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"popkit/internal/client"
+	"popkit/internal/expt"
+	"popkit/internal/fleet"
+)
+
+// shard is one contiguous replica window [lo, hi) of a job.
+type shard struct{ lo, hi int }
+
+// planShards slices [start, end) into windows of at most size replicas.
+// The plan only affects dispatch granularity, never output bytes: the merge
+// reorders by replica ID regardless.
+func planShards(start, end, size int) []shard {
+	if size < 1 {
+		size = 1
+	}
+	var out []shard
+	for lo := start; lo < end; lo += size {
+		hi := lo + size
+		if hi > end {
+			hi = end
+		}
+		out = append(out, shard{lo, hi})
+	}
+	return out
+}
+
+// shardSizeFor picks the shard size for a job with remaining replicas:
+// the configured cap, or about two shards per live worker so the tail of a
+// job stays balanced when workers finish at different speeds.
+func (c *Coordinator) shardSizeFor(remaining, liveWorkers int) int {
+	if c.cfg.ShardSize > 0 {
+		return c.cfg.ShardSize
+	}
+	if liveWorkers < 1 {
+		liveWorkers = 1
+	}
+	size := (remaining + 2*liveWorkers - 1) / (2 * liveWorkers)
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// merged is the value carried through the ordered merge: the decoded record
+// (for journaling) plus its exact wire line (for byte-identical output).
+type merged struct {
+	rec  expt.ReplicaRecord
+	line []byte
+}
+
+// execute dispatches replicas [start, spec.Replicas) across the live
+// workers and delivers every record line — in replica order, exactly once —
+// to write. With a journal, each line is made durable before it is written
+// to the client. Returns the first shard failure (cancellations included)
+// after all shards settle.
+func (c *Coordinator) execute(ctx context.Context, spec expt.JobSpec, start int, journal *expt.Journal, write func([]byte)) error {
+	inner := fleet.SinkFunc(func(r fleet.Result) {
+		m := r.Value.(merged)
+		if journal != nil {
+			// Journal first: the record survives a coordinator crash even
+			// if the requesting client is gone.
+			journal.AppendLine(m.rec, m.line)
+		}
+		c.metrics.RecordsMerged.Inc()
+		write(m.line)
+	})
+	ordered := fleet.NewOrderedSinkAt(inner, start)
+
+	_, live := c.workers.counts()
+	shards := planShards(start, spec.Replicas, c.shardSizeFor(spec.Replicas-start, live))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	maxInflight := c.cfg.MaxInflightShards
+	if maxInflight == 0 {
+		total, _ := c.workers.counts()
+		maxInflight = 2 * total
+		if maxInflight < 4 {
+			maxInflight = 4
+		}
+	}
+	sem := make(chan struct{}, maxInflight)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh shard) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			if err := c.runShard(ctx, spec, sh, ordered); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard [%d,%d): %w", sh.lo, sh.hi, err)
+					cancel() // one lost shard fails the job; stop the rest
+				}
+				mu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ordered.SinkErr()
+}
+
+// runShard streams one shard's replicas into sink, surviving worker loss:
+// each dispatch posts the spec with the window [cursor, hi) to the
+// least-loaded live worker, and a dispatch that dies mid-stream marks its
+// worker down and re-dispatches the remaining window elsewhere — the
+// cluster-level twin of the client's own reconnect logic, built on the same
+// progress-resets-the-budget rule. Records below cursor are never
+// re-emitted, so the sink sees each replica exactly once.
+func (c *Coordinator) runShard(ctx context.Context, spec expt.JobSpec, sh shard, sink fleet.ResultSink) error {
+	cursor := sh.lo
+	noProgress := 0
+	avoid := ""
+	var lastErr error
+	for cursor < sh.hi {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		wk := c.workers.pick(avoid)
+		if wk == nil {
+			// Nobody live: force a probe sweep (a restarted worker revives
+			// here) and retry under the dispatch budget.
+			if c.workers.probeAll(ctx) == 0 {
+				noProgress++
+				if noProgress > c.cfg.DispatchRetries {
+					if lastErr == nil {
+						lastErr = errors.New("no live workers")
+					}
+					return fmt.Errorf("no live workers after %d attempts: %w", noProgress, lastErr)
+				}
+				if err := sleepCtx(ctx, dispatchBackoff(noProgress)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+
+		shardSpec := spec
+		shardSpec.JobID = "" // shards re-dispatch instead of journaling
+		shardSpec.Start = cursor
+		shardSpec.Replicas = sh.hi
+		cl := client.New(client.Options{
+			BaseURL:    wk.url,
+			HTTPClient: c.cfg.HTTPClient,
+			MaxRetries: c.cfg.ClientRetries,
+			Logf:       c.cfg.Logf,
+		})
+		before := cursor
+		t0 := time.Now()
+		c.metrics.ShardsDispatched.Inc()
+		err := cl.Stream(ctx, shardSpec, func(rec expt.ReplicaRecord, line []byte) {
+			cursor = rec.Replica + 1
+			sink.Emit(fleet.Result{ID: rec.Replica, Seed: rec.Seed, Value: merged{rec, line}})
+		})
+		c.workers.release(wk, time.Since(t0))
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+		c.workers.markDown(wk, err)
+		c.metrics.ShardsRedispatched.Inc()
+		c.logf("cluster: worker %s failed shard [%d,%d) at replica %d, re-dispatching: %v",
+			wk.url, sh.lo, sh.hi, cursor, err)
+		avoid = wk.url
+		if cursor > before {
+			noProgress = 0
+		} else {
+			noProgress++
+			if noProgress > c.cfg.DispatchRetries {
+				return fmt.Errorf("stalled at replica %d after %d dispatch attempts: %w", cursor, noProgress, err)
+			}
+		}
+	}
+	return nil
+}
+
+// dispatchBackoff spaces the no-live-worker retries: 100ms, 200ms, …, capped
+// at 2s. Worker failures themselves re-dispatch immediately — there is a
+// healthy worker waiting — so this only paces a fully dark cluster.
+func dispatchBackoff(fails int) time.Duration {
+	d := time.Duration(fails) * 100 * time.Millisecond
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanShards(t *testing.T) {
+	for _, tc := range []struct {
+		start, end, size int
+		want             []shard
+	}{
+		{0, 10, 4, []shard{{0, 4}, {4, 8}, {8, 10}}},
+		{0, 10, 10, []shard{{0, 10}}},
+		{0, 10, 100, []shard{{0, 10}}},
+		{3, 10, 3, []shard{{3, 6}, {6, 9}, {9, 10}}},
+		{0, 1, 0, []shard{{0, 1}}}, // size clamps to 1
+		{5, 5, 4, nil},             // nothing left: resume found a full journal
+	} {
+		got := planShards(tc.start, tc.end, tc.size)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("planShards(%d,%d,%d) = %v, want %v", tc.start, tc.end, tc.size, got, tc.want)
+		}
+	}
+}
+
+// TestPlanShardsCoversRangeExactly property-checks the plan: contiguous,
+// disjoint, in order, covering [start, end).
+func TestPlanShardsCoversRangeExactly(t *testing.T) {
+	for start := 0; start < 5; start++ {
+		for end := start + 1; end < 40; end += 3 {
+			for size := 1; size < 12; size++ {
+				next := start
+				for _, sh := range planShards(start, end, size) {
+					if sh.lo != next || sh.hi <= sh.lo || sh.hi-sh.lo > size {
+						t.Fatalf("bad plan for (%d,%d,%d): %v", start, end, size, sh)
+					}
+					next = sh.hi
+				}
+				if next != end {
+					t.Fatalf("plan for (%d,%d,%d) stops at %d", start, end, size, next)
+				}
+			}
+		}
+	}
+}
+
+func TestShardSizeFor(t *testing.T) {
+	c := &Coordinator{cfg: Config{}}
+	// Auto mode: about two shards per live worker.
+	if got := c.shardSizeFor(100, 5); got != 10 {
+		t.Errorf("auto shard size for 100 replicas on 5 workers = %d, want 10", got)
+	}
+	if got := c.shardSizeFor(3, 8); got != 1 {
+		t.Errorf("tiny jobs shard to 1, got %d", got)
+	}
+	// Zero live workers (everything down at submit) must not divide by zero.
+	if got := c.shardSizeFor(10, 0); got != 5 {
+		t.Errorf("dark-fleet shard size = %d, want 5", got)
+	}
+	// Explicit cap wins.
+	c.cfg.ShardSize = 7
+	if got := c.shardSizeFor(100, 5); got != 7 {
+		t.Errorf("explicit shard size = %d, want 7", got)
+	}
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"io"
+	"time"
+
+	"popkit/internal/obs"
+)
+
+// Metrics is the coordinator's counter set, backed by a shared obs.Registry
+// so one set of atomics feeds both the JSON document (GET /metrics) and the
+// Prometheus exposition (GET /metrics?format=prom), mirroring popserved's
+// metrics surface.
+type Metrics struct {
+	reg *obs.Registry
+
+	JobsAccepted        *obs.Counter
+	JobsCompleted       *obs.Counter
+	JobsFailed          *obs.Counter
+	JobsCancelled       *obs.Counter
+	JobsRejectedInvalid *obs.Counter
+	// JobsRejectedNoWorkers counts jobs turned away with 503 because no
+	// registered worker was live.
+	JobsRejectedNoWorkers *obs.Counter
+	// JobsResumed counts requests that replayed a journaled prefix after a
+	// coordinator restart (or a repeat POST of a finished job).
+	JobsResumed *obs.Counter
+
+	// ShardsDispatched counts every shard handed to a worker, re-dispatch
+	// attempts included; ShardsRedispatched counts only the dispatches that
+	// re-route a shard after a worker failed it mid-flight.
+	ShardsDispatched   *obs.Counter
+	ShardsRedispatched *obs.Counter
+	// RecordsMerged counts replica records merged into client streams in
+	// replica order.
+	RecordsMerged *obs.Counter
+
+	// Workers/WorkersLive are the registered and currently-healthy worker
+	// gauges; WorkersLost counts live→down transitions (probe failures and
+	// dispatch errors); Probes/ProbeFailures tally the health-check traffic.
+	Workers       *obs.GaugeInt
+	WorkersLive   *obs.GaugeInt
+	WorkersLost   *obs.Counter
+	Probes        *obs.Counter
+	ProbeFailures *obs.Counter
+
+	// latency histograms, keyed by endpoint name at construction.
+	latency map[string]*obs.Histogram
+}
+
+// NewMetrics returns a metrics set with one request-latency histogram per
+// endpoint, registered under popkit_cluster_* family names.
+func NewMetrics(endpoints ...string) *Metrics {
+	reg := obs.NewRegistry()
+	rejected := "jobs rejected by the coordinator, by reason"
+	m := &Metrics{
+		reg:                   reg,
+		JobsAccepted:          reg.Counter("popkit_cluster_jobs_accepted_total", "jobs admitted for shard dispatch"),
+		JobsCompleted:         reg.Counter("popkit_cluster_jobs_completed_total", "jobs whose every replica was merged"),
+		JobsFailed:            reg.Counter("popkit_cluster_jobs_failed_total", "jobs that ended with a shard error"),
+		JobsCancelled:         reg.Counter("popkit_cluster_jobs_cancelled_total", "jobs aborted by client disconnect or timeout"),
+		JobsRejectedInvalid:   reg.Counter("popkit_cluster_jobs_rejected_total", rejected, obs.L("reason", "invalid")),
+		JobsRejectedNoWorkers: reg.Counter("popkit_cluster_jobs_rejected_total", rejected, obs.L("reason", "no_workers")),
+		JobsResumed:           reg.Counter("popkit_cluster_jobs_resumed_total", "requests that replayed a journaled prefix"),
+		ShardsDispatched:      reg.Counter("popkit_cluster_shards_dispatched_total", "shard dispatches to workers, re-dispatches included"),
+		ShardsRedispatched:    reg.Counter("popkit_cluster_shards_redispatched_total", "shards re-routed after a worker failure"),
+		RecordsMerged:         reg.Counter("popkit_cluster_records_merged_total", "replica records merged in replica order"),
+		Workers:               reg.Gauge("popkit_cluster_workers", "registered workers"),
+		WorkersLive:           reg.Gauge("popkit_cluster_workers_live", "workers currently passing health checks"),
+		WorkersLost:           reg.Counter("popkit_cluster_workers_lost_total", "live→down worker transitions"),
+		Probes:                reg.Counter("popkit_cluster_probes_total", "worker health probes sent"),
+		ProbeFailures:         reg.Counter("popkit_cluster_probe_failures_total", "worker health probes that failed"),
+		latency:               make(map[string]*obs.Histogram, len(endpoints)),
+	}
+	for _, e := range endpoints {
+		if _, dup := m.latency[e]; dup {
+			continue
+		}
+		m.latency[e] = reg.Histogram("popkit_cluster_http_request_duration_seconds",
+			"coordinator HTTP request latency by endpoint", obs.L("endpoint", e))
+	}
+	return m
+}
+
+// WorkerShardDuration returns (registering on first use) the per-worker
+// shard-attempt wall-clock histogram — the cluster's per-worker latency
+// series.
+func (m *Metrics) WorkerShardDuration(workerURL string) *obs.Histogram {
+	return m.reg.Histogram("popkit_cluster_shard_duration_seconds",
+		"shard attempt wall-clock time by worker", obs.L("worker", workerURL))
+}
+
+// Latency returns the endpoint's request-latency histogram (nil for unknown
+// endpoints).
+func (m *Metrics) Latency(endpoint string) *obs.Histogram { return m.latency[endpoint] }
+
+// MetricsSnapshot is the coordinator's /metrics JSON document.
+type MetricsSnapshot struct {
+	JobsAccepted          int64   `json:"jobs_accepted"`
+	JobsCompleted         int64   `json:"jobs_completed"`
+	JobsFailed            int64   `json:"jobs_failed"`
+	JobsCancelled         int64   `json:"jobs_cancelled"`
+	JobsRejectedInvalid   int64   `json:"jobs_rejected_invalid"`
+	JobsRejectedNoWorkers int64   `json:"jobs_rejected_no_workers"`
+	JobsResumed           int64   `json:"jobs_resumed"`
+	ShardsDispatched      int64   `json:"shards_dispatched"`
+	ShardsRedispatched    int64   `json:"shards_redispatched"`
+	RecordsMerged         int64   `json:"records_merged"`
+	Workers               int64   `json:"workers"`
+	WorkersLive           int64   `json:"workers_live"`
+	WorkersLost           int64   `json:"workers_lost"`
+	Probes                int64   `json:"probes"`
+	ProbeFailures         int64   `json:"probe_failures"`
+	UptimeSec             float64 `json:"uptime_sec"`
+	// Latency maps endpoint name to its request-latency summary.
+	Latency map[string]obs.HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot renders the counters; started anchors the uptime.
+func (m *Metrics) Snapshot(started time.Time) MetricsSnapshot {
+	s := MetricsSnapshot{
+		JobsAccepted:          int64(m.JobsAccepted.Load()),
+		JobsCompleted:         int64(m.JobsCompleted.Load()),
+		JobsFailed:            int64(m.JobsFailed.Load()),
+		JobsCancelled:         int64(m.JobsCancelled.Load()),
+		JobsRejectedInvalid:   int64(m.JobsRejectedInvalid.Load()),
+		JobsRejectedNoWorkers: int64(m.JobsRejectedNoWorkers.Load()),
+		JobsResumed:           int64(m.JobsResumed.Load()),
+		ShardsDispatched:      int64(m.ShardsDispatched.Load()),
+		ShardsRedispatched:    int64(m.ShardsRedispatched.Load()),
+		RecordsMerged:         int64(m.RecordsMerged.Load()),
+		Workers:               m.Workers.Load(),
+		WorkersLive:           m.WorkersLive.Load(),
+		WorkersLost:           int64(m.WorkersLost.Load()),
+		Probes:                int64(m.Probes.Load()),
+		ProbeFailures:         int64(m.ProbeFailures.Load()),
+		UptimeSec:             time.Since(started).Seconds(),
+		Latency:               make(map[string]obs.HistogramSnapshot, len(m.latency)),
+	}
+	for name, h := range m.latency {
+		s.Latency[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format.
+func (m *Metrics) WriteProm(w io.Writer, started time.Time) error {
+	m.reg.GaugeFunc("popkit_cluster_uptime_seconds", "seconds since the coordinator started",
+		func() float64 { return time.Since(started).Seconds() })
+	return m.reg.WritePromTo(w)
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"popkit/internal/expt"
+)
+
+// route is one entry of the coordinator's route table; as in popserved, the
+// metrics' endpoint set derives from this table so every route gets a
+// latency histogram by construction.
+type route struct {
+	name    string
+	pattern string
+	handler http.HandlerFunc
+}
+
+func (c *Coordinator) routes() []route {
+	return []route{
+		{"jobs", "/v1/jobs", c.handleJob},
+		// Alias: a coordinator is a drop-in for a single popserved, so the
+		// worker's simulate path accepts the same specs here.
+		{"jobs", "/v1/simulate", c.handleJob},
+		{"workers", "/v1/workers", c.handleWorkers},
+		{"protocols", "/v1/protocols", c.handleProtocols},
+		{"healthz", "/healthz", c.handleHealthz},
+		{"metrics", "/metrics", c.handleMetrics},
+	}
+}
+
+// Handler returns the coordinator's route table as an http.Handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range c.routes() {
+		mux.HandleFunc(rt.pattern, c.instrument(rt.name, rt.handler))
+	}
+	return mux
+}
+
+func (c *Coordinator) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := c.metrics.Latency(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		if hist != nil {
+			hist.Observe(time.Since(start))
+		}
+	}
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBackoff is writeError plus a Retry-After hint for the retryable
+// rejections (no live workers, job id busy).
+func (c *Coordinator) writeBackoff(w http.ResponseWriter, status int, format string, args ...any) {
+	sec := int(c.cfg.ProbeInterval / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(sec+1))
+	writeError(w, status, format, args...)
+}
+
+// handleJob is POST /v1/jobs (and /v1/simulate): decode a JobSpec, shard it
+// across the live workers, and stream the merged records back as NDJSON —
+// byte-identical to a single popserved running the same spec.
+//
+// With a journal directory and a job_id, every merged record is journaled
+// before it is streamed, and a repeat POST of the same (id, spec) — e.g.
+// after a coordinator restart — replays the journaled prefix verbatim and
+// dispatches only the remaining replicas.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var spec expt.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if _, err := c.cfg.Registry.Normalize(&spec, c.cfg.MaxN, c.cfg.MaxReplicas); err != nil {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if _, live := c.workers.counts(); live == 0 && c.ProbeNow() == 0 {
+		c.metrics.JobsRejectedNoWorkers.Add(1)
+		c.writeBackoff(w, http.StatusServiceUnavailable, "no live workers registered; retry later")
+		return
+	}
+
+	// Checkpoint/resume: claim the job id, load the coordinator journal,
+	// and pick up after the longest contiguous merged prefix. (Shard
+	// requests with start > 0 never carry a job_id — NormalizeCommon
+	// rejects the combination.)
+	var (
+		journal *expt.Journal
+		replay  [][]byte
+		start   = spec.Start
+		release func()
+	)
+	if spec.JobID != "" {
+		if c.journals == nil {
+			c.metrics.JobsRejectedInvalid.Add(1)
+			writeError(w, http.StatusBadRequest, "job_id requires a journal-enabled coordinator (start popcoord with -journal)")
+			return
+		}
+		if err := c.journals.acquire(spec.JobID); err != nil {
+			c.writeBackoff(w, http.StatusConflict, "job %q is already in flight; retry later", spec.JobID)
+			return
+		}
+		id := spec.JobID
+		release = func() { c.journals.release(id) }
+		var err error
+		journal, replay, err = c.journals.open(id, spec)
+		if err != nil {
+			release()
+			if strings.Contains(err.Error(), "different job spec") {
+				writeError(w, http.StatusConflict, "%v", err)
+			} else {
+				writeError(w, http.StatusInternalServerError, "journal: %v", err)
+			}
+			return
+		}
+		start = journal.Next()
+		if start > 0 {
+			c.metrics.JobsResumed.Add(1)
+		}
+	}
+	if journal != nil {
+		defer func() {
+			journal.Close()
+			release()
+		}()
+	}
+	c.metrics.JobsAccepted.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.JobTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	writeLine := func(line []byte) {
+		if _, err := w.Write(line); err != nil {
+			// Client is gone; its request context cancels the dispatch.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, line := range replay {
+		writeLine(line)
+	}
+	if start >= spec.Replicas {
+		// Every replica was journaled: the whole job streamed from disk.
+		c.metrics.JobsCompleted.Add(1)
+		return
+	}
+
+	err := c.execute(ctx, spec, start, journal, writeLine)
+	switch {
+	case err == nil:
+		c.metrics.JobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled):
+		c.metrics.JobsCancelled.Add(1)
+	default:
+		c.metrics.JobsFailed.Add(1)
+		// The status line is long gone; signal the failure in-band like
+		// popserved does, so successful streams stay byte-identical to a
+		// single-node run.
+		if doc, merr := json.Marshal(errorDoc{Error: err.Error()}); merr == nil {
+			w.Write(append(doc, '\n'))
+		}
+	}
+}
+
+// registerDoc is the body of POST /v1/workers.
+type registerDoc struct {
+	URL string `json:"url"`
+}
+
+// handleWorkers is the registration surface: GET lists the workers and
+// their health; POST {"url": "http://host:port"} registers one and probes
+// it immediately so a healthy worker is routable as soon as the call
+// returns.
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		var doc registerDoc
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			writeError(w, http.StatusBadRequest, "bad registration: %v", err)
+			return
+		}
+		if err := c.workers.add(doc.URL); err != nil {
+			writeError(w, http.StatusBadRequest, "bad registration: %v", err)
+			return
+		}
+		c.ProbeNow()
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Workers []WorkerInfo `json:"workers"`
+	}{c.workers.snapshot()})
+}
+
+// handleProtocols mirrors popserved's GET /v1/protocols from the
+// coordinator's own registry — the same registry the workers run.
+func (c *Coordinator) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type protocolDoc struct {
+		Name        string   `json:"name"`
+		Description string   `json:"description"`
+		Kind        string   `json:"kind"`
+		Params      []string `json:"params,omitempty"`
+	}
+	list := c.cfg.Registry.List()
+	docs := make([]protocolDoc, len(list))
+	for i, p := range list {
+		docs[i] = protocolDoc{Name: p.Name, Description: p.Description, Kind: p.Kind, Params: p.Params}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Protocols []protocolDoc `json:"protocols"`
+	}{docs})
+}
+
+// handleHealthz reports the coordinator's own liveness plus the cluster
+// view: how many workers are registered and how many are passing probes. A
+// coordinator with zero live workers is degraded (503) — it cannot place
+// shards — but still answers, so operators can tell "coordinator down"
+// from "fleet down".
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	total, live := c.workers.counts()
+	status := "ok"
+	code := http.StatusOK
+	if live == 0 {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+		Live    int    `json:"workers_live"`
+	}{status, total, live})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.metrics.WriteProm(w, c.started)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.metrics.Snapshot(c.started))
+}

@@ -25,6 +25,15 @@ type JobSpec struct {
 	Seed uint64 `json:"seed"`
 	// Replicas is the number of independent runs; 0 means 1.
 	Replicas int `json:"replicas,omitempty"`
+	// Start, when non-zero, restricts the job to replicas [Start, Replicas)
+	// — the shard case: a cluster coordinator slices one logical job's
+	// replica range across workers by dispatching the same spec with
+	// different [Start, Replicas) windows. Replica i's record is unchanged
+	// by the slicing (its whole RNG stream derives from ReplicaSeed(Seed,
+	// i)), so concatenating shard streams in replica order is byte-identical
+	// to the unsharded run. Incompatible with JobID: shards are re-dispatched
+	// on failure, not journaled.
+	Start int `json:"start,omitempty"`
 	// Gap is the initial |A| − |B| margin (majority-family protocols).
 	Gap int `json:"gap,omitempty"`
 	// Colours is the colour count (plurality).
@@ -61,6 +70,12 @@ func (s *JobSpec) NormalizeCommon(maxN, maxReplicas int) error {
 	}
 	if s.Replicas < 1 || s.Replicas > maxReplicas {
 		return fmt.Errorf("replicas must be in [1, %d] (got %d)", maxReplicas, s.Replicas)
+	}
+	if s.Start < 0 || s.Start >= s.Replicas {
+		return fmt.Errorf("start must be in [0, replicas) (got %d with replicas=%d)", s.Start, s.Replicas)
+	}
+	if s.Start != 0 && s.JobID != "" {
+		return fmt.Errorf("start cannot be combined with job_id (shards are re-dispatched, not journaled)")
 	}
 	if s.N < 2 {
 		return fmt.Errorf("n must be ≥ 2 (got %d)", s.N)

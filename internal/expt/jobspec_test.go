@@ -23,6 +23,10 @@ func TestNormalizeCommon(t *testing.T) {
 		{"negative gap", JobSpec{Protocol: "majority", N: 100, Gap: -1}, false},
 		{"gap beyond n", JobSpec{Protocol: "majority", N: 100, Gap: 101}, false},
 		{"negative rounds", JobSpec{Protocol: "leader", N: 100, MaxRounds: -1}, false},
+		{"shard window", JobSpec{Protocol: "leader", N: 100, Replicas: 8, Start: 3}, true},
+		{"negative start", JobSpec{Protocol: "leader", N: 100, Replicas: 8, Start: -1}, false},
+		{"start at replicas", JobSpec{Protocol: "leader", N: 100, Replicas: 8, Start: 8}, false},
+		{"start with job_id", JobSpec{Protocol: "leader", N: 100, Replicas: 8, Start: 3, JobID: "j"}, false},
 	}
 	for _, c := range cases {
 		err := c.spec.NormalizeCommon(1_000_000, 256)

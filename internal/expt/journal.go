@@ -133,12 +133,20 @@ func (j *Journal) Next() int { return j.next }
 // grows by the contiguous successful prefix. The record is durable (synced)
 // when Append returns nil.
 func (j *Journal) Append(rec ReplicaRecord) error {
-	if rec.Err != "" || rec.Replica != j.next {
-		return nil
-	}
 	line, err := rec.MarshalLine()
 	if err != nil {
 		return err
+	}
+	return j.AppendLine(rec, line)
+}
+
+// AppendLine journals rec with its exact wire bytes (newline-terminated) —
+// the consumer case, where the line was received from a stream and must be
+// re-streamed verbatim on resume rather than re-marshalled. The same skip
+// rules as Append apply.
+func (j *Journal) AppendLine(rec ReplicaRecord, line []byte) error {
+	if rec.Err != "" || rec.Replica != j.next {
+		return nil
 	}
 	if _, err := j.f.Write(line); err != nil {
 		return err

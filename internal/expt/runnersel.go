@@ -2,6 +2,7 @@ package expt
 
 import (
 	"math"
+	"sort"
 
 	"popkit/internal/bitmask"
 	"popkit/internal/engine"
@@ -135,9 +136,25 @@ func NewDriver(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.Sta
 	switch d.Kind {
 	case RunnerDense:
 		d.dense = engine.NewDense(int(n))
+		// Lay agents out in sorted state order (the same (Hi, Lo) order
+		// engine.NewCounted uses): map iteration order is randomized, and
+		// which agent indices start in which state changes the dense
+		// scheduler's trajectory — the layout must be a pure function of
+		// counts or the same seed stops reproducing the same record.
+		states := make([]bitmask.State, 0, len(counts))
+		for s := range counts {
+			states = append(states, s)
+		}
+		sort.Slice(states, func(i, j int) bool {
+			a, b := states[i], states[j]
+			if a.Hi != b.Hi {
+				return a.Hi < b.Hi
+			}
+			return a.Lo < b.Lo
+		})
 		i := 0
-		for s, k := range counts {
-			for j := int64(0); j < k; j++ {
+		for _, s := range states {
+			for j := int64(0); j < counts[s]; j++ {
 				d.dense.SetAgent(i, s)
 				i++
 			}

@@ -26,9 +26,12 @@ type Metrics struct {
 	JobsAccepted        *obs.Counter
 	JobsRejectedFull    *obs.Counter
 	JobsRejectedInvalid *obs.Counter
-	JobsCompleted       *obs.Counter
-	JobsFailed          *obs.Counter
-	JobsCancelled       *obs.Counter
+	// JobsRejectedDraining counts simulate requests turned away with 503
+	// because graceful shutdown had begun.
+	JobsRejectedDraining *obs.Counter
+	JobsCompleted        *obs.Counter
+	JobsFailed           *obs.Counter
+	JobsCancelled        *obs.Counter
 	// JobsResumed counts requests that found a journaled prefix for their
 	// job_id (including jobs served entirely from the journal).
 	JobsResumed       *obs.Counter
@@ -59,23 +62,24 @@ func NewMetrics(endpoints ...string) *Metrics {
 	reg := obs.NewRegistry()
 	rejected := "jobs rejected before entering the queue, by reason"
 	m := &Metrics{
-		reg:                 reg,
-		JobsAccepted:        reg.Counter("popkit_jobs_accepted_total", "jobs admitted to the queue"),
-		JobsRejectedFull:    reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "queue_full")),
-		JobsRejectedInvalid: reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "invalid")),
-		JobsCompleted:       reg.Counter("popkit_jobs_completed_total", "jobs that ran every replica"),
-		JobsFailed:          reg.Counter("popkit_jobs_failed_total", "jobs that ended with a replica error"),
-		JobsCancelled:       reg.Counter("popkit_jobs_cancelled_total", "jobs aborted by client disconnect or timeout"),
-		JobsResumed:         reg.Counter("popkit_jobs_resumed_total", "requests that replayed a journaled prefix"),
-		ReplicasCompleted:   reg.Counter("popkit_replicas_completed_total", "replicas computed successfully"),
-		Interactions:        reg.Counter("popkit_interactions_total", "simulated scheduler activations served"),
-		InFlight:            reg.Gauge("popkit_jobs_inflight", "jobs currently executing"),
-		FleetSteals:         reg.Counter("popkit_fleet_steals_total", "replicas claimed from another fleet worker's deque"),
-		FleetRetries:        reg.Counter("popkit_fleet_retries_total", "extra replica attempts consumed by crashes"),
-		ReplicaDuration:     reg.Histogram("popkit_fleet_replica_duration_seconds", "per-replica wall-clock time"),
-		queueDepth:          reg.Gauge("popkit_queue_depth", "accepted-but-not-started jobs"),
-		queueCap:            reg.Gauge("popkit_queue_capacity", "job queue capacity"),
-		latency:             make(map[string]*Histogram, len(endpoints)),
+		reg:                  reg,
+		JobsAccepted:         reg.Counter("popkit_jobs_accepted_total", "jobs admitted to the queue"),
+		JobsRejectedFull:     reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "queue_full")),
+		JobsRejectedInvalid:  reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "invalid")),
+		JobsRejectedDraining: reg.Counter("popkit_jobs_rejected_total", rejected, obs.L("reason", "draining")),
+		JobsCompleted:        reg.Counter("popkit_jobs_completed_total", "jobs that ran every replica"),
+		JobsFailed:           reg.Counter("popkit_jobs_failed_total", "jobs that ended with a replica error"),
+		JobsCancelled:        reg.Counter("popkit_jobs_cancelled_total", "jobs aborted by client disconnect or timeout"),
+		JobsResumed:          reg.Counter("popkit_jobs_resumed_total", "requests that replayed a journaled prefix"),
+		ReplicasCompleted:    reg.Counter("popkit_replicas_completed_total", "replicas computed successfully"),
+		Interactions:         reg.Counter("popkit_interactions_total", "simulated scheduler activations served"),
+		InFlight:             reg.Gauge("popkit_jobs_inflight", "jobs currently executing"),
+		FleetSteals:          reg.Counter("popkit_fleet_steals_total", "replicas claimed from another fleet worker's deque"),
+		FleetRetries:         reg.Counter("popkit_fleet_retries_total", "extra replica attempts consumed by crashes"),
+		ReplicaDuration:      reg.Histogram("popkit_fleet_replica_duration_seconds", "per-replica wall-clock time"),
+		queueDepth:           reg.Gauge("popkit_queue_depth", "accepted-but-not-started jobs"),
+		queueCap:             reg.Gauge("popkit_queue_capacity", "job queue capacity"),
+		latency:              make(map[string]*Histogram, len(endpoints)),
 	}
 	for _, e := range endpoints {
 		if _, dup := m.latency[e]; dup {
@@ -97,14 +101,15 @@ func (m *Metrics) Latency(endpoint string) *Histogram { return m.latency[endpoin
 
 // MetricsSnapshot is the /metrics JSON document.
 type MetricsSnapshot struct {
-	JobsAccepted        int64 `json:"jobs_accepted"`
-	JobsRejectedFull    int64 `json:"jobs_rejected_queue_full"`
-	JobsRejectedInvalid int64 `json:"jobs_rejected_invalid"`
-	JobsCompleted       int64 `json:"jobs_completed"`
-	JobsFailed          int64 `json:"jobs_failed"`
-	JobsCancelled       int64 `json:"jobs_cancelled"`
-	JobsResumed         int64 `json:"jobs_resumed"`
-	ReplicasCompleted   int64 `json:"replicas_completed"`
+	JobsAccepted         int64 `json:"jobs_accepted"`
+	JobsRejectedFull     int64 `json:"jobs_rejected_queue_full"`
+	JobsRejectedInvalid  int64 `json:"jobs_rejected_invalid"`
+	JobsRejectedDraining int64 `json:"jobs_rejected_draining"`
+	JobsCompleted        int64 `json:"jobs_completed"`
+	JobsFailed           int64 `json:"jobs_failed"`
+	JobsCancelled        int64 `json:"jobs_cancelled"`
+	JobsResumed          int64 `json:"jobs_resumed"`
+	ReplicasCompleted    int64 `json:"replicas_completed"`
 	// Interactions is the total number of simulated scheduler activations
 	// served, including ones the counted kernels leapt over.
 	Interactions uint64 `json:"interactions_total"`
@@ -129,23 +134,24 @@ type MetricsSnapshot struct {
 func (m *Metrics) Snapshot(queueDepth, queueCap int, started time.Time) MetricsSnapshot {
 	up := time.Since(started).Seconds()
 	s := MetricsSnapshot{
-		JobsAccepted:        int64(m.JobsAccepted.Load()),
-		JobsRejectedFull:    int64(m.JobsRejectedFull.Load()),
-		JobsRejectedInvalid: int64(m.JobsRejectedInvalid.Load()),
-		JobsCompleted:       int64(m.JobsCompleted.Load()),
-		JobsFailed:          int64(m.JobsFailed.Load()),
-		JobsCancelled:       int64(m.JobsCancelled.Load()),
-		JobsResumed:         int64(m.JobsResumed.Load()),
-		ReplicasCompleted:   int64(m.ReplicasCompleted.Load()),
-		Interactions:        m.Interactions.Load(),
-		FleetSteals:         int64(m.FleetSteals.Load()),
-		FleetRetries:        int64(m.FleetRetries.Load()),
-		QueueDepth:          queueDepth,
-		QueueCapacity:       queueCap,
-		InFlightWorkers:     m.InFlight.Load(),
-		UptimeSec:           up,
-		ReplicaLatency:      m.ReplicaDuration.Snapshot(),
-		Latency:             make(map[string]HistogramSnapshot, len(m.latency)),
+		JobsAccepted:         int64(m.JobsAccepted.Load()),
+		JobsRejectedFull:     int64(m.JobsRejectedFull.Load()),
+		JobsRejectedInvalid:  int64(m.JobsRejectedInvalid.Load()),
+		JobsRejectedDraining: int64(m.JobsRejectedDraining.Load()),
+		JobsCompleted:        int64(m.JobsCompleted.Load()),
+		JobsFailed:           int64(m.JobsFailed.Load()),
+		JobsCancelled:        int64(m.JobsCancelled.Load()),
+		JobsResumed:          int64(m.JobsResumed.Load()),
+		ReplicasCompleted:    int64(m.ReplicasCompleted.Load()),
+		Interactions:         m.Interactions.Load(),
+		FleetSteals:          int64(m.FleetSteals.Load()),
+		FleetRetries:         int64(m.FleetRetries.Load()),
+		QueueDepth:           queueDepth,
+		QueueCapacity:        queueCap,
+		InFlightWorkers:      m.InFlight.Load(),
+		UptimeSec:            up,
+		ReplicaLatency:       m.ReplicaDuration.Snapshot(),
+		Latency:              make(map[string]HistogramSnapshot, len(m.latency)),
 	}
 	if up > 0 {
 		s.InteractionsPerSec = float64(s.Interactions) / up

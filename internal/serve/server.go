@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"popkit/internal/expt"
@@ -92,6 +93,11 @@ type Server struct {
 	journals *journalSet
 	metrics  *Metrics
 	started  time.Time
+	// draining flips when graceful shutdown begins: /v1/simulate rejects
+	// new jobs with 503 + Retry-After (a cluster client fails over to
+	// another worker) and /healthz reports "draining" with 503 so a
+	// coordinator's health probe stops routing shards here.
+	draining atomic.Bool
 }
 
 // New builds a server and starts its worker pool.
@@ -124,6 +130,13 @@ func (s *Server) Close() { s.pool.close() }
 // Abort cancels in-flight jobs; pending Close calls then return promptly.
 // Use when the drain deadline is blown.
 func (s *Server) Abort() { s.pool.abort() }
+
+// SetDraining marks the server as shutting down (or not). While draining,
+// new simulate requests are rejected with 503 + Retry-After — retryable, so
+// clients fail over instead of erroring — and /healthz turns unhealthy.
+// In-flight and queued jobs still run to completion; call it just before
+// http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // route is one entry of the server's route table: the metric name keying
 // its latency histogram, the mux pattern, and the handler.
@@ -210,6 +223,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.draining.Load() {
+		s.metrics.JobsRejectedDraining.Add(1)
+		s.writeBackoff(w, http.StatusServiceUnavailable, "server draining; retry (or fail over to another worker)")
+		return
+	}
 	var spec expt.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -230,11 +248,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Checkpoint/resume: claim the job id, load its journal, and pick up
-	// after the longest contiguous successful prefix.
+	// after the longest contiguous successful prefix. A shard request
+	// (spec.Start > 0, never combined with a job_id) instead starts at its
+	// own window; replica records are unaffected either way.
 	var (
 		journal *expt.Journal
 		replay  [][]byte
-		start   int
+		start   = spec.Start
 		onDone  func()
 	)
 	if spec.JobID != "" {
@@ -382,13 +402,24 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 	}{docs})
 }
 
+// handleHealthz is the cheap liveness probe: it touches no queue, journal,
+// or fleet state — just two sampled gauges — so a cluster coordinator can
+// poll it aggressively without perturbing job traffic. A draining server
+// answers 503 so probes stop routing shards here before the listener closes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(struct {
 		Status     string `json:"status"`
 		QueueDepth int    `json:"queue_depth"`
 		InFlight   int64  `json:"inflight_workers"`
-	}{"ok", s.pool.depth(), s.metrics.InFlight.Load()})
+	}{status, s.pool.depth(), s.metrics.InFlight.Load()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

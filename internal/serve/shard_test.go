@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestShardWindowsConcatenateByteIdentical is the worker-side half of the
+// cluster contract: splitting a job into [start, replicas) windows and
+// concatenating the shard streams reproduces the unsharded stream byte for
+// byte, because replica i's record depends only on ReplicaSeed(seed, i).
+func TestShardWindowsConcatenateByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	read := func(body string) string {
+		resp := postSpec(t, ts.URL, body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d for %s", resp.StatusCode, body)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	full := read(`{"protocol":"exactmajority","n":300,"seed":11,"replicas":6,"gap":2}`)
+	for _, cuts := range [][]int{{0, 3, 6}, {0, 1, 6}, {0, 2, 4, 6}, {0, 1, 2, 3, 4, 5, 6}} {
+		var shards string
+		for i := 0; i+1 < len(cuts); i++ {
+			shards += read(`{"protocol":"exactmajority","n":300,"seed":11,"replicas":` +
+				strconv.Itoa(cuts[i+1]) + `,"gap":2,"start":` + strconv.Itoa(cuts[i]) + `}`)
+		}
+		if shards != full {
+			t.Fatalf("shard windows %v differ from full run:\n%s\nvs\n%s", cuts, shards, full)
+		}
+	}
+}
+
+func TestShardWindowValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{JournalDir: t.TempDir()})
+	for _, tc := range []struct{ name, body string }{
+		{"start at replicas", `{"protocol":"leader","n":100,"replicas":4,"start":4}`},
+		{"negative start", `{"protocol":"leader","n":100,"replicas":4,"start":-1}`},
+		{"start with job_id", `{"protocol":"leader","n":100,"replicas":4,"start":2,"job_id":"x"}`},
+	} {
+		resp := postSpec(t, ts.URL, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestDrainingRejectsWithRetryableStatus: once SetDraining flips, simulate
+// requests bounce with 503 + Retry-After (the client treats that like
+// 429/409 and fails over) and /healthz reports draining with 503 so
+// cluster health probes stop routing here — while the cheap liveness body
+// still renders.
+func TestDrainingRejectsWithRetryableStatus(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.SetDraining(true)
+
+	resp := postSpec(t, ts.URL, `{"protocol":"leader","n":100,"seed":1}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining simulate: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 carries no Retry-After")
+	}
+	if s.Metrics().JobsRejectedDraining.Load() != 1 {
+		t.Fatal("draining rejection not counted")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d", hresp.StatusCode)
+	}
+	if !bytes.Contains(hbody, []byte(`"status":"draining"`)) {
+		t.Fatalf("draining healthz body: %s", hbody)
+	}
+
+	// Flipping back restores service — drain is reversible for tests and
+	// for load-balancer maintenance drains.
+	s.SetDraining(false)
+	resp = postSpec(t, ts.URL, `{"protocol":"leader","n":100,"seed":1}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain simulate: status %d", resp.StatusCode)
+	}
+}

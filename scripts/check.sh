@@ -16,14 +16,14 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (fleet, engine, fault, client, serve) =="
-go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/...
+echo "== go test -race (fleet, engine, fault, client, serve, cluster) =="
+go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/... ./internal/cluster/...
 
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
-echo "== coverage floors (obs, serve, fleet ≥ 80%) =="
-cover=$(go test -cover ./internal/obs/ ./internal/serve/ ./internal/fleet/ | tee /dev/stderr)
+echo "== coverage floors (obs, serve, fleet, client, cluster ≥ 80%) =="
+cover=$(go test -cover ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ | tee /dev/stderr)
 echo "$cover" | awk '
     /coverage:/ {
         pct = $0
@@ -42,6 +42,9 @@ rm -f "$tmpb"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh
+
+echo "== cluster smoke (coordinator + worker kill -9) =="
+./scripts/cluster-smoke.sh
 
 echo "== observability smoke (trace byte-identity + event kinds) =="
 ./scripts/obs-smoke.sh

@@ -10,7 +10,11 @@ srv_pid=""
 trap 'kill "$srv_pid" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/popserved" ./cmd/popserved
-"$tmp/popserved" -addr 127.0.0.1:0 -pprof 2> "$tmp/log" &
+# One executor plus a stream failpoint (400ms per record, first job only):
+# that pins the single worker on a slow job long enough to prove /healthz
+# answers without it.
+"$tmp/popserved" -addr 127.0.0.1:0 -pprof -workers 1 \
+    -failpoints 'serve/stream=sleep(d=400ms,times=2)' 2> "$tmp/log" &
 srv_pid=$!
 
 # The server announces "listening on http://HOST:PORT" on stderr.
@@ -25,8 +29,21 @@ done
 curl -fsS "$base/healthz" | grep -q '"status":"ok"'
 curl -fsS "$base/v1/protocols" | grep -q '"exactmajority"'
 
+# /healthz bypasses the job queue: while the only executor crawls through
+# the failpoint-delayed job, liveness must still answer within the bound
+# (cluster coordinators probe this while workers are saturated).
+curl -fsS -d '{"protocol":"exactmajority","n":500,"seed":7,"replicas":2,"gap":1}' \
+    "$base/v1/simulate" > "$tmp/slow.ndjson" &
+slow_pid=$!
+sleep 0.2
+curl -fsS --max-time 2 "$base/healthz" | grep -q '"status":"ok"' \
+    || { echo "serve-smoke: /healthz stalled behind a busy worker" >&2; exit 1; }
+wait "$slow_pid"
+
 curl -fsS -d '{"protocol":"exactmajority","n":500,"seed":7,"replicas":2,"gap":1}' \
     "$base/v1/simulate" > "$tmp/out.ndjson"
+cmp "$tmp/slow.ndjson" "$tmp/out.ndjson" \
+    || { echo "serve-smoke: delayed stream not byte-identical" >&2; exit 1; }
 
 lines=$(wc -l < "$tmp/out.ndjson")
 [ "$lines" -eq 2 ] || { echo "serve-smoke: want 2 records, got $lines" >&2; cat "$tmp/out.ndjson" >&2; exit 1; }
@@ -37,10 +54,10 @@ fi
 
 # Observability surface: JSON metrics, the Prometheus exposition of the
 # same registry, and a short CPU profile from the -pprof mount.
-curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 1' \
+curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 2' \
     || { echo "serve-smoke: JSON metrics missing jobs_accepted" >&2; exit 1; }
 curl -fsS "$base/metrics?format=prom" > "$tmp/prom.txt"
-grep -q '^popkit_jobs_accepted_total 1$' "$tmp/prom.txt" \
+grep -q '^popkit_jobs_accepted_total 2$' "$tmp/prom.txt" \
     || { echo "serve-smoke: prom exposition missing popkit_jobs_accepted_total" >&2; cat "$tmp/prom.txt" >&2; exit 1; }
 grep -q '^popkit_http_request_duration_seconds_bucket{endpoint="simulate"' "$tmp/prom.txt" \
     || { echo "serve-smoke: prom exposition missing request-latency histogram" >&2; exit 1; }
