@@ -20,7 +20,7 @@ bench:
 
 # Compare kernel benchmarks of the working tree against a baseline ref
 # (default HEAD~1): make benchdiff [REF=main]. Set FAIL_OVER=10 to exit 1
-# when any ns/op metric regresses by more than 10%.
+# when any ns/op or ns/interaction metric regresses by more than 10%.
 benchdiff:
 	./scripts/benchdiff.sh $(REF)
 

@@ -10,8 +10,9 @@
 // Each input is the stdout of `go test -bench ... [-count N]`. Samples of
 // the same benchmark are aggregated by median (robust to the odd noisy
 // run); the report shows old, new, spread, and delta per metric. With
-// -threshold > 0 the exit code is 1 if any ns/op metric regressed by more
-// than that percentage — the CI-gate mode. -fail-over is the CI-facing
+// -threshold > 0 the exit code is 1 if any time metric (ns/op, or the
+// kernel benchmarks' custom ns/interaction) regressed by more than that
+// percentage — the CI-gate mode. -fail-over is the CI-facing
 // spelling of the same gate; when both are given the stricter (smaller)
 // percentage wins.
 package main
@@ -95,8 +96,17 @@ func spread(xs []float64) float64 {
 	return (s[len(s)-1] - s[0]) / 2 / m * 100
 }
 
+// timeUnit reports whether a metric unit is one the -threshold gate
+// covers: the standard ns/op plus the kernel benchmarks' per-activation
+// ns/interaction (see bench_kernel_test.go). Allocation metrics stay
+// report-only — alloc deltas are intentional far more often than time
+// deltas, and the kernel gate is about latency.
+func timeUnit(u string) bool {
+	return u == "ns/op" || u == "ns/interaction"
+}
+
 func main() {
-	threshold := flag.Float64("threshold", 0, "exit 1 if any ns/op metric regresses by more than this percent (0 = report only)")
+	threshold := flag.Float64("threshold", 0, "exit 1 if any ns/op or ns/interaction metric regresses by more than this percent (0 = report only)")
 	failOver := flag.Float64("fail-over", 0, "CI-gate alias of -threshold; the stricter of the two wins")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -139,10 +149,10 @@ func main() {
 	for u := range units {
 		unitOrder = append(unitOrder, u)
 	}
-	// ns/op first, then the allocation metrics alphabetically.
+	// Gated time metrics first, then the allocation metrics alphabetically.
 	sort.Slice(unitOrder, func(i, j int) bool {
-		if (unitOrder[i] == "ns/op") != (unitOrder[j] == "ns/op") {
-			return unitOrder[i] == "ns/op"
+		if timeUnit(unitOrder[i]) != timeUnit(unitOrder[j]) {
+			return timeUnit(unitOrder[i])
 		}
 		return unitOrder[i] < unitOrder[j]
 	})
@@ -171,7 +181,7 @@ func main() {
 			if haveOld && haveNew && median(o) != 0 {
 				delta := (median(c) - median(o)) / median(o) * 100
 				row[3] = fmt.Sprintf("%+.1f%%", delta)
-				if u == "ns/op" && *threshold > 0 && delta > *threshold {
+				if timeUnit(u) && *threshold > 0 && delta > *threshold {
 					regressed = true
 					row[3] += " !"
 				}
@@ -188,7 +198,7 @@ func main() {
 		fmt.Println()
 	}
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.1f%%\n", *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op or ns/interaction regression beyond %.1f%%\n", *threshold)
 		os.Exit(1)
 	}
 }

@@ -101,6 +101,38 @@ func measureCounted(batch bool, n int64, target uint64) kernelRow {
 	}
 }
 
+// measureAggregate times the aggregate kernel over a fixed budget of
+// scheduler activations on the same workload. The budget is in
+// interactions rather than firings because the aggregate runner resolves
+// whole collision-free runs per step — ns_per_interaction is the number
+// the kernels compete on. Rebuilds on quiescence are excluded from the
+// timing, like measureCounted's.
+func measureAggregate(n int64, targetInteractions uint64) kernelRow {
+	em := baseline.NewExactMajority4()
+	proto := engine.CompileProtocol(em.Rules())
+	var busy time.Duration
+	var fired, interactions uint64
+	for interactions < targetInteractions {
+		pop := em.Population(n/2+1, n/2)
+		ar := engine.NewAggregateRunner(proto, pop, engine.NewRNG(1))
+		left := targetInteractions - interactions
+		t0 := time.Now()
+		for ar.Interactions < left && ar.LeapStep(left) {
+		}
+		busy += time.Since(t0)
+		interactions += ar.Interactions
+		fired += ar.FiredTotal
+	}
+	return kernelRow{
+		Runner:           "aggregate",
+		N:                n,
+		Firings:          fired,
+		Interactions:     interactions,
+		NsPerFiring:      float64(busy.Nanoseconds()) / float64(fired),
+		NsPerInteraction: float64(busy.Nanoseconds()) / float64(interactions),
+	}
+}
+
 // measureDense times `target` scheduler activations of the same workload on
 // the per-agent dense runner, which cannot leap: every activation costs one
 // Step, firing or not.
@@ -150,12 +182,26 @@ func runKernel(out string, quick bool) int {
 		Workload:                "E11 4-state exact majority [DV12], gap 1",
 		PrePRCountedNsPerFiring: 745,
 	}
+	// The aggregate kernel's budget is in interactions (it fires whole
+	// runs per step): ~100 activations per agent, capped so the biggest
+	// populations stay measurable, and shrunk further in quick mode.
+	aggTarget := func(n int64) uint64 {
+		t := uint64(100 * n)
+		if t > 1_000_000_000 {
+			t = 1_000_000_000
+		}
+		if quick && t > 1_000_000 {
+			t = 1_000_000
+		}
+		return t
+	}
 	for _, n := range []int64{1e4, 1e6} {
 		kf.Rows = append(kf.Rows, measureDense(n, denseTarget))
 	}
-	for _, n := range []int64{1e4, 1e6, 1e8} {
+	for _, n := range []int64{1e4, 1e6, 1e8, 1e9} {
 		kf.Rows = append(kf.Rows, measureCounted(false, n, target))
 		kf.Rows = append(kf.Rows, measureCounted(true, n, target))
+		kf.Rows = append(kf.Rows, measureAggregate(n, aggTarget(n)))
 	}
 	fmt.Printf("%-8s %12s %12s %14s %16s\n", "runner", "n", "firings", "ns/firing", "ns/interaction")
 	for _, r := range kf.Rows {

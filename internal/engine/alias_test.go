@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"popkit/internal/bitmask"
+)
+
+func TestAliasTableFrequencies(t *testing.T) {
+	weights := []int64{10, 0, 30, 5, 0, 55}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	var a aliasTable
+	a.build(weights)
+	rng := NewRNG(0xA11A5)
+	const samples = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < samples; i++ {
+		counts[a.sample(rng)]++
+	}
+	var chi2 float64
+	dof := 0
+	for s, w := range weights {
+		exp := float64(w) / float64(total) * samples
+		if w == 0 {
+			if counts[s] != 0 {
+				t.Fatalf("zero-weight slot %d sampled %d times", s, counts[s])
+			}
+			continue
+		}
+		chi2 += (float64(counts[s]) - exp) * (float64(counts[s]) - exp) / exp
+		dof++
+	}
+	if crit := chi2Crit(dof - 1); chi2 > crit {
+		t.Errorf("alias frequencies: chi-square %.1f exceeds %.1f", chi2, crit)
+	}
+}
+
+func TestAliasTableRebuildReuses(t *testing.T) {
+	var a aliasTable
+	a.build([]int64{1, 2, 3})
+	p0 := &a.prob[0]
+	a.build([]int64{3, 2, 1})
+	if &a.prob[0] != p0 {
+		t.Error("rebuild at same size reallocated storage")
+	}
+	rng := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if s := a.sample(rng); s < 0 || s > 2 {
+			t.Fatalf("sample %d out of range", s)
+		}
+	}
+}
+
+// TestSampleSlotAliasTracksMutations verifies the lazy invalidation: after
+// a count mutation the next draw must reflect the new distribution, not the
+// stale table.
+func TestSampleSlotAliasTracksMutations(t *testing.T) {
+	sp := bitmask.NewSpace()
+	va := sp.Bool("A")
+	zero := bitmask.State{}
+	sA := va.Set(zero, true)
+	pop := NewCounted(map[bitmask.State]int64{zero: 1000, sA: 1000})
+	rng := NewRNG(0x5EED)
+	slotA := pop.slotFor(sA)
+
+	draw := func(n int) int {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if pop.sampleSlotAlias(rng) == slotA {
+				hits++
+			}
+		}
+		return hits
+	}
+	if hits := draw(2000); hits < 800 || hits > 1200 {
+		t.Fatalf("balanced population: %d/2000 draws hit A", hits)
+	}
+	// Move all but one A agent away; a stale table would keep returning A
+	// half the time.
+	pop.addSlot(slotA, -999)
+	pop.addSlot(pop.slotFor(zero), 999)
+	if hits := draw(2000); hits > 20 {
+		t.Fatalf("after mutation: %d/2000 draws hit the near-empty species", hits)
+	}
+}

@@ -106,14 +106,13 @@ func denseTimes(t *testing.T, hs hitSpec) []float64 {
 	return times
 }
 
-// countedTimes measures hitting times under CountRunner (batch=false) or
-// BatchRunner (batch=true), through the tracker-gated RunUntil path.
-func countedTimes(t *testing.T, hs hitSpec, batch bool) []float64 {
+// countedTimes measures hitting times under one of the counted kernels
+// ("count", "batch", or "aggregate"), through the tracker-gated RunUntil
+// path. The aggregate runner's leap fallback would make it identical to
+// BatchRunner at these population sizes, so MinRunFirings is forced to 0 —
+// every step exercises the run-decomposition path under test.
+func countedTimes(t *testing.T, hs hitSpec, kind string) []float64 {
 	t.Helper()
-	name := "CountRunner"
-	if batch {
-		name = "BatchRunner"
-	}
 	times := make([]float64, 0, equivSeeds)
 	for seed := uint64(0); seed < equivSeeds; seed++ {
 		pop := engine.NewCounted(hs.counts)
@@ -121,7 +120,8 @@ func countedTimes(t *testing.T, hs hitSpec, batch bool) []float64 {
 		n := pop.N64()
 		var rounds float64
 		var ok bool
-		if batch {
+		switch kind {
+		case "batch":
 			run := engine.NewBatchRunner(hs.proto, pop, rng)
 			trs := make([]*engine.CountTracker, len(hs.track))
 			for ti, f := range hs.track {
@@ -129,7 +129,16 @@ func countedTimes(t *testing.T, hs hitSpec, batch bool) []float64 {
 			}
 			get := func(i int) int64 { return trs[i].Count() }
 			rounds, ok = run.RunUntil(func(*engine.BatchRunner) bool { return hs.done(get, n) }, hs.maxRounds)
-		} else {
+		case "aggregate":
+			run := engine.NewAggregateRunner(hs.proto, pop, rng)
+			run.MinRunFirings = 0
+			trs := make([]*engine.CountTracker, len(hs.track))
+			for ti, f := range hs.track {
+				trs[ti] = run.Track("t", f)
+			}
+			get := func(i int) int64 { return trs[i].Count() }
+			rounds, ok = run.RunUntil(func(*engine.AggregateRunner) bool { return hs.done(get, n) }, hs.maxRounds)
+		default:
 			run := engine.NewCountRunner(hs.proto, pop, rng)
 			trs := make([]*engine.CountTracker, len(hs.track))
 			for ti, f := range hs.track {
@@ -139,7 +148,7 @@ func countedTimes(t *testing.T, hs hitSpec, batch bool) []float64 {
 			rounds, ok = run.RunUntil(func(*engine.CountRunner) bool { return hs.done(get, n) }, hs.maxRounds)
 		}
 		if !ok {
-			t.Fatalf("%s: seed %d did not converge within %.0f rounds", name, seed, hs.maxRounds)
+			t.Fatalf("%s: seed %d did not converge within %.0f rounds", kind, seed, hs.maxRounds)
 		}
 		times = append(times, rounds)
 	}
@@ -172,11 +181,14 @@ func TestBatchEquivCoalescence(t *testing.T) {
 		seedRoot:  12345,
 	}
 	dense := denseTimes(t, hs)
-	count := countedTimes(t, hs, false)
-	batch := countedTimes(t, hs, true)
+	count := countedTimes(t, hs, "count")
+	batch := countedTimes(t, hs, "batch")
+	agg := countedTimes(t, hs, "aggregate")
 	requireKS(t, "coalescence count-vs-batch", count, batch)
 	requireKS(t, "coalescence dense-vs-batch", dense, batch)
 	requireKS(t, "coalescence dense-vs-count", dense, count)
+	requireKS(t, "coalescence count-vs-aggregate", count, agg)
+	requireKS(t, "coalescence dense-vs-aggregate", dense, agg)
 }
 
 // TestBatchEquivExactMajority compares decision times of the 4-state exact
@@ -204,10 +216,13 @@ func TestBatchEquivExactMajority(t *testing.T) {
 		seedRoot:  777,
 	}
 	dense := denseTimes(t, hs)
-	count := countedTimes(t, hs, false)
-	batch := countedTimes(t, hs, true)
+	count := countedTimes(t, hs, "count")
+	batch := countedTimes(t, hs, "batch")
+	agg := countedTimes(t, hs, "aggregate")
 	requireKS(t, "exact-majority count-vs-batch", count, batch)
 	requireKS(t, "exact-majority dense-vs-batch", dense, batch)
+	requireKS(t, "exact-majority count-vs-aggregate", count, agg)
+	requireKS(t, "exact-majority dense-vs-aggregate", dense, agg)
 }
 
 // TestBatchEquivApproxMajorityOutcome runs the 3-state approximate
@@ -224,14 +239,15 @@ func TestBatchEquivApproxMajorityOutcome(t *testing.T) {
 	sB := am.B.Set(bitmask.State{}, true)
 	proto := engine.CompileProtocol(am.Rules())
 
-	sample := func(batch bool) (aWins int, times []float64) {
+	sample := func(kind string) (aWins int, times []float64) {
 		for seed := uint64(0); seed < equivSeeds; seed++ {
 			pop := engine.NewCounted(map[bitmask.State]int64{sA: 66, sB: 62})
 			rng := engine.NewRNG(engine.SplitSeed(999, seed))
 			var rounds float64
 			var ok bool
 			var aLeft int64
-			if batch {
+			switch kind {
+			case "batch":
 				run := engine.NewBatchRunner(proto, pop, rng)
 				ta := run.Track("a", bitmask.Is(am.A))
 				tb := run.Track("b", bitmask.Is(am.B))
@@ -239,7 +255,16 @@ func TestBatchEquivApproxMajorityOutcome(t *testing.T) {
 					return ta.Count() == 0 || tb.Count() == 0
 				}, 100_000)
 				aLeft = ta.Count()
-			} else {
+			case "aggregate":
+				run := engine.NewAggregateRunner(proto, pop, rng)
+				run.MinRunFirings = 0
+				ta := run.Track("a", bitmask.Is(am.A))
+				tb := run.Track("b", bitmask.Is(am.B))
+				rounds, ok = run.RunUntil(func(*engine.AggregateRunner) bool {
+					return ta.Count() == 0 || tb.Count() == 0
+				}, 100_000)
+				aLeft = ta.Count()
+			default:
 				run := engine.NewCountRunner(proto, pop, rng)
 				ta := run.Track("a", bitmask.Is(am.A))
 				tb := run.Track("b", bitmask.Is(am.B))
@@ -259,28 +284,101 @@ func TestBatchEquivApproxMajorityOutcome(t *testing.T) {
 		return aWins, times
 	}
 
-	cw, ct := sample(false)
-	bw, bt := sample(true)
+	cw, ct := sample("count")
+	bw, bt := sample("batch")
+	aw, at := sample("aggregate")
 	requireKS(t, "approx-majority count-vs-batch times", ct, bt)
+	requireKS(t, "approx-majority count-vs-aggregate times", ct, at)
 
-	// 2×2 chi-square on (runner × winner); χ²(1 dof) at α = 0.001 is 10.83.
-	obs := [2][2]float64{
+	// 3×2 chi-square on (runner × winner); χ²(2 dof) at α = 0.001 is 13.82.
+	obs := [3][2]float64{
 		{float64(cw), float64(equivSeeds - cw)},
 		{float64(bw), float64(equivSeeds - bw)},
+		{float64(aw), float64(equivSeeds - aw)},
 	}
 	var chi2 float64
 	for c := 0; c < 2; c++ {
-		colTot := obs[0][c] + obs[1][c]
-		exp := colTot / 2
+		colTot := obs[0][c] + obs[1][c] + obs[2][c]
+		exp := colTot / 3
 		if exp == 0 {
 			continue
 		}
-		for r := 0; r < 2; r++ {
+		for r := 0; r < 3; r++ {
 			chi2 += (obs[r][c] - exp) * (obs[r][c] - exp) / exp
 		}
 	}
-	if chi2 > 10.83 {
-		t.Errorf("approx-majority winner split: chi-square %.2f exceeds 10.83 (count %d/%d, batch %d/%d A-wins)",
-			chi2, cw, equivSeeds, bw, equivSeeds)
+	if chi2 > 13.82 {
+		t.Errorf("approx-majority winner split: chi-square %.2f exceeds 13.82 (count %d, batch %d, aggregate %d A-wins of %d)",
+			chi2, cw, bw, aw, equivSeeds)
+	}
+}
+
+// TestAggregateEquivFiredCounts cross-validates the aggregate kernel's
+// per-rule firing accounting against BatchRunner's: for a fixed interaction
+// horizon of the 3-state approximate majority, each rule's firing count is
+// itself a random variable whose distribution must agree between the
+// kernels. The aggregate path resolves firings through hypergeometric
+// composition and binomial chains rather than one pick per firing, so this
+// is the test that would catch a mis-weighted chain.
+func TestAggregateEquivFiredCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite")
+	}
+	am := baseline.NewApproxMajority()
+	sA := am.A.Set(bitmask.State{}, true)
+	sB := am.B.Set(bitmask.State{}, true)
+	proto := engine.CompileProtocol(am.Rules())
+	const horizon = 2048 // interactions; n=128, mid-flight (not converged)
+
+	nRules := len(am.Rules().Rules)
+	sample := func(kind string) [][]float64 {
+		perRule := make([][]float64, nRules)
+		for seed := uint64(0); seed < equivSeeds; seed++ {
+			pop := engine.NewCounted(map[bitmask.State]int64{sA: 66, sB: 62})
+			rng := engine.NewRNG(engine.SplitSeed(4242, seed))
+			var fired []uint64
+			var interactions uint64
+			if kind == "batch" {
+				run := engine.NewBatchRunner(proto, pop, rng)
+				for run.Interactions < horizon {
+					if !run.LeapStep(horizon) {
+						break
+					}
+				}
+				fired, interactions = run.Fired, run.Interactions
+			} else {
+				run := engine.NewAggregateRunner(proto, pop, rng)
+				run.MinRunFirings = 0
+				for run.Interactions < horizon {
+					if !run.LeapStep(horizon) {
+						break
+					}
+				}
+				fired, interactions = run.Fired, run.Interactions
+				var tot uint64
+				for _, k := range fired {
+					tot += k
+				}
+				if tot != run.FiredTotal {
+					t.Fatalf("aggregate: Fired sums to %d but FiredTotal is %d", tot, run.FiredTotal)
+				}
+				if run.FiredTotal > run.Interactions {
+					t.Fatalf("aggregate: %d firings exceed %d interactions", run.FiredTotal, run.Interactions)
+				}
+			}
+			if interactions > horizon {
+				t.Fatalf("%s: ran %d interactions past horizon %d", kind, interactions, horizon)
+			}
+			for i := 0; i < nRules; i++ {
+				perRule[i] = append(perRule[i], float64(fired[i]))
+			}
+		}
+		return perRule
+	}
+
+	batch := sample("batch")
+	agg := sample("aggregate")
+	for i := 0; i < nRules; i++ {
+		requireKS(t, "approx-majority rule firing counts", batch[i], agg[i])
 	}
 }

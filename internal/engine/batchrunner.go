@@ -123,108 +123,9 @@ func (r *BatchRunner) leap(maxInteractions uint64) (fired, alive bool) {
 // event, conditioned on the interaction firing, skipping draws whose
 // outcome is forced.
 func (r *BatchRunner) fireMatching() {
-	ix := r.idx
-
-	// Rule pick, probability ∝ weight × matching pairs. With a single
-	// active rule the pick is certain and the Float64 draw is skipped.
-	var total float64
-	active, nActive := 0, 0
-	for i := range r.pairsW {
-		pairs := ix.matchingPairs(i)
-		v := 0.0
-		if pairs > 0 {
-			nActive++
-			active = i
-			v = r.P.ruleWeightF[i] * float64(pairs)
-		}
-		r.pairsW[i] = v
-		total += v
-	}
-	idx := active
-	if nActive > 1 {
-		pick := r.RNG.Float64() * total
-		idx = -1
-		for i, v := range r.pairsW {
-			pick -= v
-			if pick < 0 {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			idx = len(r.pairsW) - 1
-		}
-	}
-	rule := int32(idx)
+	idx := r.idx.fireForcedMatching(r.RNG, r.pairsW)
 	r.Fired[idx]++
 	r.Stats.Fire(idx, 1)
-
-	// Initiator pick, weight cnt(s)·(m2 − [G2(s)]). With a single occupied
-	// G1 species all weight sits on one slot: find it without drawing.
-	pop := r.Pop
-	m2 := ix.m2[idx]
-	var target int64
-	byDraw := ix.occ1[idx] > 1
-	if byDraw {
-		target = r.RNG.Int63n(ix.matchingPairs(idx))
-	}
-	slot1 := int32(-1)
-	var g2s1 int64
-	for slot := range pop.keys {
-		f := ix.slotRows[slot].flagsFor(rule)
-		if f&rowG1 == 0 || pop.cnt[slot] == 0 {
-			continue
-		}
-		var b int64
-		if f&rowG2 != 0 {
-			b = 1
-		}
-		if !byDraw {
-			slot1 = int32(slot)
-			g2s1 = b
-			break
-		}
-		w := pop.cnt[slot] * (m2 - b)
-		if target < w {
-			slot1 = int32(slot)
-			g2s1 = b
-			break
-		}
-		target -= w
-	}
-	if slot1 < 0 {
-		panic("engine: initiator sampling walked off the table")
-	}
-
-	// Responder pick among G2-matchers, excluding the initiator agent.
-	avail := m2 - g2s1
-	byDraw = ix.occ2[idx] > 1
-	var t2 int64
-	if byDraw {
-		t2 = r.RNG.Int63n(avail)
-	}
-	slot2 := int32(-1)
-	for slot := range pop.keys {
-		if ix.slotRows[slot].flagsFor(rule)&rowG2 == 0 || pop.cnt[slot] == 0 {
-			continue
-		}
-		w := pop.cnt[slot]
-		if int32(slot) == slot1 {
-			w -= g2s1
-		}
-		if w <= 0 {
-			continue
-		}
-		if !byDraw || t2 < w {
-			slot2 = int32(slot)
-			break
-		}
-		t2 -= w
-	}
-	if slot2 < 0 {
-		panic("engine: responder sampling walked off the table")
-	}
-	ix.fire(rule, slot1, slot2)
 }
 
 // RunBatch fires up to maxFirings rule firings without evaluating any stop

@@ -7,11 +7,33 @@ import (
 	"popkit/internal/engine"
 )
 
+// Kernel step benchmarks. Each iteration is one LeapStep; for the count and
+// batch runners that is one fired interaction (plus the geometric leap over
+// the non-matching stretch before it), for the aggregate runner one whole
+// collision-free run. Since the units of work differ, every benchmark also
+// reports ns/interaction — simulated scheduler activations per wall-clock
+// nanosecond — which is the number the kernels compete on and the one
+// benchdiff gates.
+
+// reportPerInteraction normalizes the timed section by the interactions
+// simulated inside it.
+func reportPerInteraction(b *testing.B, interactions uint64) {
+	if interactions > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(interactions), "ns/interaction")
+	}
+}
+
+// e11Horizon bounds each E11 trajectory at 20n interactions. Without a
+// bound, a trajectory driven to silence spends almost all its interactions
+// inside a handful of tail leaps (q → Θ(1/n) during the final
+// annihilations), and ns/interaction degenerates into a noisy measure of
+// how many tails fit in b.N — the horizon keeps the metric on the active
+// phase, matching how popbench -kernel measures the crossover table.
+const e11Horizon = 20
+
 // BenchmarkCountStep drives the counted kernel on the E11 4-state
 // exact-majority baseline [DV12] at n = 10^6, gap 1 — the workload whose
 // Θ(n log n) round count makes per-firing cost the wall-clock bottleneck.
-// Each iteration is one LeapStep (one fired interaction plus the geometric
-// leap over the non-matching stretch before it).
 func BenchmarkCountStep(b *testing.B) {
 	em := baseline.NewExactMajority4()
 	proto := engine.CompileProtocol(em.Rules())
@@ -19,15 +41,19 @@ func BenchmarkCountStep(b *testing.B) {
 	rng := engine.NewRNG(1)
 	pop := em.Population(n/2+1, n/2)
 	cr := engine.NewCountRunner(proto, pop, rng)
+	var interactions uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !cr.LeapStep(0) {
+		if !cr.LeapStep(e11Horizon*n) || cr.Interactions >= e11Horizon*n {
 			b.StopTimer()
+			interactions += cr.Interactions
 			pop = em.Population(n/2+1, n/2)
 			cr = engine.NewCountRunner(proto, pop, rng)
 			b.StartTimer()
 		}
 	}
+	b.StopTimer()
+	reportPerInteraction(b, interactions+cr.Interactions)
 }
 
 // BenchmarkBatchStep is BenchmarkCountStep on the batched runner: same
@@ -39,15 +65,19 @@ func BenchmarkBatchStep(b *testing.B) {
 	rng := engine.NewRNG(1)
 	pop := em.Population(n/2+1, n/2)
 	br := engine.NewBatchRunner(proto, pop, rng)
+	var interactions uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !br.LeapStep(0) {
+		if !br.LeapStep(e11Horizon*n) || br.Interactions >= e11Horizon*n {
 			b.StopTimer()
+			interactions += br.Interactions
 			pop = em.Population(n/2+1, n/2)
 			br = engine.NewBatchRunner(proto, pop, rng)
 			b.StartTimer()
 		}
 	}
+	b.StopTimer()
+	reportPerInteraction(b, interactions+br.Interactions)
 }
 
 // BenchmarkBatchStepCoalescence drives the single-rule coalescence
@@ -60,13 +90,44 @@ func BenchmarkBatchStepCoalescence(b *testing.B) {
 	rng := engine.NewRNG(1)
 	pop := cl.Population(n)
 	br := engine.NewBatchRunner(proto, pop, rng)
+	var interactions uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !br.LeapStep(0) {
 			b.StopTimer()
+			interactions += br.Interactions
 			pop = cl.Population(n)
 			br = engine.NewBatchRunner(proto, pop, rng)
 			b.StartTimer()
 		}
 	}
+	b.StopTimer()
+	reportPerInteraction(b, interactions+br.Interactions)
+}
+
+// BenchmarkAggregateStep drives the aggregate kernel on the same E11
+// workload at n = 10^8 — the regime the run-length decomposition exists
+// for: each step resolves a whole collision-free run (≈ 0.63·√n ≈ 6300
+// interactions here) through hypergeometric composition and binomial
+// chains, so ns/interaction is the meaningful number, not ns/op.
+func BenchmarkAggregateStep(b *testing.B) {
+	em := baseline.NewExactMajority4()
+	proto := engine.CompileProtocol(em.Rules())
+	const n = 100_000_000
+	rng := engine.NewRNG(1)
+	pop := em.Population(n/2+1, n/2)
+	ar := engine.NewAggregateRunner(proto, pop, rng)
+	var interactions uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ar.LeapStep(e11Horizon*n) || ar.Interactions >= e11Horizon*n {
+			b.StopTimer()
+			interactions += ar.Interactions
+			pop = em.Population(n/2+1, n/2)
+			ar = engine.NewAggregateRunner(proto, pop, rng)
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	reportPerInteraction(b, interactions+ar.Interactions)
 }

@@ -40,6 +40,14 @@ type Counted struct {
 	fen   []int64
 	fenOK bool
 
+	// alias is a Walker alias table over slot counts (see alias.go),
+	// rebuilt lazily by sampleSlotAlias when any count changed since the
+	// last build (aliasOK false). It serves draw-heavy static-weight
+	// consumers — the aggregate runner's per-agent composition path — at
+	// O(1) per draw, where the Fenwick tree would pay O(log S).
+	alias   aliasTable
+	aliasOK bool
+
 	// hook, when set, receives every count mutation (slot, state, delta).
 	// The simulation runners use it to maintain per-rule match tallies and
 	// tracker counts incrementally instead of rescanning the table.
@@ -175,6 +183,7 @@ func (c *Counted) compact() {
 	c.dirty = false
 	c.compactGen++
 	c.fenOK = false
+	c.aliasOK = false
 }
 
 // slotFor returns the slot of state s, registering a fresh slot if the
@@ -188,6 +197,7 @@ func (c *Counted) slotFor(s bitmask.State) int32 {
 	c.cnt = append(c.cnt, 0)
 	c.index[s] = i
 	c.fenOK = false
+	c.aliasOK = false
 	return i
 }
 
@@ -211,6 +221,7 @@ func (c *Counted) addSlot(slot int32, delta int64) {
 	if c.fenOK {
 		c.fenAdd(slot, delta)
 	}
+	c.aliasOK = false
 	if c.hook != nil {
 		c.hook(slot, c.keys[slot], delta)
 	}
@@ -271,6 +282,20 @@ func (c *Counted) fenSearch(r int64) int32 {
 		return -1
 	}
 	return int32(idx)
+}
+
+// sampleSlotAlias returns a slot drawn proportionally to counts through
+// the lazily rebuilt alias table. Unlike sample it returns the slot (the
+// aggregate runner works in slot space) and makes no stream-compatibility
+// promise: it costs two RNG draws per sample regardless of the species
+// count, with the O(S) table build amortized over every draw between count
+// mutations.
+func (c *Counted) sampleSlotAlias(rng *RNG) int32 {
+	if !c.aliasOK {
+		c.alias.build(c.cnt)
+		c.aliasOK = true
+	}
+	return c.alias.sample(rng)
 }
 
 // sample returns a state drawn proportionally to counts, excluding one

@@ -138,7 +138,7 @@ func (r *CountRunner) fireMatching() {
 	slot1 := int32(-1)
 	var g2s1 int64
 	for slot := range pop.keys {
-		f := ix.slotRows[slot].flagsFor(rule)
+		f := ix.flags(rule, slot)
 		if f&rowG1 == 0 {
 			continue
 		}
@@ -163,7 +163,7 @@ func (r *CountRunner) fireMatching() {
 	t2 := r.RNG.Int63n(avail)
 	slot2 := int32(-1)
 	for slot := range pop.keys {
-		if ix.slotRows[slot].flagsFor(rule)&rowG2 == 0 {
+		if ix.flags(rule, slot)&rowG2 == 0 {
 			continue
 		}
 		w := pop.cnt[slot]

@@ -1,0 +1,210 @@
+package engine
+
+import "math"
+
+// Exact discrete samplers for the aggregate-firing kernel. The aggregate
+// runner replaces per-interaction simulation with closed-form draws of how
+// a whole run of collision-free interactions decomposes — which species the
+// participants came from (multivariate hypergeometric, built from the
+// scalar Hypergeometric below) and how many activations of each rule group
+// fired (a conditional Binomial chain). Both samplers are exact inverse-CDF
+// transforms: the pmf at the mode is computed once via math.Lgamma and
+// neighbouring probabilities follow by ratio recurrences, scanning outward
+// from the mode (mode, mode+1, mode−1, …) so the expected scan length is
+// O(standard deviation), not O(support). Exactness is up to float64
+// arithmetic — the same contract the geometric-leap kernels already carry.
+
+// smallTrials is the crossover below which the samplers use the literal
+// sequential construction (one cheap RNG draw per trial) instead of the
+// lgamma-based inversion: for a handful of trials the per-draw loop is both
+// faster and trivially exact.
+const smallTrials = 32
+
+// Binomial returns the number of successes in n independent Bernoulli(p)
+// trials. It consumes n Float64 draws for n ≤ 32 and exactly one otherwise.
+func (r *RNG) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= smallTrials {
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mode := int64(math.Floor(float64(n+1) * p))
+	if mode > n {
+		mode = n
+	}
+	lgn1, _ := math.Lgamma(float64(n + 1))
+	lgk, _ := math.Lgamma(float64(mode + 1))
+	lgnk, _ := math.Lgamma(float64(n - mode + 1))
+	pm := math.Exp(lgn1 - lgk - lgnk + float64(mode)*math.Log(p) + float64(n-mode)*math.Log1p(-p))
+	u := r.Float64() - pm
+	if u < 0 {
+		return mode
+	}
+	// Zig-zag inverse CDF from the mode; odds is p/(1−p), the factor the
+	// ratio recurrences share.
+	odds := p / (1 - p)
+	up, down := mode, mode
+	pu, pd := pm, pm
+	for up < n || down > 0 {
+		if up < n {
+			pu *= odds * float64(n-up) / float64(up+1)
+			up++
+			u -= pu
+			if u < 0 {
+				return up
+			}
+		}
+		if down > 0 {
+			pd *= float64(down) / (odds * float64(n-down+1))
+			down--
+			u -= pd
+			if u < 0 {
+				return down
+			}
+		}
+	}
+	// Float crumbs: the pmf sums to 1 only up to rounding. The mode is the
+	// most defensible owner of the leftover sliver.
+	return mode
+}
+
+// Hypergeometric returns the number of "success" items in a uniform sample
+// of draws items taken without replacement from a population of total items
+// containing success successes. It consumes draws Int63n draws for
+// draws ≤ 32 and exactly one Float64 otherwise.
+func (r *RNG) Hypergeometric(total, success, draws int64) int64 {
+	if total < 0 || success < 0 || success > total || draws < 0 || draws > total {
+		panic("engine: Hypergeometric with inconsistent parameters")
+	}
+	lo := draws + success - total
+	if lo < 0 {
+		lo = 0
+	}
+	hi := draws
+	if success < hi {
+		hi = success
+	}
+	if lo >= hi {
+		return lo
+	}
+	if draws <= smallTrials {
+		// Sequential urn: each draw succeeds with the current proportion.
+		var got int64
+		rem, succ := total, success
+		for i := int64(0); i < draws; i++ {
+			if r.Int63n(rem) < succ {
+				got++
+				succ--
+			}
+			rem--
+		}
+		return got
+	}
+	fail := total - success
+	mode := (draws + 1) * (success + 1) / (total + 2)
+	if mode < lo {
+		mode = lo
+	}
+	if mode > hi {
+		mode = hi
+	}
+	pm := math.Exp(lnChoose(success, mode) + lnChoose(fail, draws-mode) - lnChoose(total, draws))
+	u := r.Float64() - pm
+	if u < 0 {
+		return mode
+	}
+	up, down := mode, mode
+	pu, pd := pm, pm
+	for up < hi || down > lo {
+		if up < hi {
+			// pmf(k+1)/pmf(k) = (success−k)(draws−k) / ((k+1)(fail−draws+k+1))
+			pu *= float64(success-up) * float64(draws-up) / (float64(up+1) * float64(fail-draws+up+1))
+			up++
+			u -= pu
+			if u < 0 {
+				return up
+			}
+		}
+		if down > lo {
+			// pmf(k−1)/pmf(k) = k(fail−draws+k) / ((success−k+1)(draws−k+1))
+			pd *= float64(down) * float64(fail-draws+down) / (float64(success-down+1) * float64(draws-down+1))
+			down--
+			u -= pd
+			if u < 0 {
+				return down
+			}
+		}
+	}
+	return mode
+}
+
+// lnChoose returns ln C(a, b) for 0 ≤ b ≤ a.
+func lnChoose(a, b int64) float64 {
+	l1, _ := math.Lgamma(float64(a + 1))
+	l2, _ := math.Lgamma(float64(b + 1))
+	l3, _ := math.Lgamma(float64(a - b + 1))
+	return l1 - l2 - l3
+}
+
+// collisionRunLen samples the length ℓ ≥ 1 of the maximal prefix of
+// scheduler activations whose participant pairs are pairwise disjoint (all
+// 2ℓ agents distinct — "collision-free"), in a population of n agents. The
+// survival function is
+//
+//	S(k) = P(ℓ ≥ k) = n! / ((n−2k)! · (n(n−1))^k)     for 2k ≤ n,
+//
+// with S(1) = 1 (the first activation can't collide with anything) and
+// S(k) = 0 beyond k = ⌊n/2⌋. The sample inverts S by bracket + binary
+// search on lnS, seeded at the asymptotic solution of lnS(k) ≈ −2k²/n, so
+// a draw costs O(log) Lgamma evaluations. lgN1 and lnPairs are
+// ln Γ(n+1) and ln(n(n−1)), precomputed by the caller (n is fixed for the
+// lifetime of a runner).
+func (r *RNG) collisionRunLen(n int64, lgN1, lnPairs float64) int64 {
+	max := n / 2
+	if max <= 1 {
+		return 1
+	}
+	u := 1 - r.Float64() // (0, 1]
+	lu := math.Log(u)
+	lnS := func(k int64) float64 {
+		lg, _ := math.Lgamma(float64(n - 2*k + 1))
+		return lgN1 - lg - float64(k)*lnPairs
+	}
+	// Invariant: lnS(lo) ≥ lu (lo=1 always qualifies), lnS(hi) < lu where
+	// hi = max+1 stands for "past the support" (S there is 0 ≤ u).
+	lo, hi := int64(1), max+1
+	if guess := int64(math.Ceil(math.Sqrt(-float64(n) * lu / 2))); guess > lo && guess < hi {
+		if lnS(guess) >= lu {
+			lo = guess
+		} else {
+			hi = guess
+		}
+	}
+	for step := int64(1); lo+step < hi; step *= 2 {
+		if lnS(lo+step) >= lu {
+			lo += step
+		} else {
+			hi = lo + step
+			break
+		}
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if lnS(mid) >= lu {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

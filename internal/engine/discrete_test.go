@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// chi2Crit returns an α = 0.001 critical value for the chi-square
+// distribution with dof degrees of freedom (Wilson–Hilferty approximation,
+// z = 3.09).
+func chi2Crit(dof int) float64 {
+	d := float64(dof)
+	z := 3.09
+	v := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * v * v * v
+}
+
+// checkPMF draws samples from draw and chi-square-tests them against the
+// exact pmf on [lo, hi], lumping bins with expected count below 5 into
+// their neighbours.
+func checkPMF(t *testing.T, label string, nSamples int, draw func() int64, pmf func(k int64) float64, lo, hi int64) {
+	t.Helper()
+	counts := make(map[int64]int)
+	for i := 0; i < nSamples; i++ {
+		k := draw()
+		if k < lo || k > hi {
+			t.Fatalf("%s: sample %d outside support [%d, %d]", label, k, lo, hi)
+		}
+		counts[k]++
+	}
+	// Walk the support accumulating bins of expected mass ≥ 5.
+	var chi2 float64
+	dof := -1
+	expAcc, obsAcc := 0.0, 0.0
+	for k := lo; k <= hi; k++ {
+		expAcc += pmf(k) * float64(nSamples)
+		obsAcc += float64(counts[k])
+		if expAcc >= 5 && k < hi {
+			chi2 += (obsAcc - expAcc) * (obsAcc - expAcc) / expAcc
+			dof++
+			expAcc, obsAcc = 0, 0
+		}
+	}
+	if expAcc > 0 {
+		chi2 += (obsAcc - expAcc) * (obsAcc - expAcc) / expAcc
+		dof++
+	}
+	if dof < 1 {
+		dof = 1
+	}
+	if crit := chi2Crit(dof); chi2 > crit {
+		t.Errorf("%s: chi-square %.1f exceeds %.1f (%d dof)", label, chi2, crit, dof)
+	}
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	rng := NewRNG(1)
+	if got := rng.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := rng.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := rng.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+}
+
+func TestBinomialMatchesPMF(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{20, 0.3},    // sequential small-trials path
+		{200, 0.3},   // zig-zag inversion
+		{1000, 0.01}, // skewed: mode near the edge
+		{150, 0.97},  // p near 1
+	}
+	for _, c := range cases {
+		rng := NewRNG(0xB10 + uint64(c.n))
+		ln1p := math.Log1p(-c.p)
+		lp := math.Log(c.p)
+		pmf := func(k int64) float64 {
+			return math.Exp(lnChoose(c.n, k) + float64(k)*lp + float64(c.n-k)*ln1p)
+		}
+		checkPMF(t, "Binomial", 20000,
+			func() int64 { return rng.Binomial(c.n, c.p) }, pmf, 0, c.n)
+	}
+}
+
+func TestHypergeometricDegenerate(t *testing.T) {
+	rng := NewRNG(2)
+	if got := rng.Hypergeometric(10, 10, 4); got != 4 {
+		t.Errorf("all-success draw = %d, want 4", got)
+	}
+	if got := rng.Hypergeometric(10, 0, 4); got != 0 {
+		t.Errorf("no-success draw = %d, want 0", got)
+	}
+	if got := rng.Hypergeometric(10, 4, 10); got != 4 {
+		t.Errorf("exhaustive draw = %d, want 4", got)
+	}
+	// lo bound: drawing 8 of 10 with 6 successes must take at least 4.
+	for i := 0; i < 100; i++ {
+		if got := rng.Hypergeometric(10, 6, 8); got < 4 || got > 6 {
+			t.Fatalf("Hypergeometric(10,6,8) = %d outside [4,6]", got)
+		}
+	}
+}
+
+func TestHypergeometricMatchesPMF(t *testing.T) {
+	cases := []struct{ total, success, draws int64 }{
+		{50, 20, 10},     // sequential urn path
+		{1000, 300, 100}, // zig-zag inversion
+		{100, 90, 60},    // tight support (lo > 0)
+	}
+	for _, c := range cases {
+		rng := NewRNG(0x4E + uint64(c.total))
+		lo := max(0, c.draws+c.success-c.total)
+		hi := min(c.draws, c.success)
+		pmf := func(k int64) float64 {
+			return math.Exp(lnChoose(c.success, k) +
+				lnChoose(c.total-c.success, c.draws-k) -
+				lnChoose(c.total, c.draws))
+		}
+		checkPMF(t, "Hypergeometric", 20000,
+			func() int64 { return rng.Hypergeometric(c.total, c.success, c.draws) }, pmf, lo, hi)
+	}
+}
+
+// TestCollisionRunLenSurvival checks the empirical survival function of
+// the collision-free run length against the closed form
+// S(k) = n! / ((n−2k)!·(n(n−1))^k).
+func TestCollisionRunLenSurvival(t *testing.T) {
+	const n = 100
+	const samples = 50000
+	rng := NewRNG(0xC0111)
+	lgN1, _ := math.Lgamma(n + 1)
+	lnPairs := math.Log(n) + math.Log(n-1)
+	counts := make(map[int64]int)
+	for i := 0; i < samples; i++ {
+		l := rng.collisionRunLen(n, lgN1, lnPairs)
+		if l < 1 || l > n/2 {
+			t.Fatalf("run length %d outside [1, %d]", l, n/2)
+		}
+		counts[l]++
+	}
+	surv := func(k int64) float64 {
+		lg, _ := math.Lgamma(float64(n - 2*k + 1))
+		return math.Exp(lgN1 - lg - float64(k)*lnPairs)
+	}
+	// Compare empirical tail P(ℓ ≥ k) for small k where S(k) is not tiny.
+	tail := samples
+	for k := int64(1); k <= 12; k++ {
+		want := surv(k)
+		got := float64(tail) / samples
+		// Binomial std dev of the empirical tail; 4.5σ ≈ α below 0.001
+		// across the 12 checks.
+		sd := math.Sqrt(want*(1-want)/samples) + 1e-12
+		if math.Abs(got-want) > 4.5*sd+1e-9 {
+			t.Errorf("P(run ≥ %d): empirical %.4f vs exact %.4f (%.1fσ)",
+				k, got, want, math.Abs(got-want)/sd)
+		}
+		tail -= counts[k]
+	}
+}
+
+func TestCollisionRunLenTinyPopulation(t *testing.T) {
+	rng := NewRNG(3)
+	for _, n := range []int64{2, 3} {
+		lgN1, _ := math.Lgamma(float64(n) + 1)
+		lnPairs := math.Log(float64(n)) + math.Log(float64(n)-1)
+		for i := 0; i < 50; i++ {
+			if l := rng.collisionRunLen(n, lgN1, lnPairs); l != 1 {
+				t.Fatalf("n=%d: run length %d, want 1", n, l)
+			}
+		}
+	}
+}

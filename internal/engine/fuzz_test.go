@@ -136,6 +136,31 @@ func FuzzRunnerConservation(f *testing.F) {
 			t.Fatalf("BatchRunner: fired %d rule firings with budget %d", fired, budget)
 		}
 
+		// AggregateRunner, both flavours: default gating (mostly geometric
+		// leaps at fuzz-sized populations) and forced run decomposition.
+		for _, force := range []bool{false, true} {
+			label := "AggregateRunner/leap"
+			pop = NewCounted(counts)
+			ar := NewAggregateRunner(proto, pop, NewRNG(seed))
+			if force {
+				label = "AggregateRunner/aggregate"
+				ar.MinRunFirings = 0
+			}
+			tr = ar.Track("a", trackF)
+			ar.RunBatch(budget, 0)
+			checkCounted(t, label, pop, ar.idx, tr, total)
+			var atot uint64
+			for _, k := range ar.Fired {
+				atot += k
+			}
+			if atot != ar.FiredTotal {
+				t.Fatalf("%s: Fired sums to %d but FiredTotal is %d", label, atot, ar.FiredTotal)
+			}
+			if ar.FiredTotal > ar.Interactions {
+				t.Fatalf("%s: %d firings exceed %d interactions", label, ar.FiredTotal, ar.Interactions)
+			}
+		}
+
 		// Dense Runner.
 		dense := NewDense(int(total))
 		i := 0

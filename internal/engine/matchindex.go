@@ -23,23 +23,14 @@ const (
 	rowG2             // state matches the rule's responder guard
 )
 
-// stateRow is the dispatch row of one state: the rules it can participate
-// in, with initiator/responder flags. Rules matching neither side are
-// absent, so delta dispatch is O(row length), not O(#rules). The r1/r2/r12
-// slices pre-split the entries by tally so bump runs branch-free.
+// stateRow is the memoized dispatch row of one state: the rules it can
+// participate in, with initiator/responder flags. Rules matching neither
+// side are absent. Rows record the one-time guard evaluations; the hot
+// loops never touch them — rebuildDispatch flattens the rows of the live
+// slots into the contiguous struct-of-arrays layout below.
 type stateRow struct {
 	entries     []rowEntry
 	r1, r2, r12 []int32
-}
-
-// flagsFor returns the row's match flags for one rule (0 if absent).
-func (row *stateRow) flagsFor(rule int32) uint8 {
-	for _, e := range row.entries {
-		if e.rule == rule {
-			return e.flags
-		}
-	}
-	return 0
 }
 
 // A CountTracker incrementally maintains the number of agents matching a
@@ -75,8 +66,25 @@ type matchIndex struct {
 	// skips the RNG draw entirely.
 	occ1, occ2 []int64
 
-	rows     map[bitmask.State]*stateRow
-	slotRows []*stateRow // slot → row, remapped when the population compacts
+	rows map[bitmask.State]*stateRow // per-state guard-eval memoization
+
+	// Struct-of-arrays dispatch over the live slots, rebuilt by syncSlots
+	// whenever the slot table changes shape. The historical layout was a
+	// []*stateRow with per-row slices — three pointer hops per delta; the
+	// flat layout keeps the leap loop on two contiguous arrays:
+	//
+	//   dispRule[dispOff[3s]:dispOff[3s+1]]   rules matching slot s as initiator
+	//   dispRule[dispOff[3s+1]:dispOff[3s+2]] … as responder
+	//   dispRule[dispOff[3s+2]:dispOff[3s+3]] … as both (the m12 correction)
+	//
+	// flagsMat is the transposed O(1) lookup the pick loops scan: entry
+	// [rule·flagStride + slot] holds the rowG1|rowG2 flags, laid out
+	// rule-major so a scan over slots for a fixed rule is contiguous.
+	dispOff    []int32
+	dispRule   []int32
+	flagsMat   []uint8
+	flagStride int
+	nSlots     int // number of slots the flat arrays cover
 
 	trackers []*CountTracker
 	// trackersMoved is set whenever a tracker count changes; RunUntil
@@ -116,10 +124,10 @@ func newMatchIndex(p *Protocol, pop *Counted) *matchIndex {
 		rows: make(map[bitmask.State]*stateRow),
 	}
 	ix.syncSlots()
-	for slot, row := range ix.slotRows {
+	for slot := 0; slot < ix.nSlots; slot++ {
 		if k := pop.cnt[slot]; k > 0 {
-			ix.bump(row, k)
-			ix.occBump(row, 1)
+			ix.bumpSlot(int32(slot), k)
+			ix.occBumpSlot(int32(slot), 1)
 		}
 	}
 	pop.attachHook(ix.apply)
@@ -157,45 +165,89 @@ func (ix *matchIndex) rowOf(s bitmask.State) *stateRow {
 	return row
 }
 
-// syncSlots (re)builds the slot-keyed caches: after a compaction they are
-// rebuilt from scratch; after appends they are extended in place.
+// syncSlots (re)validates the slot-keyed caches: after a compaction they
+// are rebuilt from scratch; after appends the memoized rows and tracker
+// bitmaps extend in place and the flat dispatch arrays are re-flattened.
 func (ix *matchIndex) syncSlots() {
 	pop := ix.pop
 	if ix.compactGen != pop.compactGen {
-		ix.slotRows = ix.slotRows[:0]
+		ix.nSlots = 0
 		for _, t := range ix.trackers {
 			t.slotMatch = t.slotMatch[:0]
 		}
 		ix.compactGen = pop.compactGen
 	}
-	for slot := len(ix.slotRows); slot < len(pop.keys); slot++ {
+	if ix.nSlots == len(pop.keys) {
+		return
+	}
+	for slot := ix.nSlots; slot < len(pop.keys); slot++ {
 		s := pop.keys[slot]
-		ix.slotRows = append(ix.slotRows, ix.rowOf(s))
+		ix.rowOf(s)
 		for _, t := range ix.trackers {
 			t.slotMatch = append(t.slotMatch, t.guard.Match(s))
 		}
 	}
+	ix.nSlots = len(pop.keys)
+	ix.rebuildDispatch()
 }
 
-// bump adds delta to every tally the row participates in.
-func (ix *matchIndex) bump(row *stateRow, delta int64) {
-	for _, i := range row.r1 {
+// rebuildDispatch re-flattens the memoized rows of the live slots into the
+// contiguous dispatch arrays. O(#slots × row length) plus the flags matrix
+// fill; slot-table reshapes are rare (new species discovery, compaction),
+// so the cost amortizes to nothing against the per-delta wins.
+func (ix *matchIndex) rebuildDispatch() {
+	ns := ix.nSlots
+	nr := len(ix.p.Set.Rules)
+	ix.dispOff = append(ix.dispOff[:0], 0)
+	ix.dispRule = ix.dispRule[:0]
+	ix.flagStride = ns
+	if need := nr * ns; cap(ix.flagsMat) < need {
+		ix.flagsMat = make([]uint8, need)
+	} else {
+		ix.flagsMat = ix.flagsMat[:need]
+		clear(ix.flagsMat)
+	}
+	for slot := 0; slot < ns; slot++ {
+		row := ix.rows[ix.pop.keys[slot]]
+		ix.dispRule = append(ix.dispRule, row.r1...)
+		ix.dispOff = append(ix.dispOff, int32(len(ix.dispRule)))
+		ix.dispRule = append(ix.dispRule, row.r2...)
+		ix.dispOff = append(ix.dispOff, int32(len(ix.dispRule)))
+		ix.dispRule = append(ix.dispRule, row.r12...)
+		ix.dispOff = append(ix.dispOff, int32(len(ix.dispRule)))
+		for _, e := range row.entries {
+			ix.flagsMat[int(e.rule)*ns+slot] = e.flags
+		}
+	}
+}
+
+// flags returns the rowG1|rowG2 match flags of (rule, slot) in O(1).
+func (ix *matchIndex) flags(rule int32, slot int) uint8 {
+	return ix.flagsMat[int(rule)*ix.flagStride+slot]
+}
+
+// bumpSlot adds delta to every tally the slot's state participates in.
+func (ix *matchIndex) bumpSlot(slot int32, delta int64) {
+	o := ix.dispOff[3*slot : 3*slot+4]
+	for _, i := range ix.dispRule[o[0]:o[1]] {
 		ix.m1[i] += delta
 	}
-	for _, i := range row.r2 {
+	for _, i := range ix.dispRule[o[1]:o[2]] {
 		ix.m2[i] += delta
 	}
-	for _, i := range row.r12 {
+	for _, i := range ix.dispRule[o[2]:o[3]] {
 		ix.m12[i] += delta
 	}
 }
 
-// occBump adds delta to the occupied-species tallies of the row's rules.
-func (ix *matchIndex) occBump(row *stateRow, delta int64) {
-	for _, i := range row.r1 {
+// occBumpSlot adds delta to the occupied-species tallies of the slot's
+// rules.
+func (ix *matchIndex) occBumpSlot(slot int32, delta int64) {
+	o := ix.dispOff[3*slot : 3*slot+3]
+	for _, i := range ix.dispRule[o[0]:o[1]] {
 		ix.occ1[i] += delta
 	}
-	for _, i := range row.r2 {
+	for _, i := range ix.dispRule[o[1]:o[2]] {
 		ix.occ2[i] += delta
 	}
 }
@@ -206,15 +258,14 @@ func (ix *matchIndex) apply(slot int32, s bitmask.State, delta int64) {
 	if delta == 0 {
 		return
 	}
-	if int(slot) >= len(ix.slotRows) || ix.compactGen != ix.pop.compactGen {
+	if int(slot) >= ix.nSlots || ix.compactGen != ix.pop.compactGen {
 		ix.syncSlots()
 	}
-	row := ix.slotRows[slot]
-	ix.bump(row, delta)
+	ix.bumpSlot(slot, delta)
 	if now := ix.pop.cnt[slot]; now == 0 {
-		ix.occBump(row, -1)
+		ix.occBumpSlot(slot, -1)
 	} else if now == delta {
-		ix.occBump(row, 1)
+		ix.occBumpSlot(slot, 1)
 	}
 	for _, t := range ix.trackers {
 		if t.slotMatch[slot] {
@@ -228,7 +279,7 @@ func (ix *matchIndex) apply(slot int32, s bitmask.State, delta int64) {
 func (ix *matchIndex) track(name string, f bitmask.Formula) *CountTracker {
 	ix.syncSlots()
 	t := &CountTracker{Name: name, guard: bitmask.Compile(f)}
-	t.slotMatch = make([]bool, len(ix.slotRows))
+	t.slotMatch = make([]bool, ix.nSlots)
 	for slot, s := range ix.pop.keys {
 		if t.guard.Match(s) {
 			t.slotMatch[slot] = true
@@ -249,7 +300,7 @@ func (ix *matchIndex) matchingPairs(i int) int64 {
 // reshape (a compaction triggered through the public API, or new species).
 func (ix *matchIndex) syncCaches() {
 	pop := ix.pop
-	if ix.compactGen != pop.compactGen || len(ix.slotRows) != len(pop.keys) {
+	if ix.compactGen != pop.compactGen || ix.nSlots != len(pop.keys) {
 		ix.syncSlots()
 	}
 	if ix.transGen != pop.compactGen || ix.transSlots != len(pop.keys) {
@@ -286,8 +337,10 @@ func (ix *matchIndex) fire(rule, slot1, slot2 int32) {
 	pop := ix.pop
 	var t1, t2 int32
 	ci := -1
-	if ix.trans != nil {
-		s := int32(ix.transSlots)
+	// Slots born after the last rebuild (outputs of earlier firings in the
+	// same batch) are outside the cache layout; they take the slow path
+	// until syncCaches resizes it.
+	if s := int32(ix.transSlots); ix.trans != nil && slot1 < s && slot2 < s {
 		ci = int((rule*s+slot1)*s + slot2)
 		if packed := ix.trans[ci]; packed != transUnset {
 			t1, t2 = int32(packed>>32), int32(packed&0xffffffff)
@@ -321,6 +374,116 @@ func (ix *matchIndex) fire(rule, slot1, slot2 int32) {
 	}
 }
 
+// fireForcedMatching executes one uniformly chosen matching (rule, ordered
+// pair) event, conditioned on the interaction firing, skipping RNG draws
+// whose outcome is forced: the rule pick when exactly one rule has matching
+// pairs, and the participant picks when their guard has exactly one
+// occupied species (occ1/occ2). Shared by BatchRunner (every firing) and
+// AggregateRunner (its sparse-regime fallback). pairsW is caller-owned
+// scratch of length #rules; the fired rule's index is returned so callers
+// can keep their own accounting.
+func (ix *matchIndex) fireForcedMatching(rng *RNG, pairsW []float64) int {
+	// Rule pick, probability ∝ weight × matching pairs. With a single
+	// active rule the pick is certain and the Float64 draw is skipped.
+	var total float64
+	active, nActive := 0, 0
+	for i := range pairsW {
+		pairs := ix.matchingPairs(i)
+		v := 0.0
+		if pairs > 0 {
+			nActive++
+			active = i
+			v = ix.p.ruleWeightF[i] * float64(pairs)
+		}
+		pairsW[i] = v
+		total += v
+	}
+	idx := active
+	if nActive > 1 {
+		pick := rng.Float64() * total
+		idx = -1
+		for i, v := range pairsW {
+			pick -= v
+			if pick < 0 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(pairsW) - 1
+		}
+	}
+	rule := int32(idx)
+
+	// Initiator pick, weight cnt(s)·(m2 − [G2(s)]). With a single occupied
+	// G1 species all weight sits on one slot: find it without drawing.
+	pop := ix.pop
+	m2 := ix.m2[idx]
+	var target int64
+	byDraw := ix.occ1[idx] > 1
+	if byDraw {
+		target = rng.Int63n(ix.matchingPairs(idx))
+	}
+	slot1 := int32(-1)
+	var g2s1 int64
+	for slot := range pop.keys {
+		f := ix.flags(rule, slot)
+		if f&rowG1 == 0 || pop.cnt[slot] == 0 {
+			continue
+		}
+		var b int64
+		if f&rowG2 != 0 {
+			b = 1
+		}
+		if !byDraw {
+			slot1 = int32(slot)
+			g2s1 = b
+			break
+		}
+		w := pop.cnt[slot] * (m2 - b)
+		if target < w {
+			slot1 = int32(slot)
+			g2s1 = b
+			break
+		}
+		target -= w
+	}
+	if slot1 < 0 {
+		panic("engine: initiator sampling walked off the table")
+	}
+
+	// Responder pick among G2-matchers, excluding the initiator agent.
+	avail := m2 - g2s1
+	byDraw = ix.occ2[idx] > 1
+	var t2 int64
+	if byDraw {
+		t2 = rng.Int63n(avail)
+	}
+	slot2 := int32(-1)
+	for slot := range pop.keys {
+		if ix.flags(rule, slot)&rowG2 == 0 || pop.cnt[slot] == 0 {
+			continue
+		}
+		w := pop.cnt[slot]
+		if int32(slot) == slot1 {
+			w -= g2s1
+		}
+		if w <= 0 {
+			continue
+		}
+		if !byDraw || t2 < w {
+			slot2 = int32(slot)
+			break
+		}
+		t2 -= w
+	}
+	if slot2 < 0 {
+		panic("engine: responder sampling walked off the table")
+	}
+	ix.fire(rule, slot1, slot2)
+	return idx
+}
+
 // resync recomputes every tally from a full scan. Only used by tests to
 // cross-check the incremental path; the simulation never needs it.
 func (ix *matchIndex) resync() {
@@ -330,10 +493,10 @@ func (ix *matchIndex) resync() {
 	clear(ix.occ1)
 	clear(ix.occ2)
 	ix.syncSlots()
-	for slot, row := range ix.slotRows {
+	for slot := 0; slot < ix.nSlots; slot++ {
 		if k := ix.pop.cnt[slot]; k > 0 {
-			ix.bump(row, k)
-			ix.occBump(row, 1)
+			ix.bumpSlot(int32(slot), k)
+			ix.occBumpSlot(int32(slot), 1)
 		}
 	}
 	for _, t := range ix.trackers {

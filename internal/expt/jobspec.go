@@ -143,6 +143,12 @@ type ReplicaRecord struct {
 	// quiescent ones (counted protocols only).
 	Interactions uint64 `json:"interactions,omitempty"`
 	Converged    bool   `json:"converged"`
+	// Runner names the engine kernel that simulated the replica, and
+	// RunnerReason why selection picked it (capability or crossover) —
+	// both deterministic functions of (protocol, n), recorded so results
+	// are auditable for which code path produced them.
+	Runner       string `json:"runner,omitempty"`
+	RunnerReason string `json:"runner_reason,omitempty"`
 	// Counts holds the protocol's headline variable counts. encoding/json
 	// sorts map keys, so the encoding is deterministic.
 	Counts map[string]int64 `json:"counts,omitempty"`

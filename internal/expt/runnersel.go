@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -35,6 +36,13 @@ const (
 	// picks skipping their RNG draws and per-rule firing counts. Exact in
 	// distribution but not stream-compatible.
 	RunnerBatch
+	// RunnerAggregate is engine.AggregateRunner: the counted chain advanced
+	// one collision-free run at a time, resolving the firings of each run
+	// through hypergeometric composition and binomial chains instead of one
+	// pick per firing. Exact in distribution but not stream-compatible; the
+	// fastest kernel once runs are long enough (ℓ ≈ 0.63·√n) to amortize
+	// the decomposition.
+	RunnerAggregate
 )
 
 func (k RunnerKind) String() string {
@@ -45,6 +53,8 @@ func (k RunnerKind) String() string {
 		return "counted"
 	case RunnerBatch:
 		return "batch"
+	case RunnerAggregate:
+		return "aggregate"
 	}
 	return "unknown"
 }
@@ -56,6 +66,10 @@ type RunnerCaps struct {
 	LeapsQuiescence bool // O(1) geometric skips over non-firing stretches
 	HugePopulations bool // counts-only state: n up to ~1e9
 	StreamCompat    bool // reproduces the historical per-interaction RNG stream
+	// AggregatesFirings marks kernels that resolve whole collision-free
+	// runs of firings per step (multinomial run-length leaping) instead of
+	// one firing at a time.
+	AggregatesFirings bool
 	// NsPerFiring is the measured cost of one rule firing on the E11
 	// exact-majority workload at n = 10^6 (dense: cost per interaction —
 	// it cannot leap, so quiescent activations cost the same).
@@ -68,6 +82,7 @@ func CapabilityMatrix() []RunnerCaps {
 		{Kind: RunnerDense, OrderedGroups: true, NsPerFiring: 72},
 		{Kind: RunnerCounted, LeapsQuiescence: true, HugePopulations: true, StreamCompat: true, NsPerFiring: 115},
 		{Kind: RunnerBatch, LeapsQuiescence: true, HugePopulations: true, NsPerFiring: 107},
+		{Kind: RunnerAggregate, LeapsQuiescence: true, HugePopulations: true, AggregatesFirings: true, NsPerFiring: 111},
 	}
 }
 
@@ -77,18 +92,38 @@ func CapabilityMatrix() []RunnerCaps {
 // room that toy populations don't have.
 const denseCrossover = 1024
 
+// aggregateCrossover is the population size above which the aggregate
+// kernel's run decomposition beats per-firing batch stepping. The committed
+// kernel table (results/BENCH_kernel.json) has batch at ~6 ns/interaction
+// at n = 10^6 degrading to ~10 at 10^8, while aggregate holds under 1 from
+// 10^8 up; runs of ℓ ≈ 0.63·√n carry enough firings to amortize the
+// decomposition from about 10^7 on.
+const aggregateCrossover = 10_000_000
+
 // SelectRunner picks the fastest admissible runner for simulating rs on a
-// population of n agents. Ordered (first-match) groups rule out the counted
-// kernels entirely; otherwise the batched kernel wins beyond the dense
-// crossover size.
+// population of n agents.
 func SelectRunner(rs *rules.Ruleset, n int64) RunnerKind {
+	k, _ := SelectRunnerReason(rs, n)
+	return k
+}
+
+// SelectRunnerReason is SelectRunner surfacing *why*: the returned string
+// names the capability or crossover that decided the pick, and experiment
+// records carry it so a replica's kernel choice can be audited from the
+// results file alone. Ordered (first-match) groups rule out the counted
+// kernels entirely; otherwise crossover sizes decide between dense
+// stepping, per-firing batching, and aggregate run decomposition.
+func SelectRunnerReason(rs *rules.Ruleset, n int64) (RunnerKind, string) {
 	if rs.HasOrderedGroups() {
-		return RunnerDense
+		return RunnerDense, "ordered rule groups require per-agent matching"
 	}
 	if n < denseCrossover {
-		return RunnerDense
+		return RunnerDense, fmt.Sprintf("n=%d below counted crossover %d", n, denseCrossover)
 	}
-	return RunnerBatch
+	if n >= aggregateCrossover {
+		return RunnerAggregate, fmt.Sprintf("n=%d at or above aggregate crossover %d", n, aggregateCrossover)
+	}
+	return RunnerBatch, fmt.Sprintf("n=%d between counted crossover %d and aggregate crossover %d", n, denseCrossover, aggregateCrossover)
 }
 
 // Counter is the common face of the engines' incremental trackers.
@@ -105,10 +140,15 @@ func (c denseCounter) Count() int64 { return int64(c.t.Count()) }
 type Driver struct {
 	Kind RunnerKind
 
+	// Reason records why SelectRunnerReason picked Kind; experiment records
+	// and traces surface it so kernel choices are auditable after the run.
+	Reason string
+
 	counted *engine.Counted
 	dense   *engine.Dense
 	cr      *engine.CountRunner
 	br      *engine.BatchRunner
+	ar      *engine.AggregateRunner
 	dr      *engine.Runner
 
 	denseSteps uint64
@@ -132,7 +172,8 @@ func NewDriver(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.Sta
 	for _, k := range counts {
 		n += k
 	}
-	d := &Driver{Kind: SelectRunner(rs, n)}
+	kind, reason := SelectRunnerReason(rs, n)
+	d := &Driver{Kind: kind, Reason: reason}
 	switch d.Kind {
 	case RunnerDense:
 		d.dense = engine.NewDense(int(n))
@@ -163,6 +204,9 @@ func NewDriver(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.Sta
 	case RunnerCounted:
 		d.counted = engine.NewCounted(counts)
 		d.cr = engine.NewCountRunner(proto, d.counted, rng)
+	case RunnerAggregate:
+		d.counted = engine.NewCounted(counts)
+		d.ar = engine.NewAggregateRunner(proto, d.counted, rng)
 	default:
 		d.counted = engine.NewCounted(counts)
 		d.br = engine.NewBatchRunner(proto, d.counted, rng)
@@ -178,6 +222,8 @@ func (d *Driver) Track(name string, f bitmask.Formula) Counter {
 		c = denseCounter{d.dr.Track(name, f)}
 	case RunnerCounted:
 		c = d.cr.Track(name, f)
+	case RunnerAggregate:
+		c = d.ar.Track(name, f)
 	default:
 		c = d.br.Track(name, f)
 	}
@@ -194,6 +240,12 @@ func (d *Driver) Track(name string, f bitmask.Formula) Counter {
 func (d *Driver) SetTrace(tr *obs.Trace, replica int) {
 	d.trace = tr
 	d.traceReplica = replica
+	// Announce the selected kernel once per replica so timelines record
+	// which runner produced the counts that follow, and why it was chosen.
+	tr.Emit(obs.Event{
+		Kind: "runner", Replica: replica,
+		Name: d.Kind.String(), Reason: d.Reason,
+	})
 }
 
 // SetStats attaches a per-rule firing tally to whichever runner the driver
@@ -204,6 +256,8 @@ func (d *Driver) SetStats(s *obs.RuleStats) {
 		d.dr.Stats = s
 	case RunnerCounted:
 		d.cr.Stats = s
+	case RunnerAggregate:
+		d.ar.Stats = s
 	default:
 		d.br.Stats = s
 	}
@@ -257,6 +311,8 @@ func (d *Driver) RunUntil(cond func() bool, maxRounds float64) (rounds float64, 
 		return d.dr.Rounds() - start, probe()
 	case RunnerCounted:
 		return d.cr.RunUntil(func(*engine.CountRunner) bool { return probe() }, maxRounds)
+	case RunnerAggregate:
+		return d.ar.RunUntil(func(*engine.AggregateRunner) bool { return probe() }, maxRounds)
 	default:
 		return d.br.RunUntil(func(*engine.BatchRunner) bool { return probe() }, maxRounds)
 	}
@@ -269,6 +325,8 @@ func (d *Driver) Rounds() float64 {
 		return d.dr.Rounds()
 	case RunnerCounted:
 		return d.cr.Rounds()
+	case RunnerAggregate:
+		return d.ar.Rounds()
 	default:
 		return d.br.Rounds()
 	}
@@ -282,6 +340,8 @@ func (d *Driver) Interactions() uint64 {
 		return d.denseSteps
 	case RunnerCounted:
 		return d.cr.Interactions
+	case RunnerAggregate:
+		return d.ar.Interactions
 	default:
 		return d.br.Interactions
 	}

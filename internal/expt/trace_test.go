@@ -40,9 +40,18 @@ func TestDriverTraceTimeline(t *testing.T) {
 		t.Fatalf("two-meet did not converge: #X=%d", finalX)
 	}
 	evs := tr.Events()
-	if len(evs) == 0 {
-		t.Fatal("traced run emitted no events")
+	if len(evs) < 2 {
+		t.Fatalf("traced run emitted %d events", len(evs))
 	}
+	// The timeline opens with the kernel-selection announcement: which
+	// runner simulates the replica, and why selection picked it.
+	if evs[0].Kind != "runner" || evs[0].Replica != 3 {
+		t.Fatalf("first event is not the runner announcement: %+v", evs[0])
+	}
+	if evs[0].Name == "" || evs[0].Reason == "" {
+		t.Fatalf("runner announcement missing kind or reason: %+v", evs[0])
+	}
+	evs = evs[1:]
 	prev := -1.0
 	for _, e := range evs {
 		if e.Kind != "count" || e.Replica != 3 {

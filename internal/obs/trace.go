@@ -29,6 +29,9 @@ type Event struct {
 	Name    string           `json:"name,omitempty"`
 	Value   int64            `json:"value"`
 	Counts  map[string]int64 `json:"counts,omitempty"`
+	// Reason carries free-text provenance for events that record a
+	// decision — e.g. the "runner" event explaining a kernel selection.
+	Reason string `json:"reason,omitempty"`
 }
 
 // DefaultTraceCap bounds a Trace's memory when no explicit capacity is

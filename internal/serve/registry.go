@@ -460,6 +460,8 @@ func runApproxMajority(ctx context.Context, spec expt.JobSpec, replica int) (exp
 	}
 	rec.Rounds = rounds
 	rec.Converged = ok
+	rec.Runner = drv.Kind.String()
+	rec.RunnerReason = drv.Reason
 	rec.Interactions = drv.Interactions()
 	rec.Counts = map[string]int64{"A": ta.Count(), "B": tb.Count()}
 	return rec, nil
@@ -485,6 +487,8 @@ func runExactMajority(ctx context.Context, spec expt.JobSpec, replica int) (expt
 	}
 	rec.Rounds = rounds
 	rec.Converged = ok
+	rec.Runner = drv.Kind.String()
+	rec.RunnerReason = drv.Reason
 	rec.Interactions = drv.Interactions()
 	rec.Counts = map[string]int64{"A": ta.Count()}
 	return rec, nil
@@ -504,6 +508,8 @@ func runCoalescence(ctx context.Context, spec expt.JobSpec, replica int) (expt.R
 	}
 	rec.Rounds = rounds
 	rec.Converged = ok
+	rec.Runner = drv.Kind.String()
+	rec.RunnerReason = drv.Reason
 	rec.Interactions = drv.Interactions()
 	rec.Counts = map[string]int64{"L": tl.Count()}
 	return rec, nil

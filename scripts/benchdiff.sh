@@ -13,13 +13,13 @@
 #   COUNT=5        benchmark repetitions per side (default 5; QUICK uses 2)
 #   BENCHTIME=1s   -benchtime per benchmark (QUICK uses 1000x)
 #   QUICK=1        fast smoke mode for CI / make check
-#   FAIL_OVER=10   exit 1 if any ns/op metric regresses by more than this
-#                  percent (passed through as benchdiff -fail-over)
+#   FAIL_OVER=10   exit 1 if any ns/op or ns/interaction metric regresses
+#                  by more than this percent (benchdiff -fail-over)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ref="${1:-HEAD~1}"
-pattern="${2:-BenchmarkCountStep|BenchmarkBatchStep|BenchmarkAliasSample}"
+pattern="${2:-BenchmarkCountStep|BenchmarkBatchStep|BenchmarkAggregateStep|BenchmarkAliasSample|BenchmarkFenwickSample}"
 count="${COUNT:-5}"
 benchtime="${BENCHTIME:-1s}"
 if [ "${QUICK:-0}" = "1" ]; then

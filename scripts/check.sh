@@ -22,8 +22,8 @@ go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
-echo "== coverage floors (obs, serve, fleet, client, cluster ≥ 80%) =="
-cover=$(go test -cover ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ | tee /dev/stderr)
+echo "== coverage floors (engine, obs, serve, fleet, client, cluster ≥ 80%) =="
+cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ | tee /dev/stderr)
 echo "$cover" | awk '
     /coverage:/ {
         pct = $0
@@ -39,6 +39,13 @@ tmpb=$(mktemp)
 go test -run '^$' -bench 'BenchmarkAliasSample' -benchtime 100x ./internal/engine/ > "$tmpb"
 go run ./cmd/benchdiff "$tmpb" "$tmpb" >/dev/null
 rm -f "$tmpb"
+
+echo "== kernel smoke (popbench -kernel -quick under -race) =="
+tmpk=$(mktemp -d)
+go run -race ./cmd/popbench -kernel -quick -out "$tmpk" >/dev/null
+grep -q '"runner": "aggregate"' "$tmpk/BENCH_kernel.json" \
+    || { echo "check: kernel smoke produced no aggregate rows" >&2; exit 1; }
+rm -rf "$tmpk"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh
