@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchdiff kernel serve-smoke cluster-smoke obs-smoke loadtest chaos
+.PHONY: build test check bench benchdiff kernel serve-smoke cluster-smoke obs-smoke cache-smoke loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ cluster-smoke:
 # and the timeline carries the expected event kinds per execution mode.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Result-store contract: repeat POSTs are byte-identical store hits with
+# zero fleet work, overlapping sweeps re-run only their miss set, and the
+# cache survives a restart.
+cache-smoke:
+	./scripts/cache-smoke.sh
 
 # Full popserved load test: concurrent streams, 429 backpressure,
 # CLI-vs-HTTP byte-identical determinism, graceful drain.

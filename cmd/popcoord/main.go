@@ -9,7 +9,8 @@
 //	popcoord -workers URL[,URL...] [-addr HOST:PORT] [-shard-size N]
 //	         [-probe-interval D] [-probe-timeout D] [-client-retries N]
 //	         [-dispatch-retries N] [-journal DIR] [-job-timeout D]
-//	         [-max-n N] [-max-replicas N] [-drain D] [-v]
+//	         [-max-n N] [-max-replicas N] [-store DIR] [-store-max-bytes N]
+//	         [-store-max-entries N] [-max-sweep-points N] [-drain D] [-v]
 //
 // Workers are popserved instances reachable at the given base URLs; more
 // can be registered at runtime with POST /v1/workers {"url": "..."}. The
@@ -23,10 +24,19 @@
 // coordinator crash replays the journaled prefix and dispatches only the
 // rest — the same resume contract popserved offers on a single node.
 //
+// With -store DIR, completed cacheable jobs are committed to a coordinator-
+// side content-addressed result store and repeat POSTs stream the stored
+// bytes back without dispatching a single shard (X-Popkit-Cache: hit) —
+// a cached job is served even with zero live workers. The store also backs
+// POST /v1/sweep, which runs only the uncached grid points on the fleet.
+//
 // Endpoints:
 //
 //	POST /v1/jobs       run a job sharded across the cluster, stream NDJSON
 //	POST /v1/simulate   alias for /v1/jobs (drop-in for a single popserved)
+//	POST /v1/sweep      expand a parameter grid, dedupe against the result
+//	                    store and in-flight jobs, stream one manifest line
+//	                    per point plus a summary
 //	GET  /v1/workers    list registered workers and their health
 //	POST /v1/workers    register a worker: {"url": "http://host:port"}
 //	GET  /v1/protocols  list runnable protocols
@@ -69,6 +79,10 @@ func run() int {
 		jobTimeout      = flag.Duration("job-timeout", 300*time.Second, "per-job wall-clock budget")
 		maxN            = flag.Int("max-n", 5_000_000, "largest accepted population size (must not exceed the workers' cap)")
 		maxReplicas     = flag.Int("max-replicas", 1024, "largest accepted replica count (must not exceed the workers' cap)")
+		storeDir        = flag.String("store", "", "directory for the content-addressed result store (empty disables caching)")
+		storeMaxBytes   = flag.Int64("store-max-bytes", 0, "store size cap in bytes before LRU eviction (0 → 256 MiB, negative → unlimited)")
+		storeMaxEnts    = flag.Int("store-max-entries", 0, "store entry cap before LRU eviction (0 → 4096)")
+		maxSweepPoints  = flag.Int("max-sweep-points", 0, "largest accepted sweep grid expansion (0 → 1024)")
 		drain           = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 		verbose         = flag.Bool("v", false, "log dispatch failures and worker transitions to stderr")
 	)
@@ -88,6 +102,10 @@ func run() int {
 		JobTimeout:      *jobTimeout,
 		MaxN:            *maxN,
 		MaxReplicas:     *maxReplicas,
+		StoreDir:        *storeDir,
+		StoreMaxBytes:   *storeMaxBytes,
+		StoreMaxEntries: *storeMaxEnts,
+		MaxSweepPoints:  *maxSweepPoints,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {

@@ -7,7 +7,9 @@
 //
 //	popserved [-addr HOST:PORT] [-queue N] [-workers N] [-fleet-workers N]
 //	          [-job-timeout D] [-drain D] [-max-n N] [-max-replicas N]
-//	          [-journal DIR] [-retries N] [-failpoints SPEC] [-list-failpoints]
+//	          [-journal DIR] [-retries N] [-store DIR] [-store-max-bytes N]
+//	          [-store-max-entries N] [-max-sweep-points N]
+//	          [-failpoints SPEC] [-list-failpoints]
 //
 // With -journal DIR, jobs that carry a job_id checkpoint each completed
 // replica to DIR/<job_id>.ndjson; re-POSTing the same (job_id, spec) —
@@ -19,11 +21,20 @@
 // points (also via POPKIT_FAILPOINTS); -list-failpoints prints the
 // registry and exits.
 //
+// With -store DIR, completed cacheable jobs are committed to a
+// content-addressed result store under DIR and repeat POSTs of the same
+// normalized spec stream the stored bytes back without touching the worker
+// pool (X-Popkit-Cache: hit). The store also backs POST /v1/sweep, which
+// expands a parameter grid server-side and runs only the uncached points.
+//
 // Endpoints:
 //
 //	POST /v1/simulate   run a job, stream NDJSON records (429 when the
 //	                    queue is full, 503 while draining; client
 //	                    disconnect cancels the job)
+//	POST /v1/sweep      expand a parameter grid, dedupe against the result
+//	                    store and in-flight jobs, stream one manifest line
+//	                    per point plus a summary
 //	GET  /v1/protocols  list runnable protocols
 //	GET  /healthz       cheap liveness + queue depth; bypasses the job
 //	                    queue entirely, and reports "draining" with 503
@@ -71,6 +82,10 @@ func run() int {
 		maxReplicas    = flag.Int("max-replicas", 1024, "largest accepted replica count")
 		journalDir     = flag.String("journal", "", "directory for job_id checkpoint journals (empty disables resume)")
 		retries        = flag.Int("retries", 2, "re-runs per crashed replica before its failure reaches the stream")
+		storeDir       = flag.String("store", "", "directory for the content-addressed result store (empty disables caching)")
+		storeMaxBytes  = flag.Int64("store-max-bytes", 0, "store size cap in bytes before LRU eviction (0 → 256 MiB, negative → unlimited)")
+		storeMaxEnts   = flag.Int("store-max-entries", 0, "store entry cap before LRU eviction (0 → 4096)")
+		maxSweepPoints = flag.Int("max-sweep-points", 0, "largest accepted sweep grid expansion (0 → 1024)")
 		pprofFlag      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; off by default)")
 		failpoints     = flag.String("failpoints", "", "enable failpoints, e.g. 'serve/stream=panic(after=2,times=1)' (also: POPKIT_FAILPOINTS)")
 		listFailpoints = flag.Bool("list-failpoints", false, "print the failpoint registry and exit")
@@ -102,17 +117,25 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
 		return 1
 	}
-	srv := serve.New(serve.Config{
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		FleetWorkers: *fleetWorkers,
-		MaxRetries:   *retries,
-		JournalDir:   *journalDir,
-		JobTimeout:   *jobTimeout,
-		MaxN:         *maxN,
-		MaxReplicas:  *maxReplicas,
-		EnablePprof:  *pprofFlag,
+	srv, err := serve.New(serve.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		FleetWorkers:    *fleetWorkers,
+		MaxRetries:      *retries,
+		JournalDir:      *journalDir,
+		JobTimeout:      *jobTimeout,
+		MaxN:            *maxN,
+		MaxReplicas:     *maxReplicas,
+		EnablePprof:     *pprofFlag,
+		StoreDir:        *storeDir,
+		StoreMaxBytes:   *storeMaxBytes,
+		StoreMaxEntries: *storeMaxEnts,
+		MaxSweepPoints:  *maxSweepPoints,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
+		return 1
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 
 	// The scripts parse this line to discover the bound port.

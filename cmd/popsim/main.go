@@ -14,6 +14,7 @@
 //	popsim -p leader -n 4096 -json
 //	popsim -p leader -n 4096 -seed 7 -replicas 8 -ndjson
 //	popsim -p exactmajority -n 100000 -gap 1 -ndjson
+//	popsim -server http://127.0.0.1:8080 -sweep '{"base":{"protocol":"leader"},"grid":{"n":[1024,4096]}}'
 //
 // With -json the run summary is emitted as a single JSON object on stdout
 // for scripting; diagnostics stay on stderr.
@@ -38,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 
 	popkit "popkit"
@@ -86,10 +88,11 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object")
 		replicas  = flag.Int("replicas", 1, "independent replicas (requires -ndjson when > 1)")
 		ndjson    = flag.Bool("ndjson", false, "stream one NDJSON record per replica (the popserved wire format)")
-		workers   = flag.Int("workers", 1, "fleet workers for -ndjson sweeps (does not change the output)")
+		workers   = flag.Int("workers", 1, "fleet workers for the -ndjson replica fan-out (does not change the output)")
 		retries   = flag.Int("retries", 2, "re-runs per crashed replica (-ndjson local), or HTTP retries per request (-server)")
 		server    = flag.String("server", "", "run the job on a popserved instance at this base URL instead of locally (requires -ndjson)")
 		jobID     = flag.String("job-id", "", "job id for server-side checkpoint/resume (requires -server and a journal-enabled popserved)")
+		sweepJSON = flag.String("sweep", "", "POST this sweep grid spec (JSON) to the server's /v1/sweep and print the manifest (requires -server; ignores the per-job flags)")
 		traceFile = flag.String("trace", "", "write an NDJSON event timeline of the run to FILE (local modes only; never changes the run's output)")
 	)
 	flag.Parse()
@@ -105,6 +108,16 @@ func main() {
 		fail("-trace is local-only (the timeline lives in this process; -server runs elsewhere)")
 	}
 	trace, flushTrace := openTrace(*traceFile)
+
+	if *sweepJSON != "" {
+		if *server == "" {
+			fail("-sweep needs -server (grids expand and dedupe server-side, against the server's result store)")
+		}
+		if *retries < 0 {
+			fail("-retries must be ≥ 0 (got %d)", *retries)
+		}
+		os.Exit(runSweep(ctx, *sweepJSON, *server, *retries))
+	}
 
 	if *ndjson {
 		if *jsonOut {
@@ -323,6 +336,9 @@ func runRemote(ctx context.Context, spec expt.JobSpec, base string, retries int)
 		out.Write(line)
 		out.Flush() // line-wise, so an interrupt loses nothing already done
 	})
+	if st := cl.LastCacheStatus(); st != "" {
+		fmt.Fprintf(os.Stderr, "popsim: server cache: %s\n", st)
+	}
 	switch {
 	case ctx.Err() != nil:
 		fmt.Fprintln(os.Stderr, "popsim: interrupted; partial records flushed")
@@ -332,6 +348,49 @@ func runRemote(ctx context.Context, spec expt.JobSpec, base string, retries int)
 		return 1
 	case unconverged > 0:
 		fmt.Fprintf(os.Stderr, "popsim: %d replica(s) did not converge within budget\n", unconverged)
+		return 1
+	}
+	return 0
+}
+
+// runSweep posts a parameter-grid spec to the server's /v1/sweep, printing
+// one manifest line per grid point to stdout (the exact server bytes) and
+// the closing hit/miss summary to stderr.
+func runSweep(ctx context.Context, specJSON, base string, retries int) int {
+	var sw expt.SweepSpec
+	dec := json.NewDecoder(strings.NewReader(specJSON))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		fail("bad -sweep spec: %v", err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	cl := client.New(client.Options{
+		BaseURL:    base,
+		MaxRetries: retries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "popsim: "+format+"\n", args...)
+		},
+	})
+	errors := 0
+	sum, err := cl.Sweep(ctx, sw, func(res expt.SweepResult, line []byte) {
+		if res.Err != "" {
+			errors++
+		}
+		out.Write(line)
+		out.Flush()
+	})
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintln(os.Stderr, "popsim: interrupted; partial manifest flushed")
+		return 130
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "popsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "popsim: sweep done: %d point(s), %d hit, %d miss, %d inflight, %d error\n",
+		sum.Points, sum.Hits, sum.Misses, sum.Inflight, sum.Errors)
+	if errors > 0 {
 		return 1
 	}
 	return 0

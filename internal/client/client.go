@@ -51,7 +51,16 @@ type Options struct {
 type Client struct {
 	opt Options
 	rng uint64
+	// lastCache is the X-Popkit-Cache header of the most recent 200 response
+	// ("" when the server has no result store).
+	lastCache string
 }
+
+// LastCacheStatus reports the X-Popkit-Cache header of the last successful
+// attempt: "hit" (served from the server's result store), "miss" (computed,
+// then committed), or "" (server has no store, or no attempt yet). Valid
+// after Stream or Sweep returns; not safe for use concurrently with them.
+func (c *Client) LastCacheStatus() string { return c.lastCache }
 
 // New builds a client; see Options for defaults.
 func New(opt Options) *Client {
@@ -156,6 +165,7 @@ func (c *Client) attempt(ctx context.Context, body []byte, next *int, want int, 
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
+		c.lastCache = resp.Header.Get("X-Popkit-Cache")
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusConflict,
 		resp.StatusCode == http.StatusServiceUnavailable:
 		// Backpressure (queue full), our own previous request still

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"popkit/internal/expt"
+)
+
+// Sweep posts a parameter grid to POST /v1/sweep and delivers one manifest
+// line per grid point to fn, in point order, with the exact NDJSON bytes the
+// server sent. It returns the trailing {"sweep": ...} summary.
+//
+// Retries cover only the pre-stream rejections (429/503 backpressure, with
+// the server's Retry-After honored): once manifest lines start flowing, a
+// cut connection fails the call — the sweep API has no mid-stream resume
+// protocol, and re-POSTing would re-deliver (cheaply, from the server's
+// result store) rather than resume. Callers wanting a resumable sweep
+// simply re-run it: every point already computed resolves as a cache hit.
+func (c *Client) Sweep(ctx context.Context, sw expt.SweepSpec, fn func(res expt.SweepResult, line []byte)) (expt.SweepSummary, error) {
+	if c.opt.BaseURL == "" {
+		return expt.SweepSummary{}, &permanentError{errors.New("client: no BaseURL")}
+	}
+	body, err := json.Marshal(sw)
+	if err != nil {
+		return expt.SweepSummary{}, &permanentError{err}
+	}
+	fails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return expt.SweepSummary{}, err
+		}
+		sum, started, retryAfter, err := c.sweepAttempt(ctx, body, fn)
+		if err == nil {
+			return sum, nil
+		}
+		var pe *permanentError
+		if started || errors.As(err, &pe) {
+			return expt.SweepSummary{}, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return expt.SweepSummary{}, cerr
+		}
+		fails++
+		if fails > c.opt.MaxRetries {
+			return expt.SweepSummary{}, fmt.Errorf("giving up after %d attempt(s): %w", fails, err)
+		}
+		wait := retryAfter
+		if wait <= 0 {
+			wait = c.backoff(fails)
+		}
+		c.logf("sweep retrying in %v: %v", wait, err)
+		if err := sleep(ctx, wait); err != nil {
+			return expt.SweepSummary{}, err
+		}
+	}
+}
+
+// sweepAttempt runs one POST /v1/sweep. started reports whether any
+// manifest line was delivered (after which the attempt must not be retried).
+func (c *Client) sweepAttempt(ctx context.Context, body []byte, fn func(expt.SweepResult, []byte)) (sum expt.SweepSummary, started bool, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(c.opt.BaseURL, "/")+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return sum, false, 0, &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		return sum, false, 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.lastCache = resp.Header.Get("X-Popkit-Cache")
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return sum, false, parseRetryAfter(resp), fmt.Errorf("server busy (%s): %s", resp.Status, readErrorDoc(resp.Body))
+	case resp.StatusCode >= 500:
+		return sum, false, 0, fmt.Errorf("server error (%s): %s", resp.Status, readErrorDoc(resp.Body))
+	default:
+		return sum, false, 0, &permanentError{fmt.Errorf("request rejected (%s): %s", resp.Status, readErrorDoc(resp.Body))}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	sawSummary := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if s, ok := expt.ParseSummaryLine(line); ok {
+			sum, sawSummary = s, true
+			continue
+		}
+		var res expt.SweepResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return sum, started, 0, &permanentError{fmt.Errorf("undecodable manifest line %.120q: %v", line, err)}
+		}
+		started = true
+		if fn != nil {
+			out := make([]byte, len(line)+1)
+			copy(out, line)
+			out[len(line)] = '\n'
+			fn(res, out)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, started, 0, fmt.Errorf("stream read: %w", err)
+	}
+	if !sawSummary {
+		return sum, started, 0, fmt.Errorf("sweep stream ended without a summary line")
+	}
+	return sum, started, 0, nil
+}

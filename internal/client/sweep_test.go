@@ -1,0 +1,199 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"popkit/internal/expt"
+)
+
+func testSweepSpec() expt.SweepSpec {
+	return expt.SweepSpec{Base: expt.JobSpec{Protocol: "leader", N: 100, Replicas: 2}}
+}
+
+// sweepLine renders point i's manifest line the way the server would.
+func sweepLine(t *testing.T, i int, cache string) []byte {
+	t.Helper()
+	res := expt.SweepResult{Point: i, Spec: testSpec(2), Hash: "h", Cache: cache, Records: 2}
+	line, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(line, '\n')
+}
+
+func summaryLine(t *testing.T, sum expt.SweepSummary) []byte {
+	t.Helper()
+	line, err := expt.MarshalSummaryLine(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return line
+}
+
+func TestSweepHappyPath(t *testing.T) {
+	wantSum := expt.SweepSummary{Points: 2, Hits: 1, Misses: 1}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		var sw expt.SweepSpec
+		if err := json.NewDecoder(r.Body).Decode(&sw); err != nil || sw.Base.Protocol != "leader" {
+			t.Errorf("bad sweep body: %+v err=%v", sw, err)
+		}
+		w.Write(sweepLine(t, 0, "hit"))
+		w.Write(sweepLine(t, 1, "miss"))
+		w.Write(summaryLine(t, wantSum))
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL, 0)
+	var got []expt.SweepResult
+	var raw []byte
+	sum, err := c.Sweep(context.Background(), testSweepSpec(), func(res expt.SweepResult, line []byte) {
+		got = append(got, res)
+		raw = append(raw, line...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != wantSum {
+		t.Fatalf("summary = %+v, want %+v", sum, wantSum)
+	}
+	if len(got) != 2 || got[0].Cache != "hit" || got[1].Cache != "miss" {
+		t.Fatalf("manifest = %+v, want hit then miss", got)
+	}
+	want := append(sweepLine(t, 0, "hit"), sweepLine(t, 1, "miss")...)
+	if string(raw) != string(want) {
+		t.Fatalf("delivered bytes differ:\n%s\nvs\n%s", raw, want)
+	}
+}
+
+func TestSweepRetriesPreStreamBackpressure(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write(sweepLine(t, 0, "miss"))
+		w.Write(summaryLine(t, expt.SweepSummary{Points: 1, Misses: 1}))
+	}))
+	defer ts.Close()
+
+	sum, err := fastClient(ts.URL, 2).Sweep(context.Background(), testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Points != 1 || attempts.Load() != 2 {
+		t.Fatalf("summary %+v after %d attempts, want 1 point on attempt 2", sum, attempts.Load())
+	}
+}
+
+func TestSweepExhaustsRetryBudget(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	if _, err := fastClient(ts.URL, 1).Sweep(context.Background(), testSweepSpec(), nil); err == nil {
+		t.Fatal("sweep against a permanently busy server succeeded")
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("made %d attempts, want 2 (initial + one retry)", attempts.Load())
+	}
+}
+
+func TestSweepDoesNotRetryMidStream(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		// One manifest line, then the connection dies: no summary ever comes.
+		w.Write(sweepLine(t, 0, "miss"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		conn, _, _ := w.(http.Hijacker).Hijack()
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL, 3).Sweep(context.Background(), testSweepSpec(), nil)
+	if err == nil {
+		t.Fatal("cut mid-stream sweep succeeded")
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("made %d attempts, want 1 — a started stream must not be re-POSTed", attempts.Load())
+	}
+}
+
+func TestSweepPermanentRejection(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"bad sweep spec"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL, 3).Sweep(context.Background(), testSweepSpec(), nil)
+	var pe *permanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a permanent error", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("made %d attempts, want 1 — 400s must not be retried", attempts.Load())
+	}
+}
+
+func TestSweepMissingSummaryFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(sweepLine(t, 0, "miss")) // clean EOF, but no summary line
+	}))
+	defer ts.Close()
+	if _, err := fastClient(ts.URL, 0).Sweep(context.Background(), testSweepSpec(), nil); err == nil {
+		t.Fatal("summary-less sweep succeeded")
+	}
+}
+
+func TestSweepUndecodableLineIsPermanent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json\n"))
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL, 3).Sweep(context.Background(), testSweepSpec(), nil)
+	var pe *permanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a permanent error", err)
+	}
+}
+
+func TestSweepRequiresBaseURL(t *testing.T) {
+	c := New(Options{})
+	if _, err := c.Sweep(context.Background(), testSweepSpec(), nil); err == nil {
+		t.Fatal("sweep without a BaseURL succeeded")
+	}
+}
+
+func TestLastCacheStatusTracksHeader(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Popkit-Cache", "hit")
+		w.Write(recLine(t, 0))
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL, 0)
+	if got := c.LastCacheStatus(); got != "" {
+		t.Fatalf("pre-request cache status %q, want empty", got)
+	}
+	if _, _, err := collect(t, c, testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastCacheStatus(); got != "hit" {
+		t.Fatalf("cache status = %q, want hit", got)
+	}
+}

@@ -42,6 +42,7 @@ import (
 
 	"popkit/internal/expt"
 	"popkit/internal/serve"
+	"popkit/internal/store"
 )
 
 // Config sizes the coordinator.
@@ -81,6 +82,21 @@ type Config struct {
 	// workers' own caps. Defaults 5e6 and 1024.
 	MaxN        int
 	MaxReplicas int
+	// StoreDir, when non-empty, enables the coordinator-side content-
+	// addressed result store: completed cacheable jobs are committed under
+	// their canonical spec hash and repeat POSTs stream the stored bytes
+	// without dispatching a single shard. Coordinator and worker stores are
+	// independent caches of the same pure function, so they never disagree.
+	StoreDir string
+	// StoreMaxBytes / StoreMaxEntries cap the store (0 → 256 MiB / 4096).
+	StoreMaxBytes   int64
+	StoreMaxEntries int
+	// MaxSweepPoints caps POST /v1/sweep grid expansion. Default 1024.
+	MaxSweepPoints int
+	// SweepWorkers bounds concurrently resolving sweep points per request —
+	// each miss fans out across the worker fleet, so a handful go a long
+	// way. Default 4.
+	SweepWorkers int
 	// HTTPClient overrides http.DefaultClient for probes and shard streams.
 	HTTPClient *http.Client
 	// Logf, when set, receives one line per dispatch failure and worker
@@ -113,6 +129,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxReplicas == 0 {
 		c.MaxReplicas = 1024
 	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 1024
+	}
+	if c.SweepWorkers == 0 {
+		c.SweepWorkers = 4
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
 	}
@@ -125,7 +147,11 @@ type Coordinator struct {
 	workers  *workerSet
 	journals *journalSet
 	metrics  *Metrics
-	started  time.Time
+	// rstore is the coordinator-side result cache (nil unless StoreDir is
+	// set); flight single-flights concurrent identical jobs regardless.
+	rstore  *store.Store
+	flight  *store.Flight
+	started time.Time
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -154,8 +180,27 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.JournalDir != "" {
 		c.journals = &journalSet{dir: cfg.JournalDir, busy: make(map[string]bool)}
 	}
+	if cfg.StoreDir != "" {
+		sm := store.NewMetrics(c.metrics.reg)
+		st, err := store.Open(store.Options{
+			Dir:        cfg.StoreDir,
+			MaxBytes:   cfg.StoreMaxBytes,
+			MaxEntries: cfg.StoreMaxEntries,
+			Metrics:    sm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.rstore = st
+		c.flight = store.NewFlight(sm)
+	} else {
+		c.flight = store.NewFlight(store.NewMetrics(nil))
+	}
 	return c, nil
 }
+
+// Store exposes the coordinator's result store (nil when disabled).
+func (c *Coordinator) Store() *store.Store { return c.rstore }
 
 // Metrics exposes the counter set (tests and embedding binaries).
 func (c *Coordinator) Metrics() *Metrics { return c.metrics }
@@ -191,10 +236,15 @@ func (c *Coordinator) ProbeNow() int {
 	return c.workers.probeAll(context.Background())
 }
 
-// Stop ends the health-check loop. In-flight jobs are unaffected (their
-// request contexts govern them).
+// Stop ends the health-check loop and persists the store index. In-flight
+// jobs are unaffected (their request contexts govern them).
 func (c *Coordinator) Stop() {
-	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		if c.rstore != nil {
+			c.rstore.Close()
+		}
+	})
 }
 
 func (c *Coordinator) logf(format string, args ...any) {

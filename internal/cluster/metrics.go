@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"popkit/internal/obs"
+	"popkit/internal/store"
 )
 
 // Metrics is the coordinator's counter set, backed by a shared obs.Registry
@@ -25,6 +26,14 @@ type Metrics struct {
 	// JobsResumed counts requests that replayed a journaled prefix after a
 	// coordinator restart (or a repeat POST of a finished job).
 	JobsResumed *obs.Counter
+
+	// Sweeps counts POST /v1/sweep requests that started streaming; the
+	// SweepPoints* family tallies grid points by cache resolution.
+	Sweeps           *obs.Counter
+	SweepPointsHit   *obs.Counter
+	SweepPointsMiss  *obs.Counter
+	SweepPointsInfl  *obs.Counter
+	SweepPointsError *obs.Counter
 
 	// ShardsDispatched counts every shard handed to a worker, re-dispatch
 	// attempts included; ShardsRedispatched counts only the dispatches that
@@ -53,6 +62,7 @@ type Metrics struct {
 func NewMetrics(endpoints ...string) *Metrics {
 	reg := obs.NewRegistry()
 	rejected := "jobs rejected by the coordinator, by reason"
+	sweepPoints := "sweep grid points resolved, by cache outcome"
 	m := &Metrics{
 		reg:                   reg,
 		JobsAccepted:          reg.Counter("popkit_cluster_jobs_accepted_total", "jobs admitted for shard dispatch"),
@@ -62,6 +72,11 @@ func NewMetrics(endpoints ...string) *Metrics {
 		JobsRejectedInvalid:   reg.Counter("popkit_cluster_jobs_rejected_total", rejected, obs.L("reason", "invalid")),
 		JobsRejectedNoWorkers: reg.Counter("popkit_cluster_jobs_rejected_total", rejected, obs.L("reason", "no_workers")),
 		JobsResumed:           reg.Counter("popkit_cluster_jobs_resumed_total", "requests that replayed a journaled prefix"),
+		Sweeps:                reg.Counter("popkit_cluster_sweeps_total", "parameter-grid sweep requests accepted"),
+		SweepPointsHit:        reg.Counter("popkit_cluster_sweep_points_total", sweepPoints, obs.L("cache", "hit")),
+		SweepPointsMiss:       reg.Counter("popkit_cluster_sweep_points_total", sweepPoints, obs.L("cache", "miss")),
+		SweepPointsInfl:       reg.Counter("popkit_cluster_sweep_points_total", sweepPoints, obs.L("cache", "inflight")),
+		SweepPointsError:      reg.Counter("popkit_cluster_sweep_points_total", sweepPoints, obs.L("cache", "error")),
 		ShardsDispatched:      reg.Counter("popkit_cluster_shards_dispatched_total", "shard dispatches to workers, re-dispatches included"),
 		ShardsRedispatched:    reg.Counter("popkit_cluster_shards_redispatched_total", "shards re-routed after a worker failure"),
 		RecordsMerged:         reg.Counter("popkit_cluster_records_merged_total", "replica records merged in replica order"),
@@ -103,6 +118,11 @@ type MetricsSnapshot struct {
 	JobsRejectedInvalid   int64   `json:"jobs_rejected_invalid"`
 	JobsRejectedNoWorkers int64   `json:"jobs_rejected_no_workers"`
 	JobsResumed           int64   `json:"jobs_resumed"`
+	Sweeps                int64   `json:"sweeps"`
+	SweepPointsHit        int64   `json:"sweep_points_hit"`
+	SweepPointsMiss       int64   `json:"sweep_points_miss"`
+	SweepPointsInflight   int64   `json:"sweep_points_inflight"`
+	SweepPointsError      int64   `json:"sweep_points_error"`
 	ShardsDispatched      int64   `json:"shards_dispatched"`
 	ShardsRedispatched    int64   `json:"shards_redispatched"`
 	RecordsMerged         int64   `json:"records_merged"`
@@ -114,6 +134,9 @@ type MetricsSnapshot struct {
 	UptimeSec             float64 `json:"uptime_sec"`
 	// Latency maps endpoint name to its request-latency summary.
 	Latency map[string]obs.HistogramSnapshot `json:"latency"`
+	// Store summarizes the coordinator's result cache (absent when the
+	// store is disabled).
+	Store *store.Snapshot `json:"store,omitempty"`
 }
 
 // Snapshot renders the counters; started anchors the uptime.
@@ -126,6 +149,11 @@ func (m *Metrics) Snapshot(started time.Time) MetricsSnapshot {
 		JobsRejectedInvalid:   int64(m.JobsRejectedInvalid.Load()),
 		JobsRejectedNoWorkers: int64(m.JobsRejectedNoWorkers.Load()),
 		JobsResumed:           int64(m.JobsResumed.Load()),
+		Sweeps:                int64(m.Sweeps.Load()),
+		SweepPointsHit:        int64(m.SweepPointsHit.Load()),
+		SweepPointsMiss:       int64(m.SweepPointsMiss.Load()),
+		SweepPointsInflight:   int64(m.SweepPointsInfl.Load()),
+		SweepPointsError:      int64(m.SweepPointsError.Load()),
 		ShardsDispatched:      int64(m.ShardsDispatched.Load()),
 		ShardsRedispatched:    int64(m.ShardsRedispatched.Load()),
 		RecordsMerged:         int64(m.RecordsMerged.Load()),

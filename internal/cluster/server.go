@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/store"
 )
 
 // route is one entry of the coordinator's route table; as in popserved, the
@@ -28,6 +29,7 @@ func (c *Coordinator) routes() []route {
 		// Alias: a coordinator is a drop-in for a single popserved, so the
 		// worker's simulate path accepts the same specs here.
 		{"jobs", "/v1/simulate", c.handleJob},
+		{"sweep", "/v1/sweep", c.handleSweep},
 		{"workers", "/v1/workers", c.handleWorkers},
 		{"protocols", "/v1/protocols", c.handleProtocols},
 		{"healthz", "/healthz", c.handleHealthz},
@@ -103,6 +105,58 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
+
+	// Content-addressed cache, mirroring popserved's: a cacheable spec
+	// resolves through the coordinator store with single-flight dedupe
+	// before the liveness check — a hit serves even with zero live workers.
+	// On a miss this request leads: the merged stream is captured and
+	// committed on success while concurrent identical POSTs coalesce.
+	var (
+		capt   [][]byte
+		commit func(err error)
+	)
+	if c.rstore != nil && spec.Cacheable() {
+		hash := expt.SpecHash(spec)
+		for leader := false; !leader; {
+			if lines, ok := c.rstore.Get(hash); ok {
+				w.Header().Set("X-Popkit-Cache", "hit")
+				c.streamCached(w, lines)
+				return
+			}
+			var wait func(context.Context) (store.Outcome, error)
+			leader, wait = c.flight.Lead(hash)
+			if leader {
+				break
+			}
+			if _, err := wait(r.Context()); err != nil {
+				writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+				return
+			}
+			// Loop: a committed outcome hits the store; otherwise lead.
+		}
+		w.Header().Set("X-Popkit-Cache", "miss")
+		capt = make([][]byte, 0, spec.Replicas)
+		finished := false
+		finish := func(out store.Outcome) {
+			if !finished {
+				finished = true
+				c.flight.Finish(hash, out)
+			}
+		}
+		defer finish(store.Outcome{Err: "request aborted"})
+		commit = func(err error) {
+			if err != nil || len(capt) != spec.Replicas {
+				finish(store.Outcome{Err: "job did not complete"})
+				return
+			}
+			out := store.Outcome{Records: len(capt), Bytes: lineBytes(capt)}
+			if _, cerr := c.rstore.Commit(spec, capt); cerr == nil {
+				out.Committed = true
+			}
+			finish(out)
+		}
+	}
+
 	if _, live := c.workers.counts(); live == 0 && c.ProbeNow() == 0 {
 		c.metrics.JobsRejectedNoWorkers.Add(1)
 		c.writeBackoff(w, http.StatusServiceUnavailable, "no live workers registered; retry later")
@@ -166,6 +220,11 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 	writeLine := func(line []byte) {
+		if capt != nil {
+			// Retain the merged line for the store commit; dispatch hands
+			// each line over freshly allocated, so no copy is needed.
+			capt = append(capt, line)
+		}
 		if _, err := w.Write(line); err != nil {
 			// Client is gone; its request context cancels the dispatch.
 			return
@@ -184,6 +243,9 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 
 	err := c.execute(ctx, spec, start, journal, writeLine)
+	if commit != nil {
+		commit(err)
+	}
 	switch {
 	case err == nil:
 		c.metrics.JobsCompleted.Add(1)
@@ -198,6 +260,32 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 			w.Write(append(doc, '\n'))
 		}
 	}
+}
+
+// streamCached streams a committed object's lines — byte-identical to a
+// live merged run of the same spec.
+func (c *Coordinator) streamCached(w http.ResponseWriter, lines [][]byte) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for _, line := range lines {
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	c.metrics.JobsCompleted.Add(1)
+}
+
+func lineBytes(lines [][]byte) int64 {
+	var n int64
+	for _, l := range lines {
+		n += int64(len(l))
+	}
+	return n
 }
 
 // registerDoc is the body of POST /v1/workers.
@@ -296,5 +384,10 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(c.metrics.Snapshot(c.started))
+	snap := c.metrics.Snapshot(c.started)
+	if c.rstore != nil {
+		st := c.rstore.Metrics().Snapshot()
+		snap.Store = &st
+	}
+	enc.Encode(snap)
 }

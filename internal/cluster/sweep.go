@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"popkit/internal/expt"
+	"popkit/internal/store"
+)
+
+// handleSweep is POST /v1/sweep on the coordinator: the same grid API the
+// workers expose, resolved against the coordinator's own result store, with
+// misses fanned out across the worker fleet through the normal shard
+// dispatch path. A sweep whose every point is cached completes with zero
+// live workers; only the miss set needs a fleet.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var sw expt.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	specs, err := sw.Expand(c.cfg.MaxSweepPoints)
+	if err != nil {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	// Normalize per point so one invalid grid point yields one manifest
+	// error line instead of failing the sweep.
+	points := make([]store.Point, len(specs))
+	for i := range specs {
+		sp := specs[i]
+		if _, err := c.cfg.Registry.Normalize(&sp, c.cfg.MaxN, c.cfg.MaxReplicas); err != nil {
+			points[i] = store.Point{Spec: specs[i], Err: err}
+			continue
+		}
+		points[i] = store.Point{Spec: sp}
+	}
+	c.metrics.Sweeps.Add(1)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	sweeper := &store.Sweeper{
+		Store:   c.rstore,
+		Flight:  c.flight,
+		Workers: c.cfg.SweepWorkers,
+		Execute: c.executeSweepPoint,
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	writeLine := func(line []byte) {
+		if _, err := w.Write(line); err != nil {
+			// Client gone; the request context cancels the sweep.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sum := sweeper.Run(ctx, points, func(res expt.SweepResult) {
+		switch {
+		case res.Err != "":
+			c.metrics.SweepPointsError.Add(1)
+		case res.Cache == "hit":
+			c.metrics.SweepPointsHit.Add(1)
+		case res.Cache == "miss":
+			c.metrics.SweepPointsMiss.Add(1)
+		case res.Cache == "inflight":
+			c.metrics.SweepPointsInfl.Add(1)
+		}
+		if line, err := json.Marshal(res); err == nil {
+			writeLine(append(line, '\n'))
+		}
+	})
+	if line, err := expt.MarshalSummaryLine(sum); err == nil {
+		writeLine(line)
+	}
+}
+
+// executeSweepPoint runs one normalized spec through the shard dispatcher
+// without an HTTP stream — the coordinator sweep's miss path. Returns the
+// complete merged record lines in replica order.
+func (c *Coordinator) executeSweepPoint(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
+	if _, live := c.workers.counts(); live == 0 && c.ProbeNow() == 0 {
+		return nil, fmt.Errorf("no live workers registered")
+	}
+	c.metrics.JobsAccepted.Add(1)
+	jctx, cancel := context.WithTimeout(ctx, c.cfg.JobTimeout)
+	defer cancel()
+	lines := make([][]byte, 0, spec.Replicas)
+	err := c.execute(jctx, spec, 0, nil, func(line []byte) {
+		// Dispatch hands each merged line over freshly allocated.
+		lines = append(lines, line)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) != spec.Replicas {
+		return nil, fmt.Errorf("job produced %d of %d records", len(lines), spec.Replicas)
+	}
+	return lines, nil
+}

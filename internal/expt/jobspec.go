@@ -157,7 +157,8 @@ type ReplicaRecord struct {
 	// ErrKind classifies Err: "panic", "timeout", "cancelled", or "error".
 	ErrKind string `json:"err_kind,omitempty"`
 	// Stack is the captured goroutine stack of a panicked replica, so a
-	// crash inside a sweep is debuggable from the record alone. Stacks
+	// crash inside a job's replica fan-out is debuggable from the record
+	// alone. Stacks
 	// contain addresses and goroutine IDs, so two records of the same
 	// panic need not be byte-identical — but error records only exist on
 	// failures, which the retry/resume layers exist to eliminate.

@@ -1,0 +1,217 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SweepSpec is the body of POST /v1/sweep: a base JobSpec plus a grid of
+// per-field value lists. The server expands the cartesian product of the
+// grid axes over the base — each grid point is the base spec with the axis
+// values substituted — normalizes every point, and resolves it through the
+// content-addressed store with single-flight dedupe, so an overlapping grid
+// only computes its miss set.
+type SweepSpec struct {
+	// Base supplies every field the grid doesn't vary. It must not carry a
+	// job_id or start: sweep points are identified by content hash, not by
+	// checkpoint identity.
+	Base JobSpec `json:"base"`
+	// Grid lists the varied fields. Empty axes leave the base value alone;
+	// at least one axis (or none — a single-point sweep of the base) is fine.
+	Grid SweepGrid `json:"grid"`
+}
+
+// SweepGrid is one axis per sweepable JobSpec field. Integer axes accept
+// either an explicit list ([100, 1000, 10000]) or an inclusive range object
+// ({"from": 0, "to": 9, "step": 1}).
+type SweepGrid struct {
+	Protocol  []string  `json:"protocol,omitempty"`
+	N         *Axis     `json:"n,omitempty"`
+	Seed      *Axis     `json:"seed,omitempty"`
+	Replicas  *Axis     `json:"replicas,omitempty"`
+	Gap       *Axis     `json:"gap,omitempty"`
+	Colours   *Axis     `json:"colours,omitempty"`
+	MaxIters  *Axis     `json:"max_iters,omitempty"`
+	MaxRounds []float64 `json:"max_rounds,omitempty"`
+}
+
+// maxAxisValues bounds one axis's expansion independently of the whole-grid
+// point cap, so a pathological range ({"from":0,"to":1e18}) fails at decode
+// time instead of materializing memory.
+const maxAxisValues = 65536
+
+// Axis is a list of integer values for one grid dimension, decoded from
+// either a JSON array or an inclusive {"from","to","step"} range.
+type Axis struct {
+	vals []int64
+}
+
+// AxisOf builds an axis from explicit values (client-side construction).
+func AxisOf(vals ...int64) *Axis { return &Axis{vals: append([]int64(nil), vals...)} }
+
+// Values returns the axis's expanded value list.
+func (a *Axis) Values() []int64 {
+	if a == nil {
+		return nil
+	}
+	return a.vals
+}
+
+// UnmarshalJSON accepts [v, v, ...] or {"from": lo, "to": hi, "step": s}
+// (step defaults to 1; the range is inclusive of "to" when the step lands
+// on it).
+func (a *Axis) UnmarshalJSON(data []byte) error {
+	var list []int64
+	if err := json.Unmarshal(data, &list); err == nil {
+		if len(list) == 0 {
+			return fmt.Errorf("axis list is empty")
+		}
+		if len(list) > maxAxisValues {
+			return fmt.Errorf("axis lists %d values (max %d)", len(list), maxAxisValues)
+		}
+		a.vals = list
+		return nil
+	}
+	var r struct {
+		From *int64 `json:"from"`
+		To   *int64 `json:"to"`
+		Step int64  `json:"step"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("axis must be a value list or {from,to,step}: %v", err)
+	}
+	if r.From == nil || r.To == nil {
+		return fmt.Errorf("axis range needs both \"from\" and \"to\"")
+	}
+	if r.Step == 0 {
+		r.Step = 1
+	}
+	if r.Step < 0 {
+		return fmt.Errorf("axis step must be > 0 (got %d)", r.Step)
+	}
+	if *r.To < *r.From {
+		return fmt.Errorf("axis range has to < from (%d < %d)", *r.To, *r.From)
+	}
+	count := (*r.To-*r.From)/r.Step + 1
+	if count > maxAxisValues {
+		return fmt.Errorf("axis range expands to %d values (max %d)", count, maxAxisValues)
+	}
+	a.vals = make([]int64, 0, count)
+	for v := *r.From; v <= *r.To; v += r.Step {
+		a.vals = append(a.vals, v)
+	}
+	return nil
+}
+
+// MarshalJSON renders the expanded list form, so a decoded-and-re-encoded
+// grid round-trips to the same points.
+func (a *Axis) MarshalJSON() ([]byte, error) {
+	if a == nil || a.vals == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(a.vals)
+}
+
+// Expand materializes the grid: the cartesian product over the non-empty
+// axes in fixed order (protocol, n, seed, replicas, gap, colours,
+// max_iters, max_rounds — the last axis varies fastest), each point being
+// Base with the axis values substituted. Point order is deterministic, so
+// the manifest a sweep streams is reproducible. max caps the total count.
+//
+// The returned specs are NOT yet normalized — the caller validates each
+// point through its registry, so one bad point fails that point, not the
+// whole sweep.
+func (s SweepSpec) Expand(max int) ([]JobSpec, error) {
+	if s.Base.JobID != "" {
+		return nil, fmt.Errorf("sweep base must not set job_id (points are cache-identified, not journaled)")
+	}
+	if s.Base.Start != 0 {
+		return nil, fmt.Errorf("sweep base must not set start")
+	}
+	out := []JobSpec{s.Base}
+
+	apply := func(n int, set func(*JobSpec, int)) {
+		if n == 0 {
+			return
+		}
+		next := make([]JobSpec, 0, len(out)*n)
+		for _, base := range out {
+			for i := 0; i < n; i++ {
+				sp := base
+				set(&sp, i)
+				next = append(next, sp)
+			}
+		}
+		out = next
+	}
+
+	g := s.Grid
+	apply(len(g.Protocol), func(sp *JobSpec, i int) { sp.Protocol = g.Protocol[i] })
+	apply(len(g.N.Values()), func(sp *JobSpec, i int) { sp.N = int(g.N.Values()[i]) })
+	apply(len(g.Seed.Values()), func(sp *JobSpec, i int) { sp.Seed = uint64(g.Seed.Values()[i]) })
+	apply(len(g.Replicas.Values()), func(sp *JobSpec, i int) { sp.Replicas = int(g.Replicas.Values()[i]) })
+	apply(len(g.Gap.Values()), func(sp *JobSpec, i int) { sp.Gap = int(g.Gap.Values()[i]) })
+	apply(len(g.Colours.Values()), func(sp *JobSpec, i int) { sp.Colours = int(g.Colours.Values()[i]) })
+	apply(len(g.MaxIters.Values()), func(sp *JobSpec, i int) { sp.MaxIters = int(g.MaxIters.Values()[i]) })
+	apply(len(g.MaxRounds), func(sp *JobSpec, i int) { sp.MaxRounds = g.MaxRounds[i] })
+
+	if max > 0 && len(out) > max {
+		return nil, fmt.Errorf("grid expands to %d points (max %d)", len(out), max)
+	}
+	return out, nil
+}
+
+// SweepResult is one manifest line of a sweep stream: the grid point's
+// normalized spec, its content hash, and how the point was resolved —
+// "hit" (served from the store), "miss" (computed by this request),
+// "inflight" (coalesced onto a concurrent identical computation), or ""
+// with Err set when the point was invalid or failed.
+type SweepResult struct {
+	Point   int     `json:"point"`
+	Spec    JobSpec `json:"spec"`
+	Hash    string  `json:"hash,omitempty"`
+	Cache   string  `json:"cache,omitempty"`
+	Records int     `json:"records"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// SweepSummary is the trailing line of a sweep stream, wrapped on the wire
+// as {"sweep": {...}} so it cannot be confused with a manifest line.
+type SweepSummary struct {
+	Points   int `json:"points"`
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	Inflight int `json:"inflight"`
+	Errors   int `json:"errors"`
+}
+
+// sweepSummaryDoc is the wire envelope of the summary line.
+type sweepSummaryDoc struct {
+	Sweep SweepSummary `json:"sweep"`
+}
+
+// MarshalSummaryLine renders the summary as its newline-terminated wire
+// line; ParseSummaryLine is its client-side inverse (ok=false for manifest
+// lines).
+func MarshalSummaryLine(s SweepSummary) ([]byte, error) {
+	b, err := json.Marshal(sweepSummaryDoc{Sweep: s})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseSummaryLine probes one sweep-stream line for the summary envelope.
+func ParseSummaryLine(line []byte) (SweepSummary, bool) {
+	var probe struct {
+		Sweep *SweepSummary `json:"sweep"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil || probe.Sweep == nil {
+		return SweepSummary{}, false
+	}
+	return *probe.Sweep, true
+}

@@ -1,0 +1,142 @@
+package expt
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestAxisDecodesListAndRange(t *testing.T) {
+	var a Axis
+	if err := json.Unmarshal([]byte(`[100, 1000, 10000]`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{100, 1000, 10000}; !reflect.DeepEqual(a.Values(), want) {
+		t.Fatalf("list axis = %v, want %v", a.Values(), want)
+	}
+	if err := json.Unmarshal([]byte(`{"from":0,"to":9,"step":3}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{0, 3, 6, 9}; !reflect.DeepEqual(a.Values(), want) {
+		t.Fatalf("range axis = %v, want %v", a.Values(), want)
+	}
+	// step defaults to 1; the range is inclusive.
+	if err := json.Unmarshal([]byte(`{"from":5,"to":7}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{5, 6, 7}; !reflect.DeepEqual(a.Values(), want) {
+		t.Fatalf("default-step axis = %v, want %v", a.Values(), want)
+	}
+}
+
+func TestAxisRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		`[]`,                          // empty list
+		`{"from":3,"to":1}`,           // to < from
+		`{"from":0,"to":5,"step":-1}`, // negative step
+		`{"to":5}`,                    // missing from
+		`{"from":0,"to":99999999999}`, // over maxAxisValues
+		`{"from":0,"to":5,"bogus":1}`, // unknown field
+		`"nope"`,                      // wrong type entirely
+	} {
+		var a Axis
+		if err := json.Unmarshal([]byte(bad), &a); err == nil {
+			t.Errorf("axis %s decoded without error (values %v)", bad, a.Values())
+		}
+	}
+}
+
+func TestAxisRoundTripsAsList(t *testing.T) {
+	var a Axis
+	if err := json.Unmarshal([]byte(`{"from":1,"to":3}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `[1,2,3]` {
+		t.Fatalf("axis re-encodes as %s, want [1,2,3]", out)
+	}
+}
+
+func TestExpandCartesianOrder(t *testing.T) {
+	sw := SweepSpec{
+		Base: JobSpec{Protocol: "leader", Replicas: 2},
+		Grid: SweepGrid{
+			N:    AxisOf(100, 200),
+			Seed: AxisOf(1, 2, 3),
+		},
+	}
+	specs, err := sw.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(specs))
+	}
+	// Fixed axis order with the last axis varying fastest.
+	want := []struct {
+		n    int
+		seed uint64
+	}{{100, 1}, {100, 2}, {100, 3}, {200, 1}, {200, 2}, {200, 3}}
+	for i, w := range want {
+		if specs[i].N != w.n || specs[i].Seed != w.seed {
+			t.Fatalf("point %d = (n=%d seed=%d), want (n=%d seed=%d)",
+				i, specs[i].N, specs[i].Seed, w.n, w.seed)
+		}
+		if specs[i].Protocol != "leader" || specs[i].Replicas != 2 {
+			t.Fatalf("point %d lost base fields: %+v", i, specs[i])
+		}
+	}
+}
+
+func TestExpandEmptyGridIsSinglePoint(t *testing.T) {
+	sw := SweepSpec{Base: JobSpec{Protocol: "leader", N: 100}}
+	specs, err := sw.Expand(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Protocol != "leader" || specs[0].N != 100 {
+		t.Fatalf("empty grid expanded to %+v, want just the base", specs)
+	}
+}
+
+func TestExpandEnforcesPointCap(t *testing.T) {
+	sw := SweepSpec{
+		Base: JobSpec{Protocol: "leader"},
+		Grid: SweepGrid{N: AxisOf(1, 2, 3), Seed: AxisOf(1, 2, 3)},
+	}
+	if _, err := sw.Expand(8); err == nil {
+		t.Fatal("9-point grid passed an 8-point cap")
+	}
+	if _, err := sw.Expand(9); err != nil {
+		t.Fatalf("9-point grid failed a 9-point cap: %v", err)
+	}
+}
+
+func TestExpandRejectsJobIDAndStart(t *testing.T) {
+	if _, err := (SweepSpec{Base: JobSpec{Protocol: "leader", JobID: "x"}}).Expand(0); err == nil {
+		t.Fatal("base with job_id accepted")
+	}
+	if _, err := (SweepSpec{Base: JobSpec{Protocol: "leader", Start: 1}}).Expand(0); err == nil {
+		t.Fatal("base with start accepted")
+	}
+}
+
+func TestSummaryLineRoundTrip(t *testing.T) {
+	sum := SweepSummary{Points: 6, Hits: 2, Misses: 3, Inflight: 1}
+	line, err := MarshalSummaryLine(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ParseSummaryLine(line)
+	if !ok || got != sum {
+		t.Fatalf("summary round-trip = (%+v, %v), want (%+v, true)", got, ok, sum)
+	}
+	// A manifest line must not parse as a summary.
+	manifest, _ := json.Marshal(SweepResult{Point: 0, Cache: "hit"})
+	if _, ok := ParseSummaryLine(manifest); ok {
+		t.Fatal("manifest line parsed as a summary")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"popkit/internal/obs"
+	"popkit/internal/store"
 )
 
 // Histogram is the service's request-latency histogram — the shared obs
@@ -38,6 +39,14 @@ type Metrics struct {
 	ReplicasCompleted *obs.Counter
 	Interactions      *obs.Counter
 	InFlight          *obs.GaugeInt
+
+	// Sweeps counts accepted /v1/sweep requests; SweepPointsHit/Miss/
+	// Inflight/Error break down how their grid points resolved.
+	Sweeps           *obs.Counter
+	SweepPointsHit   *obs.Counter
+	SweepPointsMiss  *obs.Counter
+	SweepPointsInfl  *obs.Counter
+	SweepPointsError *obs.Counter
 
 	// FleetSteals / FleetRetries aggregate the replica fleet's work-stealing
 	// traffic and crash-retry attempts across jobs (fleet.Stats totals).
@@ -74,6 +83,11 @@ func NewMetrics(endpoints ...string) *Metrics {
 		ReplicasCompleted:    reg.Counter("popkit_replicas_completed_total", "replicas computed successfully"),
 		Interactions:         reg.Counter("popkit_interactions_total", "simulated scheduler activations served"),
 		InFlight:             reg.Gauge("popkit_jobs_inflight", "jobs currently executing"),
+		Sweeps:               reg.Counter("popkit_sweeps_total", "sweep requests accepted"),
+		SweepPointsHit:       reg.Counter("popkit_sweep_points_total", "sweep grid points by cache resolution", obs.L("cache", "hit")),
+		SweepPointsMiss:      reg.Counter("popkit_sweep_points_total", "sweep grid points by cache resolution", obs.L("cache", "miss")),
+		SweepPointsInfl:      reg.Counter("popkit_sweep_points_total", "sweep grid points by cache resolution", obs.L("cache", "inflight")),
+		SweepPointsError:     reg.Counter("popkit_sweep_points_total", "sweep grid points by cache resolution", obs.L("cache", "error")),
 		FleetSteals:          reg.Counter("popkit_fleet_steals_total", "replicas claimed from another fleet worker's deque"),
 		FleetRetries:         reg.Counter("popkit_fleet_retries_total", "extra replica attempts consumed by crashes"),
 		ReplicaDuration:      reg.Histogram("popkit_fleet_replica_duration_seconds", "per-replica wall-clock time"),
@@ -123,6 +137,15 @@ type MetricsSnapshot struct {
 	QueueCapacity   int     `json:"queue_capacity"`
 	InFlightWorkers int64   `json:"inflight_workers"`
 	UptimeSec       float64 `json:"uptime_sec"`
+	// Sweeps and the SweepPoints* fields tally /v1/sweep traffic.
+	Sweeps              int64 `json:"sweeps"`
+	SweepPointsHit      int64 `json:"sweep_points_hit"`
+	SweepPointsMiss     int64 `json:"sweep_points_miss"`
+	SweepPointsInflight int64 `json:"sweep_points_inflight"`
+	SweepPointsError    int64 `json:"sweep_points_error"`
+	// Store summarizes the content-addressed result store (present only
+	// when the server runs with one).
+	Store *store.Snapshot `json:"store,omitempty"`
 	// ReplicaLatency summarizes per-replica wall-clock time across jobs.
 	ReplicaLatency HistogramSnapshot `json:"replica_latency"`
 	// Latency maps endpoint name to its request-latency summary.
@@ -143,6 +166,11 @@ func (m *Metrics) Snapshot(queueDepth, queueCap int, started time.Time) MetricsS
 		JobsCancelled:        int64(m.JobsCancelled.Load()),
 		JobsResumed:          int64(m.JobsResumed.Load()),
 		ReplicasCompleted:    int64(m.ReplicasCompleted.Load()),
+		Sweeps:               int64(m.Sweeps.Load()),
+		SweepPointsHit:       int64(m.SweepPointsHit.Load()),
+		SweepPointsMiss:      int64(m.SweepPointsMiss.Load()),
+		SweepPointsInflight:  int64(m.SweepPointsInfl.Load()),
+		SweepPointsError:     int64(m.SweepPointsError.Load()),
 		Interactions:         m.Interactions.Load(),
 		FleetSteals:          int64(m.FleetSteals.Load()),
 		FleetRetries:         int64(m.FleetRetries.Load()),

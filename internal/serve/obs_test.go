@@ -18,7 +18,7 @@ import (
 // the metrics' endpoint set derives from the route table, so every
 // registered route — pprof included — has a latency histogram.
 func TestEveryRouteHasHistogram(t *testing.T) {
-	s := New(Config{EnablePprof: true})
+	s := MustNew(Config{EnablePprof: true})
 	defer s.Close()
 	rts := s.routes()
 	if len(rts) < 9 {

@@ -126,8 +126,11 @@ type RunOptions struct {
 	// sink — carrying the latency and attempt telemetry the wire records
 	// don't.
 	Observe func(fleet.Result)
-	// FleetStats, when non-nil, is filled with the sweep's per-worker
-	// utilization tallies (fleet.Options.Stats); valid once Run returns.
+	// FleetStats, when non-nil, is filled with the job's per-worker fleet
+	// tallies — work-stealing traffic, retry attempts, busy time
+	// (fleet.Options.Stats) — valid once Run returns. (It has nothing to do
+	// with /v1/sweep; "sweep" in older comments meant one job's replica
+	// fan-out, a usage retired when the parameter-grid sweep API arrived.)
 	FleetStats *fleet.Stats
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"popkit/internal/expt"
 	"popkit/internal/fault"
+	"popkit/internal/store"
 )
 
 // Failpoints of the HTTP layer (see internal/fault). Both are inert unless
@@ -58,6 +59,23 @@ type Config struct {
 	// -pprof). Off by default: profiling endpoints expose internals and cost
 	// CPU, so they are opt-in.
 	EnablePprof bool
+	// StoreDir, when non-empty, enables the content-addressed result store:
+	// completed cacheable jobs (no job_id, no start window) are committed
+	// under the hash of their canonical spec, and a repeat POST of an
+	// identical spec streams the stored bytes — byte-identical to a live
+	// run — without touching the queue or fleet. Concurrent identical POSTs
+	// single-flight: one computes, the rest coalesce.
+	StoreDir string
+	// StoreMaxBytes / StoreMaxEntries cap the store (see store.Options;
+	// 0 → 256 MiB / 4096 objects, negative → unlimited).
+	StoreMaxBytes   int64
+	StoreMaxEntries int
+	// MaxSweepPoints caps how many grid points one POST /v1/sweep may
+	// expand to. Default 1024.
+	MaxSweepPoints int
+	// SweepWorkers bounds concurrently resolving sweep points per request.
+	// Default: Workers.
+	SweepWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -82,6 +100,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxReplicas == 0 {
 		c.MaxReplicas = 1024
 	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 1024
+	}
+	if c.SweepWorkers == 0 {
+		c.SweepWorkers = c.Workers
+	}
 }
 
 // Server is the HTTP simulation service. Create with New, mount Handler
@@ -92,7 +116,12 @@ type Server struct {
 	pool     *pool
 	journals *journalSet
 	metrics  *Metrics
-	started  time.Time
+	// store is the content-addressed result cache (nil unless StoreDir is
+	// set); flight single-flights concurrent identical computations and is
+	// always present — sweep dedupe works even without a store.
+	store   *store.Store
+	flight  *store.Flight
+	started time.Time
 	// draining flips when graceful shutdown begins: /v1/simulate rejects
 	// new jobs with 503 + Retry-After (a cluster client fails over to
 	// another worker) and /healthz reports "draining" with 503 so a
@@ -100,8 +129,9 @@ type Server struct {
 	draining atomic.Bool
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server and starts its worker pool. The only failure mode is
+// an unusable store directory.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{cfg: cfg, started: time.Now()}
 	// The metrics' endpoint set derives from the route table, so adding a
@@ -116,16 +146,51 @@ func New(cfg Config) *Server {
 	if cfg.JournalDir != "" {
 		s.journals = newJournalSet(cfg.JournalDir)
 	}
+	if cfg.StoreDir != "" {
+		sm := store.NewMetrics(m.Registry())
+		st, err := store.Open(store.Options{
+			Dir:        cfg.StoreDir,
+			MaxBytes:   cfg.StoreMaxBytes,
+			MaxEntries: cfg.StoreMaxEntries,
+			Metrics:    sm,
+		})
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.store = st
+		s.flight = store.NewFlight(sm)
+	} else {
+		s.flight = store.NewFlight(store.NewMetrics(nil))
+	}
+	return s, nil
+}
+
+// MustNew is New for callers whose Config cannot fail (no store directory,
+// or one already validated) — chiefly tests.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
+
+// Store exposes the result store (nil when disabled; tests and /metrics).
+func (s *Server) Store() *store.Store { return s.store }
 
 // Metrics exposes the counter set (tests and embedding binaries).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close stops job intake and blocks until queued and in-flight jobs have
-// drained. Call http.Server.Shutdown first so no handler is still
-// enqueueing.
-func (s *Server) Close() { s.pool.close() }
+// drained, then persists the store index. Call http.Server.Shutdown first
+// so no handler is still enqueueing.
+func (s *Server) Close() {
+	s.pool.close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
 // Abort cancels in-flight jobs; pending Close calls then return promptly.
 // Use when the drain deadline is blown.
@@ -152,6 +217,7 @@ type route struct {
 func (s *Server) routes() []route {
 	rts := []route{
 		{"simulate", "/v1/simulate", s.handleSimulate},
+		{"sweep", "/v1/sweep", s.handleSweep},
 		{"protocols", "/v1/protocols", s.handleProtocols},
 		{"healthz", "/healthz", s.handleHealthz},
 		{"metrics", "/metrics", s.handleMetrics},
@@ -242,6 +308,58 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
+
+	// Content-addressed cache: a cacheable spec (whole job, no checkpoint
+	// identity) resolves through the store with single-flight dedupe before
+	// any fleet machinery — including the enqueue failpoint below, which is
+	// how tests prove a hit truly bypasses the queue. On a hit the stored
+	// bytes stream verbatim; on a miss this request leads the computation
+	// (capturing the stream for commit) while concurrent identical POSTs
+	// wait and then read the committed object.
+	var (
+		cacheHash string
+		capt      *capture
+		finish    func(store.Outcome)
+	)
+	if s.store != nil && spec.Cacheable() {
+		hash := expt.SpecHash(spec)
+		for leader := false; !leader; {
+			if lines, ok := s.store.Get(hash); ok {
+				w.Header().Set("X-Popkit-Cache", "hit")
+				s.streamJob(w, metaLine(r, spec, hash, true), lines, nil, nil)
+				return
+			}
+			var wait func(context.Context) (store.Outcome, error)
+			leader, wait = s.flight.Lead(hash)
+			if leader {
+				break
+			}
+			out, err := wait(r.Context())
+			if err != nil {
+				// Client gone while coalesced; nothing to stream.
+				writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+				return
+			}
+			// A committed outcome hits the store on the next loop pass; a
+			// failed or uncommitted one falls through to leading ourselves.
+			_ = out
+		}
+		cacheHash = hash
+		w.Header().Set("X-Popkit-Cache", "miss")
+		capt = &capture{}
+		finished := false
+		finish = func(out store.Outcome) {
+			if !finished {
+				finished = true
+				s.flight.Finish(cacheHash, out)
+			}
+		}
+		// Safety net: if the handler unwinds before the commit below (stream
+		// failpoint panic, client abort), release the followers with a
+		// failure so they retry rather than hang.
+		defer finish(store.Outcome{Err: "request aborted"})
+	}
+
 	if err := fpEnqueue.Inject(r.Context()); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "injected fault: %v", err)
 		return
@@ -287,7 +405,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			// Every replica is journaled: serve the whole job from disk.
 			journal.Close()
 			s.journals.release(id)
-			s.streamJob(w, replay, nil)
+			s.streamJob(w, metaLine(r, spec, "", false), replay, nil, nil)
 			return
 		}
 	}
@@ -315,14 +433,64 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// The worker now owns the journal and the job-id lock (released via
 	// onDone after the journal is closed).
 	s.metrics.JobsAccepted.Add(1)
-	s.streamJob(w, replay, j)
+	s.streamJob(w, metaLine(r, spec, cacheHash, false), replay, j, capt)
+
+	if capt != nil {
+		out := store.Outcome{Records: len(capt.lines), Bytes: capt.bytes}
+		if capt.failed || len(capt.lines) != spec.Replicas {
+			out = store.Outcome{Err: "job did not complete"}
+		} else if _, err := s.store.Commit(spec, capt.lines); err == nil {
+			out.Committed = true
+		}
+		finish(out)
+	}
 }
 
-// streamJob writes the 200 header, the journal replay bytes (verbatim —
-// they are the exact lines streamed when the records were first computed),
-// then the live records, and finally the in-band error object if the job
-// failed. j may be nil when the whole job was served from the journal.
-func (s *Server) streamJob(w http.ResponseWriter, replay [][]byte, j *queuedJob) {
+// capture accumulates the exact record lines a miss streams, so a
+// completed job commits to the store byte-identically to what the client
+// received. failed flips on any error record; an incomplete capture (count
+// below Replicas — cancellation, disconnect) is simply never committed.
+type capture struct {
+	lines  [][]byte
+	bytes  int64
+	failed bool
+}
+
+// metaInfo is the optional opening metadata record of a job stream,
+// requested with ?meta=1. It is opt-in (and outside the spec, so outside
+// the content hash) because an unconditional extra line would break the
+// byte-identity contract between HTTP, CLI, and cached streams.
+type metaInfo struct {
+	// SpecHash is the spec's content address ("" for uncacheable specs on a
+	// store-less server).
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Cached reports whether the body was served from the result store.
+	Cached   bool `json:"cached"`
+	Replicas int  `json:"replicas"`
+}
+
+// metaLine renders the opening metadata record when the request asked for
+// it (nil otherwise).
+func metaLine(r *http.Request, spec expt.JobSpec, hash string, cached bool) []byte {
+	if v := r.URL.Query().Get("meta"); v != "1" && v != "true" {
+		return nil
+	}
+	doc := struct {
+		Meta metaInfo `json:"meta"`
+	}{metaInfo{SpecHash: hash, Cached: cached, Replicas: spec.Replicas}}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return nil
+	}
+	return append(b, '\n')
+}
+
+// streamJob writes the 200 header, the optional metadata record, the replay
+// bytes (verbatim — journal prefix or cached object), then the live
+// records, and finally the in-band error object if the job failed. j may be
+// nil when the whole body comes from replay; capt, when non-nil, receives
+// every live record line for a later store commit.
+func (s *Server) streamJob(w http.ResponseWriter, meta []byte, replay [][]byte, j *queuedJob, capt *capture) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -352,6 +520,9 @@ func (s *Server) streamJob(w http.ResponseWriter, replay [][]byte, j *queuedJob)
 			flusher.Flush()
 		}
 	}
+	if meta != nil {
+		writeLine(meta)
+	}
 	for _, line := range replay {
 		writeLine(line)
 	}
@@ -363,7 +534,18 @@ func (s *Server) streamJob(w http.ResponseWriter, replay [][]byte, j *queuedJob)
 		if err != nil {
 			continue
 		}
+		if capt != nil {
+			if rec.Err != "" {
+				capt.failed = true
+			} else {
+				capt.lines = append(capt.lines, line)
+				capt.bytes += int64(len(line))
+			}
+		}
 		writeLine(line)
+	}
+	if err := j.err(); err != nil && capt != nil {
+		capt.failed = true
 	}
 	if err := j.err(); err != nil && !errors.Is(err, context.Canceled) {
 		// The status line is sent; signal the failure in-band as a final
@@ -431,5 +613,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metrics.Snapshot(s.pool.depth(), s.pool.capacity(), s.started))
+	snap := s.metrics.Snapshot(s.pool.depth(), s.pool.capacity(), s.started)
+	if s.store != nil {
+		st := s.store.Metrics().Snapshot()
+		snap.Store = &st
+	}
+	enc.Encode(snap)
 }

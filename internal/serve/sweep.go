@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"popkit/internal/expt"
+	"popkit/internal/store"
+)
+
+// handleSweep is POST /v1/sweep: decode a grid spec, expand it server-side
+// into normalized JobSpecs, and resolve every point through the result
+// store with single-flight dedupe — hits stream straight from disk, misses
+// run on the worker pool (waiting politely when the bounded queue is full
+// instead of failing the sweep), and concurrent identical points coalesce
+// onto one computation. The response streams one NDJSON manifest line per
+// grid point, in point order, followed by a {"sweep": {...}} summary.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.JobsRejectedDraining.Add(1)
+		s.writeBackoff(w, http.StatusServiceUnavailable, "server draining; retry (or fail over to another worker)")
+		return
+	}
+	var sw expt.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		s.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	specs, err := sw.Expand(s.cfg.MaxSweepPoints)
+	if err != nil {
+		s.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	// Normalize per point, so one invalid grid point yields one manifest
+	// error line instead of failing the sweep.
+	points := make([]store.Point, len(specs))
+	for i := range specs {
+		sp := specs[i]
+		if _, err := s.cfg.Registry.Normalize(&sp, s.cfg.MaxN, s.cfg.MaxReplicas); err != nil {
+			points[i] = store.Point{Spec: specs[i], Err: err}
+			continue
+		}
+		points[i] = store.Point{Spec: sp}
+	}
+	s.metrics.Sweeps.Add(1)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	sweeper := &store.Sweeper{
+		Store:   s.store,
+		Flight:  s.flight,
+		Workers: s.cfg.SweepWorkers,
+		Execute: func(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
+			return s.executeJob(ctx, spec)
+		},
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	writeLine := func(line []byte) {
+		if _, err := w.Write(line); err != nil {
+			// Client gone; the request context cancels the sweep.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sum := sweeper.Run(ctx, points, func(res expt.SweepResult) {
+		switch {
+		case res.Err != "":
+			s.metrics.SweepPointsError.Add(1)
+		case res.Cache == "hit":
+			s.metrics.SweepPointsHit.Add(1)
+		case res.Cache == "miss":
+			s.metrics.SweepPointsMiss.Add(1)
+		case res.Cache == "inflight":
+			s.metrics.SweepPointsInfl.Add(1)
+		}
+		if line, err := json.Marshal(res); err == nil {
+			writeLine(append(line, '\n'))
+		}
+	})
+	if line, err := expt.MarshalSummaryLine(sum); err == nil {
+		writeLine(line)
+	}
+}
+
+// executeJob runs one normalized spec on the worker pool without an HTTP
+// stream — the sweep's miss path. It honors the bounded queue by waiting
+// for a slot (the request context bounds the wait) rather than rejecting:
+// inside one sweep, backpressure means pacing, not failure. Returns the
+// complete newline-terminated record lines in replica order.
+func (s *Server) executeJob(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
+	// Re-normalizing a normalized spec is the identity; it recovers the
+	// protocol handle without widening the Sweeper's Execute signature.
+	proto, err := s.cfg.Registry.Normalize(&spec, s.cfg.MaxN, s.cfg.MaxReplicas)
+	if err != nil {
+		return nil, err
+	}
+	jctx, cancel := context.WithTimeout(ctx, s.cfg.JobTimeout)
+	defer cancel()
+	j := &queuedJob{
+		spec:    spec,
+		proto:   proto,
+		ctx:     jctx,
+		records: make(chan expt.ReplicaRecord, spec.Replicas),
+	}
+	for {
+		if err := s.pool.tryEnqueue(j); err == nil {
+			break
+		}
+		if err := sleepCtx(jctx, 25*time.Millisecond); err != nil {
+			return nil, fmt.Errorf("waiting for a queue slot: %w", err)
+		}
+	}
+	s.metrics.JobsAccepted.Add(1)
+
+	lines := make([][]byte, 0, spec.Replicas)
+	var failed string
+	for rec := range j.records {
+		if rec.Err != "" {
+			if failed == "" {
+				failed = fmt.Sprintf("replica %d failed (%s): %s", rec.Replica, rec.ErrKind, rec.Err)
+			}
+			continue
+		}
+		line, err := rec.MarshalLine()
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, line)
+	}
+	if err := j.err(); err != nil {
+		return nil, err
+	}
+	if failed != "" {
+		return nil, fmt.Errorf("%s", failed)
+	}
+	if len(lines) != spec.Replicas {
+		return nil, fmt.Errorf("job produced %d of %d records", len(lines), spec.Replicas)
+	}
+	return lines, nil
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

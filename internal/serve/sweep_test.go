@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"popkit/internal/expt"
+)
+
+// postSweep POSTs body to /v1/sweep and decodes the manifest + summary.
+func postSweep(t *testing.T, url, body string) ([]expt.SweepResult, expt.SweepSummary, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, expt.SweepSummary{}, resp
+	}
+	var (
+		results []expt.SweepResult
+		sum     expt.SweepSummary
+		sawSum  bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if s, ok := expt.ParseSummaryLine(sc.Bytes()); ok {
+			sum, sawSum = s, true
+			continue
+		}
+		var res expt.SweepResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad manifest line %q: %v", sc.Text(), err)
+		}
+		results = append(results, res)
+	}
+	if !sawSum {
+		t.Fatal("sweep stream ended without a summary line")
+	}
+	return results, sum, resp
+}
+
+func TestSweepRunsGridAndDedupesOverlap(t *testing.T) {
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+
+	first := `{"base":{"protocol":"leader","n":256,"replicas":2},"grid":{"seed":[1,2]}}`
+	results, sum, _ := postSweep(t, ts.URL, first)
+	if len(results) != 2 {
+		t.Fatalf("got %d manifest lines, want 2", len(results))
+	}
+	for i, res := range results {
+		if res.Point != i || res.Cache != "miss" || res.Err != "" || res.Records != 2 {
+			t.Fatalf("point %d = %+v, want an in-order 2-record miss", i, res)
+		}
+		if len(res.Hash) != 64 {
+			t.Fatalf("point %d hash %q is not a sha256", i, res.Hash)
+		}
+		if res.Spec.Seed != uint64(i+1) {
+			t.Fatalf("point %d spec seed = %d, want %d", i, res.Spec.Seed, i+1)
+		}
+	}
+	if sum != (expt.SweepSummary{Points: 2, Misses: 2}) {
+		t.Fatalf("first summary = %+v, want 2 misses", sum)
+	}
+
+	// Overlapping grid: seeds 1,2 are cached, 3 is new. Only the miss runs.
+	accepted := s.Metrics().JobsAccepted.Load()
+	second := `{"base":{"protocol":"leader","n":256,"replicas":2},"grid":{"seed":[1,2,3]}}`
+	results, sum, _ = postSweep(t, ts.URL, second)
+	if len(results) != 3 {
+		t.Fatalf("got %d manifest lines, want 3", len(results))
+	}
+	wantCache := []string{"hit", "hit", "miss"}
+	for i, res := range results {
+		if res.Cache != wantCache[i] {
+			t.Fatalf("point %d cache = %q, want %q", i, res.Cache, wantCache[i])
+		}
+	}
+	if sum != (expt.SweepSummary{Points: 3, Hits: 2, Misses: 1}) {
+		t.Fatalf("second summary = %+v, want 2 hits 1 miss", sum)
+	}
+	if got := s.Metrics().JobsAccepted.Load() - accepted; got != 1 {
+		t.Fatalf("overlap sweep enqueued %d jobs, want 1 (only the miss set runs)", got)
+	}
+	if s.Metrics().SweepPointsHit.Load() != 2 || s.Metrics().SweepPointsMiss.Load() != 3 {
+		t.Fatalf("sweep point counters hit=%d miss=%d, want 2/3",
+			s.Metrics().SweepPointsHit.Load(), s.Metrics().SweepPointsMiss.Load())
+	}
+}
+
+func TestSweepInvalidPointFailsThatPointOnly(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+	body := `{"base":{"protocol":"leader","n":256},"grid":{"protocol":["leader","nosuch"]}}`
+	results, sum, _ := postSweep(t, ts.URL, body)
+	if len(results) != 2 {
+		t.Fatalf("got %d manifest lines, want 2", len(results))
+	}
+	if results[0].Err != "" || results[0].Cache != "miss" {
+		t.Fatalf("valid point = %+v", results[0])
+	}
+	if results[1].Err == "" || results[1].Cache != "" {
+		t.Fatalf("invalid point = %+v, want an error line", results[1])
+	}
+	if sum.Errors != 1 || sum.Misses != 1 {
+		t.Fatalf("summary = %+v, want 1 miss 1 error", sum)
+	}
+}
+
+func TestSweepRejectsBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir(), MaxSweepPoints: 4})
+	for name, body := range map[string]string{
+		"malformed":   `{"base":`,
+		"unknown key": `{"base":{"protocol":"leader","n":100},"wat":1}`,
+		"job_id base": `{"base":{"protocol":"leader","n":100,"job_id":"x"}}`,
+		"over cap":    `{"base":{"protocol":"leader","n":100},"grid":{"seed":{"from":1,"to":5}}}`,
+	} {
+		_, _, resp := postSweep(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSweepWorksWithoutStore exercises the store-less degenerate mode: every
+// point computes (no hits possible), but single-flight still dedupes points
+// within the request and the manifest still streams.
+func TestSweepWorksWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"base":{"protocol":"leader","n":256,"replicas":2},"grid":{"seed":[1,2]}}`
+	results, sum, _ := postSweep(t, ts.URL, body)
+	if len(results) != 2 || sum.Misses != 2 {
+		t.Fatalf("store-less sweep: %d lines, summary %+v", len(results), sum)
+	}
+}
+
+// TestSweepPacedByBoundedQueue: more grid points than queue slots must not
+// 429 — inside a sweep, backpressure means waiting, not failure.
+func TestSweepPacedByBoundedQueue(t *testing.T) {
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir(), Workers: 1, QueueDepth: 1, SweepWorkers: 4})
+	body := `{"base":{"protocol":"leader","n":128,"replicas":1},"grid":{"seed":{"from":1,"to":6}}}`
+	results, sum, _ := postSweep(t, ts.URL, body)
+	if len(results) != 6 || sum.Misses != 6 || sum.Errors != 0 {
+		t.Fatalf("queue-paced sweep: %d lines, summary %+v, want 6 error-free misses", len(results), sum)
+	}
+	if got := s.Metrics().JobsRejectedFull.Load(); got != 0 {
+		t.Fatalf("sweep tripped the 429 path %d times; it must wait for slots instead", got)
+	}
+}

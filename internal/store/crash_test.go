@@ -1,0 +1,142 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"popkit/internal/expt"
+	"popkit/internal/fault"
+)
+
+// TestTornCommitErrorNeverServed aborts a commit mid-object via the
+// store/commit failpoint: the store must stay unchanged, leave no visible
+// object, and serve a clean miss — never a truncated stream.
+func TestTornCommitErrorNeverServed(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	spec := testSpec(1, 4)
+	lines := testLines(t, spec)
+
+	// Fail before the third record line, once.
+	if err := fault.Enable("store/commit=error(after=2,times=1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(spec, lines); err == nil {
+		t.Fatal("torn commit reported success")
+	}
+	hash := expt.SpecHash(spec)
+	if _, ok := s.Get(hash); ok {
+		t.Fatal("torn commit became visible")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("torn commit left %d entries", s.Len())
+	}
+	if _, err := os.Stat(s.objectPath(hash)); !os.IsNotExist(err) {
+		t.Fatalf("torn object visible in objects/ (err=%v)", err)
+	}
+
+	// The failpoint is spent (times=1): the retry commits cleanly and the
+	// full stream is served.
+	if _, err := s.Commit(spec, lines); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(hash)
+	if !ok || len(got) != spec.Replicas {
+		t.Fatalf("recovery commit not served whole: ok=%v lines=%d", ok, len(got))
+	}
+}
+
+// TestTornCommitPanicLeavesOnlyTmpDebris simulates a crash mid-commit (panic
+// kind): the partial write stays in tmp/, never objects/, and the next Open
+// removes it — the journal torn-tail recovery pattern applied to the store.
+func TestTornCommitPanicLeavesOnlyTmpDebris(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	spec := testSpec(2, 3)
+	lines := testLines(t, spec)
+	if err := fault.Enable("store/commit=panic(after=1,times=1)"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("commit did not panic")
+			}
+		}()
+		s.Commit(spec, lines)
+	}()
+	hash := expt.SpecHash(spec)
+	if _, err := os.Stat(s.objectPath(hash)); !os.IsNotExist(err) {
+		t.Fatalf("crashed commit visible in objects/ (err=%v)", err)
+	}
+	tmp := filepath.Join(dir, "tmp", hash+".tmp")
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("crashed commit left no tmp debris to recover from: %v", err)
+	}
+	// Recovery: reopen cleans the debris; the object is still absent.
+	s.Close()
+	s2 := openTest(t, Options{Dir: dir})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp debris survived recovery Open (err=%v)", err)
+	}
+	if _, ok := s2.Get(hash); ok {
+		t.Fatal("crashed commit served after recovery")
+	}
+}
+
+// TestEvictionUnderConcurrentReads hammers Get while commits force constant
+// eviction of the same entries. Run under -race: the invariant is that every
+// Get returns either a complete stream or a miss — never a partial result,
+// never a data race.
+func TestEvictionUnderConcurrentReads(t *testing.T) {
+	s := openTest(t, Options{MaxEntries: 2})
+	const nSpecs = 6
+	specs := make([]expt.JobSpec, nSpecs)
+	hashes := make([]string, nSpecs)
+	allLines := make([][][]byte, nSpecs)
+	for i := range specs {
+		specs[i] = testSpec(uint64(i+1), 2)
+		hashes[i] = expt.SpecHash(specs[i])
+		allLines[i] = testLines(t, specs[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				idx := (g + i) % nSpecs
+				if lines, ok := s.Get(hashes[idx]); ok && len(lines) != specs[idx].Replicas {
+					errs <- fmt.Errorf("partial hit: %d of %d lines", len(lines), specs[idx].Replicas)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			idx := i % nSpecs
+			if _, err := s.Commit(specs[idx], allLines[idx]); err != nil {
+				errs <- fmt.Errorf("commit: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := s.Len(); n > 2 {
+		t.Fatalf("cap not enforced under concurrency: %d entries", n)
+	}
+}

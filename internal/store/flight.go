@@ -1,0 +1,92 @@
+package store
+
+import (
+	"context"
+	"sync"
+)
+
+// Outcome is what a single-flight leader reports when its computation
+// settles, carried to the followers so they can answer without touching
+// the fleet — even on a server running without a store (Committed=false,
+// Err="" still means "the work happened; here are its counts").
+type Outcome struct {
+	// Committed reports that the result was committed to the store, so a
+	// follower's next Get will hit (barring eviction).
+	Committed bool
+	// Records / Bytes size the computed stream (manifest reporting).
+	Records int
+	Bytes   int64
+	// Err is the leader's failure, if any; followers treat a failed leader
+	// as "try leading yourself" rather than inheriting the failure.
+	Err string
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done chan struct{}
+	out  Outcome
+}
+
+// Flight coalesces concurrent identical computations (same content hash)
+// onto one leader. It is deliberately separate from the Store: sweep
+// dedupe wants single-flight even when no store is configured.
+type Flight struct {
+	m *Metrics
+
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// NewFlight builds a Flight; m (may be nil) receives the coalesced counter.
+func NewFlight(m *Metrics) *Flight {
+	return &Flight{m: m, calls: make(map[string]*flightCall)}
+}
+
+// Lead claims leadership of hash. When leader is true the caller must run
+// the computation and call Finish exactly once (success or failure —
+// deferred, so panics still release followers). Otherwise wait blocks
+// until the current leader finishes and returns its outcome; a failed
+// leader's followers typically re-check the store and call Lead again.
+func (f *Flight) Lead(hash string) (leader bool, wait func(ctx context.Context) (Outcome, error)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if call, ok := f.calls[hash]; ok {
+		if f.m != nil {
+			f.m.Coalesced.Inc()
+		}
+		return false, func(ctx context.Context) (Outcome, error) {
+			select {
+			case <-call.done:
+				return call.out, nil
+			case <-ctx.Done():
+				return Outcome{}, ctx.Err()
+			}
+		}
+	}
+	f.calls[hash] = &flightCall{done: make(chan struct{})}
+	return true, nil
+}
+
+// Finish settles the leader's call: followers wake with out, and the hash
+// becomes leadable again. Extra Finish calls for a hash with no open call
+// are no-ops (the deferred-safety-net pattern calls Finish twice on the
+// error path).
+func (f *Flight) Finish(hash string, out Outcome) {
+	f.mu.Lock()
+	call, ok := f.calls[hash]
+	if ok {
+		delete(f.calls, hash)
+	}
+	f.mu.Unlock()
+	if ok {
+		call.out = out
+		close(call.done)
+	}
+}
+
+// Inflight samples the number of open calls (tests).
+func (f *Flight) Inflight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

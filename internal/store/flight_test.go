@@ -1,0 +1,82 @@
+package store
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"popkit/internal/obs"
+)
+
+func TestFlightLeaderAndFollowers(t *testing.T) {
+	f := NewFlight(NewMetrics(obs.NewRegistry()))
+	leader, wait := f.Lead("h1")
+	if !leader || wait != nil {
+		t.Fatal("first caller did not lead")
+	}
+	const followers = 5
+	var wg sync.WaitGroup
+	outs := make([]Outcome, followers)
+	for i := 0; i < followers; i++ {
+		l, w := f.Lead("h1")
+		if l {
+			t.Fatal("second caller led while the call was open")
+		}
+		wg.Add(1)
+		go func(i int, w func(context.Context) (Outcome, error)) {
+			defer wg.Done()
+			out, err := w(context.Background())
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			outs[i] = out
+		}(i, w)
+	}
+	want := Outcome{Committed: true, Records: 3, Bytes: 99}
+	f.Finish("h1", want)
+	wg.Wait()
+	for i, out := range outs {
+		if out != want {
+			t.Fatalf("follower %d got %+v, want %+v", i, out, want)
+		}
+	}
+	if f.Inflight() != 0 {
+		t.Fatalf("call not cleared: %d inflight", f.Inflight())
+	}
+	if got := f.m.Coalesced.Load(); got != followers {
+		t.Fatalf("coalesced = %d, want %d", got, followers)
+	}
+	// The hash is leadable again after Finish.
+	if leader, _ := f.Lead("h1"); !leader {
+		t.Fatal("hash not leadable after Finish")
+	}
+	f.Finish("h1", Outcome{})
+}
+
+func TestFlightFollowerHonoursContext(t *testing.T) {
+	f := NewFlight(nil)
+	if leader, _ := f.Lead("h"); !leader {
+		t.Fatal("expected to lead")
+	}
+	_, wait := f.Lead("h")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := wait(ctx); err == nil {
+		t.Fatal("follower wait outlived its context")
+	}
+	f.Finish("h", Outcome{})
+}
+
+func TestFlightFinishIsIdempotent(t *testing.T) {
+	f := NewFlight(nil)
+	f.Lead("h")
+	f.Finish("h", Outcome{Err: "safety net"})
+	// The second Finish (the deferred safety net after a successful commit
+	// path already finished) must be a no-op, not a panic or a new call.
+	f.Finish("h", Outcome{})
+	if f.Inflight() != 0 {
+		t.Fatal("idempotent Finish left an open call")
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"time"
+
+	"popkit/internal/obs"
+)
+
+// Metrics is the store's counter set, registered on the embedding server's
+// obs.Registry so store series appear in the same /metrics exposition
+// (popkit_store_* family names). NewMetrics(nil) yields all-nil series —
+// every operation is then a no-op — so an unregistered store still works.
+type Metrics struct {
+	// Hits / Misses count Get resolutions. A miss that later coalesces onto
+	// an in-flight computation still counts here: the store itself had no
+	// bytes at lookup time.
+	Hits   *obs.Counter
+	Misses *obs.Counter
+	// Evictions counts objects removed by the LRU/byte caps; Corrupt counts
+	// objects dropped because validation failed at read time (torn commit,
+	// bit rot) — corrupt objects are deleted and re-resolved as misses,
+	// never served.
+	Evictions *obs.Counter
+	Corrupt   *obs.Counter
+	// Coalesced counts requests that joined another request's in-flight
+	// computation instead of running their own (single-flight).
+	Coalesced *obs.Counter
+	// Commits counts objects successfully committed.
+	Commits *obs.Counter
+
+	// Entries / Bytes track the store's current size.
+	Entries *obs.GaugeInt
+	Bytes   *obs.GaugeInt
+
+	// ReadLatency is the wall-clock histogram of successful store reads
+	// (lookup through validated object load).
+	ReadLatency *obs.Histogram
+}
+
+// NewMetrics registers the store series on reg (nil reg → inert metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Hits:        reg.Counter("popkit_store_hits_total", "result-store lookups served from a committed object"),
+		Misses:      reg.Counter("popkit_store_misses_total", "result-store lookups that found no valid object"),
+		Evictions:   reg.Counter("popkit_store_evictions_total", "objects evicted by the LRU/byte caps"),
+		Corrupt:     reg.Counter("popkit_store_corrupt_total", "objects dropped because read-time validation failed"),
+		Coalesced:   reg.Counter("popkit_store_singleflight_coalesced_total", "requests coalesced onto an in-flight identical computation"),
+		Commits:     reg.Counter("popkit_store_commits_total", "objects committed to the store"),
+		Entries:     reg.Gauge("popkit_store_entries", "objects currently stored"),
+		Bytes:       reg.Gauge("popkit_store_bytes", "bytes currently stored"),
+		ReadLatency: reg.Histogram("popkit_store_read_duration_seconds", "wall-clock time of successful store reads"),
+	}
+}
+
+// Snapshot is the store's slice of the /metrics JSON document.
+type Snapshot struct {
+	Hits        int64                 `json:"hits"`
+	Misses      int64                 `json:"misses"`
+	Evictions   int64                 `json:"evictions"`
+	Corrupt     int64                 `json:"corrupt"`
+	Coalesced   int64                 `json:"singleflight_coalesced"`
+	Commits     int64                 `json:"commits"`
+	Entries     int64                 `json:"entries"`
+	Bytes       int64                 `json:"bytes"`
+	ReadLatency obs.HistogramSnapshot `json:"read_latency"`
+}
+
+// Snapshot renders the counters (zero value for a nil receiver).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Hits:        int64(m.Hits.Load()),
+		Misses:      int64(m.Misses.Load()),
+		Evictions:   int64(m.Evictions.Load()),
+		Corrupt:     int64(m.Corrupt.Load()),
+		Coalesced:   int64(m.Coalesced.Load()),
+		Commits:     int64(m.Commits.Load()),
+		Entries:     m.Entries.Load(),
+		Bytes:       m.Bytes.Load(),
+		ReadLatency: m.ReadLatency.Snapshot(),
+	}
+}
+
+// observeRead is a nil-safe latency observation helper.
+func (m *Metrics) observeRead(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ReadLatency.Observe(d)
+}

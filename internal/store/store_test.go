@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popkit/internal/expt"
+	"popkit/internal/obs"
+)
+
+// testSpec returns a normalized, cacheable spec whose seed varies the
+// content hash — the only spec fields the store itself interprets are
+// Replicas (record count) and the canonical encoding (the key).
+func testSpec(seed uint64, replicas int) expt.JobSpec {
+	return expt.JobSpec{Protocol: "leader", N: 128, Seed: seed, Replicas: replicas}
+}
+
+// testLines fabricates a valid committed stream for spec: one successful
+// record per replica, newline-terminated, in replica order.
+func testLines(t *testing.T, spec expt.JobSpec) [][]byte {
+	t.Helper()
+	lines := make([][]byte, spec.Replicas)
+	for i := range lines {
+		rec := expt.ReplicaRecord{
+			Replica:   i,
+			Protocol:  spec.Protocol,
+			N:         spec.N,
+			Seed:      expt.ReplicaSeed(spec.Seed, i),
+			Rounds:    42,
+			Converged: true,
+		}
+		line, err := rec.MarshalLine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = line
+	}
+	return lines
+}
+
+func openTest(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.Metrics == nil {
+		// Registered counters, so tests can assert on Snapshot values.
+		opts.Metrics = NewMetrics(obs.NewRegistry())
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCommitGetRoundTrip(t *testing.T) {
+	s := openTest(t, Options{Metrics: NewMetrics(obs.NewRegistry())})
+	spec := testSpec(1, 3)
+	lines := testLines(t, spec)
+	hash, err := s.Commit(spec, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != expt.SpecHash(spec) {
+		t.Fatalf("Commit returned %s, want the spec hash %s", hash, expt.SpecHash(spec))
+	}
+	got, ok := s.Get(hash)
+	if !ok {
+		t.Fatal("committed object missed")
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("got %d lines, want %d", len(got), len(lines))
+	}
+	for i := range lines {
+		if !bytes.Equal(got[i], lines[i]) {
+			t.Fatalf("line %d not byte-identical:\n got %s\nwant %s", i, got[i], lines[i])
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Hits != 1 || snap.Commits != 1 || snap.Entries != 1 {
+		t.Fatalf("snapshot = %+v, want hits=1 commits=1 entries=1", snap)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := openTest(t, Options{})
+	if _, ok := s.Get(expt.SpecHash(testSpec(99, 1))); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if snap := s.Metrics().Snapshot(); snap.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", snap.Misses)
+	}
+}
+
+func TestCommitIsIdempotent(t *testing.T) {
+	s := openTest(t, Options{})
+	spec := testSpec(1, 2)
+	lines := testLines(t, spec)
+	h1, err := s.Commit(spec, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Commit(spec, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || s.Len() != 1 {
+		t.Fatalf("duplicate commit: hashes %s/%s, %d entries", h1, h2, s.Len())
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	s := openTest(t, Options{})
+	spec := testSpec(1, 2)
+	if _, err := s.Commit(spec, testLines(t, spec)[:1]); err == nil {
+		t.Fatal("short commit accepted")
+	}
+	sharded := spec
+	sharded.Start = 1
+	if _, err := s.Commit(sharded, testLines(t, spec)); err == nil {
+		t.Fatal("windowed spec accepted")
+	}
+	bad := testLines(t, spec)
+	bad[1] = bytes.TrimRight(bad[1], "\n")
+	if _, err := s.Commit(spec, bad); err == nil {
+		t.Fatal("unterminated line accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed commits left %d entries", s.Len())
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	s := openTest(t, Options{MaxEntries: 2})
+	specs := []expt.JobSpec{testSpec(1, 1), testSpec(2, 1), testSpec(3, 1)}
+	var hashes []string
+	for _, sp := range specs[:2] {
+		h, err := s.Commit(sp, testLines(t, sp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+	// Touch the older entry so it becomes most recent; the next commit must
+	// evict the untouched one.
+	if _, ok := s.Get(hashes[0]); !ok {
+		t.Fatal("warm entry missed")
+	}
+	h3, err := s.Commit(specs[2], testLines(t, specs[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(hashes[1]); ok {
+		t.Fatal("least-recently-used entry survived the cap")
+	}
+	for _, h := range []string{hashes[0], h3} {
+		if _, ok := s.Get(h); !ok {
+			t.Fatalf("entry %.12s evicted out of LRU order", h)
+		}
+	}
+	if snap := s.Metrics().Snapshot(); snap.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", snap.Evictions)
+	}
+	// The object file itself must be gone, not just the index entry.
+	if _, err := os.Stat(s.objectPath(hashes[1])); !os.IsNotExist(err) {
+		t.Fatalf("evicted object still on disk (err=%v)", err)
+	}
+}
+
+func TestByteCapNeverEvictsTheNewestEntry(t *testing.T) {
+	s := openTest(t, Options{MaxBytes: 1}) // below any real object size
+	spec := testSpec(1, 2)
+	if _, err := s.Commit(spec, testLines(t, spec)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatal("oversized single object was evicted; the newest entry must always cache")
+	}
+	spec2 := testSpec(2, 2)
+	if _, err := s.Commit(spec2, testLines(t, spec2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("byte cap not enforced: %d entries for a 1-byte cap", s.Len())
+	}
+	if _, ok := s.Get(expt.SpecHash(spec2)); !ok {
+		t.Fatal("newest entry was the one evicted")
+	}
+}
+
+func TestReopenPreservesObjectsAndRecency(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	a, b := testSpec(1, 1), testSpec(2, 1)
+	ha, err := s.Commit(a, testLines(t, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(b, testLines(t, b)); err != nil {
+		t.Fatal(err)
+	}
+	// Bump a to most recent, then persist recency via Close.
+	if _, ok := s.Get(ha); !ok {
+		t.Fatal("warm entry missed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with room for one entry: the recency order must survive, so a
+	// (most recent) stays and b is evicted at Open.
+	s2 := openTest(t, Options{Dir: dir, MaxEntries: 1})
+	if s2.Len() != 1 {
+		t.Fatalf("reopen kept %d entries under a 1-entry cap", s2.Len())
+	}
+	if _, ok := s2.Get(ha); !ok {
+		t.Fatal("most-recent entry did not survive reopen")
+	}
+}
+
+func TestOpenAdoptsOrphanObjects(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	spec := testSpec(7, 2)
+	hash, err := s.Commit(spec, testLines(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Lose the index: the object on disk is all that remains.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, Options{Dir: dir})
+	if _, ok := s2.Get(hash); !ok {
+		t.Fatal("orphan object not adopted on reopen")
+	}
+}
+
+func TestOpenCleansTmpDebris(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(dir, "tmp", "deadbeef.tmp")
+	if err := os.WriteFile(debris, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openTest(t, Options{Dir: dir})
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatalf("tmp debris survived Open (err=%v)", err)
+	}
+}
+
+func TestCorruptObjectIsDroppedNotServed(t *testing.T) {
+	s := openTest(t, Options{})
+	spec := testSpec(1, 3)
+	hash, err := s.Commit(spec, testLines(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record: a torn tail with no final newline.
+	path := s.objectPath(hash)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(hash); ok {
+		t.Fatal("truncated object was served")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", snap.Corrupt)
+	}
+	// The bad object is deleted, so the next lookup is a clean miss that a
+	// recompute can fill.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt object still on disk (err=%v)", err)
+	}
+	if _, ok := s.Get(hash); ok {
+		t.Fatal("dropped object reported a hit")
+	}
+}
+
+func TestMismatchedHeaderHashRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	spec := testSpec(1, 1)
+	hash, err := s.Commit(spec, testLines(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Rename the object to a different (valid-looking) hash: the header no
+	// longer matches the file name, so serving it would answer the wrong spec.
+	wrong := "0000000000000000000000000000000000000000000000000000000000000000"
+	if err := os.Rename(s.objectPath(hash), s.objectPath(wrong)); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, "index.json"))
+	s2 := openTest(t, Options{Dir: dir})
+	if _, ok := s2.Get(wrong); ok {
+		t.Fatal("object with mismatched header hash was served")
+	}
+	if snap := s2.Metrics().Snapshot(); snap.Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", snap.Corrupt)
+	}
+}

@@ -1,0 +1,164 @@
+package store
+
+import (
+	"context"
+
+	"popkit/internal/expt"
+)
+
+// Point is one expanded grid point handed to a Sweeper: the normalized
+// spec, or the normalization error that disqualified it (one bad point
+// fails that point's manifest line, not the sweep).
+type Point struct {
+	Spec expt.JobSpec
+	Err  error
+}
+
+// Sweeper resolves a sweep's grid points against the store with
+// single-flight dedupe. It is shared by the single-node server and the
+// cluster coordinator — only Execute (how a miss is computed) differs.
+type Sweeper struct {
+	// Store answers hits; nil disables caching (every point is a miss or an
+	// inflight coalesce, still deduped within and across sweeps).
+	Store *Store
+	// Flight coalesces concurrent identical points. Required.
+	Flight *Flight
+	// Workers bounds concurrently resolving points (min 1).
+	Workers int
+	// Execute computes one miss: run the spec and return its complete
+	// newline-terminated record lines in replica order. It inherits the
+	// serving layer's own backpressure behavior (bounded queue, shard
+	// dispatch) — the Sweeper imposes none of its own beyond Workers.
+	Execute func(ctx context.Context, spec expt.JobSpec) ([][]byte, error)
+}
+
+// Run resolves every point and calls emit with one SweepResult per point,
+// in point order, as each becomes available. The returned summary tallies
+// the manifest. ctx cancellation fails the unresolved points.
+func (sw *Sweeper) Run(ctx context.Context, points []Point, emit func(expt.SweepResult)) expt.SweepSummary {
+	n := len(points)
+	results := make([]expt.SweepResult, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	workers := sw.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				results[i] = sw.resolve(ctx, i, points[i])
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+	}()
+
+	var sum expt.SweepSummary
+	sum.Points = n
+	for i := 0; i < n; i++ {
+		<-done[i]
+		res := results[i]
+		switch {
+		case res.Err != "":
+			sum.Errors++
+		case res.Cache == "hit":
+			sum.Hits++
+		case res.Cache == "miss":
+			sum.Misses++
+		case res.Cache == "inflight":
+			sum.Inflight++
+		}
+		emit(res)
+	}
+	return sum
+}
+
+// resolve settles one point: store hit, coalesce onto an identical
+// in-flight computation, or lead the computation itself (committing on
+// success when a store is configured).
+func (sw *Sweeper) resolve(ctx context.Context, i int, p Point) expt.SweepResult {
+	res := expt.SweepResult{Point: i, Spec: p.Spec}
+	if p.Err != nil {
+		res.Err = p.Err.Error()
+		return res
+	}
+	hash := expt.SpecHash(p.Spec)
+	res.Hash = hash
+	for {
+		if err := ctx.Err(); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		if sw.Store != nil {
+			if lines, ok := sw.Store.Get(hash); ok {
+				res.Cache = "hit"
+				res.Records = len(lines)
+				res.Bytes = totalBytes(lines)
+				return res
+			}
+		}
+		leader, wait := sw.Flight.Lead(hash)
+		if leader {
+			break
+		}
+		out, err := wait(ctx)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		if out.Err != "" {
+			// The leader failed; loop to try leading (or hitting) ourselves.
+			continue
+		}
+		if out.Committed && sw.Store != nil {
+			// Prefer re-reading the committed object so the manifest's "hit"
+			// truly means "served from the store"; fall through to the loop.
+			continue
+		}
+		res.Cache = "inflight"
+		res.Records = out.Records
+		res.Bytes = out.Bytes
+		return res
+	}
+
+	out := Outcome{}
+	defer func() { sw.Flight.Finish(hash, out) }()
+	lines, err := sw.Execute(ctx, p.Spec)
+	if err != nil {
+		out.Err = err.Error()
+		res.Cache = "miss"
+		res.Err = err.Error()
+		return res
+	}
+	out.Records = len(lines)
+	out.Bytes = totalBytes(lines)
+	if sw.Store != nil {
+		if _, err := sw.Store.Commit(p.Spec, lines); err == nil {
+			out.Committed = true
+		}
+	}
+	res.Cache = "miss"
+	res.Records = out.Records
+	res.Bytes = out.Bytes
+	return res
+}
+
+func totalBytes(lines [][]byte) int64 {
+	var n int64
+	for _, l := range lines {
+		n += int64(len(l))
+	}
+	return n
+}

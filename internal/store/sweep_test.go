@@ -1,0 +1,206 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"popkit/internal/expt"
+	"popkit/internal/obs"
+)
+
+// countingExec returns an Execute that fabricates valid lines and counts
+// invocations.
+func countingExec(t *testing.T, calls *atomic.Int64) func(context.Context, expt.JobSpec) ([][]byte, error) {
+	return func(_ context.Context, spec expt.JobSpec) ([][]byte, error) {
+		calls.Add(1)
+		return testLines(t, spec), nil
+	}
+}
+
+func TestSweeperRunOrderAndDedupe(t *testing.T) {
+	s := openTest(t, Options{})
+	var calls atomic.Int64
+	sw := &Sweeper{
+		Store:   s,
+		Flight:  NewFlight(s.Metrics()),
+		Workers: 1, // sequential, so the duplicate point is a deterministic hit
+		Execute: countingExec(t, &calls),
+	}
+	a, b := testSpec(1, 2), testSpec(2, 2)
+	points := []Point{
+		{Spec: a},
+		{Spec: a}, // duplicate: must hit, not recompute
+		{Spec: b},
+		{Err: errors.New("bad point")},
+	}
+	var got []expt.SweepResult
+	sum := sw.Run(context.Background(), points, func(res expt.SweepResult) {
+		got = append(got, res)
+	})
+	if sum != (expt.SweepSummary{Points: 4, Hits: 1, Misses: 2, Errors: 1}) {
+		t.Fatalf("summary = %+v, want 1 hit, 2 misses, 1 error", sum)
+	}
+	wantCache := []string{"miss", "hit", "miss", ""}
+	for i, res := range got {
+		if res.Point != i || res.Cache != wantCache[i] {
+			t.Fatalf("result %d = %+v, want point %d cache %q", i, res, i, wantCache[i])
+		}
+	}
+	if got[3].Err == "" || got[3].Hash != "" {
+		t.Fatalf("invalid point = %+v, want a hashless error line", got[3])
+	}
+	if got[0].Records != 2 || got[0].Bytes <= 0 {
+		t.Fatalf("miss result = %+v, want 2 records with positive bytes", got[0])
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("execute ran %d times, want 2 (a once, b once)", calls.Load())
+	}
+	if s.Bytes() <= 0 {
+		t.Fatal("store reports zero bytes after two commits")
+	}
+}
+
+func TestSweeperCancelledContextFailsPoints(t *testing.T) {
+	sw := &Sweeper{
+		Flight:  NewFlight(nil),
+		Execute: func(context.Context, expt.JobSpec) ([][]byte, error) { panic("must not execute") },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum := sw.Run(ctx, []Point{{Spec: testSpec(1, 1)}}, func(res expt.SweepResult) {
+		if res.Err == "" {
+			t.Errorf("cancelled point = %+v, want an error line", res)
+		}
+	})
+	if sum.Errors != 1 {
+		t.Fatalf("summary = %+v, want 1 error", sum)
+	}
+}
+
+// leadThenFollow drives resolve for the same spec from two goroutines with
+// the leader's Execute parked until the follower is waiting on the flight.
+// It returns (leader result, follower result).
+func leadThenFollow(t *testing.T, sw *Sweeper, spec expt.JobSpec, exec func() ([][]byte, error)) (expt.SweepResult, expt.SweepResult) {
+	t.Helper()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	sw.Execute = func(context.Context, expt.JobSpec) ([][]byte, error) {
+		select {
+		case <-started: // follower retry path: run immediately
+		default:
+			close(started)
+			<-release
+		}
+		return exec()
+	}
+	var leadRes, followRes expt.SweepResult
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		leadRes = sw.resolve(context.Background(), 0, Point{Spec: spec})
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		followRes = sw.resolve(context.Background(), 1, Point{Spec: spec})
+	}()
+	// Hold the leader until the follower has actually coalesced onto it.
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.Flight.m.Coalesced.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced onto the in-flight leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	return leadRes, followRes
+}
+
+// TestSweeperStorelessCoalesce: without a store, a concurrent duplicate
+// point coalesces onto the in-flight leader and reports "inflight".
+func TestSweeperStorelessCoalesce(t *testing.T) {
+	sw := &Sweeper{Flight: NewFlight(NewMetrics(obs.NewRegistry()))}
+	spec := testSpec(3, 2)
+	lines := testLines(t, spec)
+	lead, follow := leadThenFollow(t, sw, spec, func() ([][]byte, error) { return lines, nil })
+	if lead.Cache != "miss" || lead.Err != "" {
+		t.Fatalf("leader = %+v, want a clean miss", lead)
+	}
+	if follow.Cache != "inflight" || follow.Records != len(lines) {
+		t.Fatalf("follower = %+v, want an inflight coalesce with %d records", follow, len(lines))
+	}
+}
+
+// TestSweeperCommittedOutcomeBecomesHit: with a store, the follower prefers
+// re-reading the committed object, so its manifest line is a true "hit".
+func TestSweeperCommittedOutcomeBecomesHit(t *testing.T) {
+	s := openTest(t, Options{})
+	sw := &Sweeper{Store: s, Flight: NewFlight(s.Metrics())}
+	spec := testSpec(4, 2)
+	lines := testLines(t, spec)
+	lead, follow := leadThenFollow(t, sw, spec, func() ([][]byte, error) { return lines, nil })
+	if lead.Cache != "miss" {
+		t.Fatalf("leader = %+v, want a miss", lead)
+	}
+	if follow.Cache != "hit" || follow.Records != len(lines) {
+		t.Fatalf("follower = %+v, want a store hit", follow)
+	}
+}
+
+// TestSweeperFollowerRetriesAfterLeaderFailure: a failed leader hands the
+// point back — the waiting follower leads the retry itself.
+func TestSweeperFollowerRetriesAfterLeaderFailure(t *testing.T) {
+	s := openTest(t, Options{})
+	sw := &Sweeper{Store: s, Flight: NewFlight(s.Metrics())}
+	spec := testSpec(5, 2)
+	lines := testLines(t, spec)
+	var calls atomic.Int64
+	lead, follow := leadThenFollow(t, sw, spec, func() ([][]byte, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("worker died")
+		}
+		return lines, nil
+	})
+	if lead.Err == "" || lead.Cache != "miss" {
+		t.Fatalf("failed leader = %+v, want an error miss", lead)
+	}
+	if follow.Err != "" || follow.Cache != "miss" || follow.Records != len(lines) {
+		t.Fatalf("follower = %+v, want a clean retried miss", follow)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("execute ran %d times, want 2 (failure then retry)", calls.Load())
+	}
+}
+
+// TestInertMetricsStore: a store opened without a registry (popserved with
+// metrics disabled) must still cache; its snapshot is all zeros.
+func TestInertMetricsStore(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), Metrics: NewMetrics(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := testSpec(6, 1)
+	hash, err := s.Commit(spec, testLines(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(hash); !ok {
+		t.Fatal("inert-metrics store missed a committed object")
+	}
+	if snap := s.Metrics().Snapshot(); snap.Hits != 0 || snap.Commits != 0 {
+		t.Fatalf("inert snapshot = %+v, want zeros", snap)
+	}
+	var nilM *Metrics
+	if snap := nilM.Snapshot(); snap.Hits != 0 || snap.Commits != 0 || snap.Entries != 0 {
+		t.Fatalf("nil metrics snapshot = %+v, want zero value", snap)
+	}
+	nilM.observeRead(time.Millisecond) // must not panic
+}

@@ -16,14 +16,14 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (fleet, engine, fault, client, serve, cluster) =="
-go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/... ./internal/cluster/...
+echo "== go test -race (fleet, engine, fault, client, serve, cluster, store) =="
+go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/... ./internal/cluster/... ./internal/store/...
 
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
-echo "== coverage floors (engine, obs, serve, fleet, client, cluster ≥ 80%) =="
-cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ | tee /dev/stderr)
+echo "== coverage floors (engine, obs, serve, fleet, client, cluster, store ≥ 80%) =="
+cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ ./internal/store/ | tee /dev/stderr)
 echo "$cover" | awk '
     /coverage:/ {
         pct = $0
@@ -49,6 +49,9 @@ rm -rf "$tmpk"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh
+
+echo "== result-cache smoke (store hits, sweep dedupe, restart persistence) =="
+./scripts/cache-smoke.sh
 
 echo "== cluster smoke (coordinator + worker kill -9) =="
 ./scripts/cluster-smoke.sh

@@ -13,6 +13,9 @@
 #   5. determinism across the network boundary: a fixed-seed HTTP stream is
 #      byte-identical to `popsim -ndjson` with the same spec
 #   6. graceful drain: SIGTERM with a stream in flight still completes it
+#   7. hot cache: CONCURRENCY identical POSTs against a store-backed server
+#      collapse to exactly one fleet execution (single-flight + store hits),
+#      every response byte-identical
 #
 # Needs curl and jq (both available in the dev container).
 set -euo pipefail
@@ -147,5 +150,28 @@ jq -es 'length == 2 and all(.converged)' "$tmp/drain.ndjson" >/dev/null \
 wait "$srv_pid" || { echo "loadtest: server exited non-zero on drain" >&2; cat "$tmp/det.log" >&2; exit 1; }
 srv_pid=""
 grep -q 'drained, bye' "$tmp/det.log" || { echo "loadtest: no clean drain" >&2; exit 1; }
+
+echo "== phase 7: hot cache ($CONC identical POSTs, 1 execution) =="
+start_server "$tmp/cache.log" -store "$tmp/store"
+pids=()
+for i in $(seq 1 "$CONC"); do
+    curl -fsS --max-time 60 \
+        -d '{"protocol":"exactmajority","n":2000,"seed":777,"replicas":2,"gap":1}' \
+        "$base/v1/simulate" > "$tmp/hot.$i" &
+    pids+=($!)
+done
+fail=0
+for p in "${pids[@]}"; do wait "$p" || fail=1; done
+[ "$fail" -eq 0 ] || { echo "loadtest: a hot-cache request failed" >&2; exit 1; }
+for i in $(seq 2 "$CONC"); do
+    cmp -s "$tmp/hot.1" "$tmp/hot.$i" \
+        || { echo "loadtest: hot-cache response $i differs from response 1" >&2; exit 1; }
+done
+curl -fsS "$base/metrics" > "$tmp/cache-metrics.json"
+jq -e --argjson c "$CONC" '.jobs_accepted == 1 and .store.hits == $c - 1 and .store.commits == 1' \
+    "$tmp/cache-metrics.json" >/dev/null \
+    || { echo "loadtest: hot cache did not collapse to one execution" >&2; cat "$tmp/cache-metrics.json" >&2; exit 1; }
+echo "   $CONC identical POSTs: 1 job accepted, $((CONC-1)) store hits, all byte-identical"
+stop_server
 
 echo "loadtest: OK"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke-test popserved: boot it on a free port, run one small exact-majority
-# job through POST /v1/simulate, check the NDJSON stream, and verify a clean
-# SIGTERM drain. Used by `make serve-smoke` and scripts/check.sh.
+# job through POST /v1/simulate, check the NDJSON stream (the repeat POST is
+# a result-store hit), and verify a clean SIGTERM drain. Used by
+# `make serve-smoke` and scripts/check.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +14,7 @@ go build -o "$tmp/popserved" ./cmd/popserved
 # One executor plus a stream failpoint (400ms per record, first job only):
 # that pins the single worker on a slow job long enough to prove /healthz
 # answers without it.
-"$tmp/popserved" -addr 127.0.0.1:0 -pprof -workers 1 \
+"$tmp/popserved" -addr 127.0.0.1:0 -pprof -workers 1 -store "$tmp/store" \
     -failpoints 'serve/stream=sleep(d=400ms,times=2)' 2> "$tmp/log" &
 srv_pid=$!
 
@@ -40,10 +41,18 @@ curl -fsS --max-time 2 "$base/healthz" | grep -q '"status":"ok"' \
     || { echo "serve-smoke: /healthz stalled behind a busy worker" >&2; exit 1; }
 wait "$slow_pid"
 
-curl -fsS -d '{"protocol":"exactmajority","n":500,"seed":7,"replicas":2,"gap":1}' \
+# The repeat POST is a content-addressed store hit: byte-identical to the
+# live run, marked by X-Popkit-Cache, and never re-enqueued.
+curl -fsS -D "$tmp/out.hdr" -d '{"protocol":"exactmajority","n":500,"seed":7,"replicas":2,"gap":1}' \
     "$base/v1/simulate" > "$tmp/out.ndjson"
+grep -qi '^x-popkit-cache: hit' "$tmp/out.hdr" \
+    || { echo "serve-smoke: repeat POST not served from the store" >&2; cat "$tmp/out.hdr" >&2; exit 1; }
 cmp "$tmp/slow.ndjson" "$tmp/out.ndjson" \
-    || { echo "serve-smoke: delayed stream not byte-identical" >&2; exit 1; }
+    || { echo "serve-smoke: cached stream not byte-identical" >&2; exit 1; }
+curl -fsS -d '{"protocol":"exactmajority","n":500,"seed":7,"replicas":2,"gap":1}' \
+    "$base/v1/simulate?meta=1" > "$tmp/meta.ndjson"
+head -n 1 "$tmp/meta.ndjson" | grep -q '"cached":true' \
+    || { echo "serve-smoke: ?meta=1 did not report cached:true" >&2; cat "$tmp/meta.ndjson" >&2; exit 1; }
 
 lines=$(wc -l < "$tmp/out.ndjson")
 [ "$lines" -eq 2 ] || { echo "serve-smoke: want 2 records, got $lines" >&2; cat "$tmp/out.ndjson" >&2; exit 1; }
@@ -54,11 +63,14 @@ fi
 
 # Observability surface: JSON metrics, the Prometheus exposition of the
 # same registry, and a short CPU profile from the -pprof mount.
-curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 2' \
+# Only the first job ever reached the queue; the two repeats were store hits.
+curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 1' \
     || { echo "serve-smoke: JSON metrics missing jobs_accepted" >&2; exit 1; }
 curl -fsS "$base/metrics?format=prom" > "$tmp/prom.txt"
-grep -q '^popkit_jobs_accepted_total 2$' "$tmp/prom.txt" \
+grep -q '^popkit_jobs_accepted_total 1$' "$tmp/prom.txt" \
     || { echo "serve-smoke: prom exposition missing popkit_jobs_accepted_total" >&2; cat "$tmp/prom.txt" >&2; exit 1; }
+grep -q '^popkit_store_hits_total 2$' "$tmp/prom.txt" \
+    || { echo "serve-smoke: prom exposition missing popkit_store_hits_total" >&2; cat "$tmp/prom.txt" >&2; exit 1; }
 grep -q '^popkit_http_request_duration_seconds_bucket{endpoint="simulate"' "$tmp/prom.txt" \
     || { echo "serve-smoke: prom exposition missing request-latency histogram" >&2; exit 1; }
 curl -fsS "$base/debug/pprof/profile?seconds=1" > "$tmp/cpu.pprof"
