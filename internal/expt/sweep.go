@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // SweepSpec is the body of POST /v1/sweep: a base JobSpec plus a grid of
@@ -95,13 +96,23 @@ func (a *Axis) UnmarshalJSON(data []byte) error {
 	if *r.To < *r.From {
 		return fmt.Errorf("axis range has to < from (%d < %d)", *r.To, *r.From)
 	}
-	count := (*r.To-*r.From)/r.Step + 1
-	if count > maxAxisValues {
-		return fmt.Errorf("axis range expands to %d values (max %d)", count, maxAxisValues)
+	// The span is computed in uint64: to-from overflows int64 for wide
+	// ranges (e.g. from=MinInt64, to=MaxInt64, where the naive count wraps
+	// to 0 and slips past the cap). Given to >= from, the two's-complement
+	// difference uint64(to)-uint64(from) is the exact unsigned span.
+	span := uint64(*r.To) - uint64(*r.From)
+	if span/uint64(r.Step) >= maxAxisValues {
+		return fmt.Errorf("axis range expands to more than %d values (max %d)", maxAxisValues, maxAxisValues)
 	}
+	count := int(span/uint64(r.Step)) + 1
 	a.vals = make([]int64, 0, count)
-	for v := *r.From; v <= *r.To; v += r.Step {
+	// Bound the loop by count, not v <= to: for to near MaxInt64 the final
+	// v += step wraps negative and a value-bounded loop never terminates.
+	// (The wrapped v after the last append is unused.)
+	v := *r.From
+	for i := 0; i < count; i++ {
 		a.vals = append(a.vals, v)
+		v += r.Step
 	}
 	return nil
 }
@@ -132,9 +143,23 @@ func (s SweepSpec) Expand(max int) ([]JobSpec, error) {
 		return nil, fmt.Errorf("sweep base must not set start")
 	}
 	out := []JobSpec{s.Base}
+	var tooBig error
 
+	// apply multiplies the current point set by one axis. The cap is
+	// enforced before the product is allocated — len(out) > max/n is the
+	// overflow-safe form of len(out)*n > max — so a tiny request body whose
+	// axes multiply to billions of points fails fast instead of
+	// materializing the grid (or overflowing len(out)*n with 4+ axes).
 	apply := func(n int, set func(*JobSpec, int)) {
-		if n == 0 {
+		if n == 0 || tooBig != nil {
+			return
+		}
+		if max > 0 && len(out) > max/n {
+			tooBig = fmt.Errorf("grid expands to more than %d points (%d so far × %d-value axis)", max, len(out), n)
+			return
+		}
+		if len(out) > math.MaxInt/n {
+			tooBig = fmt.Errorf("grid expansion overflows (%d points so far × %d-value axis)", len(out), n)
 			return
 		}
 		next := make([]JobSpec, 0, len(out)*n)
@@ -158,8 +183,8 @@ func (s SweepSpec) Expand(max int) ([]JobSpec, error) {
 	apply(len(g.MaxIters.Values()), func(sp *JobSpec, i int) { sp.MaxIters = int(g.MaxIters.Values()[i]) })
 	apply(len(g.MaxRounds), func(sp *JobSpec, i int) { sp.MaxRounds = g.MaxRounds[i] })
 
-	if max > 0 && len(out) > max {
-		return nil, fmt.Errorf("grid expands to %d points (max %d)", len(out), max)
+	if tooBig != nil {
+		return nil, tooBig
 	}
 	return out, nil
 }

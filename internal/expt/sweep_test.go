@@ -38,11 +38,43 @@ func TestAxisRejectsBadInput(t *testing.T) {
 		`{"from":0,"to":99999999999}`, // over maxAxisValues
 		`{"from":0,"to":5,"bogus":1}`, // unknown field
 		`"nope"`,                      // wrong type entirely
+		// to-from overflows int64: the naive count wraps to 0 and would
+		// slip past the cap into a ~2^64-value expansion.
+		`{"from":-9223372036854775808,"to":9223372036854775807}`,
+		`{"from":-9223372036854775808,"to":9223372036854775807,"step":3}`,
+		`{"from":-1,"to":9223372036854775807}`,
 	} {
 		var a Axis
 		if err := json.Unmarshal([]byte(bad), &a); err == nil {
-			t.Errorf("axis %s decoded without error (values %v)", bad, a.Values())
+			t.Errorf("axis %s decoded without error (%d values)", bad, len(a.Values()))
 		}
+	}
+}
+
+func TestAxisRangeAtInt64Edges(t *testing.T) {
+	// to at MaxInt64: a value-bounded loop (v <= to) never terminates
+	// because the final v += step wraps negative; the count-bounded loop
+	// must yield exactly the two values.
+	var a Axis
+	if err := json.Unmarshal([]byte(`{"from":9223372036854775806,"to":9223372036854775807}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{9223372036854775806, 9223372036854775807}; !reflect.DeepEqual(a.Values(), want) {
+		t.Fatalf("edge axis = %v, want %v", a.Values(), want)
+	}
+	// Same edge with a step that overshoots to.
+	if err := json.Unmarshal([]byte(`{"from":9223372036854775805,"to":9223372036854775807,"step":2}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{9223372036854775805, 9223372036854775807}; !reflect.DeepEqual(a.Values(), want) {
+		t.Fatalf("edge step axis = %v, want %v", a.Values(), want)
+	}
+	// from at MinInt64 is fine as long as the span is small.
+	if err := json.Unmarshal([]byte(`{"from":-9223372036854775808,"to":-9223372036854775807}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{-9223372036854775808, -9223372036854775807}; !reflect.DeepEqual(a.Values(), want) {
+		t.Fatalf("min-edge axis = %v, want %v", a.Values(), want)
 	}
 }
 
@@ -112,6 +144,23 @@ func TestExpandEnforcesPointCap(t *testing.T) {
 	}
 	if _, err := sw.Expand(9); err != nil {
 		t.Fatalf("9-point grid failed a 9-point cap: %v", err)
+	}
+}
+
+func TestExpandFailsFastWithoutMaterializing(t *testing.T) {
+	// Two full-width axes multiply to 65536² ≈ 4.3e9 points. The cap must
+	// trip before the product is allocated — if Expand materializes first,
+	// this test OOMs (hundreds of GB) instead of failing cleanly.
+	wide := make([]int64, maxAxisValues)
+	for i := range wide {
+		wide[i] = int64(i)
+	}
+	sw := SweepSpec{
+		Base: JobSpec{Protocol: "leader"},
+		Grid: SweepGrid{N: AxisOf(wide...), Seed: AxisOf(wide...)},
+	}
+	if _, err := sw.Expand(1024); err == nil {
+		t.Fatal("4.3e9-point grid passed a 1024-point cap")
 	}
 }
 

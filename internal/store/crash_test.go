@@ -74,18 +74,68 @@ func TestTornCommitPanicLeavesOnlyTmpDebris(t *testing.T) {
 	if _, err := os.Stat(s.objectPath(hash)); !os.IsNotExist(err) {
 		t.Fatalf("crashed commit visible in objects/ (err=%v)", err)
 	}
-	tmp := filepath.Join(dir, "tmp", hash+".tmp")
-	if _, err := os.Stat(tmp); err != nil {
-		t.Fatalf("crashed commit left no tmp debris to recover from: %v", err)
+	// Each commit writes a unique tmp file named <hash>-<rand>.tmp.
+	debris, err := filepath.Glob(filepath.Join(dir, "tmp", hash+"-*.tmp"))
+	if err != nil || len(debris) == 0 {
+		t.Fatalf("crashed commit left no tmp debris to recover from (err=%v)", err)
 	}
 	// Recovery: reopen cleans the debris; the object is still absent.
 	s.Close()
 	s2 := openTest(t, Options{Dir: dir})
-	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
-		t.Fatalf("tmp debris survived recovery Open (err=%v)", err)
+	for _, tmp := range debris {
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Fatalf("tmp debris %s survived recovery Open (err=%v)", tmp, err)
+		}
 	}
 	if _, ok := s2.Get(hash); ok {
 		t.Fatal("crashed commit served after recovery")
+	}
+}
+
+// TestConcurrentSameHashCommits hammers Commit with one spec from many
+// goroutines under -race: every call must succeed (the documented
+// idempotency contract), the object must validate whole afterwards, and no
+// tmp debris may leak. With a shared tmp/<hash>.tmp this interleaved writes
+// from independent fds and could rename a corrupt object into objects/.
+func TestConcurrentSameHashCommits(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	spec := testSpec(7, 4)
+	lines := testLines(t, spec)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := s.Commit(spec, lines); err != nil {
+					errs <- fmt.Errorf("commit: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	got, ok := s.Get(expt.SpecHash(spec))
+	if !ok || len(got) != spec.Replicas {
+		t.Fatalf("object after concurrent commits: ok=%v lines=%d, want whole stream", ok, len(got))
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("store holds %d entries, want 1", n)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "tmp", "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("concurrent commits leaked tmp files: %v", leftovers)
 	}
 }
 

@@ -244,9 +244,9 @@ func (s *Store) Get(hash string) ([][]byte, bool) {
 			// The object exists but fails validation: drop it so the next
 			// request recomputes instead of looping on the same bad bytes.
 			s.m.Corrupt.Inc()
-			s.dropEntry(hash, true)
+			s.dropEntry(hash, e, true)
 		} else {
-			s.dropEntry(hash, false)
+			s.dropEntry(hash, e, false)
 		}
 		s.m.Misses.Inc()
 		return nil, false
@@ -256,21 +256,28 @@ func (s *Store) Get(hash string) ([][]byte, bool) {
 	return lines, true
 }
 
-// dropEntry removes hash from the in-memory state (and, when removeFile,
-// from disk). Used for corrupt objects and for entries whose file vanished.
-func (s *Store) dropEntry(hash string, removeFile bool) {
+// dropEntry removes the entry a failed Get observed (and, when removeFile,
+// its object file). The drop is conditional on the map still holding that
+// same entry: a concurrent Commit of the hash installs a fresh entry (and,
+// under the lock, a fresh object file), which must not be discarded just
+// because an older read failed. File removal stays under the lock — paired
+// with Commit renaming under the lock — so a drop can never unlink a
+// freshly committed object.
+func (s *Store) dropEntry(hash string, observed *entry, removeFile bool) {
 	s.mu.Lock()
-	if e, ok := s.entries[hash]; ok {
-		s.lru.Remove(e.elem)
-		delete(s.entries, hash)
-		s.total -= e.bytes
+	defer s.mu.Unlock()
+	e, ok := s.entries[hash]
+	if !ok || e != observed {
+		return
 	}
-	s.updateGaugesLocked()
-	s.persistIndexLocked()
-	s.mu.Unlock()
+	s.lru.Remove(e.elem)
+	delete(s.entries, hash)
+	s.total -= e.bytes
 	if removeFile {
 		os.Remove(s.objectPath(hash))
 	}
+	s.updateGaugesLocked()
+	s.persistIndexLocked()
 }
 
 // readObject loads and fully validates one object file: header line present
@@ -351,23 +358,45 @@ func (s *Store) Commit(spec expt.JobSpec, lines [][]byte) (string, error) {
 		return hash, nil
 	}
 
-	tmp := filepath.Join(s.dir, "tmp", hash+".tmp")
-	size, err := s.writeObject(tmp, header, lines)
+	// Each commit writes its own unique tmp file: a shared tmp/<hash>.tmp
+	// would let concurrent commits of the same hash interleave writes via
+	// independent fds and rename a corrupt object into objects/. (No defer
+	// cleanup here on purpose — a failpoint panic simulates a crash, which
+	// must leave its tmp debris for Open's recovery to remove.)
+	f, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), hash+"-*.tmp")
 	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	size, err := writeObject(f, header, lines)
+	if err != nil {
+		f.Close()
 		os.Remove(tmp)
 		return "", err
 	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("store: %w", err)
+	}
+
+	// Rename and index insertion happen under one critical section so a
+	// concurrent dropEntry (corrupt-object path) can never unlink the new
+	// object: a drop either runs entirely before the rename or sees the
+	// fresh entry and backs off.
 	final := s.objectPath(hash)
+	s.mu.Lock()
+	if _, dup := s.entries[hash]; dup {
+		s.mu.Unlock()
+		os.Remove(tmp)
+		return hash, nil
+	}
 	if err := os.Rename(tmp, final); err != nil {
+		s.mu.Unlock()
 		os.Remove(tmp)
 		return "", fmt.Errorf("store: %w", err)
 	}
 	syncDir(filepath.Dir(final))
-
-	s.mu.Lock()
-	if _, dup := s.entries[hash]; !dup {
-		s.insertFrontLocked(hash, size)
-	}
+	s.insertFrontLocked(hash, size)
 	s.evictLocked()
 	s.updateGaugesLocked()
 	err = s.persistIndexLocked()
@@ -376,15 +405,10 @@ func (s *Store) Commit(spec expt.JobSpec, lines [][]byte) (string, error) {
 	return hash, err
 }
 
-// writeObject writes header+lines to path and fsyncs. The commit failpoint
-// is evaluated before every record line, so chaos tests can abort (error)
-// or crash (panic) at any prefix of the object.
-func (s *Store) writeObject(path string, header []byte, lines [][]byte) (int64, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
+// writeObject writes header+lines to f and fsyncs; the caller owns closing
+// f. The commit failpoint is evaluated before every record line, so chaos
+// tests can abort (error) or crash (panic) at any prefix of the object.
+func writeObject(f *os.File, header []byte, lines [][]byte) (int64, error) {
 	var size int64
 	n, err := f.Write(append(append([]byte(nil), header...), '\n'))
 	if err != nil {
