@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchdiff kernel serve-smoke cluster-smoke obs-smoke cache-smoke loadtest chaos
+.PHONY: build test check bench benchdiff kernel serve-smoke cluster-smoke obs-smoke cache-smoke qos-smoke loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ obs-smoke:
 # cache survives a restart.
 cache-smoke:
 	./scripts/cache-smoke.sh
+
+# QoS contract: one tenant's whale flood cannot starve another tenant's
+# interactive jobs (zero 429s, bounded latency, byte-identical streams),
+# the whale concurrency cap holds, and -cost-budget rejects with a
+# structured 413 — all visible in per-tenant /metrics.
+qos-smoke:
+	./scripts/qos-smoke.sh
 
 # Full popserved load test: concurrent streams, 429 backpressure,
 # CLI-vs-HTTP byte-identical determinism, graceful drain.

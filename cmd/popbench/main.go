@@ -75,6 +75,9 @@ type benchFile struct {
 	// the latency distribution behind the throughput numbers.
 	ReplicaLatency obs.HistogramSnapshot `json:"replica_latency"`
 	Experiments    []benchRecord         `json:"experiments"`
+	// QoS carries the cost-model calibration block a prior `popbench -qos`
+	// run left in the file; a full experiment run preserves it verbatim.
+	QoS json.RawMessage `json:"qos,omitempty"`
 }
 
 func main() { os.Exit(run()) }
@@ -92,6 +95,7 @@ func run() int {
 		replicaLog = flag.String("replica-log", "", "stream per-replica results to this JSONL file")
 		noProgress = flag.Bool("no-progress", false, "suppress fleet progress reports on stderr")
 		kernel     = flag.Bool("kernel", false, "measure the raw simulation kernels into BENCH_kernel.json and exit")
+		qosFlag    = flag.Bool("qos", false, "measure cost-model prediction error per size class into BENCH_results.json and exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -150,6 +154,12 @@ func run() int {
 	}
 	if *kernel {
 		return runKernel(*out, *quick)
+	}
+	if *qosFlag {
+		// A BENCH_kernel.json sitting next to the output (e.g. -out results)
+		// overrides the baked-in grid, exactly as -cost-model does on the
+		// servers; a missing file silently keeps the defaults.
+		return runQoS(*out, *quick, *workers, filepath.Join(*out, "BENCH_kernel.json"))
 	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "popbench: -workers must be ≥ 1 (got %d)\n", *workers)
@@ -256,6 +266,16 @@ func run() int {
 	bench.ReplicaLatency = replicaHist.Snapshot()
 
 	benchPath := filepath.Join(*out, "BENCH_results.json")
+	// Carry over the qos calibration block of an earlier `popbench -qos`
+	// run, so regenerating the experiments does not erase it.
+	if raw, err := os.ReadFile(benchPath); err == nil {
+		var prior struct {
+			QoS json.RawMessage `json:"qos"`
+		}
+		if json.Unmarshal(raw, &prior) == nil {
+			bench.QoS = prior.QoS
+		}
+	}
 	if data, err := json.MarshalIndent(bench, "", "  "); err != nil {
 		fmt.Fprintf(os.Stderr, "popbench: encoding %s: %v\n", benchPath, err)
 		exitCode = 1

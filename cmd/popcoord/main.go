@@ -9,8 +9,18 @@
 //	popcoord -workers URL[,URL...] [-addr HOST:PORT] [-shard-size N]
 //	         [-probe-interval D] [-probe-timeout D] [-client-retries N]
 //	         [-dispatch-retries N] [-journal DIR] [-job-timeout D]
+//	         [-min-job-timeout D] [-cost-model FILE] [-cost-budget D]
 //	         [-max-n N] [-max-replicas N] [-store DIR] [-store-max-bytes N]
 //	         [-store-max-entries N] [-max-sweep-points N] [-drain D] [-v]
+//
+// Admission and deadlines mirror popserved's: each job's cost is predicted
+// from the ns-per-interaction model, -cost-budget turns predictably hopeless
+// jobs away with a structured 413, and the per-job deadline derives from the
+// prediction (capped by -job-timeout when set). Every shard dispatch — and
+// every re-dispatch after a worker death — carries the job's REMAINING
+// deadline budget (X-Popkit-Deadline-Ms) plus the originating tenant
+// (X-Popkit-Tenant), so workers inherit what is left rather than a fresh
+// timeout and bill the right tenant lane.
 //
 // Workers are popserved instances reachable at the given base URLs; more
 // can be registered at runtime with POST /v1/workers {"url": "..."}. The
@@ -76,7 +86,10 @@ func run() int {
 		clientRetries   = flag.Int("client-retries", 2, "streaming-client retries per dispatch before failing over")
 		dispatchRetries = flag.Int("dispatch-retries", 4, "consecutive no-progress dispatches before a shard fails")
 		journalDir      = flag.String("journal", "", "directory for job_id checkpoint journals (empty disables resume)")
-		jobTimeout      = flag.Duration("job-timeout", 300*time.Second, "per-job wall-clock budget")
+		jobTimeout      = flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = derive per job from the cost model, capped at 15m; an explicit value caps the derived deadline)")
+		minJobTimeout   = flag.Duration("min-job-timeout", 0, "floor of the derived per-job deadline (0 → 10s)")
+		costModel       = flag.String("cost-model", "", "JSON ns-per-interaction grid overriding the baked-in cost model (popbench output)")
+		costBudget      = flag.Duration("cost-budget", 0, "reject jobs whose predicted cost exceeds this with 413 (0 = no budget)")
 		maxN            = flag.Int("max-n", 5_000_000, "largest accepted population size (must not exceed the workers' cap)")
 		maxReplicas     = flag.Int("max-replicas", 1024, "largest accepted replica count (must not exceed the workers' cap)")
 		storeDir        = flag.String("store", "", "directory for the content-addressed result store (empty disables caching)")
@@ -100,6 +113,9 @@ func run() int {
 		DispatchRetries: *dispatchRetries,
 		JournalDir:      *journalDir,
 		JobTimeout:      *jobTimeout,
+		MinJobTimeout:   *minJobTimeout,
+		CostModelPath:   *costModel,
+		CostBudget:      *costBudget,
 		MaxN:            *maxN,
 		MaxReplicas:     *maxReplicas,
 		StoreDir:        *storeDir,

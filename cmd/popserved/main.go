@@ -6,10 +6,21 @@
 // Usage:
 //
 //	popserved [-addr HOST:PORT] [-queue N] [-workers N] [-fleet-workers N]
-//	          [-job-timeout D] [-drain D] [-max-n N] [-max-replicas N]
-//	          [-journal DIR] [-retries N] [-store DIR] [-store-max-bytes N]
-//	          [-store-max-entries N] [-max-sweep-points N]
+//	          [-job-timeout D] [-min-job-timeout D] [-drain D] [-max-n N]
+//	          [-max-replicas N] [-journal DIR] [-retries N] [-store DIR]
+//	          [-store-max-bytes N] [-store-max-entries N] [-max-sweep-points N]
+//	          [-cost-model FILE] [-cost-budget D] [-tenant-weights T=W,...]
+//	          [-max-tenants N] [-whale-per-tenant N] [-whale-global N]
 //	          [-failpoints SPEC] [-list-failpoints]
+//
+// Admission control and QoS: every job's cost is predicted from a
+// ns-per-interaction model before it enters the queue. Requests carry an
+// optional X-Popkit-Tenant header; queued jobs are dispatched by per-tenant
+// deficit-round-robin (weights via -tenant-weights) with strict priority of
+// interactive over batch over whale size classes, so small jobs never wait
+// behind huge ones. -cost-budget rejects predictably hopeless jobs with a
+// structured 413; per-job deadlines derive from the prediction unless
+// -job-timeout pins a cap. Scheduling never changes output bytes.
 //
 // With -journal DIR, jobs that carry a job_id checkpoint each completed
 // replica to DIR/<job_id>.ndjson; re-POSTing the same (job_id, spec) —
@@ -61,6 +72,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,7 +89,14 @@ func run() int {
 		queue          = flag.Int("queue", 64, "job queue depth (full queue rejects with 429)")
 		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "jobs executing concurrently")
 		fleetWorkers   = flag.Int("fleet-workers", 1, "replica-fleet width per job (does not change results)")
-		jobTimeout     = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock budget")
+		jobTimeout     = flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = derive per job from the cost model, capped at 15m; an explicit value caps the derived deadline)")
+		minJobTimeout  = flag.Duration("min-job-timeout", 0, "floor of the derived per-job deadline (0 → 10s)")
+		costModel      = flag.String("cost-model", "", "JSON ns-per-interaction grid overriding the baked-in cost model (popbench output)")
+		costBudget     = flag.Duration("cost-budget", 0, "reject jobs whose predicted cost exceeds this with 413 (0 = no budget)")
+		tenantWeights  = flag.String("tenant-weights", "", "comma-separated tenant=weight pairs for fair queueing, e.g. 'ci=1,research=4' (unlisted tenants weigh 1)")
+		maxTenants     = flag.Int("max-tenants", 0, "max distinct tenants with queued jobs before new tenants get 429 (0 → 64)")
+		whalePerTenant = flag.Int("whale-per-tenant", 0, "concurrently running whale-class jobs per tenant (0 → 1)")
+		whaleGlobal    = flag.Int("whale-global", 0, "concurrently running whale-class jobs overall (0 → workers−1, min 1)")
 		drain          = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 		maxN           = flag.Int("max-n", 5_000_000, "largest accepted population size")
 		maxReplicas    = flag.Int("max-replicas", 1024, "largest accepted replica count")
@@ -97,8 +117,9 @@ func run() int {
 		}
 		return 0
 	}
-	if *queue < 1 || *workers < 1 || *fleetWorkers < 1 || *maxN < 2 || *maxReplicas < 1 || *retries < 0 {
-		fmt.Fprintln(os.Stderr, "popserved: -queue, -workers, -fleet-workers, -max-replicas must be ≥ 1, -max-n ≥ 2, -retries ≥ 0")
+	if *queue < 1 || *workers < 1 || *fleetWorkers < 1 || *maxN < 2 || *maxReplicas < 1 || *retries < 0 ||
+		*maxTenants < 0 || *whalePerTenant < 0 || *whaleGlobal < 0 || *jobTimeout < 0 || *minJobTimeout < 0 || *costBudget < 0 {
+		fmt.Fprintln(os.Stderr, "popserved: -queue, -workers, -fleet-workers, -max-replicas must be ≥ 1, -max-n ≥ 2, everything else ≥ 0")
 		return 2
 	}
 	if err := fault.EnableFromEnv(); err != nil {
@@ -117,6 +138,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
 		return 1
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "popserved: %v\n", err)
+		return 2
+	}
 	srv, err := serve.New(serve.Config{
 		QueueDepth:      *queue,
 		Workers:         *workers,
@@ -124,6 +150,13 @@ func run() int {
 		MaxRetries:      *retries,
 		JournalDir:      *journalDir,
 		JobTimeout:      *jobTimeout,
+		MinJobTimeout:   *minJobTimeout,
+		CostModelPath:   *costModel,
+		CostBudget:      *costBudget,
+		TenantWeights:   weights,
+		MaxTenants:      *maxTenants,
+		WhalePerTenant:  *whalePerTenant,
+		WhaleGlobal:     *whaleGlobal,
 		MaxN:            *maxN,
 		MaxReplicas:     *maxReplicas,
 		EnablePprof:     *pprofFlag,
@@ -175,4 +208,25 @@ func run() int {
 	srv.Close()
 	fmt.Fprintln(os.Stderr, "popserved: drained, bye")
 	return code
+}
+
+// parseTenantWeights parses "a=3,b=1" into the fair-queueing weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if !ok || name == "" || err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q: want tenant=weight with weight ≥ 1", pair)
+		}
+		out[strings.TrimSpace(name)] = w
+	}
+	return out, nil
 }

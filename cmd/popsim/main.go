@@ -91,6 +91,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "fleet workers for the -ndjson replica fan-out (does not change the output)")
 		retries   = flag.Int("retries", 2, "re-runs per crashed replica (-ndjson local), or HTTP retries per request (-server)")
 		server    = flag.String("server", "", "run the job on a popserved instance at this base URL instead of locally (requires -ndjson)")
+		tenant    = flag.String("tenant", "", "tenant to bill server-side jobs to (X-Popkit-Tenant; requires -server)")
 		jobID     = flag.String("job-id", "", "job id for server-side checkpoint/resume (requires -server and a journal-enabled popserved)")
 		sweepJSON = flag.String("sweep", "", "POST this sweep grid spec (JSON) to the server's /v1/sweep and print the manifest (requires -server; ignores the per-job flags)")
 		traceFile = flag.String("trace", "", "write an NDJSON event timeline of the run to FILE (local modes only; never changes the run's output)")
@@ -109,6 +110,10 @@ func main() {
 	}
 	trace, flushTrace := openTrace(*traceFile)
 
+	if *tenant != "" && *server == "" {
+		fail("-tenant needs -server (tenants exist in the server's fair queueing, not locally)")
+	}
+
 	if *sweepJSON != "" {
 		if *server == "" {
 			fail("-sweep needs -server (grids expand and dedupe server-side, against the server's result store)")
@@ -116,7 +121,7 @@ func main() {
 		if *retries < 0 {
 			fail("-retries must be ≥ 0 (got %d)", *retries)
 		}
-		os.Exit(runSweep(ctx, *sweepJSON, *server, *retries))
+		os.Exit(runSweep(ctx, *sweepJSON, *server, *tenant, *retries))
 	}
 
 	if *ndjson {
@@ -163,7 +168,7 @@ func main() {
 		}
 		if *server != "" {
 			spec.JobID = *jobID
-			os.Exit(runRemote(ctx, spec, *server, *retries))
+			os.Exit(runRemote(ctx, spec, *server, *tenant, *retries))
 		}
 		if *jobID != "" {
 			fail("-job-id needs -server (journals live on the popserved side)")
@@ -318,11 +323,12 @@ func runNDJSON(ctx context.Context, spec expt.JobSpec, workers, retries int) int
 // mid-stream disconnects are retried with backoff, and on reconnect the
 // stream resumes after the last delivered replica — stdout stays
 // byte-identical to a local -ndjson run of the same spec.
-func runRemote(ctx context.Context, spec expt.JobSpec, base string, retries int) int {
+func runRemote(ctx context.Context, spec expt.JobSpec, base, tenant string, retries int) int {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	cl := client.New(client.Options{
 		BaseURL:    base,
+		Tenant:     tenant,
 		MaxRetries: retries,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "popsim: "+format+"\n", args...)
@@ -356,7 +362,7 @@ func runRemote(ctx context.Context, spec expt.JobSpec, base string, retries int)
 // runSweep posts a parameter-grid spec to the server's /v1/sweep, printing
 // one manifest line per grid point to stdout (the exact server bytes) and
 // the closing hit/miss summary to stderr.
-func runSweep(ctx context.Context, specJSON, base string, retries int) int {
+func runSweep(ctx context.Context, specJSON, base, tenant string, retries int) int {
 	var sw expt.SweepSpec
 	dec := json.NewDecoder(strings.NewReader(specJSON))
 	dec.DisallowUnknownFields()
@@ -367,6 +373,7 @@ func runSweep(ctx context.Context, specJSON, base string, retries int) int {
 	defer out.Flush()
 	cl := client.New(client.Options{
 		BaseURL:    base,
+		Tenant:     tenant,
 		MaxRetries: retries,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "popsim: "+format+"\n", args...)

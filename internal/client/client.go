@@ -43,6 +43,10 @@ type Options struct {
 	BackoffMax time.Duration
 	// JitterSeed seeds the deterministic backoff jitter (tests).
 	JitterSeed uint64
+	// Tenant, when non-empty, is sent as X-Popkit-Tenant on every request,
+	// so the server's fair queueing bills this client's jobs to the right
+	// per-tenant lane. Empty means the server's default tenant.
+	Tenant string
 	// Logf, when set, receives one line per retry (diagnostics only).
 	Logf func(format string, args ...any)
 }
@@ -158,6 +162,7 @@ func (c *Client) attempt(ctx context.Context, body []byte, next *int, want int, 
 		return 0, &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.setQoSHeaders(ctx, req)
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		return 0, err
@@ -221,6 +226,24 @@ func (c *Client) attempt(ctx context.Context, body []byte, next *int, want int, 
 		return 0, fmt.Errorf("stream ended early at replica %d of %d", *next, want)
 	}
 	return 0, nil
+}
+
+// setQoSHeaders stamps the admission-control headers on one attempt: the
+// configured tenant, and — when ctx carries a deadline — the budget still
+// remaining, in milliseconds. Because the header is computed per attempt
+// from the live context, a caller that re-dispatches work under the same
+// context (the cluster coordinator re-routing a shard after a worker died)
+// automatically hands the next worker only what is left of the original
+// deadline, never a fresh full timeout.
+func (c *Client) setQoSHeaders(ctx context.Context, req *http.Request) {
+	if c.opt.Tenant != "" {
+		req.Header.Set("X-Popkit-Tenant", c.opt.Tenant)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set("X-Popkit-Deadline-Ms", strconv.FormatInt(ms, 10))
+		}
+	}
 }
 
 // backoff is BackoffBase·2^(fails-1) capped at BackoffMax, with ±25%

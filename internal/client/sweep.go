@@ -72,6 +72,7 @@ func (c *Client) sweepAttempt(ctx context.Context, body []byte, fn func(expt.Swe
 		return sum, false, 0, &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.setQoSHeaders(ctx, req)
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		return sum, false, 0, err

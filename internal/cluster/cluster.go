@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/qos"
 	"popkit/internal/serve"
 	"popkit/internal/store"
 )
@@ -75,9 +76,22 @@ type Config struct {
 	// JournalDir, when non-empty, enables coordinator checkpoint/resume
 	// for jobs that carry a job_id (same journal format as popserved).
 	JournalDir string
-	// JobTimeout bounds one job's wall clock; 0 means 300s. Workers apply
-	// their own per-shard timeout on top.
+	// JobTimeout caps one job's wall clock. 0 means the deadline is derived
+	// per job from the cost model's prediction (capped at 15 minutes); an
+	// explicit value caps the derived deadline — it is an operator override,
+	// never extended by a prediction. Workers apply their own per-shard
+	// timeout on top, inheriting the remaining budget via the
+	// X-Popkit-Deadline-Ms header on every shard dispatch.
 	JobTimeout time.Duration
+	// MinJobTimeout floors the derived deadline so a mispredicted tiny job
+	// still gets a usable window. Default 10s.
+	MinJobTimeout time.Duration
+	// CostModelPath optionally overrides the baked-in ns-per-interaction
+	// grid with a measured one (popbench output). Missing file → baked grid.
+	CostModelPath string
+	// CostBudget, when > 0, rejects any job whose predicted total cost
+	// exceeds it with 413 — the coordinator-level admission guardrail.
+	CostBudget time.Duration
 	// MaxN / MaxReplicas cap accepted specs; they must not exceed the
 	// workers' own caps. Defaults 5e6 and 1024.
 	MaxN        int
@@ -120,8 +134,8 @@ func (c *Config) fillDefaults() {
 	if c.DispatchRetries == 0 {
 		c.DispatchRetries = 4
 	}
-	if c.JobTimeout == 0 {
-		c.JobTimeout = 300 * time.Second
+	if c.MinJobTimeout == 0 {
+		c.MinJobTimeout = 10 * time.Second
 	}
 	if c.MaxN == 0 {
 		c.MaxN = 5_000_000
@@ -152,6 +166,10 @@ type Coordinator struct {
 	rstore  *store.Store
 	flight  *store.Flight
 	started time.Time
+	// model predicts job cost for admission and deadline derivation; qosM
+	// tallies per-tenant admission decisions on the shared metrics registry.
+	model *qos.Model
+	qosM  *qos.Metrics
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -171,6 +189,12 @@ func New(cfg Config) (*Coordinator, error) {
 		names = append(names, rt.name)
 	}
 	c.metrics = NewMetrics(names...)
+	model, err := qos.NewModel(qos.ModelOptions{GridPath: cfg.CostModelPath})
+	if err != nil {
+		return nil, fmt.Errorf("cost model: %w", err)
+	}
+	c.model = model
+	c.qosM = qos.NewMetrics(c.metrics.reg)
 	c.workers = newWorkerSet(cfg.HTTPClient, cfg.ProbeTimeout, c.metrics)
 	for _, u := range cfg.Workers {
 		if err := c.workers.add(u); err != nil {
@@ -201,6 +225,9 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Store exposes the coordinator's result store (nil when disabled).
 func (c *Coordinator) Store() *store.Store { return c.rstore }
+
+// CostModel exposes the admission cost model (tests, embedding binaries).
+func (c *Coordinator) CostModel() *qos.Model { return c.model }
 
 // Metrics exposes the counter set (tests and embedding binaries).
 func (c *Coordinator) Metrics() *Metrics { return c.metrics }

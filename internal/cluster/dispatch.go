@@ -62,7 +62,7 @@ type merged struct {
 // to write. With a journal, each line is made durable before it is written
 // to the client. Returns the first shard failure (cancellations included)
 // after all shards settle.
-func (c *Coordinator) execute(ctx context.Context, spec expt.JobSpec, start int, journal *expt.Journal, write func([]byte)) error {
+func (c *Coordinator) execute(ctx context.Context, tenant string, spec expt.JobSpec, start int, journal *expt.Journal, write func([]byte)) error {
 	inner := fleet.SinkFunc(func(r fleet.Result) {
 		m := r.Value.(merged)
 		if journal != nil {
@@ -104,7 +104,7 @@ func (c *Coordinator) execute(ctx context.Context, spec expt.JobSpec, start int,
 			case <-ctx.Done():
 				return
 			}
-			if err := c.runShard(ctx, spec, sh, ordered); err != nil {
+			if err := c.runShard(ctx, tenant, spec, sh, ordered); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("shard [%d,%d): %w", sh.lo, sh.hi, err)
@@ -128,7 +128,13 @@ func (c *Coordinator) execute(ctx context.Context, spec expt.JobSpec, start int,
 // cluster-level twin of the client's own reconnect logic, built on the same
 // progress-resets-the-budget rule. Records below cursor are never
 // re-emitted, so the sink sees each replica exactly once.
-func (c *Coordinator) runShard(ctx context.Context, spec expt.JobSpec, sh shard, sink fleet.ResultSink) error {
+//
+// Every dispatch — re-dispatches included — carries the originating tenant
+// and the job deadline's REMAINING budget (the client stamps
+// X-Popkit-Deadline-Ms from ctx per attempt), so a shard re-routed after a
+// worker died inherits what is left of the original deadline and bills to
+// the same tenant lane on its new worker.
+func (c *Coordinator) runShard(ctx context.Context, tenant string, spec expt.JobSpec, sh shard, sink fleet.ResultSink) error {
 	cursor := sh.lo
 	noProgress := 0
 	avoid := ""
@@ -164,6 +170,7 @@ func (c *Coordinator) runShard(ctx context.Context, spec expt.JobSpec, sh shard,
 			BaseURL:    wk.url,
 			HTTPClient: c.cfg.HTTPClient,
 			MaxRetries: c.cfg.ClientRetries,
+			Tenant:     tenant,
 			Logf:       c.cfg.Logf,
 		})
 		before := cursor

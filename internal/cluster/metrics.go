@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"popkit/internal/obs"
+	"popkit/internal/qos"
 	"popkit/internal/store"
 )
 
@@ -137,6 +138,9 @@ type MetricsSnapshot struct {
 	// Store summarizes the coordinator's result cache (absent when the
 	// store is disabled).
 	Store *store.Snapshot `json:"store,omitempty"`
+	// QoS summarizes coordinator-side admission: per-tenant admit/reject
+	// tallies and the cost model's per-tier EWMA corrections.
+	QoS *qos.Snapshot `json:"qos,omitempty"`
 }
 
 // Snapshot renders the counters; started anchors the uptime.

@@ -11,8 +11,21 @@ import (
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/qos"
 	"popkit/internal/store"
 )
+
+// QoS headers, identical to popserved's: the tenant a request bills to, and
+// the remaining deadline budget (milliseconds) a caller propagates so a
+// retried job inherits what is left instead of a fresh full timeout.
+const (
+	tenantHeader   = "X-Popkit-Tenant"
+	deadlineHeader = "X-Popkit-Deadline-Ms"
+)
+
+// maxAutoDeadline caps the cost-derived per-job deadline when the operator
+// sets no explicit JobTimeout (mirrors popserved).
+const maxAutoDeadline = 15 * time.Minute
 
 // route is one entry of the coordinator's route table; as in popserved, the
 // metrics' endpoint set derives from this table so every route gets a
@@ -57,8 +70,21 @@ func (c *Coordinator) instrument(name string, h http.HandlerFunc) http.HandlerFu
 	}
 }
 
+// errorDoc is the JSON body of every non-streaming error response. QoS is
+// present on admission-control rejections (413), carrying the predicted
+// cost and the machine-readable reason, matching popserved's shape.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error string  `json:"error"`
+	QoS   *qosDoc `json:"qos,omitempty"`
+}
+
+// qosDoc is the structured half of an admission rejection.
+type qosDoc struct {
+	Tenant          string `json:"tenant"`
+	Class           string `json:"class"`
+	PredictedCostMs int64  `json:"predicted_cost_ms"`
+	RetryAfterS     int    `json:"retry_after_s,omitempty"`
+	Reason          string `json:"reason"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -78,6 +104,52 @@ func (c *Coordinator) writeBackoff(w http.ResponseWriter, status int, format str
 	writeError(w, status, format, args...)
 }
 
+// writeQoSReject renders a structured admission rejection with the
+// prediction that drove it, so clients can tell "too expensive, ever" (413)
+// from plain backpressure.
+func (c *Coordinator) writeQoSReject(w http.ResponseWriter, status int, tenant string, pred qos.Prediction, reason, format string, args ...any) {
+	doc := errorDoc{
+		Error: fmt.Sprintf(format, args...),
+		QoS: &qosDoc{
+			Tenant:          tenant,
+			Class:           pred.Class.String(),
+			PredictedCostMs: pred.Total.Milliseconds(),
+			Reason:          reason,
+		},
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		sec := int(c.cfg.ProbeInterval/time.Second) + 1
+		doc.QoS.RetryAfterS = sec
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(doc)
+}
+
+// jobDeadline derives the per-job wall-clock budget from the prediction,
+// floored at MinJobTimeout and capped by the operator's JobTimeout (or 15m
+// when none is set). A caller-propagated X-Popkit-Deadline-Ms header can
+// only shrink it, so a coordinator chained behind another coordinator — or
+// any deadline-aware client — hands down what is left.
+func (c *Coordinator) jobDeadline(pred qos.Prediction, r *http.Request) time.Duration {
+	limit := c.cfg.JobTimeout
+	if limit <= 0 {
+		limit = maxAutoDeadline
+	}
+	d := qos.DeriveDeadline(pred.Total, c.cfg.MinJobTimeout, limit)
+	if r != nil {
+		if ms := r.Header.Get(deadlineHeader); ms != "" {
+			if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+				if rem := time.Duration(v) * time.Millisecond; rem < d {
+					d = rem
+				}
+			}
+		}
+	}
+	return d
+}
+
 // handleJob is POST /v1/jobs (and /v1/simulate): decode a JobSpec, shard it
 // across the live workers, and stream the merged records back as NDJSON —
 // byte-identical to a single popserved running the same spec.
@@ -92,6 +164,12 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	tenant, ok := qos.CleanTenant(r.Header.Get(tenantHeader))
+	if !ok {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad %s header: want ≤64 chars of [A-Za-z0-9._-]", tenantHeader)
+		return
+	}
 	var spec expt.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -100,7 +178,8 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	if _, err := c.cfg.Registry.Normalize(&spec, c.cfg.MaxN, c.cfg.MaxReplicas); err != nil {
+	proto, err := c.cfg.Registry.Normalize(&spec, c.cfg.MaxN, c.cfg.MaxReplicas)
+	if err != nil {
 		c.metrics.JobsRejectedInvalid.Add(1)
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
@@ -157,6 +236,18 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Admission: predict the job's cost after the cache had its chance — a
+	// cached result serves no matter how expensive it once was to compute.
+	pred := c.model.Predict(spec, proto.Kind)
+	if c.cfg.CostBudget > 0 && pred.Total > c.cfg.CostBudget {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		c.qosM.Rejected(tenant, pred.Class, "over_budget")
+		c.writeQoSReject(w, http.StatusRequestEntityTooLarge, tenant, pred, "over_budget",
+			"predicted cost %v exceeds the coordinator budget %v; shrink the job or raise -cost-budget",
+			pred.Total.Round(time.Millisecond), c.cfg.CostBudget)
+		return
+	}
+
 	if _, live := c.workers.counts(); live == 0 && c.ProbeNow() == 0 {
 		c.metrics.JobsRejectedNoWorkers.Add(1)
 		c.writeBackoff(w, http.StatusServiceUnavailable, "no live workers registered; retry later")
@@ -208,8 +299,9 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	c.metrics.JobsAccepted.Add(1)
+	c.qosM.Admitted(tenant, pred.Class)
 
-	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.JobTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), c.jobDeadline(pred, r))
 	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -242,7 +334,7 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	err := c.execute(ctx, spec, start, journal, writeLine)
+	err = c.execute(ctx, tenant, spec, start, journal, writeLine)
 	if commit != nil {
 		commit(err)
 	}
@@ -389,5 +481,8 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := c.rstore.Metrics().Snapshot()
 		snap.Store = &st
 	}
+	qs := c.qosM.Snapshot()
+	qs.Corrections = c.model.Corrections()
+	snap.QoS = &qs
 	enc.Encode(snap)
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/qos"
 	"popkit/internal/store"
 )
 
@@ -19,6 +21,12 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	tenant, ok := qos.CleanTenant(r.Header.Get(tenantHeader))
+	if !ok {
+		c.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad %s header: want ≤64 chars of [A-Za-z0-9._-]", tenantHeader)
 		return
 	}
 	var sw expt.SweepSpec
@@ -54,7 +62,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Store:   c.rstore,
 		Flight:  c.flight,
 		Workers: c.cfg.SweepWorkers,
-		Execute: c.executeSweepPoint,
+		Execute: func(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
+			return c.executeSweepPoint(ctx, spec, tenant)
+		},
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -94,17 +104,30 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // executeSweepPoint runs one normalized spec through the shard dispatcher
-// without an HTTP stream — the coordinator sweep's miss path. Returns the
-// complete merged record lines in replica order.
-func (c *Coordinator) executeSweepPoint(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
+// without an HTTP stream — the coordinator sweep's miss path. Each point is
+// priced and admitted individually under the sweep's tenant, so one
+// over-budget grid point yields one manifest error line instead of failing
+// the sweep. Returns the complete merged record lines in replica order.
+func (c *Coordinator) executeSweepPoint(ctx context.Context, spec expt.JobSpec, tenant string) ([][]byte, error) {
+	proto, err := c.cfg.Registry.Normalize(&spec, c.cfg.MaxN, c.cfg.MaxReplicas)
+	if err != nil {
+		return nil, err
+	}
+	pred := c.model.Predict(spec, proto.Kind)
+	if c.cfg.CostBudget > 0 && pred.Total > c.cfg.CostBudget {
+		c.qosM.Rejected(tenant, pred.Class, "over_budget")
+		return nil, fmt.Errorf("predicted cost %v exceeds the coordinator budget %v",
+			pred.Total.Round(time.Millisecond), c.cfg.CostBudget)
+	}
 	if _, live := c.workers.counts(); live == 0 && c.ProbeNow() == 0 {
 		return nil, fmt.Errorf("no live workers registered")
 	}
 	c.metrics.JobsAccepted.Add(1)
-	jctx, cancel := context.WithTimeout(ctx, c.cfg.JobTimeout)
+	c.qosM.Admitted(tenant, pred.Class)
+	jctx, cancel := context.WithTimeout(ctx, c.jobDeadline(pred, nil))
 	defer cancel()
 	lines := make([][]byte, 0, spec.Replicas)
-	err := c.execute(jctx, spec, 0, nil, func(line []byte) {
+	err = c.execute(jctx, tenant, spec, 0, nil, func(line []byte) {
 		// Dispatch hands each merged line over freshly allocated.
 		lines = append(lines, line)
 	})

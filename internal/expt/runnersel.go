@@ -126,6 +126,22 @@ func SelectRunnerReason(rs *rules.Ruleset, n int64) (RunnerKind, string) {
 	return RunnerBatch, fmt.Sprintf("n=%d between counted crossover %d and aggregate crossover %d", n, denseCrossover, aggregateCrossover)
 }
 
+// SelectRunnerForSize is the size-only projection of SelectRunnerReason for
+// flat (unordered) rule sets: the runner tier a counted protocol over n
+// agents will execute on. Admission-time cost prediction (internal/qos)
+// prices a job from this tier without compiling the ruleset; keeping the
+// projection next to the crossover constants means the cost model can never
+// drift from the real selector.
+func SelectRunnerForSize(n int64) RunnerKind {
+	if n < denseCrossover {
+		return RunnerDense
+	}
+	if n >= aggregateCrossover {
+		return RunnerAggregate
+	}
+	return RunnerBatch
+}
+
 // Counter is the common face of the engines' incremental trackers.
 type Counter interface{ Count() int64 }
 

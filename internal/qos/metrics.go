@@ -1,0 +1,183 @@
+package qos
+
+import (
+	"sync"
+	"time"
+
+	"popkit/internal/obs"
+)
+
+// maxMetricTenants bounds per-tenant label cardinality. Admitted tenants
+// are already capped by QueueConfig.MaxTenants, but rejections can name
+// arbitrarily many tenants; past the cap they collapse into "_other".
+const maxMetricTenants = 256
+
+// Metrics is the popkit_qos_* series set, registered on a shared
+// obs.Registry so the series land in the same /metrics exposition (JSON
+// and Prometheus) as the rest of the server.
+type Metrics struct {
+	reg *obs.Registry
+
+	// PredictionError is the |actual − predicted| per-replica wall-clock
+	// histogram — the model-drift signal.
+	PredictionError *obs.Histogram
+	// WhalesRunning mirrors the queue's running-whale gauge.
+	WhalesRunning *obs.GaugeInt
+
+	mu      sync.Mutex
+	tenants map[string]*tenantMetrics
+}
+
+// tenantMetrics is one tenant's counter set, created lazily.
+type tenantMetrics struct {
+	admitted  [3]*obs.Counter
+	rejected  map[string]*obs.Counter // by reason
+	shed      map[string]*obs.Counter // by reason
+	queueWait *obs.Histogram
+}
+
+// NewMetrics registers the qos families on reg (nil-safe: a nil registry
+// yields inert series).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		PredictionError: reg.Histogram("popkit_qos_prediction_error_seconds",
+			"absolute error of the cost model's per-replica prediction"),
+		WhalesRunning: reg.Gauge("popkit_qos_whales_running",
+			"whale-class jobs currently executing"),
+		tenants: make(map[string]*tenantMetrics),
+	}
+}
+
+// tenant returns (and lazily creates) the tenant's counter set, along with
+// the resolved label value — "_other" once the cardinality cap is hit.
+func (m *Metrics) tenant(name string) (*tenantMetrics, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	if ok {
+		return t, name
+	}
+	if len(m.tenants) >= maxMetricTenants {
+		name = "_other"
+		if t, ok = m.tenants[name]; ok {
+			return t, name
+		}
+	}
+	t = &tenantMetrics{
+		rejected: make(map[string]*obs.Counter),
+		shed:     make(map[string]*obs.Counter),
+		queueWait: m.reg.Histogram("popkit_qos_queue_wait_seconds",
+			"time jobs spent queued before dispatch", obs.L("tenant", name)),
+	}
+	for _, c := range Classes() {
+		t.admitted[c] = m.reg.Counter("popkit_qos_admitted_total",
+			"jobs admitted past QoS, by tenant and size class",
+			obs.L("tenant", name), obs.L("class", c.String()))
+	}
+	m.tenants[name] = t
+	return t, name
+}
+
+// Admitted counts one admission.
+func (m *Metrics) Admitted(tenant string, c Class) {
+	t, _ := m.tenant(tenant)
+	t.admitted[c].Inc()
+}
+
+// Rejected counts one structured rejection (429/413) by reason.
+func (m *Metrics) Rejected(tenant string, c Class, reason string) {
+	t, name := m.tenant(tenant)
+	m.mu.Lock()
+	ctr, ok := t.rejected[reason]
+	if !ok {
+		ctr = m.reg.Counter("popkit_qos_rejected_total",
+			"jobs rejected by QoS admission, by tenant and reason",
+			obs.L("tenant", name), obs.L("reason", reason))
+		t.rejected[reason] = ctr
+	}
+	m.mu.Unlock()
+	ctr.Inc()
+}
+
+// Shed counts one load-shed rejection (503 under pressure or drain).
+func (m *Metrics) Shed(tenant string, c Class, reason string) {
+	t, name := m.tenant(tenant)
+	m.mu.Lock()
+	ctr, ok := t.shed[reason]
+	if !ok {
+		ctr = m.reg.Counter("popkit_qos_shed_total",
+			"jobs shed under overload or drain, by tenant and reason",
+			obs.L("tenant", name), obs.L("reason", reason))
+		t.shed[reason] = ctr
+	}
+	m.mu.Unlock()
+	ctr.Inc()
+}
+
+// QueueWait records how long a dispatched job sat queued.
+func (m *Metrics) QueueWait(tenant string, d time.Duration) {
+	t, _ := m.tenant(tenant)
+	t.queueWait.Observe(d)
+}
+
+// ObservePrediction records one predicted-vs-actual per-replica pair.
+func (m *Metrics) ObservePrediction(predicted, actual time.Duration) {
+	diff := actual - predicted
+	if diff < 0 {
+		diff = -diff
+	}
+	m.PredictionError.Observe(diff)
+}
+
+// TenantSnapshot is one tenant's QoS tallies in the JSON document.
+type TenantSnapshot struct {
+	Admitted  map[string]int64      `json:"admitted"`
+	Rejected  map[string]int64      `json:"rejected,omitempty"`
+	Shed      map[string]int64      `json:"shed,omitempty"`
+	QueueWait obs.HistogramSnapshot `json:"queue_wait"`
+}
+
+// Snapshot is the "qos" section of the /metrics JSON document.
+type Snapshot struct {
+	Tenants         map[string]TenantSnapshot `json:"tenants"`
+	PredictionError obs.HistogramSnapshot     `json:"prediction_error"`
+	WhalesRunning   int64                     `json:"whales_running"`
+	// Corrections are the cost model's per-tier EWMA multipliers
+	// (1.0 = raw grid; populated by the server from its model).
+	Corrections map[string]float64 `json:"corrections,omitempty"`
+}
+
+// Snapshot renders the current tallies.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Tenants:         make(map[string]TenantSnapshot, len(m.tenants)),
+		PredictionError: m.PredictionError.Snapshot(),
+		WhalesRunning:   m.WhalesRunning.Load(),
+	}
+	for name, t := range m.tenants {
+		ts := TenantSnapshot{
+			Admitted:  make(map[string]int64, 3),
+			QueueWait: t.queueWait.Snapshot(),
+		}
+		for _, c := range Classes() {
+			ts.Admitted[c.String()] = int64(t.admitted[c].Load())
+		}
+		if len(t.rejected) > 0 {
+			ts.Rejected = make(map[string]int64, len(t.rejected))
+			for reason, ctr := range t.rejected {
+				ts.Rejected[reason] = int64(ctr.Load())
+			}
+		}
+		if len(t.shed) > 0 {
+			ts.Shed = make(map[string]int64, len(t.shed))
+			for reason, ctr := range t.shed {
+				ts.Shed[reason] = int64(ctr.Load())
+			}
+		}
+		s.Tenants[name] = ts
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package qos
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"popkit/internal/expt"
+)
+
+func spec(protocol string, n, replicas int, maxRounds float64) expt.JobSpec {
+	return expt.JobSpec{Protocol: protocol, N: n, Replicas: replicas, MaxRounds: maxRounds}
+}
+
+func TestPredictClasses(t *testing.T) {
+	m := MustNewModel(ModelOptions{})
+	cases := []struct {
+		name string
+		spec expt.JobSpec
+		kind string
+		want Class
+		tier string
+	}{
+		// Tiny DV12 exact majority: far under a second even with Θ(n·log n)
+		// rounds, because the batch kernel leaps quiescence at small n.
+		{"interactive", spec("exactmajority", 2000, 2, 1e9), "counted", ClassInteractive, "batch"},
+		// n=1e5 lands in the seconds band.
+		{"batch", spec("exactmajority", 100_000, 1, 1e9), "counted", ClassBatch, "batch"},
+		// Huge-n runs on the aggregate kernel are whales.
+		{"whale", spec("exactmajority", 10_000_000, 1, 1e9), "counted", ClassWhale, "aggregate"},
+		// Framework protocols always price on the dense tier.
+		{"framework", spec("leader", 128, 1, 0), "framework", ClassInteractive, "dense"},
+	}
+	for _, tc := range cases {
+		p := m.Predict(tc.spec, tc.kind)
+		if p.Class != tc.want {
+			t.Errorf("%s: class = %v (total %v), want %v", tc.name, p.Class, p.Total, tc.want)
+		}
+		if p.Tier != tc.tier {
+			t.Errorf("%s: tier = %q, want %q", tc.name, p.Tier, tc.tier)
+		}
+		if p.PerReplica <= 0 || p.Total < p.PerReplica {
+			t.Errorf("%s: nonsense durations per=%v total=%v", tc.name, p.PerReplica, p.Total)
+		}
+	}
+}
+
+func TestPredictScalesWithReplicas(t *testing.T) {
+	m := MustNewModel(ModelOptions{})
+	one := m.Predict(spec("exactmajority", 100_000, 1, 1e9), "counted")
+	ten := m.Predict(spec("exactmajority", 100_000, 10, 1e9), "counted")
+	if ten.Total != 10*one.Total {
+		t.Fatalf("10 replicas predicted %v, want 10 × %v", ten.Total, one.Total)
+	}
+	// A shard window [start, replicas) prices only its own width.
+	sh := spec("exactmajority", 100_000, 10, 1e9)
+	sh.Start = 8
+	if got := m.Predict(sh, "counted"); got.Total != 2*one.Total {
+		t.Fatalf("2-replica window predicted %v, want 2 × %v", got.Total, one.Total)
+	}
+}
+
+func TestPredictRespectsRoundBudget(t *testing.T) {
+	m := MustNewModel(ModelOptions{})
+	free := m.Predict(spec("exactmajority", 1_000_000, 1, 1e9), "counted")
+	capped := m.Predict(spec("exactmajority", 1_000_000, 1, 10), "counted")
+	if capped.Interactions >= free.Interactions {
+		t.Fatalf("max_rounds=10 predicted %.3g interactions, uncapped %.3g", capped.Interactions, free.Interactions)
+	}
+	if capped.Interactions != 10*1_000_000 {
+		t.Fatalf("capped interactions = %.3g, want 1e7", capped.Interactions)
+	}
+}
+
+func TestObserveEWMACorrection(t *testing.T) {
+	m := MustNewModel(ModelOptions{})
+	s := spec("exactmajority", 100_000, 1, 1e9)
+	before := m.Predict(s, "counted")
+	// The hardware is consistently 10× slower than the raw grid says:
+	// actual = 10 × (prediction / applied correction).
+	for i := 0; i < 20; i++ {
+		p := m.Predict(s, "counted")
+		raw := float64(p.PerReplica) / p.Correction
+		m.Observe(p, time.Duration(10*raw))
+	}
+	after := m.Predict(s, "counted")
+	if ratio := float64(after.PerReplica) / float64(before.PerReplica); ratio < 5 || ratio > 20 {
+		t.Fatalf("after 20 × 10×-slow observations, prediction moved %.2f×, want ≈10×", ratio)
+	}
+	corr := m.Corrections()["batch"]
+	if corr < 5 || corr > 20 {
+		t.Fatalf("batch correction = %v, want ≈10", corr)
+	}
+	// Observations of one tier must not touch another.
+	if _, ok := m.Corrections()["aggregate"]; ok {
+		t.Fatal("aggregate correction set without aggregate observations")
+	}
+}
+
+func TestObserveClampsOutliers(t *testing.T) {
+	m := MustNewModel(ModelOptions{})
+	s := spec("exactmajority", 100_000, 1, 1e9)
+	p := m.Predict(s, "counted")
+	m.Observe(p, p.PerReplica*1e6) // absurd single outlier
+	if c := m.Corrections()["batch"]; c > 100 {
+		t.Fatalf("correction %v exceeded clamp", c)
+	}
+	m.Observe(p, 0) // ignored
+	m.Observe(Prediction{}, time.Second)
+}
+
+func TestGridFileOverridesDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.json")
+	body := `{"rows":[{"runner":"batch","n":1000000,"ns_per_interaction":1000}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(ModelOptions{GridPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := m.nsPerInteraction("batch", 1e6); ns != 1000 {
+		t.Fatalf("ns = %v, want 1000 from the file", ns)
+	}
+	// A tier the file lacks falls back to "counted", itself absent → 10.
+	if ns := m.nsPerInteraction("dense", 1e6); ns != 10 {
+		t.Fatalf("fallback ns = %v, want 10", ns)
+	}
+
+	if _, err := NewModel(ModelOptions{GridPath: filepath.Join(dir, "missing.json")}); err != nil {
+		t.Fatalf("missing grid file must fall back, got %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := NewModel(ModelOptions{GridPath: bad}); err == nil {
+		t.Fatal("unparseable grid file must error")
+	}
+	if _, err := NewModel(ModelOptions{InteractiveMax: time.Minute, WhaleMin: time.Second}); err == nil {
+		t.Fatal("WhaleMin below InteractiveMax must error")
+	}
+}
+
+func TestNsPerInteractionInterpolates(t *testing.T) {
+	m := MustNewModel(ModelOptions{})
+	lo := m.nsPerInteraction("aggregate", 1e4)
+	mid := m.nsPerInteraction("aggregate", 1e7)
+	hi := m.nsPerInteraction("aggregate", 1e8)
+	last := m.nsPerInteraction("aggregate", 1e9)
+	if !(mid < lo && mid > hi) {
+		t.Fatalf("interpolation not monotone on the aggregate decline: lo=%v mid=%v hi=%v", lo, mid, hi)
+	}
+	// Outside the measured range clamps to the endpoints.
+	if got := m.nsPerInteraction("aggregate", 1); got != lo {
+		t.Fatalf("below-range ns = %v, want clamp %v", got, lo)
+	}
+	if got := m.nsPerInteraction("aggregate", 1e12); got != last {
+		t.Fatalf("above-range ns = %v, want clamp %v", got, last)
+	}
+}
+
+func TestDeriveDeadline(t *testing.T) {
+	floor, cap := 10*time.Second, 15*time.Minute
+	// Tiny prediction: the floor holds (over-granting direction).
+	if d := DeriveDeadline(time.Millisecond, floor, cap); d != floor {
+		t.Fatalf("tiny job deadline = %v, want floor %v", d, floor)
+	}
+	// Mid prediction: slack × prediction.
+	if d := DeriveDeadline(10*time.Second, floor, cap); d != 80*time.Second {
+		t.Fatalf("mid job deadline = %v, want 80s", d)
+	}
+	// Huge prediction: the cap holds (the operator override wins).
+	if d := DeriveDeadline(24*time.Hour, floor, cap); d != cap {
+		t.Fatalf("whale deadline = %v, want cap %v", d, cap)
+	}
+	// Uncapped.
+	if d := DeriveDeadline(24*time.Hour, floor, 0); d != 8*24*time.Hour {
+		t.Fatalf("uncapped deadline = %v, want 8d", d)
+	}
+	// Overflow saturates instead of wrapping negative.
+	if d := DeriveDeadline(time.Duration(math.MaxInt64/2), floor, 0); d <= 0 {
+		t.Fatalf("overflow deadline = %v", d)
+	}
+}
+
+func TestCleanTenant(t *testing.T) {
+	if got, ok := CleanTenant(""); !ok || got != DefaultTenant {
+		t.Fatalf("empty → %q/%v", got, ok)
+	}
+	if got, ok := CleanTenant("team-a.prod_1"); !ok || got != "team-a.prod_1" {
+		t.Fatalf("valid name mangled: %q/%v", got, ok)
+	}
+	for _, bad := range []string{"has space", "semi;colon", "ünïcode", string(make([]byte, 65))} {
+		if _, ok := CleanTenant(bad); ok {
+			t.Fatalf("accepted invalid tenant %q", bad)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range Classes() {
+		if c.String() == "unknown" {
+			t.Fatalf("class %d stringifies to unknown", c)
+		}
+	}
+	if Class(99).String() != "unknown" {
+		t.Fatal("out-of-range class must stringify to unknown")
+	}
+}

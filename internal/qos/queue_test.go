@@ -1,0 +1,391 @@
+package qos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"popkit/internal/obs"
+)
+
+func item(tenant string, c Class, cost time.Duration, tag string) *Item {
+	return &Item{Tenant: tenant, Class: c, Cost: cost, Job: tag}
+}
+
+// next returns the queue's next item or fails the test after a timeout —
+// Next blocks, so a missing wakeup would otherwise hang the suite.
+func next(t *testing.T, q *Queue) *Item {
+	t.Helper()
+	type res struct {
+		it *Item
+		ok bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		it, ok := q.Next()
+		ch <- res{it, ok}
+	}()
+	select {
+	case r := <-ch:
+		if !r.ok {
+			t.Fatal("queue closed unexpectedly")
+		}
+		return r.it
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not return")
+		return nil
+	}
+}
+
+func TestFIFOWithinTenantAndClass(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	for _, tag := range []string{"a", "b", "c"} {
+		if err := q.Enqueue(item("t", ClassBatch, time.Second, tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		it := next(t, q)
+		if it.Job.(string) != want {
+			t.Fatalf("got %v, want %v", it.Job, want)
+		}
+		q.Done(it)
+	}
+}
+
+func TestClassPriorityWithinTenant(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	q.Enqueue(item("t", ClassWhale, time.Hour, "whale"))
+	q.Enqueue(item("t", ClassBatch, 5*time.Second, "batch"))
+	q.Enqueue(item("t", ClassInteractive, time.Millisecond, "inter"))
+	for _, want := range []string{"inter", "batch", "whale"} {
+		it := next(t, q)
+		if it.Job.(string) != want {
+			t.Fatalf("got %v, want %v", it.Job, want)
+		}
+		q.Done(it)
+	}
+}
+
+func TestInteractiveNeverBehindAnotherTenantsWhales(t *testing.T) {
+	q := NewQueue(QueueConfig{WhaleGlobal: 4, WhalePerTenant: 4})
+	for i := 0; i < 8; i++ {
+		if err := q.Enqueue(item("whaler", ClassWhale, time.Hour, "whale")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Enqueue(item("alice", ClassInteractive, time.Millisecond, "inter"))
+	// Strict class priority: the interactive item dispatches first even
+	// though the whale tenant queued first and has eight items waiting.
+	it := next(t, q)
+	if it.Job.(string) != "inter" {
+		t.Fatalf("first dispatch = %v, want the interactive job", it.Job)
+	}
+	q.Done(it)
+}
+
+func TestDRRWeightedShare(t *testing.T) {
+	q := NewQueue(QueueConfig{
+		PerTenantDepth: 100,
+		GlobalDepth:    300,
+		Weights:        map[string]int{"heavy": 4, "light": 1},
+	})
+	for i := 0; i < 80; i++ {
+		q.Enqueue(item("heavy", ClassBatch, time.Second, "heavy"))
+		q.Enqueue(item("light", ClassBatch, time.Second, "light"))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 50; i++ {
+		it := next(t, q)
+		counts[it.Tenant]++
+		q.Done(it)
+	}
+	if counts["heavy"] < 3*counts["light"] {
+		t.Fatalf("weight-4 tenant got %d dispatches vs %d — want ≥ 3×", counts["heavy"], counts["light"])
+	}
+	if counts["light"] == 0 {
+		t.Fatal("weight-1 tenant fully starved")
+	}
+}
+
+func TestEqualWeightShareDespiteCostGap(t *testing.T) {
+	// One tenant's items are 100× more expensive (capped by ChargeCap):
+	// the cheap tenant must get proportionally more dispatches, and the
+	// expensive tenant must still progress.
+	q := NewQueue(QueueConfig{PerTenantDepth: 100, GlobalDepth: 300, ChargeCap: 10 * time.Second})
+	for i := 0; i < 60; i++ {
+		q.Enqueue(item("cheap", ClassBatch, 100*time.Millisecond, "cheap"))
+		q.Enqueue(item("dear", ClassBatch, 10*time.Second, "dear"))
+	}
+	var order []string
+	for i := 0; i < 120; i++ {
+		it := next(t, q)
+		order = append(order, it.Tenant)
+		q.Done(it)
+	}
+	early := 0
+	for _, tn := range order[:50] {
+		if tn == "cheap" {
+			early++
+		}
+	}
+	if early < 45 {
+		t.Fatalf("cost-aware DRR should front-load the cheap tenant: %d/50 early dispatches", early)
+	}
+	dear := 0
+	for _, tn := range order {
+		if tn == "dear" {
+			dear++
+		}
+	}
+	if dear != 60 {
+		t.Fatalf("expensive tenant dispatched %d of 60 items", dear)
+	}
+}
+
+func TestWhaleCaps(t *testing.T) {
+	q := NewQueue(QueueConfig{WhaleGlobal: 1, WhalePerTenant: 1})
+	q.Enqueue(item("a", ClassWhale, time.Hour, "w1"))
+	q.Enqueue(item("b", ClassWhale, time.Hour, "w2"))
+	first := next(t, q)
+
+	// The global cap holds the second whale back even though a worker asks.
+	got := make(chan *Item, 1)
+	go func() {
+		it, ok := q.Next()
+		if ok {
+			got <- it
+		}
+	}()
+	select {
+	case it := <-got:
+		t.Fatalf("second whale %v dispatched past the global cap", it.Job)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// A batch job is unaffected by whale caps.
+	q.Enqueue(item("c", ClassBatch, time.Second, "batch"))
+	select {
+	case it := <-got:
+		if it.Job.(string) != "batch" {
+			t.Fatalf("expected the batch job to bypass capped whales, got %v", it.Job)
+		}
+		q.Done(it)
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch job did not dispatch while whales were capped")
+	}
+	// Finishing the first whale frees the slot.
+	q.Done(first)
+	it := next(t, q)
+	if it.Job.(string) != "w2" {
+		t.Fatalf("after Done, got %v, want w2", it.Job)
+	}
+	if q.WhalesRunning() != 1 {
+		t.Fatalf("whales running = %d, want 1", q.WhalesRunning())
+	}
+	q.Done(it)
+	if q.WhalesRunning() != 0 {
+		t.Fatalf("whales running after Done = %d, want 0", q.WhalesRunning())
+	}
+}
+
+func TestPerTenantWhaleCap(t *testing.T) {
+	q := NewQueue(QueueConfig{WhaleGlobal: 8, WhalePerTenant: 1})
+	q.Enqueue(item("a", ClassWhale, time.Hour, "a1"))
+	q.Enqueue(item("a", ClassWhale, time.Hour, "a2"))
+	q.Enqueue(item("b", ClassWhale, time.Hour, "b1"))
+	first := next(t, q)
+	second := next(t, q)
+	if first.Tenant == second.Tenant {
+		t.Fatalf("two running whales from tenant %q despite per-tenant cap 1", first.Tenant)
+	}
+	q.Done(first)
+	q.Done(second)
+}
+
+func TestEnqueueLimits(t *testing.T) {
+	q := NewQueue(QueueConfig{PerTenantDepth: 2, GlobalDepth: 3, MaxTenants: 2})
+	if err := q.Enqueue(item("a", ClassBatch, time.Second, "1")); err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(item("a", ClassBatch, time.Second, "2"))
+	if err := q.Enqueue(item("a", ClassBatch, time.Second, "3")); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("tenant overflow: %v, want ErrTenantFull", err)
+	}
+	q.Enqueue(item("b", ClassBatch, time.Second, "4"))
+	if err := q.Enqueue(item("b", ClassBatch, time.Second, "5")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("global overflow: %v, want ErrQueueFull", err)
+	}
+	q.Close()
+	if err := q.Enqueue(item("a", ClassBatch, time.Second, "7")); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("closed queue: %v, want ErrQueueClosed", err)
+	}
+
+	// Tenant cardinality: with ample depth and both tenants busy, a third
+	// tenant cannot evict anyone and is refused.
+	q2 := NewQueue(QueueConfig{PerTenantDepth: 4, GlobalDepth: 16, MaxTenants: 2})
+	q2.Enqueue(item("a", ClassBatch, time.Second, "a1"))
+	q2.Enqueue(item("b", ClassBatch, time.Second, "b1"))
+	if err := q2.Enqueue(item("c", ClassBatch, time.Second, "c1")); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("tenant cardinality: %v, want ErrTenantLimit", err)
+	}
+}
+
+func TestIdleTenantEviction(t *testing.T) {
+	q := NewQueue(QueueConfig{MaxTenants: 1})
+	q.Enqueue(item("a", ClassBatch, time.Second, "a1"))
+	it := next(t, q)
+	q.Done(it)
+	// Tenant a is idle now; tenant b takes its slot.
+	if err := q.Enqueue(item("b", ClassBatch, time.Second, "b1")); err != nil {
+		t.Fatalf("idle tenant not evicted: %v", err)
+	}
+	it = next(t, q)
+	if it.Tenant != "b" {
+		t.Fatalf("got tenant %q, want b", it.Tenant)
+	}
+	q.Done(it)
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	q.Enqueue(item("t", ClassBatch, time.Second, "1"))
+	q.Enqueue(item("t", ClassBatch, time.Second, "2"))
+	q.Close()
+	for i := 0; i < 2; i++ {
+		it, ok := q.Next()
+		if !ok {
+			t.Fatalf("queued item %d lost on close", i)
+		}
+		q.Done(it)
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("Next returned an item from an empty closed queue")
+	}
+	q.Close() // idempotent
+}
+
+func TestDepthAndChargeSampling(t *testing.T) {
+	q := NewQueue(QueueConfig{ChargeCap: 10 * time.Second, PerTenantDepth: 4, ShedDepth: 2})
+	q.Enqueue(item("t", ClassBatch, 3*time.Second, "1"))
+	q.Enqueue(item("t", ClassBatch, time.Hour, "2")) // charge capped at 10s
+	if d := q.Depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	if d := q.TenantDepth("t"); d != 2 {
+		t.Fatalf("tenant depth = %d, want 2", d)
+	}
+	if d := q.TenantDepth("ghost"); d != 0 {
+		t.Fatalf("ghost tenant depth = %d", d)
+	}
+	if c := q.TenantQueuedCharge("t"); c != 13*time.Second {
+		t.Fatalf("queued charge = %v, want 13s", c)
+	}
+	if !q.Overloaded() {
+		t.Fatal("2 queued with ShedDepth 2 must report overload")
+	}
+	it := next(t, q)
+	q.Done(it)
+	it = next(t, q)
+	q.Done(it)
+	if q.Overloaded() {
+		t.Fatal("drained queue still overloaded")
+	}
+	if c := q.TenantQueuedCharge("t"); c != 0 {
+		t.Fatalf("drained queued charge = %v", c)
+	}
+	if q.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", q.Capacity())
+	}
+}
+
+// TestConcurrentProducersConsumers is the race-detector workout: many
+// producers and consumers over all classes and several tenants, with whale
+// caps in play, must neither deadlock nor lose items.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue(QueueConfig{
+		PerTenantDepth: 1000,
+		GlobalDepth:    4000,
+		WhaleGlobal:    2,
+		WhalePerTenant: 1,
+	})
+	const perTenant = 50
+	tenants := []string{"a", "b", "c"}
+	var produced sync.WaitGroup
+	for _, tn := range tenants {
+		produced.Add(1)
+		go func(tn string) {
+			defer produced.Done()
+			for i := 0; i < perTenant; i++ {
+				c := Classes()[i%3]
+				cost := time.Millisecond
+				if c == ClassWhale {
+					cost = time.Hour
+				}
+				for q.Enqueue(item(tn, c, cost, tn)) != nil {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(tn)
+	}
+	var mu sync.Mutex
+	got := 0
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for {
+				it, ok := q.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got++
+				mu.Unlock()
+				q.Done(it)
+			}
+		}()
+	}
+	produced.Wait()
+	q.Close()
+	workers.Wait()
+	if want := perTenant * len(tenants); got != want {
+		t.Fatalf("dispatched %d items, want %d", got, want)
+	}
+	if q.WhalesRunning() != 0 {
+		t.Fatalf("whales running after drain: %d", q.WhalesRunning())
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics(nil) // nil registry: inert series, no panics
+	m.Admitted("t", ClassInteractive)
+	m.Rejected("t", ClassWhale, "over_budget")
+	m.Shed("t", ClassWhale, "overload")
+	m.QueueWait("t", time.Millisecond)
+	m.ObservePrediction(time.Second, 3*time.Second)
+	m.ObservePrediction(3*time.Second, time.Second)
+	_ = m.Snapshot()
+
+	reg := obs.NewRegistry()
+	m = NewMetrics(reg)
+	m.Admitted("alice", ClassInteractive)
+	m.Admitted("alice", ClassInteractive)
+	m.Rejected("bob", ClassWhale, "over_budget")
+	m.Shed("bob", ClassWhale, "draining")
+	m.QueueWait("alice", 5*time.Millisecond)
+	snap := m.Snapshot()
+	if snap.Tenants["alice"].Admitted["interactive"] != 2 {
+		t.Fatalf("alice interactive admitted = %d, want 2", snap.Tenants["alice"].Admitted["interactive"])
+	}
+	if snap.Tenants["bob"].Rejected["over_budget"] != 1 {
+		t.Fatalf("bob over_budget = %d, want 1", snap.Tenants["bob"].Rejected["over_budget"])
+	}
+	if snap.Tenants["bob"].Shed["draining"] != 1 {
+		t.Fatalf("bob shed draining = %d, want 1", snap.Tenants["bob"].Shed["draining"])
+	}
+	if snap.Tenants["alice"].QueueWait.Count != 1 {
+		t.Fatalf("alice queue-wait count = %d, want 1", snap.Tenants["alice"].QueueWait.Count)
+	}
+}

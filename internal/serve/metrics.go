@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"popkit/internal/obs"
+	"popkit/internal/qos"
 	"popkit/internal/store"
 )
 
@@ -146,6 +147,10 @@ type MetricsSnapshot struct {
 	// Store summarizes the content-addressed result store (present only
 	// when the server runs with one).
 	Store *store.Snapshot `json:"store,omitempty"`
+	// QoS summarizes admission control: per-tenant admit/reject/shed
+	// tallies, queue-wait and prediction-error histograms, whale gauge,
+	// and the cost model's per-tier EWMA corrections.
+	QoS *qos.Snapshot `json:"qos,omitempty"`
 	// ReplicaLatency summarizes per-replica wall-clock time across jobs.
 	ReplicaLatency HistogramSnapshot `json:"replica_latency"`
 	// Latency maps endpoint name to its request-latency summary.

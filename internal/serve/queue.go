@@ -2,11 +2,13 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"popkit/internal/expt"
 	"popkit/internal/fleet"
+	"popkit/internal/qos"
 )
 
 // jobStatus is a queued job's terminal outcome.
@@ -26,9 +28,16 @@ type queuedJob struct {
 	spec  expt.JobSpec
 	proto *Protocol
 	// ctx is the request-scoped context: client disconnect and the per-job
-	// timeout both cancel it, aborting not-yet-started replicas.
+	// deadline both cancel it, aborting not-yet-started replicas.
 	ctx     context.Context
 	records chan expt.ReplicaRecord
+
+	// tenant and pred drive QoS scheduling (fair queueing, whale caps) and
+	// the prediction-error feedback loop. The zero values — default tenant,
+	// zero-cost interactive prediction — are what internal callers without
+	// an admission decision get.
+	tenant string
+	pred   qos.Prediction
 
 	// start is the first replica to compute; records below it were already
 	// streamed from the journal by the handler.
@@ -61,15 +70,16 @@ func (j *queuedJob) err() error {
 	return j.termErr
 }
 
-// errQueueFull is returned by tryEnqueue's callers' contract: the queue is
-// at capacity and the client should back off (HTTP 429).
-var errQueueFull = errors.New("job queue full")
-
-// pool is the bounded job queue plus the workers draining it. Each worker
-// runs one job at a time; a job's replicas fan out across fleetWorkers
-// fleet workers, so total simulation parallelism is workers×fleetWorkers.
+// pool is the per-tenant fair job queue plus the workers draining it. Each
+// worker runs one job at a time; a job's replicas fan out across
+// fleetWorkers fleet workers, so total simulation parallelism is
+// workers×fleetWorkers. Scheduling — class priority, weighted
+// deficit-round-robin across tenants, whale concurrency caps — lives in
+// qos.Queue; this type owns execution and the metrics feedback loops.
 type pool struct {
-	queue        chan *queuedJob
+	q            *qos.Queue
+	model        *qos.Model
+	qm           *qos.Metrics
 	workers      int
 	fleetWorkers int
 	maxRetries   int
@@ -82,33 +92,37 @@ type pool struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	// jitterMu/jitter randomize the Retry-After hint so a burst of
-	// rejected clients doesn't return in lockstep.
-	jitterMu sync.Mutex
-	jitter   uint64
+	// jitter is a lock-free splitmix64 stream randomizing Retry-After
+	// hints, so a burst of rejected clients doesn't return in lockstep.
+	jitter atomic.Uint64
 }
 
-func newPool(queueDepth, workers, fleetWorkers, maxRetries int, metrics *Metrics) *pool {
-	if queueDepth < 1 {
-		queueDepth = 1
-	}
+func newPool(qcfg qos.QueueConfig, workers, fleetWorkers, maxRetries int, metrics *Metrics, model *qos.Model, qm *qos.Metrics) *pool {
 	if workers < 1 {
 		workers = 1
 	}
 	if fleetWorkers < 1 {
 		fleetWorkers = 1
 	}
+	if model == nil {
+		model = qos.MustNewModel(qos.ModelOptions{})
+	}
+	if qm == nil {
+		qm = qos.NewMetrics(nil)
+	}
 	hard, stop := context.WithCancel(context.Background())
 	p := &pool{
-		queue:        make(chan *queuedJob, queueDepth),
+		q:            qos.NewQueue(qcfg),
+		model:        model,
+		qm:           qm,
 		workers:      workers,
 		fleetWorkers: fleetWorkers,
 		maxRetries:   maxRetries,
 		metrics:      metrics,
 		hard:         hard,
 		hardStop:     stop,
-		jitter:       1,
 	}
+	p.jitter.Store(1)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker()
@@ -116,35 +130,71 @@ func newPool(queueDepth, workers, fleetWorkers, maxRetries int, metrics *Metrics
 	return p
 }
 
-// tryEnqueue offers the job to the queue without blocking; errQueueFull
-// means the caller should reject with backpressure.
+// tryEnqueue offers the job to its tenant's queue without blocking. The
+// returned qos error identifies which limit rejected it (per-tenant depth,
+// global depth, tenant cardinality, closed queue); callers map it to a
+// structured 429.
 func (p *pool) tryEnqueue(j *queuedJob) error {
-	select {
-	case p.queue <- j:
-		return nil
-	default:
-		return errQueueFull
+	tenant := j.tenant
+	if tenant == "" {
+		tenant = qos.DefaultTenant
 	}
+	return p.q.Enqueue(&qos.Item{
+		Tenant: tenant,
+		Class:  j.pred.Class,
+		Cost:   j.pred.Total,
+		Job:    j,
+	})
 }
 
 // depth samples the number of queued (not yet started) jobs.
-func (p *pool) depth() int { return len(p.queue) }
+func (p *pool) depth() int { return p.q.Depth() }
 
-func (p *pool) capacity() int { return cap(p.queue) }
+// capacity is the per-tenant queue bound (historical queue_capacity gauge).
+func (p *pool) capacity() int { return p.q.Capacity() }
+
+// overloaded reports queue pressure at or beyond the shed threshold.
+func (p *pool) overloaded() bool { return p.q.Overloaded() }
+
+// tenantQueuedCharge samples one tenant's capped-cost backlog.
+func (p *pool) tenantQueuedCharge(tenant string) time.Duration {
+	return p.q.TenantQueuedCharge(tenant)
+}
+
+// whalesRunning samples currently executing whale-class jobs.
+func (p *pool) whalesRunning() int { return p.q.WhalesRunning() }
 
 // retryAfterSeconds computes the Retry-After hint for a rejected request:
 // roughly the time for the backlog to clear one slot, scaled by queue depth
 // over worker count, plus jitter so a burst of rejected clients spreads its
 // return instead of stampeding in lockstep. Bounded to [1, 60].
 func (p *pool) retryAfterSeconds() int {
-	sec := 1 + 2*p.depth()/p.workers
-	p.jitterMu.Lock()
-	p.jitter += 0x9e3779b97f4a7c15
-	z := p.jitter
+	return p.retryHint(1 + 2*p.q.Depth()/p.workers)
+}
+
+// retryAfterTenant is the cost-aware variant: the base is the tenant's own
+// queued predicted cost spread across the workers, so a tenant with minutes
+// of backlog is told to come back later than one with none.
+func (p *pool) retryAfterTenant(tenant string) int {
+	base := 1 + int(p.q.TenantQueuedCharge(tenant).Seconds())/p.workers
+	global := 1 + 2*p.q.Depth()/p.workers
+	if global > base {
+		base = global
+	}
+	return p.retryHint(base)
+}
+
+// retryHint adds jitter to a base hint and clamps to [1, 60]. The jitter
+// stream is a single atomic — no lock, and concurrent rejections still draw
+// distinct values because Add hands each caller a unique counter.
+func (p *pool) retryHint(sec int) int {
+	if sec < 1 {
+		sec = 1
+	}
+	z := p.jitter.Add(0x9e3779b97f4a7c15)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	p.jitterMu.Unlock()
 	sec += int(z % uint64(sec/2+2))
 	if sec > 60 {
 		sec = 60
@@ -156,7 +206,7 @@ func (p *pool) retryAfterSeconds() int {
 // drained. Callers that need a deadline race close against a timer and then
 // call abort.
 func (p *pool) close() {
-	p.closeOnce.Do(func() { close(p.queue) })
+	p.closeOnce.Do(func() { p.q.Close() })
 	p.wg.Wait()
 }
 
@@ -166,8 +216,17 @@ func (p *pool) abort() { p.hardStop() }
 
 func (p *pool) worker() {
 	defer p.wg.Done()
-	for j := range p.queue {
+	for {
+		it, ok := p.q.Next()
+		if !ok {
+			return
+		}
+		j := it.Job.(*queuedJob)
+		p.qm.QueueWait(it.Tenant, time.Since(it.Enqueued))
+		p.qm.WhalesRunning.Set(int64(p.q.WhalesRunning()))
 		p.runJob(j)
+		p.q.Done(it)
+		p.qm.WhalesRunning.Set(int64(p.q.WhalesRunning()))
 	}
 }
 
@@ -204,6 +263,13 @@ func (p *pool) runJob(j *queuedJob) {
 		FleetStats: &fstats,
 		Observe: func(r fleet.Result) {
 			p.metrics.ReplicaDuration.Observe(r.Elapsed)
+			if j.pred.PerReplica > 0 {
+				// Feed the cost model's EWMA and the drift histogram from
+				// every completed replica — this is how a grid measured on
+				// other hardware converges onto this machine.
+				p.model.Observe(j.pred, r.Elapsed)
+				p.qm.ObservePrediction(j.pred.PerReplica, r.Elapsed)
+			}
 		},
 	}
 	runErr := j.proto.Run(ctx, j.spec, opts, func(rec expt.ReplicaRecord) {

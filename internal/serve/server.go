@@ -15,8 +15,22 @@ import (
 
 	"popkit/internal/expt"
 	"popkit/internal/fault"
+	"popkit/internal/qos"
 	"popkit/internal/store"
 )
+
+// QoS headers: the tenant a request bills to, and the remaining deadline
+// budget (milliseconds) a re-dispatching caller propagates so a retried
+// shard inherits what is left instead of a fresh full timeout.
+const (
+	tenantHeader   = "X-Popkit-Tenant"
+	deadlineHeader = "X-Popkit-Deadline-Ms"
+)
+
+// maxAutoDeadline caps the cost-derived per-job deadline when the operator
+// sets no explicit JobTimeout: predictions can be wrong by the EWMA's whole
+// convergence, so even an auto deadline needs a ceiling.
+const maxAutoDeadline = 15 * time.Minute
 
 // Failpoints of the HTTP layer (see internal/fault). Both are inert unless
 // enabled via POPKIT_FAILPOINTS or popserved -failpoints.
@@ -49,8 +63,36 @@ type Config struct {
 	// JournalDir/<job_id>.ndjson, and a later request with the same id and
 	// spec replays the journaled prefix and computes only the rest.
 	JournalDir string
-	// JobTimeout bounds one job's wall clock; 0 means 60s.
+	// JobTimeout caps one job's wall clock. 0 (the default) derives each
+	// job's deadline from its predicted cost — slack × prediction, clamped
+	// to [MinJobTimeout, 15m] — so large-n jobs get the budget they need
+	// and tiny jobs stop holding a 60s grant. A non-zero value is the
+	// operator override: it caps every derived deadline, so an explicit
+	// flat timeout behaves exactly as before.
 	JobTimeout time.Duration
+	// MinJobTimeout floors the derived deadline, keeping badly
+	// under-predicted jobs alive. Default 10s.
+	MinJobTimeout time.Duration
+	// CostModelPath loads a measured kernel cost grid
+	// (results/BENCH_kernel.json) over the baked-in defaults.
+	CostModelPath string
+	// CostBudget rejects jobs whose predicted total cost exceeds it with a
+	// structured 413 at admission — before any compute is spent. 0 means
+	// no budget.
+	CostBudget time.Duration
+	// InteractiveMax / WhaleMin are the size-class thresholds on predicted
+	// total cost (defaults 1s / 30s; see qos.ModelOptions).
+	InteractiveMax time.Duration
+	WhaleMin       time.Duration
+	// TenantWeights gives named tenants a DRR weight (unlisted tenants get
+	// weight 1). MaxTenants bounds distinct live tenant queues (default 64).
+	TenantWeights map[string]int
+	MaxTenants    int
+	// WhalePerTenant / WhaleGlobal cap concurrently running whale-class
+	// jobs per tenant and server-wide. Defaults: 1 per tenant; globally
+	// Workers−1 (min 1), so whales can never occupy every worker.
+	WhalePerTenant int
+	WhaleGlobal    int
 	// MaxN caps the population size a request may ask for. Default 5e6.
 	MaxN int
 	// MaxReplicas caps replicas per request. Default 1024.
@@ -91,8 +133,14 @@ func (c *Config) fillDefaults() {
 	if c.FleetWorkers == 0 {
 		c.FleetWorkers = 1
 	}
-	if c.JobTimeout == 0 {
-		c.JobTimeout = 60 * time.Second
+	if c.MinJobTimeout == 0 {
+		c.MinJobTimeout = 10 * time.Second
+	}
+	if c.WhaleGlobal == 0 {
+		c.WhaleGlobal = c.Workers - 1
+		if c.WhaleGlobal < 1 {
+			c.WhaleGlobal = 1
+		}
 	}
 	if c.MaxN == 0 {
 		c.MaxN = 5_000_000
@@ -116,6 +164,10 @@ type Server struct {
 	pool     *pool
 	journals *journalSet
 	metrics  *Metrics
+	// model prices jobs at admission; qosM is the popkit_qos_* series set,
+	// registered on the same obs registry as the rest of the metrics.
+	model *qos.Model
+	qosM  *qos.Metrics
 	// store is the content-addressed result cache (nil unless StoreDir is
 	// set); flight single-flights concurrent identical computations and is
 	// always present — sweep dedupe works even without a store.
@@ -129,11 +181,21 @@ type Server struct {
 	draining atomic.Bool
 }
 
-// New builds a server and starts its worker pool. The only failure mode is
-// an unusable store directory.
+// New builds a server and starts its worker pool. The failure modes are an
+// unusable store directory and an unusable cost model (a grid file that
+// exists but does not parse, or inverted class thresholds).
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{cfg: cfg, started: time.Now()}
+	model, err := qos.NewModel(qos.ModelOptions{
+		GridPath:       cfg.CostModelPath,
+		InteractiveMax: cfg.InteractiveMax,
+		WhaleMin:       cfg.WhaleMin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.model = model
 	// The metrics' endpoint set derives from the route table, so adding a
 	// route cannot forget its latency histogram.
 	names := make([]string, 0, 8)
@@ -142,7 +204,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	m := NewMetrics(names...)
 	s.metrics = m
-	s.pool = newPool(cfg.QueueDepth, cfg.Workers, cfg.FleetWorkers, cfg.MaxRetries, m)
+	s.qosM = qos.NewMetrics(m.Registry())
+	s.pool = newPool(qos.QueueConfig{
+		PerTenantDepth: cfg.QueueDepth,
+		Weights:        cfg.TenantWeights,
+		MaxTenants:     cfg.MaxTenants,
+		WhalePerTenant: cfg.WhalePerTenant,
+		WhaleGlobal:    cfg.WhaleGlobal,
+	}, cfg.Workers, cfg.FleetWorkers, cfg.MaxRetries, m, model, s.qosM)
 	if cfg.JournalDir != "" {
 		s.journals = newJournalSet(cfg.JournalDir)
 	}
@@ -255,9 +324,25 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// errorDoc is the JSON body of every non-streaming error response.
+// CostModel exposes the admission cost model (tests, embedding binaries).
+func (s *Server) CostModel() *qos.Model { return s.model }
+
+// errorDoc is the JSON body of every non-streaming error response. QoS is
+// present on admission-control rejections (429/413/503-shed), carrying the
+// predicted cost and the machine-readable reason so clients can schedule
+// their retry instead of guessing.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error string  `json:"error"`
+	QoS   *qosDoc `json:"qos,omitempty"`
+}
+
+// qosDoc is the structured half of an admission rejection.
+type qosDoc struct {
+	Tenant          string `json:"tenant"`
+	Class           string `json:"class"`
+	PredictedCostMs int64  `json:"predicted_cost_ms"`
+	RetryAfterS     int    `json:"retry_after_s,omitempty"`
+	Reason          string `json:"reason"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -266,11 +351,70 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeBackoff is writeError plus a computed Retry-After hint, for the two
-// retryable rejections (queue full, job id busy).
+// writeBackoff is writeError plus a computed Retry-After hint, for
+// retryable rejections that predate (or sit outside) QoS admission.
 func (s *Server) writeBackoff(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Retry-After", strconv.Itoa(s.pool.retryAfterSeconds()))
 	writeError(w, status, format, args...)
+}
+
+// writeQoSReject renders a structured admission rejection: the error text,
+// the prediction that drove the decision, and — for retryable statuses — a
+// cost-aware Retry-After derived from the tenant's own queued backlog.
+func (s *Server) writeQoSReject(w http.ResponseWriter, status int, tenant string, pred qos.Prediction, reason, format string, args ...any) {
+	doc := errorDoc{
+		Error: fmt.Sprintf(format, args...),
+		QoS: &qosDoc{
+			Tenant:          tenant,
+			Class:           pred.Class.String(),
+			PredictedCostMs: pred.Total.Milliseconds(),
+			Reason:          reason,
+		},
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		doc.QoS.RetryAfterS = s.pool.retryAfterTenant(tenant)
+		w.Header().Set("Retry-After", strconv.Itoa(doc.QoS.RetryAfterS))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(doc)
+}
+
+// jobDeadline derives the per-job wall-clock budget: slack × predicted
+// cost, floored at MinJobTimeout, capped by the operator's JobTimeout (or
+// 15m when none is set). A caller-propagated X-Popkit-Deadline-Ms header —
+// the remaining budget of a coordinator re-dispatching a shard — can only
+// shrink it, so a retried shard inherits what is left.
+func (s *Server) jobDeadline(pred qos.Prediction, r *http.Request) time.Duration {
+	limit := s.cfg.JobTimeout
+	if limit <= 0 {
+		limit = maxAutoDeadline
+	}
+	d := qos.DeriveDeadline(pred.Total, s.cfg.MinJobTimeout, limit)
+	if r != nil {
+		if ms := r.Header.Get(deadlineHeader); ms != "" {
+			if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+				if rem := time.Duration(v) * time.Millisecond; rem < d {
+					d = rem
+				}
+			}
+		}
+	}
+	return d
+}
+
+// shedReason decides overload-graceful degradation for one admission:
+// during drain everything but interactive is turned away (cache hits were
+// already served above), and under queue pressure whales are shed first.
+// Interactive jobs are never shed — they are the cheap, human-facing tier.
+func (s *Server) shedReason(class qos.Class) string {
+	if s.draining.Load() && class != qos.ClassInteractive {
+		return "draining"
+	}
+	if class == qos.ClassWhale && s.pool.overloaded() {
+		return "overload"
+	}
+	return ""
 }
 
 // handleSimulate is POST /v1/simulate: decode a JobSpec, enqueue it, and
@@ -289,9 +433,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.draining.Load() {
-		s.metrics.JobsRejectedDraining.Add(1)
-		s.writeBackoff(w, http.StatusServiceUnavailable, "server draining; retry (or fail over to another worker)")
+	tenant, ok := qos.CleanTenant(r.Header.Get(tenantHeader))
+	if !ok {
+		s.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad %s header: want ≤64 chars of [A-Za-z0-9._-]", tenantHeader)
 		return
 	}
 	var spec expt.JobSpec
@@ -360,6 +505,29 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		defer finish(store.Outcome{Err: "request aborted"})
 	}
 
+	// QoS admission. Everything above — cache hits, single-flight followers
+	// — was served without touching the queue, which is why a draining or
+	// overloaded server keeps answering cached and coalesced requests.
+	pred := s.model.Predict(spec, proto.Kind)
+	if s.cfg.CostBudget > 0 && pred.Total > s.cfg.CostBudget {
+		s.qosM.Rejected(tenant, pred.Class, "over_budget")
+		s.writeQoSReject(w, http.StatusRequestEntityTooLarge, tenant, pred, "over_budget",
+			"predicted cost %v exceeds the server budget %v; shrink n, replicas, or max_rounds",
+			pred.Total.Round(time.Millisecond), s.cfg.CostBudget)
+		return
+	}
+	if reason := s.shedReason(pred.Class); reason != "" {
+		if reason == "draining" {
+			s.metrics.JobsRejectedDraining.Add(1)
+		} else {
+			s.metrics.JobsRejectedFull.Add(1)
+		}
+		s.qosM.Shed(tenant, pred.Class, reason)
+		s.writeQoSReject(w, http.StatusServiceUnavailable, tenant, pred, reason,
+			"server shedding %s jobs (%s); retry (or fail over to another worker)", pred.Class, reason)
+		return
+	}
+
 	if err := fpEnqueue.Inject(r.Context()); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "injected fault: %v", err)
 		return
@@ -410,13 +578,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	jctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	jctx, cancel := context.WithTimeout(r.Context(), s.jobDeadline(pred, r))
 	defer cancel()
 	j := &queuedJob{
 		spec:    spec,
 		proto:   proto,
 		ctx:     jctx,
 		records: make(chan expt.ReplicaRecord, spec.Replicas-start),
+		tenant:  tenant,
+		pred:    pred,
 		start:   start,
 		journal: journal,
 		onDone:  onDone,
@@ -427,12 +597,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.journals.release(spec.JobID)
 		}
 		s.metrics.JobsRejectedFull.Add(1)
-		s.writeBackoff(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.pool.depth())
+		reason := "queue_full"
+		switch {
+		case errors.Is(err, qos.ErrTenantFull):
+			reason = "tenant_queue_full"
+		case errors.Is(err, qos.ErrTenantLimit):
+			reason = "tenant_limit"
+		}
+		s.qosM.Rejected(tenant, pred.Class, reason)
+		s.writeQoSReject(w, http.StatusTooManyRequests, tenant, pred, reason,
+			"job queue full (%d queued); retry later", s.pool.depth())
 		return
 	}
 	// The worker now owns the journal and the job-id lock (released via
 	// onDone after the journal is closed).
 	s.metrics.JobsAccepted.Add(1)
+	s.qosM.Admitted(tenant, pred.Class)
 	s.streamJob(w, metaLine(r, spec, cacheHash, false), replay, j, capt)
 
 	if capt != nil {
@@ -605,6 +785,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The whale gauge is worker-maintained; refresh it at render time too so
+	// an idle server reports the current truth, not the last transition.
+	s.qosM.WhalesRunning.Set(int64(s.pool.whalesRunning()))
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.WriteProm(w, s.pool.depth(), s.pool.capacity(), s.started)
@@ -618,5 +801,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.store.Metrics().Snapshot()
 		snap.Store = &st
 	}
+	qs := s.qosM.Snapshot()
+	qs.Corrections = s.model.Corrections()
+	snap.QoS = &qs
 	enc.Encode(snap)
 }

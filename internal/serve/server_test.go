@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/qos"
 )
 
 func postSpec(t *testing.T, url string, body string) *http.Response {
@@ -356,7 +357,7 @@ func TestPoolDrainAndAbort(t *testing.T) {
 	release := make(chan struct{})
 	reg := blockingRegistry(t, started, release)
 	m := NewMetrics()
-	p := newPool(4, 1, 1, 0, m)
+	p := newPool(qos.QueueConfig{PerTenantDepth: 4}, 1, 1, 0, m, nil, nil)
 	proto, _ := reg.Lookup("block")
 	j := &queuedJob{
 		spec:    expt.JobSpec{Protocol: "block", N: 10, Seed: 1, Replicas: 1},

@@ -55,16 +55,19 @@ func TestShardWindowValidation(t *testing.T) {
 	}
 }
 
-// TestDrainingRejectsWithRetryableStatus: once SetDraining flips, simulate
-// requests bounce with 503 + Retry-After (the client treats that like
-// 429/409 and fails over) and /healthz reports draining with 503 so
-// cluster health probes stop routing here — while the cheap liveness body
-// still renders.
+// TestDrainingRejectsWithRetryableStatus: once SetDraining flips,
+// non-interactive simulate requests bounce with 503 + Retry-After (the
+// client treats that like 429/409 and fails over) while interactive jobs —
+// predicted sub-second — keep being served (graceful degradation), and
+// /healthz reports draining with 503 so cluster health probes stop routing
+// shards here — while the cheap liveness body still renders.
 func TestDrainingRejectsWithRetryableStatus(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	s.SetDraining(true)
 
-	resp := postSpec(t, ts.URL, `{"protocol":"leader","n":100,"seed":1}`)
+	// A batch-class spec (exactmajority n=1e5 predicts ~n·log n rounds —
+	// seconds of work) is shed; it never runs, so the test stays fast.
+	resp := postSpec(t, ts.URL, `{"protocol":"exactmajority","n":100000,"seed":1}`)
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
@@ -73,8 +76,19 @@ func TestDrainingRejectsWithRetryableStatus(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("draining 503 carries no Retry-After")
 	}
+	if !bytes.Contains(body, []byte(`"reason":"draining"`)) {
+		t.Fatalf("shed body lacks structured reason: %s", body)
+	}
 	if s.Metrics().JobsRejectedDraining.Load() != 1 {
 		t.Fatal("draining rejection not counted")
+	}
+
+	// Interactive work still completes during the drain window.
+	resp = postSpec(t, ts.URL, `{"protocol":"leader","n":100,"seed":1}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining interactive simulate: status %d, want 200", resp.StatusCode)
 	}
 
 	hresp, err := http.Get(ts.URL + "/healthz")

@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"popkit/internal/expt"
+	"popkit/internal/qos"
 	"popkit/internal/store"
 )
 
@@ -27,6 +29,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.metrics.JobsRejectedDraining.Add(1)
 		s.writeBackoff(w, http.StatusServiceUnavailable, "server draining; retry (or fail over to another worker)")
+		return
+	}
+	tenant, ok := qos.CleanTenant(r.Header.Get(tenantHeader))
+	if !ok {
+		s.metrics.JobsRejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, "bad %s header: want ≤64 chars of [A-Za-z0-9._-]", tenantHeader)
 		return
 	}
 	var sw expt.SweepSpec
@@ -63,7 +71,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Flight:  s.flight,
 		Workers: s.cfg.SweepWorkers,
 		Execute: func(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
-			return s.executeJob(ctx, spec)
+			return s.executeJob(ctx, spec, tenant)
 		},
 	}
 
@@ -104,34 +112,49 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // executeJob runs one normalized spec on the worker pool without an HTTP
-// stream — the sweep's miss path. It honors the bounded queue by waiting
-// for a slot (the request context bounds the wait) rather than rejecting:
-// inside one sweep, backpressure means pacing, not failure. Returns the
-// complete newline-terminated record lines in replica order.
-func (s *Server) executeJob(ctx context.Context, spec expt.JobSpec) ([][]byte, error) {
+// stream — the sweep's miss path. The job enqueues under the sweep's own
+// tenant, so a sweeping tenant's misses bill against its DRR budget and
+// can never bypass fair queueing; a full queue (global or this tenant's
+// lane) means waiting for a slot (the request context bounds the wait)
+// rather than failing the sweep: inside one sweep, backpressure is pacing.
+// Returns the complete newline-terminated record lines in replica order.
+func (s *Server) executeJob(ctx context.Context, spec expt.JobSpec, tenant string) ([][]byte, error) {
 	// Re-normalizing a normalized spec is the identity; it recovers the
 	// protocol handle without widening the Sweeper's Execute signature.
 	proto, err := s.cfg.Registry.Normalize(&spec, s.cfg.MaxN, s.cfg.MaxReplicas)
 	if err != nil {
 		return nil, err
 	}
-	jctx, cancel := context.WithTimeout(ctx, s.cfg.JobTimeout)
+	pred := s.model.Predict(spec, proto.Kind)
+	if s.cfg.CostBudget > 0 && pred.Total > s.cfg.CostBudget {
+		s.qosM.Rejected(tenant, pred.Class, "over_budget")
+		return nil, fmt.Errorf("predicted cost %v exceeds the server budget %v",
+			pred.Total.Round(time.Millisecond), s.cfg.CostBudget)
+	}
+	jctx, cancel := context.WithTimeout(ctx, s.jobDeadline(pred, nil))
 	defer cancel()
 	j := &queuedJob{
 		spec:    spec,
 		proto:   proto,
 		ctx:     jctx,
 		records: make(chan expt.ReplicaRecord, spec.Replicas),
+		tenant:  tenant,
+		pred:    pred,
 	}
 	for {
-		if err := s.pool.tryEnqueue(j); err == nil {
+		err := s.pool.tryEnqueue(j)
+		if err == nil {
 			break
+		}
+		if errors.Is(err, qos.ErrQueueClosed) {
+			return nil, err
 		}
 		if err := sleepCtx(jctx, 25*time.Millisecond); err != nil {
 			return nil, fmt.Errorf("waiting for a queue slot: %w", err)
 		}
 	}
 	s.metrics.JobsAccepted.Add(1)
+	s.qosM.Admitted(tenant, pred.Class)
 
 	lines := make([][]byte, 0, spec.Replicas)
 	var failed string

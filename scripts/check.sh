@@ -16,14 +16,14 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (fleet, engine, fault, client, serve, cluster, store) =="
-go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/... ./internal/cluster/... ./internal/store/...
+echo "== go test -race (fleet, engine, fault, client, serve, cluster, store, qos) =="
+go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./internal/client/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/qos/...
 
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
-echo "== coverage floors (engine, obs, serve, fleet, client, cluster, store ≥ 80%) =="
-cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ ./internal/store/ | tee /dev/stderr)
+echo "== coverage floors (engine, obs, serve, fleet, client, cluster, store, qos ≥ 80%) =="
+cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ ./internal/store/ ./internal/qos/ | tee /dev/stderr)
 echo "$cover" | awk '
     /coverage:/ {
         pct = $0
@@ -49,6 +49,9 @@ rm -rf "$tmpk"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh
+
+echo "== qos smoke (tenant isolation, whale cap, cost-budget 413) =="
+./scripts/qos-smoke.sh
 
 echo "== result-cache smoke (store hits, sweep dedupe, restart persistence) =="
 ./scripts/cache-smoke.sh

@@ -16,6 +16,9 @@
 #   7. hot cache: CONCURRENCY identical POSTs against a store-backed server
 #      collapse to exactly one fleet execution (single-flight + store hits),
 #      every response byte-identical
+#   8. mixed tenants: while one tenant floods the whale lane, another
+#      tenant's burst of interactive jobs sees zero 429s and every stream
+#      completes — fair queueing plus the whale concurrency cap in one shot
 #
 # Needs curl and jq (both available in the dev container).
 set -euo pipefail
@@ -172,6 +175,48 @@ jq -e --argjson c "$CONC" '.jobs_accepted == 1 and .store.hits == $c - 1 and .st
     "$tmp/cache-metrics.json" >/dev/null \
     || { echo "loadtest: hot cache did not collapse to one execution" >&2; cat "$tmp/cache-metrics.json" >&2; exit 1; }
 echo "   $CONC identical POSTs: 1 job accepted, $((CONC-1)) store hits, all byte-identical"
+stop_server
+
+echo "== phase 8: mixed tenants (whale flood vs interactive burst) =="
+start_server "$tmp/mix.log" -workers 2 -queue 64
+# Whale lane: coalescence at n=1e6 is whale-classed (Θ(n) rounds price at
+# hours of serial interactions) but each replica leaps to done in ~0.1s,
+# so the flood saturates the whale cap without dragging out the test.
+for i in 1 2 3 4; do
+    curl -s --max-time 120 -H 'X-Popkit-Tenant: whalecorp' \
+        -d '{"protocol":"coalescence","n":1000000,"seed":4242,"replicas":32}' \
+        "$base/v1/simulate" > /dev/null &
+    mix_pids[$i]=$!
+done
+sleep 0.3
+pids=(); : > "$tmp/mix.codes"
+for i in $(seq 1 "$CONC"); do
+    { curl -s --max-time 60 -o "$tmp/mix.$i" -w '%{http_code}' \
+        -H 'X-Popkit-Tenant: interactive-team' \
+        -d "{\"protocol\":\"exactmajority\",\"n\":400,\"seed\":$i,\"replicas\":2,\"gap\":1}" \
+        "$base/v1/simulate" >> "$tmp/mix.codes"; echo >> "$tmp/mix.codes"; } &
+    pids+=($!)
+done
+for p in "${pids[@]}"; do wait "$p" || true; done
+if grep -qv '^200$' "$tmp/mix.codes"; then
+    echo "loadtest: interactive tenant saw non-200s during whale flood:" >&2
+    sort "$tmp/mix.codes" | uniq -c >&2
+    exit 1
+fi
+for i in $(seq 1 "$CONC"); do
+    jq -es 'length == 2 and all(.converged and .err == null)' "$tmp/mix.$i" >/dev/null \
+        || { echo "loadtest: mixed-tenant stream $i invalid" >&2; exit 1; }
+done
+curl -fsS "$base/metrics" > "$tmp/mix-metrics.json"
+jq -e --argjson c "$CONC" '
+    (.qos.tenants["interactive-team"].admitted | add) == $c
+    and ((.qos.tenants["interactive-team"].rejected // {}) | length) == 0
+    and .qos.tenants.whalecorp.admitted.whale >= 1
+    and .qos.whales_running <= 1' "$tmp/mix-metrics.json" >/dev/null \
+    || { echo "loadtest: mixed-tenant qos accounting wrong" >&2; cat "$tmp/mix-metrics.json" >&2; exit 1; }
+echo "   $CONC interactive streams complete with zero rejections under whale flood"
+kill "${mix_pids[@]}" 2>/dev/null || true
+wait "${mix_pids[@]}" 2>/dev/null || true
 stop_server
 
 echo "loadtest: OK"
