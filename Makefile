@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchdiff kernel serve-smoke cluster-smoke obs-smoke cache-smoke qos-smoke loadtest chaos
+.PHONY: build test check bench benchdiff kernel compare serve-smoke cluster-smoke obs-smoke cache-smoke qos-smoke loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -66,3 +66,8 @@ chaos:
 # Re-measure the raw simulation kernels into results/BENCH_kernel.json.
 kernel:
 	$(GO) run ./cmd/popbench -kernel -out results
+
+# Run the related-work head-to-head grid (gs18leader, gsexactmajority,
+# aagmajority vs the incumbent entries) into results/BENCH_results.json.
+compare:
+	$(GO) run ./cmd/popbench -compare -out results

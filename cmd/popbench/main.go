@@ -17,6 +17,12 @@
 // kernels (dense / counted / batch) on the E11 exact-majority workload,
 // writing BENCH_kernel.json into -out.
 //
+// -compare runs the related-work protocol library (gs18leader,
+// gsexactmajority, aagmajority) head-to-head against the incumbent leader
+// and exact-majority entries across an n-grid, recording rounds,
+// interactions, state counts and empirical correctness into the "compare"
+// section of BENCH_results.json.
+//
 // -cpuprofile, -memprofile and -trace capture pprof/trace artifacts of
 // whichever mode ran, for chasing kernel regressions:
 //
@@ -78,6 +84,9 @@ type benchFile struct {
 	// QoS carries the cost-model calibration block a prior `popbench -qos`
 	// run left in the file; a full experiment run preserves it verbatim.
 	QoS json.RawMessage `json:"qos,omitempty"`
+	// Compare likewise preserves a prior `popbench -compare` head-to-head
+	// grid across full experiment runs.
+	Compare json.RawMessage `json:"compare,omitempty"`
 }
 
 func main() { os.Exit(run()) }
@@ -96,6 +105,7 @@ func run() int {
 		noProgress = flag.Bool("no-progress", false, "suppress fleet progress reports on stderr")
 		kernel     = flag.Bool("kernel", false, "measure the raw simulation kernels into BENCH_kernel.json and exit")
 		qosFlag    = flag.Bool("qos", false, "measure cost-model prediction error per size class into BENCH_results.json and exit")
+		compare    = flag.Bool("compare", false, "run the related-work head-to-head grid into BENCH_results.json and exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -160,6 +170,9 @@ func run() int {
 		// overrides the baked-in grid, exactly as -cost-model does on the
 		// servers; a missing file silently keeps the defaults.
 		return runQoS(*out, *quick, *workers, filepath.Join(*out, "BENCH_kernel.json"))
+	}
+	if *compare {
+		return runCompare(*out, *quick, *workers, *seed)
 	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "popbench: -workers must be ≥ 1 (got %d)\n", *workers)
@@ -270,10 +283,12 @@ func run() int {
 	// run, so regenerating the experiments does not erase it.
 	if raw, err := os.ReadFile(benchPath); err == nil {
 		var prior struct {
-			QoS json.RawMessage `json:"qos"`
+			QoS     json.RawMessage `json:"qos"`
+			Compare json.RawMessage `json:"compare"`
 		}
 		if json.Unmarshal(raw, &prior) == nil {
 			bench.QoS = prior.QoS
+			bench.Compare = prior.Compare
 		}
 	}
 	if data, err := json.MarshalIndent(bench, "", "  "); err != nil {

@@ -181,7 +181,7 @@ func runQoS(out string, quick bool, workers int, gridPath string) int {
 		fmt.Printf("correction[%s] = %.3f\n", tier, c)
 	}
 
-	if err := mergeQoSSection(filepath.Join(out, "BENCH_results.json"), sec); err != nil {
+	if err := mergeSection(filepath.Join(out, "BENCH_results.json"), "qos", sec); err != nil {
 		fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 		return 1
 	}
@@ -190,10 +190,11 @@ func runQoS(out string, quick bool, workers int, gridPath string) int {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
-// mergeQoSSection writes the qos block into BENCH_results.json, preserving
-// an existing experiments document if one is present (the -qos mode must
-// not clobber a prior full run — the two modes share the file).
-func mergeQoSSection(path string, sec qosSection) error {
+// mergeSection writes one named block into BENCH_results.json, preserving
+// an existing experiments document if one is present (the -qos and
+// -compare modes must not clobber a prior full run — the modes share the
+// file).
+func mergeSection(path, key string, sec any) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -205,7 +206,7 @@ func mergeQoSSection(path string, sec qosSection) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	doc["qos"] = sec
+	doc[key] = sec
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -213,6 +214,6 @@ func mergeQoSSection(path string, sec qosSection) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "popbench: wrote qos section into %s\n", path)
+	fmt.Fprintf(os.Stderr, "popbench: wrote %s section into %s\n", key, path)
 	return nil
 }

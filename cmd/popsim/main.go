@@ -14,6 +14,8 @@
 //	popsim -p leader -n 4096 -json
 //	popsim -p leader -n 4096 -seed 7 -replicas 8 -ndjson
 //	popsim -p exactmajority -n 100000 -gap 1 -ndjson
+//	popsim -p gsexactmajority -n 100000 -gap 1 -ndjson
+//	popsim -p gs18leader -n 4096 -ndjson
 //	popsim -server http://127.0.0.1:8080 -sweep '{"base":{"protocol":"leader"},"grid":{"n":[1024,4096]}}'
 //
 // With -json the run summary is emitted as a single JSON object on stdout
@@ -24,8 +26,9 @@
 // stdout in replica order. The stream is byte-identical to a POST
 // /v1/simulate response for the same (protocol, n, seed, replicas,
 // parameters) spec, for any -workers count; -ndjson additionally unlocks
-// the counted baseline protocols (approxmajority, exactmajority,
-// coalescence). SIGINT/SIGTERM cancel the sweep, flush the records already
+// the counted protocols: the baselines (approxmajority, exactmajority,
+// coalescence) and the related-work library (gsexactmajority, aagmajority,
+// gs18leader). SIGINT/SIGTERM cancel the sweep, flush the records already
 // computed, and exit 130.
 package main
 
@@ -150,7 +153,8 @@ func main() {
 		// protocol accepts them (or the user explicitly set them, so the
 		// registry can report the mismatch).
 		switch *proto {
-		case "majority", "majorityexact", "approxmajority", "exactmajority":
+		case "majority", "majorityexact", "approxmajority", "exactmajority",
+			"gsexactmajority", "aagmajority":
 			spec.Gap = *gap
 		default:
 			if set["gap"] {

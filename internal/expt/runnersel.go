@@ -126,6 +126,25 @@ func SelectRunnerReason(rs *rules.Ruleset, n int64) (RunnerKind, string) {
 	return RunnerBatch, fmt.Sprintf("n=%d between counted crossover %d and aggregate crossover %d", n, denseCrossover, aggregateCrossover)
 }
 
+// RunnerHints carries protocol-level facts the ruleset alone cannot express
+// and that change which runner is profitable. StateRich marks protocols
+// whose reachable species count grows with n (e.g. composed clock/junta
+// state, randomized per-agent initialization): the counted kernels' whole
+// advantage is species ≪ agents, so such protocols stay on the dense runner
+// at every population size.
+type RunnerHints struct {
+	StateRich bool
+}
+
+// SelectRunnerReasonHints is SelectRunnerReason with protocol hints applied
+// before the size crossovers.
+func SelectRunnerReasonHints(rs *rules.Ruleset, n int64, h RunnerHints) (RunnerKind, string) {
+	if h.StateRich {
+		return RunnerDense, "state-rich protocol: species grow with n, counted kernels gain nothing"
+	}
+	return SelectRunnerReason(rs, n)
+}
+
 // SelectRunnerForSize is the size-only projection of SelectRunnerReason for
 // flat (unordered) rule sets: the runner tier a counted protocol over n
 // agents will execute on. Admission-time cost prediction (internal/qos)
@@ -184,11 +203,17 @@ type trackEntry struct {
 
 // NewDriver builds the driver for rs/proto over the given initial counts.
 func NewDriver(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.State]int64, rng *engine.RNG) *Driver {
+	return NewDriverWithHints(rs, proto, counts, rng, RunnerHints{})
+}
+
+// NewDriverWithHints is NewDriver with protocol hints folded into runner
+// selection (see RunnerHints).
+func NewDriverWithHints(rs *rules.Ruleset, proto *engine.Protocol, counts map[bitmask.State]int64, rng *engine.RNG, h RunnerHints) *Driver {
 	var n int64
 	for _, k := range counts {
 		n += k
 	}
-	kind, reason := SelectRunnerReason(rs, n)
+	kind, reason := SelectRunnerReasonHints(rs, n, h)
 	d := &Driver{Kind: kind, Reason: reason}
 	switch d.Kind {
 	case RunnerDense:

@@ -85,13 +85,18 @@ func NewGeometric(sp *bitmask.Space, prefix string, x bitmask.Var, maxLevel int)
 	}
 	g.rs.AddGroup(prefix+"maxprop", 1, prop...)
 
-	// Junta maintenance: an agent whose rank is below the running maximum
-	// leaves the junta. (Rank never exceeds Max by construction.)
+	// Junta maintenance: an agent whose FINAL rank is below the running
+	// maximum leaves the junta. The ¬Flipping gate is load-bearing: an agent
+	// still flipping may trail a transiently-higher Max and yet finish with
+	// the global maximum rank — pruning it mid-flip can empty the junta
+	// entirely (observed at n=512: X hits 0, and every oscillator downstream
+	// of X as its source set stalls). A stopped agent's rank is final, so
+	// the global-max holder never matches Rank < Max and X ≥ 1 holds.
 	leave := make([]rules.Rule, 0, maxLevel*maxLevel)
 	for own := 0; own <= maxLevel; own++ {
 		for seen := own + 1; seen <= maxLevel; seen++ {
 			leave = append(leave, rules.MustNew(
-				bitmask.And(bitmask.Is(g.X), bitmask.FieldIs(g.Rank, uint64(own)), bitmask.FieldIs(g.Max, uint64(seen))),
+				bitmask.And(bitmask.Is(g.X), bitmask.IsNot(g.Flipping), bitmask.FieldIs(g.Rank, uint64(own)), bitmask.FieldIs(g.Max, uint64(seen))),
 				bitmask.True(),
 				bitmask.IsNot(g.X),
 				bitmask.True()))

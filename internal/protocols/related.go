@@ -1,0 +1,541 @@
+// related.go implements the three related-work protocols PAPERS.md points
+// at, as flat rulesets runnable on every engine kernel:
+//
+//   - GS18Leader: leader election in the style of [GS18] (arXiv 1802.06867,
+//     the paper's own Prop 5.4 reference) — a junta-driven phase clock
+//     synchronizes rounds of coin-flip elimination among the junta of
+//     maximum-geometric-rank agents, reusing internal/junta (the Geometric
+//     comparator), internal/osc (the rock–paper–scissors oscillator) and
+//     internal/clock (the modulo-m phase clock).
+//   - CDMajority: exact majority by unsynchronized cancelling–doubling with
+//     merges, in the spirit of the time- and space-optimal exact majority of
+//     Gąsieniec–Stachowiak–Uznański (arXiv 2011.07392).
+//   - PRMajority: exact majority by phase-ratcheted cancelling–doubling, in
+//     the spirit of the space-optimal majority of
+//     Alistarh–Aspnes–Gelashvili (arXiv 1704.04947).
+//
+// Substitutions (same discipline as DESIGN.md): the papers' pseudocode is
+// not reproduced literally. GS18's O(log log n) state bound is traded for
+// the O(log n)-state geometric rank already used by internal/junta, and its
+// elimination phases run on this repo's oscillator clock; both majority
+// protocols drop the papers' global phase clocks in favour of always-correct
+// unsynchronized variants whose exactness rests on a conserved weighted
+// opinion sum (see the invariant notes below, enforced by the fuzz suite).
+// Headline behaviours — polylogarithmic-time leader election vs. the Θ(n)
+// coalescence baseline, and O(log n)-state exact majority at gap 1 vs. the
+// Θ(n log n)-round 4-state DV12 baseline — are preserved and measured by
+// `popbench -compare`.
+package protocols
+
+import (
+	"math/bits"
+
+	"popkit/internal/bitmask"
+	"popkit/internal/clock"
+	"popkit/internal/engine"
+	"popkit/internal/junta"
+	"popkit/internal/osc"
+	"popkit/internal/rules"
+)
+
+// relatedLevels returns the level cap for the doubling majority protocols:
+// enough headroom that the cap is hit only by the last few tokens
+// (⌈log2 n⌉ + 1), floored for tiny populations.
+func relatedLevels(n int) int {
+	l := bits.Len(uint(n)) + 1
+	if l < 4 {
+		l = 4
+	}
+	if l > 40 {
+		l = 40
+	}
+	return l
+}
+
+// ---- CDMajority (arXiv 2011.07392 spirit) ----
+
+// CDMajority is exact majority by cancelling–doubling with merges. Each
+// agent either holds one signed token of weight 2^(L−Lvl) (Tok set, sign
+// OpA, level Lvl) or is blank (Tok clear); every agent carries an output
+// bit Out ("A won"). Rules:
+//
+//	cancel:  (A,l) + (B,l)   → blank + blank
+//	split:   (s,l) + blank   → (s,l+1) + (s,l+1)        (l < L)
+//	merge:   (s,l) + (s,l)   → (s,l−1) + blank          (l ≥ 1)
+//	convert: token + blank   → blank adopts the token's sign as Out
+//
+// The signed weighted sum W = Σ_tokens ±2^(L−Lvl) is conserved by all three
+// token rules, and equals gap·2^L ≥ 2^L at a gap-1 start — so opinion-A
+// tokens can never die out, and any configuration still holding a B token
+// has an applicable move (no blanks ⟹ the deepest occupied level either
+// holds ≥ 2 same-sign tokens (merge) or contributes an odd multiple of its
+// weight to W, contradicting 2^L | W). Minority extinction therefore has
+// probability 1: the protocol is always correct, with O(log n) token states.
+type CDMajority struct {
+	Space    *bitmask.Space
+	Tok      bitmask.Var   // agent holds a token
+	OpA      bitmask.Var   // token sign (A when set)
+	Out      bitmask.Var   // output bit: believes A won
+	Lvl      bitmask.Field // token level 0..MaxLevel (weight 2^(L−Lvl))
+	MaxLevel int
+
+	rs *rules.Ruleset
+}
+
+// NewCDMajority builds the protocol sized for populations up to n.
+func NewCDMajority(n int) *CDMajority {
+	maxL := relatedLevels(n)
+	sp := bitmask.NewSpace()
+	m := &CDMajority{
+		Space:    sp,
+		Tok:      sp.Bool("Tk"),
+		OpA:      sp.Bool("Op"),
+		Out:      sp.Bool("Ot"),
+		Lvl:      sp.Field("Lv", uint64(maxL)),
+		MaxLevel: maxL,
+	}
+	tokA := func(l int) bitmask.Formula {
+		return bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA), bitmask.FieldIs(m.Lvl, uint64(l)))
+	}
+	tokB := func(l int) bitmask.Formula {
+		return bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA), bitmask.FieldIs(m.Lvl, uint64(l)))
+	}
+	blank := bitmask.IsNot(m.Tok)
+	detok := bitmask.IsNot(m.Tok)
+
+	rs := rules.NewRuleset(sp)
+	// Opposite tokens at equal level annihilate (both orientations, so the
+	// cancellation rate doesn't depend on which side initiates).
+	cancel := make([]rules.Rule, 0, 2*(maxL+1))
+	for l := 0; l <= maxL; l++ {
+		cancel = append(cancel,
+			rules.MustNew(tokA(l), tokB(l), detok, detok),
+			rules.MustNew(tokB(l), tokA(l), detok, detok))
+	}
+	rs.AddGroup("cancel", 1, cancel...)
+
+	// A token below the cap splits onto a blank: two half-weight copies one
+	// level deeper, both stamped with the sign's output bit.
+	split := make([]rules.Rule, 0, 2*maxL)
+	for l := 0; l < maxL; l++ {
+		split = append(split,
+			rules.MustNew(tokA(l), blank,
+				bitmask.FieldIs(m.Lvl, uint64(l+1)),
+				bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA), bitmask.FieldIs(m.Lvl, uint64(l+1)), bitmask.Is(m.Out))),
+			rules.MustNew(tokB(l), blank,
+				bitmask.FieldIs(m.Lvl, uint64(l+1)),
+				bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA), bitmask.FieldIs(m.Lvl, uint64(l+1)), bitmask.IsNot(m.Out))))
+	}
+	rs.AddGroup("split", 1, split...)
+
+	// Two same-sign tokens at the same positive level merge into one token a
+	// level up, freeing a blank (the liveness escape from split-starved
+	// configurations).
+	merge := make([]rules.Rule, 0, 2*maxL)
+	for l := 1; l <= maxL; l++ {
+		merge = append(merge,
+			rules.MustNew(tokA(l), tokA(l),
+				bitmask.FieldIs(m.Lvl, uint64(l-1)),
+				bitmask.And(bitmask.IsNot(m.Tok), bitmask.Is(m.Out))),
+			rules.MustNew(tokB(l), tokB(l),
+				bitmask.FieldIs(m.Lvl, uint64(l-1)),
+				bitmask.And(bitmask.IsNot(m.Tok), bitmask.IsNot(m.Out))))
+	}
+	rs.AddGroup("merge", 1, merge...)
+
+	// Surviving tokens broadcast their sign into blanks' output bits.
+	rs.AddGroup("convert", 1,
+		rules.MustNew(
+			bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA)),
+			bitmask.And(blank, bitmask.IsNot(m.Out)),
+			bitmask.True(), bitmask.Is(m.Out)),
+		rules.MustNew(
+			bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA)),
+			bitmask.And(blank, bitmask.Is(m.Out)),
+			bitmask.True(), bitmask.IsNot(m.Out)))
+	m.rs = rs
+	return m
+}
+
+// Rules returns the protocol ruleset (all groups unordered: every engine
+// kernel is admissible).
+func (m *CDMajority) Rules() *rules.Ruleset { return m.rs }
+
+// InitCounts returns the gap-split initial population: nA level-0 A tokens
+// (Out set) and nB level-0 B tokens.
+func (m *CDMajority) InitCounts(nA, nB int64) map[bitmask.State]int64 {
+	a := m.Out.Set(m.OpA.Set(m.Tok.Set(bitmask.State{}, true), true), true)
+	b := m.Tok.Set(bitmask.State{}, true)
+	return map[bitmask.State]int64{a: nA, b: nB}
+}
+
+// States returns the number of reachable agent states: signed tokens on
+// L+1 levels (a token's Out bit is pinned to its sign) plus blanks with a
+// free output bit.
+func (m *CDMajority) States() int64 { return int64(2*(m.MaxLevel+1) + 2) }
+
+// ---- PRMajority (arXiv 1704.04947 spirit) ----
+
+// PRMajority is exact majority by phase-ratcheted cancelling–doubling.
+// Tokens live in phases 0..P and only interact downward-compatibly:
+//
+//	cancel:    (A,p) + (B,p)   → blank + blank           (phases kept)
+//	adjacent:  (A,p) + (B,p+1) → (A,p+1) + blank          (weight remainder)
+//	split:     (s,p) + blank@q → (s,p+1) + (s,p+1)        (p < P, q ≥ p)
+//	merge:     (s,p) + (s,p)   → (s,p−1) + blank          (p ≥ 1)
+//	ratchet:   blank@q meeting any agent at phase r > q adopts phase r
+//	convert:   token + blank   → blank adopts the token's sign as Out
+//
+// Unlike CDMajority, blanks carry a phase and a token can only double onto
+// a blank whose phase has caught up (the ratchet) — the synchronized-phase
+// structure of [AAG 1704.04947] without its separate clock — and opposite
+// tokens one phase apart cancel into the exact remainder
+// 2^(L−p) − 2^(L−p−1) = 2^(L−p−1). The same conserved weighted sum makes
+// the protocol always correct.
+type PRMajority struct {
+	Space    *bitmask.Space
+	Tok      bitmask.Var
+	OpA      bitmask.Var
+	Out      bitmask.Var
+	Ph       bitmask.Field // token phase, or a blank's ratchet value
+	MaxPhase int
+
+	rs *rules.Ruleset
+}
+
+// NewPRMajority builds the protocol sized for populations up to n.
+func NewPRMajority(n int) *PRMajority {
+	maxP := relatedLevels(n)
+	sp := bitmask.NewSpace()
+	m := &PRMajority{
+		Space:    sp,
+		Tok:      sp.Bool("Tk"),
+		OpA:      sp.Bool("Op"),
+		Out:      sp.Bool("Ot"),
+		Ph:       sp.Field("Ph", uint64(maxP)),
+		MaxPhase: maxP,
+	}
+	tokA := func(p int) bitmask.Formula {
+		return bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA), bitmask.FieldIs(m.Ph, uint64(p)))
+	}
+	tokB := func(p int) bitmask.Formula {
+		return bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA), bitmask.FieldIs(m.Ph, uint64(p)))
+	}
+	blankAt := func(q int) bitmask.Formula {
+		return bitmask.And(bitmask.IsNot(m.Tok), bitmask.FieldIs(m.Ph, uint64(q)))
+	}
+	detok := bitmask.IsNot(m.Tok)
+	at := func(p int) bitmask.Formula { return bitmask.FieldIs(m.Ph, uint64(p)) }
+
+	rs := rules.NewRuleset(sp)
+	cancel := make([]rules.Rule, 0, 2*(maxP+1))
+	for p := 0; p <= maxP; p++ {
+		cancel = append(cancel,
+			rules.MustNew(tokA(p), tokB(p), detok, detok),
+			rules.MustNew(tokB(p), tokA(p), detok, detok))
+	}
+	rs.AddGroup("cancel", 1, cancel...)
+
+	// Adjacent-phase annihilation: the heavier token survives one phase
+	// deeper (its exact weight remainder); the lighter side is blanked and
+	// stamped with the survivor's sign. All four orientations.
+	adj := make([]rules.Rule, 0, 4*maxP)
+	blankA := bitmask.And(detok, bitmask.Is(m.Out))
+	blankB := bitmask.And(detok, bitmask.IsNot(m.Out))
+	for p := 0; p < maxP; p++ {
+		adj = append(adj,
+			rules.MustNew(tokA(p), tokB(p+1), at(p+1), blankA),
+			rules.MustNew(tokB(p+1), tokA(p), blankA, at(p+1)),
+			rules.MustNew(tokB(p), tokA(p+1), at(p+1), blankB),
+			rules.MustNew(tokA(p+1), tokB(p), blankB, at(p+1)))
+	}
+	rs.AddGroup("canceladj", 1, adj...)
+
+	// Ratchet-gated doubling: a token splits only onto a blank whose phase
+	// has caught up to its own.
+	split := make([]rules.Rule, 0, maxP*(maxP+1))
+	for p := 0; p < maxP; p++ {
+		mkA := bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA), at(p+1), bitmask.Is(m.Out))
+		mkB := bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA), at(p+1), bitmask.IsNot(m.Out))
+		for q := p; q <= maxP; q++ {
+			split = append(split,
+				rules.MustNew(tokA(p), blankAt(q), at(p+1), mkA),
+				rules.MustNew(tokB(p), blankAt(q), at(p+1), mkB))
+		}
+	}
+	rs.AddGroup("split", 1, split...)
+
+	merge := make([]rules.Rule, 0, 2*maxP)
+	for p := 1; p <= maxP; p++ {
+		merge = append(merge,
+			rules.MustNew(tokA(p), tokA(p), at(p-1), blankA),
+			rules.MustNew(tokB(p), tokB(p), at(p-1), blankB))
+	}
+	rs.AddGroup("merge", 1, merge...)
+
+	// Blanks ratchet up to the highest phase seen on anyone.
+	ratchet := make([]rules.Rule, 0, maxP*(maxP+1)/2)
+	for q := 0; q < maxP; q++ {
+		for r := q + 1; r <= maxP; r++ {
+			ratchet = append(ratchet, rules.MustNew(blankAt(q), at(r), at(r), bitmask.True()))
+		}
+	}
+	rs.AddGroup("ratchet", 1, ratchet...)
+
+	rs.AddGroup("convert", 1,
+		rules.MustNew(
+			bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA)),
+			bitmask.And(detok, bitmask.IsNot(m.Out)),
+			bitmask.True(), bitmask.Is(m.Out)),
+		rules.MustNew(
+			bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA)),
+			bitmask.And(detok, bitmask.Is(m.Out)),
+			bitmask.True(), bitmask.IsNot(m.Out)))
+	m.rs = rs
+	return m
+}
+
+// Rules returns the protocol ruleset (all groups unordered).
+func (m *PRMajority) Rules() *rules.Ruleset { return m.rs }
+
+// InitCounts returns the gap-split initial population at phase 0.
+func (m *PRMajority) InitCounts(nA, nB int64) map[bitmask.State]int64 {
+	a := m.Out.Set(m.OpA.Set(m.Tok.Set(bitmask.State{}, true), true), true)
+	b := m.Tok.Set(bitmask.State{}, true)
+	return map[bitmask.State]int64{a: nA, b: nB}
+}
+
+// States returns the number of reachable agent states: signed tokens plus
+// blanks with a free output bit, each over P+1 phases.
+func (m *PRMajority) States() int64 { return int64(4 * (m.MaxPhase + 1)) }
+
+// ---- GS18Leader (arXiv 1802.06867 spirit) ----
+
+// GS18 clock geometry: the modulo-12 counter is cut into three windows.
+// Each elimination cycle (one full counter revolution, Θ(log n) rounds per
+// tick) runs reset → flip → kill.
+const (
+	gs18M        = 12 // counter modulus (must be a multiple of 4)
+	gs18ResetEnd = 4  // [0,4): re-arm candidates, clear the epidemics
+	gs18FlipEnd  = 8  // [4,8): armed candidates flip one fair coin
+	gs18KillFrom = 8  // [8,12): informed tails candidates resign
+	gs18RepairAt = 10 // [10,12): agents that heard of no candidate restart
+)
+
+// Scheduler weights of the elimination groups, relative to the oscillator
+// (total weight 13) and clock (total weight 39) they share the schedule
+// with. The two epidemics must cover the population within half a cycle, so
+// they take the lion's share; the junta comparator is boosted so the initial
+// rank-pruning resolves within the clock's spin-up.
+const (
+	gs18JuntaBoost   = 6
+	gs18ClockBoost   = 8
+	gs18SpreadWeight = 15
+	gs18FlipWeight   = 3
+	gs18KillWeight   = 3
+	gs18ArmWeight    = 2
+	gs18ClearWeight  = 6
+	gs18DemoteWeight = 6
+)
+
+// GS18Leader elects a unique leader in polylogarithmic time, in the style
+// of [GS18]: every agent draws a geometric rank (junta.Geometric), agents
+// below the running maximum drop out of candidacy once, and the surviving
+// candidates — the junta of maximum-rank holders, never empty — are whittled
+// to one by clock-synchronized coin-flip rounds. Per cycle of the modulo-12
+// phase clock (internal/clock over internal/osc, driven by the junta as its
+// X control set): candidates re-arm and the HeadsSeen/Alive epidemics clear
+// (reset window), each armed candidate flips one fair coin, heads seeding
+// the HeadsSeen epidemic and every flip seeding Alive (flip window), then a
+// tails candidate that has heard of a heads candidate resigns (kill
+// window) — so each cycle halves the candidates in expectation and can
+// never eliminate the last one: resigning requires a same-cycle heads
+// candidate, which survives its own cycle. An agent that has heard of no
+// candidate by the cycle's tail re-candidates (repair), making the rare
+// clock-skew race that kills every candidate self-healing rather than
+// fatal. States are Θ(log n) fields wide — the counted kernels' species
+// compression buys nothing here (≈ one species per agent), which is exactly
+// what expt.RunnerHints.StateRich exists to express.
+type GS18Leader struct {
+	Space *bitmask.Space
+	Junta *junta.Geometric
+	Osc   *osc.Oscillator
+	Clock *clock.Base
+
+	X         bitmask.Var // junta membership: the oscillator's source set
+	L         bitmask.Var // leader candidate
+	Demoted   bitmask.Var // rank-pruning consumed (one-shot)
+	Coin      bitmask.Var // this cycle's flip (heads when set)
+	Armed     bitmask.Var // may flip this cycle
+	HeadsSeen bitmask.Var // epidemic: some candidate flipped heads
+	Alive     bitmask.Var // epidemic: some candidate exists
+
+	rs *rules.Ruleset
+}
+
+// NewGS18Leader builds the protocol sized for populations up to n.
+func NewGS18Leader(n int) *GS18Leader {
+	maxLevel := bits.Len(uint(n)) + 4
+	if maxLevel < 8 {
+		maxLevel = 8
+	}
+	sp := bitmask.NewSpace()
+	g := &GS18Leader{Space: sp}
+	g.X = sp.Bool("X")
+	g.Junta = junta.NewGeometric(sp, "J", g.X, maxLevel)
+	g.Osc = osc.New(sp, "O", g.X, osc.DefaultParams())
+	// The oscillator+clock pair is boosted as a unit (preserving its
+	// calibrated 13:39 weight ratio) so the elimination groups' dilution
+	// doesn't stretch tick spacing — a full coin cycle is m ticks, and tick
+	// spacing scales with the subsystem's share of the schedule.
+	g.Clock = clock.NewBase(sp, "C", g.Osc, gs18M, clock.DefaultK, g.Osc.Ruleset().TotalWeight()*gs18ClockBoost)
+	g.L = sp.Bool("L")
+	g.Demoted = sp.Bool("D")
+	g.Coin = sp.Bool("Cn")
+	g.Armed = sp.Bool("Ar")
+	g.HeadsSeen = sp.Bool("Hs")
+	g.Alive = sp.Bool("Av")
+
+	// The junta comparator's groups are boosted so rank pruning keeps pace
+	// with the diluted schedule (Geometric builds them at weight 1).
+	jrs := g.Junta.Rules().Clone()
+	for i := range jrs.Groups {
+		jrs.Groups[i].Weight *= gs18JuntaBoost
+	}
+	ors := g.Osc.Ruleset().Clone()
+	for i := range ors.Groups {
+		ors.Groups[i].Weight *= gs18ClockBoost
+	}
+
+	elim := rules.NewRuleset(sp)
+	ctr := func(c int) bitmask.Formula { return bitmask.FieldIs(g.Clock.Counter, uint64(c)) }
+
+	// Reset window: candidates re-arm; both epidemics clear agent by agent.
+	arm := make([]rules.Rule, 0, gs18ResetEnd)
+	clearHS := make([]rules.Rule, 0, gs18ResetEnd)
+	clearAlive := make([]rules.Rule, 0, gs18ResetEnd)
+	for c := 0; c < gs18ResetEnd; c++ {
+		arm = append(arm, rules.MustNew(
+			bitmask.And(bitmask.Is(g.L), bitmask.IsNot(g.Armed), ctr(c)),
+			bitmask.True(), bitmask.Is(g.Armed), bitmask.True()))
+		clearHS = append(clearHS, rules.MustNew(
+			bitmask.And(bitmask.Is(g.HeadsSeen), ctr(c)),
+			bitmask.True(), bitmask.IsNot(g.HeadsSeen), bitmask.True()))
+		clearAlive = append(clearAlive, rules.MustNew(
+			bitmask.And(bitmask.Is(g.Alive), ctr(c)),
+			bitmask.True(), bitmask.IsNot(g.Alive), bitmask.True()))
+	}
+	elim.AddGroup("learm", gs18ArmWeight, arm...)
+	// Stale epidemic bits re-seed themselves through the spread groups, so
+	// clearing must be near-certain per agent per reset window: at weight 6
+	// an agent expects ≳15 clear opportunities per window.
+	elim.AddGroup("leclearh", gs18ClearWeight, clearHS...)
+	elim.AddGroup("lecleara", gs18ClearWeight, clearAlive...)
+
+	// Flip window: two equal-weight groups with identical guards realize the
+	// fair coin; each flip disarms, seeds Alive, and heads seeds HeadsSeen.
+	heads := make([]rules.Rule, 0, gs18FlipEnd-gs18ResetEnd)
+	tails := make([]rules.Rule, 0, gs18FlipEnd-gs18ResetEnd)
+	for c := gs18ResetEnd; c < gs18FlipEnd; c++ {
+		flip := bitmask.And(bitmask.Is(g.L), bitmask.Is(g.Armed), ctr(c))
+		heads = append(heads, rules.MustNew(flip, bitmask.True(),
+			bitmask.And(bitmask.IsNot(g.Armed), bitmask.Is(g.Coin), bitmask.Is(g.HeadsSeen), bitmask.Is(g.Alive)),
+			bitmask.True()))
+		tails = append(tails, rules.MustNew(flip, bitmask.True(),
+			bitmask.And(bitmask.IsNot(g.Armed), bitmask.IsNot(g.Coin), bitmask.Is(g.Alive)),
+			bitmask.True()))
+	}
+	elim.AddGroup("leheads", gs18FlipWeight, heads...)
+	elim.AddGroup("letails", gs18FlipWeight, tails...)
+
+	// Epidemic spread across the flip and kill windows (the reset window is
+	// excluded on both sides, so cleared agents are not re-infected with the
+	// previous cycle's verdicts).
+	spreadHS := make([]rules.Rule, 0, (gs18M-gs18ResetEnd)*(gs18M-gs18ResetEnd))
+	spreadAlive := make([]rules.Rule, 0, (gs18M-gs18ResetEnd)*(gs18M-gs18ResetEnd))
+	for c1 := gs18ResetEnd; c1 < gs18M; c1++ {
+		for c2 := gs18ResetEnd; c2 < gs18M; c2++ {
+			spreadHS = append(spreadHS, rules.MustNew(
+				bitmask.And(bitmask.Is(g.HeadsSeen), ctr(c1)),
+				bitmask.And(bitmask.IsNot(g.HeadsSeen), ctr(c2)),
+				bitmask.True(), bitmask.Is(g.HeadsSeen)))
+			spreadAlive = append(spreadAlive, rules.MustNew(
+				bitmask.And(bitmask.Is(g.Alive), ctr(c1)),
+				bitmask.And(bitmask.IsNot(g.Alive), ctr(c2)),
+				bitmask.True(), bitmask.Is(g.Alive)))
+		}
+	}
+	elim.AddGroup("lespreadh", gs18SpreadWeight, spreadHS...)
+	elim.AddGroup("lespreada", gs18SpreadWeight, spreadAlive...)
+
+	// Kill window: an informed tails candidate resigns. Its informant — a
+	// same-cycle heads candidate — keeps Coin set all cycle, so the guard
+	// can never empty the candidate set within a cycle.
+	kill := make([]rules.Rule, 0, gs18M-gs18KillFrom)
+	for c := gs18KillFrom; c < gs18M; c++ {
+		kill = append(kill, rules.MustNew(
+			bitmask.And(bitmask.Is(g.L), bitmask.IsNot(g.Armed), bitmask.IsNot(g.Coin), bitmask.Is(g.HeadsSeen), ctr(c)),
+			bitmask.True(), bitmask.IsNot(g.L), bitmask.True()))
+	}
+	elim.AddGroup("lekill", gs18KillWeight, kill...)
+
+	// Repair: an agent that reached the cycle's tail without hearing of any
+	// candidate re-candidates (Demoted set: repaired candidates are exempt
+	// from rank pruning, whose maximum they generally won't hold).
+	repair := make([]rules.Rule, 0, gs18M-gs18RepairAt)
+	for c := gs18RepairAt; c < gs18M; c++ {
+		repair = append(repair, rules.MustNew(
+			bitmask.And(bitmask.IsNot(g.Alive), ctr(c)),
+			bitmask.True(),
+			bitmask.And(bitmask.Is(g.L), bitmask.Is(g.Demoted), bitmask.Is(g.Alive)),
+			bitmask.True()))
+	}
+	elim.AddGroup("lerepair", 1, repair...)
+
+	// One-shot rank pruning: a candidate whose FINAL geometric rank trails
+	// the running maximum drops out of candidacy (mirroring the junta's
+	// leave rules, including their ¬Flipping gate — pruning a still-flipping
+	// agent can eliminate the eventual max-rank holder and empty the
+	// candidate set; Demoted makes it one-shot so repair can stick).
+	demote := make([]rules.Rule, 0, maxLevel*(maxLevel+1)/2)
+	for own := 0; own < maxLevel; own++ {
+		for seen := own + 1; seen <= maxLevel; seen++ {
+			demote = append(demote, rules.MustNew(
+				bitmask.And(bitmask.Is(g.L), bitmask.IsNot(g.Demoted), bitmask.IsNot(g.Junta.Flipping),
+					bitmask.FieldIs(g.Junta.Rank, uint64(own)), bitmask.FieldIs(g.Junta.Max, uint64(seen))),
+				bitmask.True(),
+				bitmask.And(bitmask.IsNot(g.L), bitmask.Is(g.Demoted)),
+				bitmask.True()))
+		}
+	}
+	elim.AddGroup("ledemote", gs18DemoteWeight, demote...)
+
+	g.rs = rules.Concat(jrs, ors, g.Clock.Rules(), elim)
+	return g
+}
+
+// Rules returns the composed ruleset (junta + oscillator + clock +
+// elimination; all groups unordered).
+func (g *GS18Leader) Rules() *rules.Ruleset { return g.rs }
+
+// InitCounts builds the initial population: every agent is a flipping junta
+// candidate and a leader candidate, Alive, with a randomly drawn weak
+// oscillator species; clock fields start at zero. The rng draws must come
+// from the same replica stream that will drive the run.
+func (g *GS18Leader) InitCounts(n int, rng *engine.RNG) map[bitmask.State]int64 {
+	counts := make(map[bitmask.State]int64, 3)
+	for i := 0; i < n; i++ {
+		s := g.Junta.InitAgent(bitmask.State{})
+		s = g.L.Set(s, true)
+		s = g.Alive.Set(s, true)
+		s = g.Osc.InitState(s, osc.RandSpecies(rng), false)
+		counts[s]++
+	}
+	return counts
+}
+
+// States returns the allocated per-agent state-space size. Unlike the
+// majority protocols there is no tight reachable-state count: the composed
+// clock/junta/oscillator fields genuinely occupy Θ(2^bits) combinations,
+// which is why the protocol is pinned to the dense runner.
+func (g *GS18Leader) States() int64 { return int64(g.Space.NumStates()) }

@@ -245,6 +245,12 @@ func (m *Model) Predict(spec expt.JobSpec, kind string) Prediction {
 		inter = iters * n * (math.Log(n) + 1)
 	} else {
 		tier = expt.SelectRunnerForSize(int64(spec.N)).String()
+		if stateRichProtocols[spec.Protocol] {
+			// Mirrors the registry's RunnerHints: state-rich protocols pin
+			// the dense kernel at every n, so predicting a counted tier
+			// would charge them the wrong per-interaction cost.
+			tier = expt.RunnerDense.String()
+		}
 		rounds := expectedRounds(spec.Protocol, n)
 		if spec.MaxRounds > 0 && spec.MaxRounds < rounds {
 			rounds = spec.MaxRounds
@@ -287,6 +293,12 @@ func (m *Model) Predict(spec expt.JobSpec, kind string) Prediction {
 	return p
 }
 
+// stateRichProtocols names the counted registry entries whose drivers pin
+// the dense kernel (serve's RunnerHints.StateRich) regardless of n.
+var stateRichProtocols = map[string]bool{
+	"gs18leader": true,
+}
+
 // expectedRounds is the paper-side half of the prediction: expected parallel
 // time (rounds) to convergence per counted protocol.
 func expectedRounds(protocol string, n float64) float64 {
@@ -301,6 +313,14 @@ func expectedRounds(protocol string, n float64) float64 {
 	case "coalescence":
 		// Folklore coalescence: Θ(n) rounds (the last pair dominates).
 		return 2 * n
+	case "gsexactmajority", "aagmajority":
+		// Cancelling–doubling majorities: polylog rounds at any gap
+		// (measured ≈ 430/340 rounds at n=512, gap 1 — ~10·ln² n).
+		return 10 * ln * ln
+	case "gs18leader":
+		// GS18 junta-clocked election: polylog, near-flat in n (measured
+		// means 2.7k–3.8k rounds across n = 512…8192 — ~70·ln² n).
+		return 70 * ln * ln
 	default:
 		// Unknown counted protocol: assume linear rounds, the middle of the
 		// observed range; the EWMA absorbs the constant.

@@ -39,6 +39,17 @@ type Protocol struct {
 	Kind string
 	// Params lists the optional JobSpec fields the protocol honours.
 	Params []string
+	// States reports the per-agent state count at population size n — the
+	// space column of the registry's capability matrix. For framework
+	// protocols the compiled variable space is independent of n; for the
+	// counted protocols it grows with the level/phase range, Θ(log n) for
+	// the majority pair and polynomial in log n for GS18.
+	States func(n int) uint64
+	// Hints are the runner-selection hints this protocol's driver runs
+	// under. The zero value means the three-tier dense/batch/aggregate
+	// crossover applies unmodified; StateRich pins the dense kernel for
+	// protocols whose live species count grows with n.
+	Hints expt.RunnerHints
 
 	// normalize applies protocol-specific defaults and validation, after
 	// JobSpec.NormalizeCommon has run.
@@ -518,6 +529,95 @@ func runCoalescence(ctx context.Context, spec expt.JobSpec, replica int) (expt.R
 	return rec, nil
 }
 
+// ---- related-work protocols (internal/protocols, counted kernels) ----
+
+// majorityStop is the shared decision condition of the exact-majority
+// protocols: an A verdict is "no B tokens survive and every agent outputs
+// A", a B verdict the mirror image. The conserved weighted opinion sum
+// makes the surviving sign always the true initial majority.
+func majorityStop(n int64, tokA, tokB, out expt.Counter) func() bool {
+	return func() bool {
+		if tokB.Count() == 0 && out.Count() == n {
+			return true
+		}
+		return tokA.Count() == 0 && out.Count() == 0
+	}
+}
+
+func runCDMajority(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed}
+	m := protocols.NewCDMajority(spec.N)
+	nA, nB := splitGap(spec.N, spec.Gap)
+	drv := expt.NewDriver(m.Rules(), engine.CompileProtocol(m.Rules()), m.InitCounts(nA, nB), engine.NewRNG(seed))
+	tokA := drv.Track("TokA", bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA)))
+	tokB := drv.Track("TokB", bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA)))
+	out := drv.Track("Out", bitmask.Is(m.Out))
+	attachTrace(ctx, drv, replica)
+	rounds, ok, err := driveSliced(ctx, drv, majorityStop(int64(spec.N), tokA, tokB, out), spec.MaxRounds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Rounds = rounds
+	rec.Converged = ok
+	rec.Runner = drv.Kind.String()
+	rec.RunnerReason = drv.Reason
+	rec.Interactions = drv.Interactions()
+	rec.Counts = map[string]int64{"TokA": tokA.Count(), "TokB": tokB.Count(), "Out": out.Count()}
+	return rec, nil
+}
+
+func runPRMajority(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed}
+	m := protocols.NewPRMajority(spec.N)
+	nA, nB := splitGap(spec.N, spec.Gap)
+	drv := expt.NewDriver(m.Rules(), engine.CompileProtocol(m.Rules()), m.InitCounts(nA, nB), engine.NewRNG(seed))
+	tokA := drv.Track("TokA", bitmask.And(bitmask.Is(m.Tok), bitmask.Is(m.OpA)))
+	tokB := drv.Track("TokB", bitmask.And(bitmask.Is(m.Tok), bitmask.IsNot(m.OpA)))
+	out := drv.Track("Out", bitmask.Is(m.Out))
+	attachTrace(ctx, drv, replica)
+	rounds, ok, err := driveSliced(ctx, drv, majorityStop(int64(spec.N), tokA, tokB, out), spec.MaxRounds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Rounds = rounds
+	rec.Converged = ok
+	rec.Runner = drv.Kind.String()
+	rec.RunnerReason = drv.Reason
+	rec.Interactions = drv.Interactions()
+	rec.Counts = map[string]int64{"TokA": tokA.Count(), "TokB": tokB.Count(), "Out": out.Count()}
+	return rec, nil
+}
+
+func runGS18Leader(ctx context.Context, spec expt.JobSpec, replica int) (expt.ReplicaRecord, error) {
+	seed := expt.ReplicaSeed(spec.Seed, replica)
+	rec := expt.ReplicaRecord{Replica: replica, Protocol: spec.Protocol, N: spec.N, Seed: seed}
+	g := protocols.NewGS18Leader(spec.N)
+	rng := engine.NewRNG(seed)
+	// InitCounts draws the oscillator species from the same stream the
+	// driver then consumes — the whole replica derives from one seed.
+	counts := g.InitCounts(spec.N, rng)
+	drv := expt.NewDriverWithHints(g.Rules(), engine.CompileProtocol(g.Rules()), counts, rng, gs18Hints)
+	tl := drv.Track("L", bitmask.Is(g.L))
+	attachTrace(ctx, drv, replica)
+	rounds, ok, err := driveSliced(ctx, drv, func() bool { return tl.Count() == 1 }, spec.MaxRounds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Rounds = rounds
+	rec.Converged = ok
+	rec.Runner = drv.Kind.String()
+	rec.RunnerReason = drv.Reason
+	rec.Interactions = drv.Interactions()
+	rec.Counts = map[string]int64{"L": tl.Count()}
+	return rec, nil
+}
+
+// gs18Hints pins GS18 to the dense kernel: its live species count grows
+// with n, which makes the counted kernels' per-firing cost degenerate.
+var gs18Hints = expt.RunnerHints{StateRich: true}
+
 func normalizeCounted(defaultRounds float64) func(*expt.JobSpec) error {
 	return func(spec *expt.JobSpec) error {
 		if spec.MaxIters != 0 {
@@ -527,6 +627,19 @@ func normalizeCounted(defaultRounds float64) func(*expt.JobSpec) error {
 			spec.MaxRounds = defaultRounds
 		}
 		return nil
+	}
+}
+
+// frameworkStates computes the compiled per-agent state count of a
+// framework program. The variable space is fixed by the program text, so
+// any legal n gives the same answer; n = 64 keeps the probe cheap.
+func frameworkStates(build func() *lang.Program) func(int) uint64 {
+	return func(int) uint64 {
+		e, err := frame.New(build(), 64, 1)
+		if err != nil {
+			return 0
+		}
+		return e.Space.NumStates()
 	}
 }
 
@@ -552,6 +665,7 @@ func builtins() []*Protocol {
 			Description: "LeaderElection (§3.1): w.h.p. unique leader in O(log² n) rounds",
 			Kind:        "framework",
 			Params:      []string{"max_iters"},
+			States:      frameworkStates(protocols.LeaderElection),
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noGapColours(spec); err != nil {
 					return err
@@ -565,6 +679,7 @@ func builtins() []*Protocol {
 			Description: "LeaderElectionExact (§6.1): always-correct unique leader",
 			Kind:        "framework",
 			Params:      []string{"max_iters"},
+			States:      frameworkStates(protocols.LeaderElectionExact),
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noGapColours(spec); err != nil {
 					return err
@@ -578,6 +693,7 @@ func builtins() []*Protocol {
 			Description: "Majority (§3.2): w.h.p. exact majority for any gap ≥ 1",
 			Kind:        "framework",
 			Params:      []string{"gap", "max_iters"},
+			States:      frameworkStates(func() *lang.Program { return protocols.Majority(2) }),
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noColours(spec); err != nil {
 					return err
@@ -591,6 +707,7 @@ func builtins() []*Protocol {
 			Description: "MajorityExact (§6.2): always-correct exact majority",
 			Kind:        "framework",
 			Params:      []string{"gap", "max_iters"},
+			States:      frameworkStates(func() *lang.Program { return protocols.MajorityExact(2) }),
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noColours(spec); err != nil {
 					return err
@@ -604,6 +721,7 @@ func builtins() []*Protocol {
 			Description: "Plurality consensus (§1.1): l-colour plurality with O(l²) states",
 			Kind:        "framework",
 			Params:      []string{"colours", "max_iters"},
+			States:      frameworkStates(func() *lang.Program { return protocols.Plurality(3, 2) }),
 			normalize: func(spec *expt.JobSpec) error {
 				if spec.Gap != 0 {
 					return fmt.Errorf("gap does not apply to %q", spec.Protocol)
@@ -626,6 +744,7 @@ func builtins() []*Protocol {
 			Description: "3-state approximate majority [AAE08a] (§1.2 / E11 baseline)",
 			Kind:        "counted",
 			Params:      []string{"gap", "max_rounds"},
+			States:      func(int) uint64 { return baseline.NewApproxMajority().Rules().Space.NumStates() },
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noColours(spec); err != nil {
 					return err
@@ -639,6 +758,7 @@ func builtins() []*Protocol {
 			Description: "4-state exact majority [DV12], Θ(n log n) rounds (the E11 load-test workload)",
 			Kind:        "counted",
 			Params:      []string{"gap", "max_rounds"},
+			States:      func(int) uint64 { return baseline.NewExactMajority4().Rules().Space.NumStates() },
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noColours(spec); err != nil {
 					return err
@@ -652,6 +772,7 @@ func builtins() []*Protocol {
 			Description: "folklore coalescence leader election, Θ(n) rounds (E11 baseline)",
 			Kind:        "counted",
 			Params:      []string{"max_rounds"},
+			States:      func(int) uint64 { return baseline.NewCoalescenceLeader().Rules().Space.NumStates() },
 			normalize: func(spec *expt.JobSpec) error {
 				if err := noGapColours(spec); err != nil {
 					return err
@@ -659,6 +780,64 @@ func builtins() []*Protocol {
 				return normalizeCounted(1e9)(spec)
 			},
 			run: runCoalescence,
+		},
+		{
+			Name:        "gsexactmajority",
+			Description: "cancelling–doubling exact majority [arXiv:2011.07392]: always correct at any gap, O(log n) states",
+			Kind:        "counted",
+			Params:      []string{"gap", "max_rounds"},
+			States:      func(n int) uint64 { return uint64(protocols.NewCDMajority(n).States()) },
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noColours(spec); err != nil {
+					return err
+				}
+				if spec.Gap == 0 {
+					// Exactness holds for any non-zero margin; a dead tie has
+					// no majority to report, so default to the adversarial
+					// minimum rather than accept an unanswerable input.
+					spec.Gap = 1
+				}
+				return normalizeCounted(1e6)(spec)
+			},
+			run: runCDMajority,
+		},
+		{
+			Name:        "aagmajority",
+			Description: "phase-ratcheted exact majority [arXiv:1704.04947]: space-optimal always-correct majority",
+			Kind:        "counted",
+			Params:      []string{"gap", "max_rounds"},
+			States:      func(n int) uint64 { return uint64(protocols.NewPRMajority(n).States()) },
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noColours(spec); err != nil {
+					return err
+				}
+				if spec.Gap == 0 {
+					spec.Gap = 1
+				}
+				return normalizeCounted(1e6)(spec)
+			},
+			run: runPRMajority,
+		},
+		{
+			Name:        "gs18leader",
+			Description: "junta-clocked leader election [arXiv:1802.06867]: polylog-time w.h.p., phase-clock driven elimination",
+			Kind:        "counted",
+			Params:      []string{"max_rounds"},
+			States:      func(n int) uint64 { return uint64(protocols.NewGS18Leader(n).States()) },
+			Hints:       gs18Hints,
+			normalize: func(spec *expt.JobSpec) error {
+				if err := noGapColours(spec); err != nil {
+					return err
+				}
+				if spec.N < 16 {
+					return fmt.Errorf("gs18leader needs n ≥ 16 (got %d): the junta construction degenerates below that", spec.N)
+				}
+				if spec.N > 1<<20 {
+					return fmt.Errorf("gs18leader caps n at %d (got %d): the state-rich space pins the dense kernel, which holds every agent in memory", 1<<20, spec.N)
+				}
+				return normalizeCounted(1e5)(spec)
+			},
+			run: runGS18Leader,
 		},
 	}
 }

@@ -1,0 +1,130 @@
+package serve
+
+// Golden capability matrix of the protocol registry. The exact name set and
+// the per-entry (kind, params, state count, runner hints, selected tier)
+// matrix are part of the service contract: clients discover workloads via
+// GET /v1/protocols and pick grid sizes from the states column, and the
+// comparative benchmark (popbench -compare) addresses protocols by these
+// names. Any intentional registry change must update this table — an
+// unintentional one fails here before it reaches the wire.
+
+import (
+	"reflect"
+	"testing"
+
+	"popkit/internal/baseline"
+	"popkit/internal/expt"
+	"popkit/internal/protocols"
+	"popkit/internal/rules"
+)
+
+// goldenEntry is one row of the expected capability matrix, probed at the
+// reference population n = 1024.
+type goldenEntry struct {
+	Kind      string
+	Params    []string
+	States    uint64
+	StateRich bool
+	// Runner is the tier the entry's hints select at n = 1024 for counted
+	// protocols ("" for framework entries, which bypass runner selection).
+	Runner expt.RunnerKind
+}
+
+func TestRegistryGolden(t *testing.T) {
+	want := map[string]goldenEntry{
+		"leader":        {Kind: "framework", Params: []string{"max_iters"}, States: 8},
+		"leaderexact":   {Kind: "framework", Params: []string{"max_iters"}, States: 64},
+		"majority":      {Kind: "framework", Params: []string{"gap", "max_iters"}, States: 64},
+		"majorityexact": {Kind: "framework", Params: []string{"gap", "max_iters"}, States: 256},
+		"plurality":     {Kind: "framework", Params: []string{"colours", "max_iters"}, States: 262144},
+		"approxmajority": {Kind: "counted", Params: []string{"gap", "max_rounds"},
+			States: 4, Runner: expt.RunnerBatch},
+		"exactmajority": {Kind: "counted", Params: []string{"gap", "max_rounds"},
+			States: 4, Runner: expt.RunnerBatch},
+		"coalescence": {Kind: "counted", Params: []string{"max_rounds"},
+			States: 2, Runner: expt.RunnerBatch},
+		"gsexactmajority": {Kind: "counted", Params: []string{"gap", "max_rounds"},
+			States: 28, Runner: expt.RunnerBatch},
+		"aagmajority": {Kind: "counted", Params: []string{"gap", "max_rounds"},
+			States: 52, Runner: expt.RunnerBatch},
+		"gs18leader": {Kind: "counted", Params: []string{"max_rounds"},
+			States: 1 << 30, StateRich: true, Runner: expt.RunnerDense},
+	}
+
+	r := NewRegistry()
+	wantNames := make([]string, 0, len(want))
+	for name := range want {
+		wantNames = append(wantNames, name)
+	}
+	if got := r.Names(); len(got) != len(want) {
+		t.Fatalf("registry has %d protocols %v, want the %d of %v", len(got), got, len(want), wantNames)
+	}
+
+	for name, exp := range want {
+		p, ok := r.Lookup(name)
+		if !ok {
+			t.Errorf("protocol %q missing from registry", name)
+			continue
+		}
+		if p.Kind != exp.Kind {
+			t.Errorf("%s: kind %q, want %q", name, p.Kind, exp.Kind)
+		}
+		if !reflect.DeepEqual(p.Params, exp.Params) {
+			t.Errorf("%s: params %v, want %v", name, p.Params, exp.Params)
+		}
+		if p.Description == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		if p.States == nil {
+			t.Errorf("%s: no States function", name)
+		} else if got := p.States(1024); got != exp.States {
+			t.Errorf("%s: States(1024) = %d, want %d", name, got, exp.States)
+		}
+		if p.Hints.StateRich != exp.StateRich {
+			t.Errorf("%s: StateRich = %v, want %v", name, p.Hints.StateRich, exp.StateRich)
+		}
+		if exp.Kind == "counted" {
+			kind := selectedTier(t, r, p, name)
+			if kind != exp.Runner {
+				t.Errorf("%s: selected runner %v at n=1024, want %v", name, kind, exp.Runner)
+			}
+		}
+	}
+}
+
+// selectedTier normalizes a counted spec at n = 1024 and reports which
+// kernel tier the entry's hints select — the driver wiring the run func
+// actually uses, probed without running any interactions.
+func selectedTier(t *testing.T, r *Registry, p *Protocol, name string) expt.RunnerKind {
+	t.Helper()
+	spec := expt.JobSpec{Protocol: name, N: 1024, Replicas: 1, Seed: 1}
+	if _, err := r.Normalize(&spec, 1<<20, 8); err != nil {
+		t.Fatalf("%s: normalize failed: %v", name, err)
+	}
+	rs := countedRuleset(name, spec.N)
+	if rs == nil {
+		t.Fatalf("%s: no ruleset probe", name)
+	}
+	kind, _ := expt.SelectRunnerReasonHints(rs, int64(spec.N), p.Hints)
+	return kind
+}
+
+// countedRuleset rebuilds the ruleset a counted entry's run func compiles,
+// so the tier probe selects over exactly the rules the driver sees.
+func countedRuleset(name string, n int) *rules.Ruleset {
+	switch name {
+	case "approxmajority":
+		return baseline.NewApproxMajority().Rules()
+	case "exactmajority":
+		return baseline.NewExactMajority4().Rules()
+	case "coalescence":
+		return baseline.NewCoalescenceLeader().Rules()
+	case "gsexactmajority":
+		return protocols.NewCDMajority(n).Rules()
+	case "aagmajority":
+		return protocols.NewPRMajority(n).Rules()
+	case "gs18leader":
+		return protocols.NewGS18Leader(n).Rules()
+	}
+	return nil
+}

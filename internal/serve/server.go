@@ -743,6 +743,13 @@ type protocolDoc struct {
 	Description string   `json:"description"`
 	Kind        string   `json:"kind"`
 	Params      []string `json:"params,omitempty"`
+	// States is the per-agent state count at the reference population
+	// n = 1024 — the space column of the capability matrix. Omitted when
+	// the registry entry does not report one.
+	States uint64 `json:"states,omitempty"`
+	// StateRich marks protocols whose live species count grows with n;
+	// their drivers pin the dense kernel instead of the counted tiers.
+	StateRich bool `json:"state_rich,omitempty"`
 }
 
 func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
@@ -754,7 +761,13 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 	list := s.cfg.Registry.List()
 	docs := make([]protocolDoc, len(list))
 	for i, p := range list {
-		docs[i] = protocolDoc{Name: p.Name, Description: p.Description, Kind: p.Kind, Params: p.Params}
+		docs[i] = protocolDoc{
+			Name: p.Name, Description: p.Description, Kind: p.Kind, Params: p.Params,
+			StateRich: p.Hints.StateRich,
+		}
+		if p.States != nil {
+			docs[i].States = p.States(1024)
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -68,6 +68,81 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f ±%.1f median=%.1f p90=%.1f", s.N, s.Mean, s.Std, s.Median, s.P90)
 }
 
+// KS computes the two-sample Kolmogorov–Smirnov statistic
+// sup_t |F_x(t) − F_y(t)| between the empirical CDFs of the two samples.
+// The equivalence suites compare it against the α-level critical value
+// c(α)·√((m+n)/(m·n)) with c(0.001) = 1.95 — for 150-vs-150 samples that is
+// ≈ 0.225.
+func KS(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 1
+	}
+	x := append([]float64(nil), xs...)
+	y := append([]float64(nil), ys...)
+	sort.Float64s(x)
+	sort.Float64s(y)
+	var d float64
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		// Step past the smallest remaining value on BOTH sides before
+		// measuring, so tied values never contribute a spurious gap (the
+		// empirical CDFs jump together at a shared point).
+		t := x[i]
+		if y[j] < t {
+			t = y[j]
+		}
+		for i < len(x) && x[i] == t {
+			i++
+		}
+		for j < len(y) && y[j] == t {
+			j++
+		}
+		if gap := math.Abs(float64(i)/float64(len(x)) - float64(j)/float64(len(y))); gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// ChiSquareHomogeneity computes the Pearson chi-square statistic for the
+// hypothesis that every row of the observed contingency table (rows =
+// samples, columns = outcome categories) draws from the same categorical
+// distribution, estimated by pooling. Columns empty across all rows
+// contribute nothing. The caller compares against the critical value for
+// (rows−1)·(nonEmptyCols−1) degrees of freedom — e.g. 13.82 at α = 0.001
+// for a 3×2 table's 2 degrees of freedom.
+func ChiSquareHomogeneity(obs [][]int64) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	cols := len(obs[0])
+	colSum := make([]float64, cols)
+	rowSum := make([]float64, len(obs))
+	var total float64
+	for r, row := range obs {
+		for c, v := range row {
+			colSum[c] += float64(v)
+			rowSum[r] += float64(v)
+			total += float64(v)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var chi2 float64
+	for r, row := range obs {
+		for c, v := range row {
+			exp := rowSum[r] * colSum[c] / total
+			if exp == 0 {
+				continue
+			}
+			d := float64(v) - exp
+			chi2 += d * d / exp
+		}
+	}
+	return chi2
+}
+
 // Linear fits y = a + b·x by ordinary least squares and returns a, b and
 // the coefficient of determination R².
 func Linear(x, y []float64) (a, b, r2 float64) {

@@ -163,3 +163,48 @@ func TestTableJSON(t *testing.T) {
 		t.Error("Rows() exposed internal storage")
 	}
 }
+
+func TestKS(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if d := KS(same, same); d != 0 {
+		t.Errorf("KS of identical samples = %v, want 0", d)
+	}
+	disjoint := []float64{101, 102, 103, 104}
+	if d := KS(same, disjoint); d != 1 {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+	// Interleaved samples from the same grid should give a small statistic.
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = float64(2 * i)
+		b[i] = float64(2*i + 1)
+	}
+	if d := KS(a, b); d > 0.05 {
+		t.Errorf("KS of interleaved samples = %v, want ≤ 0.05", d)
+	}
+	if d := KS(nil, a); d != 1 {
+		t.Errorf("KS with empty sample = %v, want 1", d)
+	}
+}
+
+func TestChiSquareHomogeneity(t *testing.T) {
+	if chi := ChiSquareHomogeneity([][]int64{{50, 50}, {50, 50}}); chi != 0 {
+		t.Errorf("identical rows: chi2 = %v, want 0", chi)
+	}
+	// Strongly heterogeneous rows must exceed the α = 0.001 critical value
+	// for 1 degree of freedom (10.83).
+	if chi := ChiSquareHomogeneity([][]int64{{90, 10}, {10, 90}}); chi < 10.83 {
+		t.Errorf("opposite rows: chi2 = %v, want ≥ 10.83", chi)
+	}
+	// Empty columns and empty tables are inert.
+	if chi := ChiSquareHomogeneity([][]int64{{50, 0, 50}, {50, 0, 50}}); chi != 0 {
+		t.Errorf("empty column: chi2 = %v, want 0", chi)
+	}
+	if chi := ChiSquareHomogeneity(nil); chi != 0 {
+		t.Errorf("empty table: chi2 = %v, want 0", chi)
+	}
+	if chi := ChiSquareHomogeneity([][]int64{{0, 0}}); chi != 0 {
+		t.Errorf("all-zero table: chi2 = %v, want 0", chi)
+	}
+}

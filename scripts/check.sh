@@ -22,8 +22,14 @@ go test -race ./internal/fleet/... ./internal/engine/... ./internal/fault/... ./
 echo "== go test -race (expt fleet cross-check) =="
 go test -race -run 'TestFleetWorkerCrossCheck|TestReplicateOrder' ./internal/expt/
 
-echo "== coverage floors (engine, obs, serve, fleet, client, cluster, store, qos ≥ 80%) =="
-cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ ./internal/store/ ./internal/qos/ | tee /dev/stderr)
+echo "== go test -race -short (protocol library) =="
+# -short skips the statistical equivalence suites (they run in full under
+# tier-1 `go test ./...`); the unit, fuzz-seed and driver-integration tests
+# still exercise every protocol here.
+go test -race -short ./internal/protocols/
+
+echo "== coverage floors (engine, obs, serve, fleet, client, cluster, store, qos, protocols ≥ 80%) =="
+cover=$(go test -cover ./internal/engine/ ./internal/obs/ ./internal/serve/ ./internal/fleet/ ./internal/client/ ./internal/cluster/ ./internal/store/ ./internal/qos/ ./internal/protocols/ | tee /dev/stderr)
 echo "$cover" | awk '
     /coverage:/ {
         pct = $0
@@ -46,6 +52,19 @@ go run -race ./cmd/popbench -kernel -quick -out "$tmpk" >/dev/null
 grep -q '"runner": "aggregate"' "$tmpk/BENCH_kernel.json" \
     || { echo "check: kernel smoke produced no aggregate rows" >&2; exit 1; }
 rm -rf "$tmpk"
+
+echo "== compare smoke (popbench -compare -quick: one row per protocol × n) =="
+tmpc=$(mktemp -d)
+go run ./cmd/popbench -compare -quick -out "$tmpc" >/dev/null
+# The quick grid is 6 protocols × 2 sizes; every cell must produce exactly
+# one row, and every replica of every cell must have converged.
+jq -e '
+    (.compare.rows | length == 12)
+    and ([.compare.rows[] | {p: .protocol, n: .n}] | unique | length == 12)
+    and all(.compare.rows[]; .converged == .seeds)
+' "$tmpc/BENCH_results.json" >/dev/null \
+    || { echo "check: compare smoke missing rows or unconverged cells" >&2; exit 1; }
+rm -rf "$tmpc"
 
 echo "== popserved smoke =="
 ./scripts/serve-smoke.sh

@@ -11,6 +11,7 @@ srv_pid=""
 trap 'kill "$srv_pid" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/popserved" ./cmd/popserved
+go build -o "$tmp/popsim" ./cmd/popsim
 # One executor plus a stream failpoint (400ms per record, first job only):
 # that pins the single worker on a slow job long enough to prove /healthz
 # answers without it.
@@ -61,13 +62,25 @@ if command -v jq >/dev/null 2>&1; then
         || { echo "serve-smoke: bad records" >&2; cat "$tmp/out.ndjson" >&2; exit 1; }
 fi
 
+# Related-work library entry: the same spec through POST /v1/simulate and
+# through popsim -ndjson (which runs the identical registry code in-process)
+# must stream byte-identical records, for any -workers count.
+curl -fsS "$base/v1/protocols" | grep -q '"gsexactmajority"'
+curl -fsS -d '{"protocol":"gsexactmajority","n":600,"seed":11,"replicas":2,"gap":1}' \
+    "$base/v1/simulate" > "$tmp/gs.http.ndjson"
+"$tmp/popsim" -p gsexactmajority -n 600 -gap 1 -seed 11 -replicas 2 -workers 3 -ndjson > "$tmp/gs.cli.ndjson"
+cmp "$tmp/gs.http.ndjson" "$tmp/gs.cli.ndjson" \
+    || { echo "serve-smoke: gsexactmajority CLI and HTTP streams diverge" >&2; \
+         diff "$tmp/gs.http.ndjson" "$tmp/gs.cli.ndjson" >&2 || true; exit 1; }
+
 # Observability surface: JSON metrics, the Prometheus exposition of the
 # same registry, and a short CPU profile from the -pprof mount.
-# Only the first job ever reached the queue; the two repeats were store hits.
-curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 1' \
+# Two jobs reached the queue (the gsexactmajority POST was a store miss);
+# the two exactmajority repeats were store hits.
+curl -fsS "$base/metrics" | grep -q '"jobs_accepted": 2' \
     || { echo "serve-smoke: JSON metrics missing jobs_accepted" >&2; exit 1; }
 curl -fsS "$base/metrics?format=prom" > "$tmp/prom.txt"
-grep -q '^popkit_jobs_accepted_total 1$' "$tmp/prom.txt" \
+grep -q '^popkit_jobs_accepted_total 2$' "$tmp/prom.txt" \
     || { echo "serve-smoke: prom exposition missing popkit_jobs_accepted_total" >&2; cat "$tmp/prom.txt" >&2; exit 1; }
 grep -q '^popkit_store_hits_total 2$' "$tmp/prom.txt" \
     || { echo "serve-smoke: prom exposition missing popkit_store_hits_total" >&2; cat "$tmp/prom.txt" >&2; exit 1; }
